@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the three pipeline stages: MIG rewriting,
+//! compilation (naive and smart), and PLiM machine execution.
+//!
+//! These measure compiler *throughput* (the paper reports only program
+//! quality, not compile time; a practical compiler needs both).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mig::rewrite::rewrite;
+use plim_benchmarks::suite::{build, Scale};
+use plim_compiler::{compile, CompilerOptions};
+
+const CIRCUITS: [&str; 4] = ["adder", "bar", "voter", "i2c"];
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    for name in CIRCUITS {
+        let mig = build(name, Scale::Reduced).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mig, |b, mig| {
+            b.iter(|| rewrite(mig, 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for name in CIRCUITS {
+        let mig = rewrite(&build(name, Scale::Reduced).unwrap(), 4);
+        group.bench_with_input(BenchmarkId::new("naive", name), &mig, |b, mig| {
+            b.iter(|| compile(mig, CompilerOptions::naive()));
+        });
+        group.bench_with_input(BenchmarkId::new("smart", name), &mig, |b, mig| {
+            b.iter(|| compile(mig, CompilerOptions::new()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    for name in CIRCUITS {
+        let mig = rewrite(&build(name, Scale::Reduced).unwrap(), 4);
+        let compiled = compile(&mig, CompilerOptions::new());
+        let inputs = vec![false; mig.num_inputs()];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(compiled, inputs),
+            |b, (compiled, inputs)| {
+                let mut machine = plim::Machine::new();
+                b.iter(|| machine.run(&compiled.program, inputs).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    for name in CIRCUITS {
+        let mig = build(name, Scale::Reduced).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mig, |b, mig| {
+            b.iter(|| {
+                let rewritten = rewrite(mig, 4);
+                compile(&rewritten, CompilerOptions::new())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rewrite,
+    bench_compile,
+    bench_machine,
+    bench_full_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. **Candidate selection** (§4.2.1): priority-queue vs index-order
+//!    scheduling, on rewritten MIGs — isolates the `#R` contribution of the
+//!    scheduler.
+//! 2. **Operand selection** (§4.2.2): smart case analysis vs fixed
+//!    child-order slots — isolates the `#I` contribution of translation.
+//! 3. **Allocator strategy** (§4.2.3): FIFO vs LIFO vs fresh-only — FIFO
+//!    and LIFO tie on `#R`, but FIFO levels wear across cells (endurance).
+//! 4. **Rewrite effort**: 0–8 cycles (the paper fixes 4).
+//!
+//! Run with `cargo run --release -p plim-bench --bin ablation [--reduced]`.
+
+use mig::rewrite::rewrite;
+use plim_bench::PAPER_EFFORT;
+use plim_benchmarks::suite::{self, Scale};
+use plim_compiler::{compile, AllocatorStrategy, CompilerOptions, OperandSelection};
+
+/// Benchmarks used for the ablations (a representative, fast subset).
+const CIRCUITS: [&str; 6] = ["adder", "bar", "max", "voter", "i2c", "priority"];
+
+fn main() {
+    let reduced = std::env::args().any(|a| a == "--reduced");
+    let scale = if reduced { Scale::Reduced } else { Scale::Full };
+
+    candidate_selection_ablation(scale);
+    operand_selection_ablation(scale);
+    allocator_ablation(scale);
+    effort_sweep(scale);
+}
+
+fn candidate_selection_ablation(scale: Scale) {
+    println!("═══ Ablation 1: candidate selection (scheduling) — #R on rewritten MIGs ═══");
+    println!(
+        "{:<11} {:>10} {:>10} {:>9}",
+        "Benchmark", "index #R", "priority #R", "impr."
+    );
+    for name in CIRCUITS {
+        let mig = rewrite(&suite::build(name, scale).unwrap(), PAPER_EFFORT);
+        let index = compile(&mig, CompilerOptions::naive());
+        let priority = compile(&mig, CompilerOptions::new());
+        println!(
+            "{:<11} {:>10} {:>10} {:>8.2}%",
+            name,
+            index.stats.rams,
+            priority.stats.rams,
+            improvement(index.stats.rams as usize, priority.stats.rams as usize),
+        );
+    }
+    println!();
+}
+
+fn operand_selection_ablation(scale: Scale) {
+    println!("═══ Ablation 2: operand selection (translation) — #I on rewritten MIGs ═══");
+    println!(
+        "{:<11} {:>12} {:>10} {:>9}",
+        "Benchmark", "child-order", "smart #I", "impr."
+    );
+    for name in CIRCUITS {
+        let mig = rewrite(&suite::build(name, scale).unwrap(), PAPER_EFFORT);
+        let fixed = compile(
+            &mig,
+            CompilerOptions::naive().operands(OperandSelection::ChildOrder),
+        );
+        let smart = compile(&mig, CompilerOptions::naive());
+        println!(
+            "{:<11} {:>12} {:>10} {:>8.2}%",
+            name,
+            fixed.stats.instructions,
+            smart.stats.instructions,
+            improvement(fixed.stats.instructions, smart.stats.instructions),
+        );
+    }
+    println!();
+}
+
+fn allocator_ablation(scale: Scale) {
+    println!("═══ Ablation 3: allocator strategy — #R and endurance (max writes/cell) ═══");
+    println!(
+        "{:<11} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "Benchmark", "fifo #R", "lifo #R", "fresh #R", "fifo max-w", "lifo max-w"
+    );
+    for name in CIRCUITS {
+        let mig = rewrite(&suite::build(name, scale).unwrap(), PAPER_EFFORT);
+        let run = |strategy| {
+            let compiled = compile(&mig, CompilerOptions::new().allocator(strategy));
+            let endurance = compiled.static_endurance();
+            (compiled.stats.rams, endurance.max_writes)
+        };
+        let (fifo_r, fifo_w) = run(AllocatorStrategy::Fifo);
+        let (lifo_r, lifo_w) = run(AllocatorStrategy::Lifo);
+        let (fresh_r, _) = run(AllocatorStrategy::Fresh);
+        println!(
+            "{:<11} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            name, fifo_r, lifo_r, fresh_r, fifo_w, lifo_w
+        );
+    }
+    println!("(FIFO and LIFO reuse cells equally well; the max-writes columns show");
+    println!(" how the reuse policy shifts wear between cells — FIFO rotates through");
+    println!(" the free pool while LIFO hammers the most recently released cells)");
+    println!();
+}
+
+fn effort_sweep(scale: Scale) {
+    println!("═══ Ablation 4: rewrite effort sweep — #N / #I after k cycles ═══");
+    print!("{:<11}", "Benchmark");
+    for effort in [0usize, 1, 2, 4, 8] {
+        print!(" {:>14}", format!("effort {effort}"));
+    }
+    println!();
+    for name in CIRCUITS {
+        let mig = suite::build(name, scale).unwrap();
+        print!("{:<11}", name);
+        for effort in [0usize, 1, 2, 4, 8] {
+            let rewritten = rewrite(&mig, effort);
+            let compiled = compile(&rewritten, CompilerOptions::new());
+            print!(
+                " {:>14}",
+                format!(
+                    "{}/{}",
+                    rewritten.num_majority_nodes(),
+                    compiled.stats.instructions
+                )
+            );
+        }
+        println!();
+    }
+    println!("(the paper fixes effort = 4; the sweep shows where returns diminish)");
+}
+
+fn improvement(old: usize, new: usize) -> f64 {
+    if old == 0 {
+        0.0
+    } else {
+        (old as f64 - new as f64) / old as f64 * 100.0
+    }
+}

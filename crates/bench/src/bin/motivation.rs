@@ -1,0 +1,78 @@
+//! Reproduces the §3 motivation examples of the paper:
+//!
+//! * **Fig. 3(a)** — a two-node MIG before and after rewriting, showing how
+//!   complement-edge redistribution shrinks both the program and the RRAM
+//!   count (paper: 6 instructions / 2 RRAMs → 4 / 1).
+//! * **Fig. 3(b)** — a six-node MIG translated naively (fixed child-order
+//!   slots, paper: 19 instructions / 7 RRAMs) and with the smart
+//!   translation and scheduling (paper: 15 instructions / 4 RRAMs).
+//!
+//! Run with `cargo run -p plim-bench --bin motivation`.
+
+use mig::rewrite::rewrite;
+use mig::{Mig, Signal};
+use plim_compiler::{compile, CompilerOptions, OperandSelection, ScheduleOrder};
+
+/// Fig. 3(a): `N2 = ⟨i2 ī4 N̄1⟩` with `N1 = ⟨i1 ī2 ī3⟩` (reconstructed from
+/// the paper's program listing) — before rewriting, `N1` carries two
+/// complemented edges and is itself consumed complemented.
+fn fig3a() -> Mig {
+    let mut mig = Mig::new();
+    let i1 = mig.add_input("i1");
+    let i2 = mig.add_input("i2");
+    let i3 = mig.add_input("i3");
+    let i4 = mig.add_input("i4");
+    let n1 = mig.maj(i1, !i2, !i3);
+    let n2 = mig.maj(i2, !i4, !n1);
+    mig.add_output("f", n2);
+    mig
+}
+
+/// Fig. 3(b): the six-node MIG reconstructed from the paper's listings.
+fn fig3b() -> Mig {
+    let mut mig = Mig::new();
+    let i1 = mig.add_input("i1");
+    let i2 = mig.add_input("i2");
+    let i3 = mig.add_input("i3");
+    let n1 = mig.maj(Signal::FALSE, i1, i2);
+    let n2 = mig.maj(Signal::TRUE, !i2, i3);
+    let n3 = mig.maj(i1, i2, i3);
+    let n4 = mig.maj(Signal::TRUE, n1, i3);
+    let n5 = mig.maj(n1, !n2, n3);
+    let n6 = mig.maj(n4, !n5, n1);
+    mig.add_output("f", n6);
+    mig
+}
+
+fn show(title: &str, mig: &Mig, options: CompilerOptions) {
+    let compiled = compile(mig, options);
+    println!("── {title}: {} instructions, {} RRAMs", compiled.stats.instructions, compiled.stats.rams);
+    print!("{}", compiled.program);
+    println!();
+}
+
+fn main() {
+    println!("═══ Fig. 3(a): effect of MIG rewriting ═══\n");
+    let before = fig3a();
+    let after = rewrite(&before, 4);
+    show("before rewriting (naive translation)", &before, CompilerOptions::naive());
+    show("after rewriting  (naive translation)", &after, CompilerOptions::naive());
+    println!(
+        "paper reference: 6 → 4 instructions, 2 → 1 RRAMs\n"
+    );
+
+    println!("═══ Fig. 3(b): effect of translation order and operand selection ═══\n");
+    let mig = fig3b();
+    show(
+        "naive: index order, child-order slots",
+        &mig,
+        CompilerOptions::naive()
+            .schedule(ScheduleOrder::Index)
+            .operands(OperandSelection::ChildOrder),
+    );
+    show("smart: priority order, case-based selection", &mig, CompilerOptions::new());
+    println!("paper reference: 19 → 15 instructions, 7 → 4 RRAMs");
+    println!("(the naive count differs from the paper's 19 because this library");
+    println!(" canonically sorts node children, while the paper's fixed-slot naive");
+    println!(" consumes the netlist's original — more favorable — child order)");
+}

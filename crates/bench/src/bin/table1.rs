@@ -1,0 +1,66 @@
+//! Regenerates the paper's Table 1: naive translation vs MIG rewriting vs
+//! rewriting + smart compilation, over all 18 benchmark-suite circuits.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p plim-bench --bin table1 [--reduced] [--effort N] [--verify]
+//! ```
+//!
+//! `--reduced` builds the small test-scale circuits (fast); the default
+//! full scale matches the paper's interfaces. `--verify` additionally
+//! executes every compiled program on the PLiM machine simulator against
+//! MIG simulation (slower).
+
+use std::time::Instant;
+
+use plim_bench::{format_row, measure, table_header, totals, MeasuredRow, PAPER_EFFORT};
+use plim_benchmarks::suite::{self, Scale};
+use plim_compiler::{compile, verify::verify, CompilerOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reduced = args.iter().any(|a| a == "--reduced");
+    let run_verify = args.iter().any(|a| a == "--verify");
+    let effort = args
+        .iter()
+        .position(|a| a == "--effort")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PAPER_EFFORT);
+    let scale = if reduced { Scale::Reduced } else { Scale::Full };
+
+    println!(
+        "Table 1 reproduction (scale: {}, rewrite effort: {effort})",
+        if reduced { "reduced" } else { "full" }
+    );
+    println!("{}", table_header());
+
+    let mut rows: Vec<MeasuredRow> = Vec::new();
+    for name in suite::ALL {
+        let start = Instant::now();
+        let mig = suite::build(name, scale).expect("known benchmark");
+        let row = measure(name, &mig, effort);
+        println!("{}   [{:.1?}]", format_row(&row), start.elapsed());
+        if run_verify {
+            let rewritten = mig::rewrite::rewrite(&mig, effort);
+            let compiled = compile(&rewritten, CompilerOptions::new());
+            verify(&rewritten, &compiled, 4, 0xDAC).expect("compiled program must match");
+        }
+        rows.push(row);
+    }
+
+    println!("{}", "-".repeat(132));
+    println!("{}", format_row(&totals(&rows)));
+
+    println!();
+    println!("Paper Σ reference: rewriting #I −20.09% #R −14.83%; rewriting+compilation #I −19.95% #R −61.40%");
+    let sum = totals(&rows);
+    println!(
+        "Measured Σ:        rewriting #I {:+.2}% #R {:+.2}%; rewriting+compilation #I {:+.2}% #R {:+.2}%",
+        -sum.rewrite_instr_impr(),
+        -sum.rewrite_ram_impr(),
+        -sum.compiled_instr_impr(),
+        -sum.compiled_ram_impr(),
+    );
+}

@@ -1,0 +1,210 @@
+//! # plim-bench — experiment harnesses
+//!
+//! Shared measurement pipeline for the binaries that regenerate the paper's
+//! experimental artifacts:
+//!
+//! * `table1` — the full Table 1 (naive | MIG rewriting | rewriting +
+//!   compilation) over the benchmark suite;
+//! * `motivation` — the §3 example programs (Fig. 3a/3b);
+//! * `ablation` — candidate-selection, allocator-strategy and
+//!   rewrite-effort ablations.
+
+use mig::analysis::improvement_percent;
+use mig::rewrite::rewrite;
+use mig::Mig;
+use plim_compiler::{compile, CompiledProgram, CompilerOptions};
+
+/// Rewrite effort used throughout the evaluation (the paper fixes 4).
+pub const PAPER_EFFORT: usize = 4;
+
+/// Measured `(#N, #I, #R)` of one compilation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    /// MIG majority nodes translated.
+    pub nodes: usize,
+    /// RM3 instructions.
+    pub instructions: usize,
+    /// Work RRAMs.
+    pub rams: usize,
+}
+
+impl From<&CompiledProgram> for Point {
+    fn from(compiled: &CompiledProgram) -> Self {
+        Point {
+            nodes: compiled.stats.mig_nodes,
+            instructions: compiled.stats.instructions,
+            rams: compiled.stats.rams as usize,
+        }
+    }
+}
+
+/// One measured row of Table 1.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Primary inputs of the built circuit.
+    pub pi: usize,
+    /// Primary outputs.
+    pub po: usize,
+    /// Naive translation of the initial (unoptimized) MIG.
+    pub naive: Point,
+    /// Naive translation after MIG rewriting.
+    pub rewritten: Point,
+    /// Smart compilation after MIG rewriting.
+    pub compiled: Point,
+}
+
+impl MeasuredRow {
+    /// Instruction improvement of rewriting over naive, in percent.
+    pub fn rewrite_instr_impr(&self) -> f64 {
+        improvement_percent(self.naive.instructions, self.rewritten.instructions)
+    }
+
+    /// RRAM improvement of rewriting over naive, in percent.
+    pub fn rewrite_ram_impr(&self) -> f64 {
+        improvement_percent(self.naive.rams, self.rewritten.rams)
+    }
+
+    /// Instruction improvement of rewriting + compilation over naive.
+    pub fn compiled_instr_impr(&self) -> f64 {
+        improvement_percent(self.naive.instructions, self.compiled.instructions)
+    }
+
+    /// RRAM improvement of rewriting + compilation over naive.
+    pub fn compiled_ram_impr(&self) -> f64 {
+        improvement_percent(self.naive.rams, self.compiled.rams)
+    }
+}
+
+/// Runs the full paper pipeline on one circuit: naive compilation of the
+/// initial MIG, rewriting (at `effort`), naive compilation of the rewritten
+/// MIG, and smart compilation of the rewritten MIG.
+pub fn measure(name: &str, mig: &Mig, effort: usize) -> MeasuredRow {
+    let naive = compile(mig, CompilerOptions::naive());
+    let rewritten_mig = rewrite(mig, effort);
+    let rewritten = compile(&rewritten_mig, CompilerOptions::naive());
+    let smart = compile(&rewritten_mig, CompilerOptions::new());
+    MeasuredRow {
+        name: name.to_string(),
+        pi: mig.num_inputs(),
+        po: mig.num_outputs(),
+        naive: Point::from(&naive),
+        rewritten: Point::from(&rewritten),
+        compiled: Point::from(&smart),
+    }
+}
+
+/// Accumulates the Σ row over measured rows.
+pub fn totals(rows: &[MeasuredRow]) -> MeasuredRow {
+    let zero = Point {
+        nodes: 0,
+        instructions: 0,
+        rams: 0,
+    };
+    let mut sum = MeasuredRow {
+        name: "Σ".to_string(),
+        pi: 0,
+        po: 0,
+        naive: zero,
+        rewritten: zero,
+        compiled: zero,
+    };
+    for row in rows {
+        sum.pi += row.pi;
+        sum.po += row.po;
+        for (acc, point) in [
+            (&mut sum.naive, &row.naive),
+            (&mut sum.rewritten, &row.rewritten),
+            (&mut sum.compiled, &row.compiled),
+        ] {
+            acc.nodes += point.nodes;
+            acc.instructions += point.instructions;
+            acc.rams += point.rams;
+        }
+    }
+    sum
+}
+
+/// Formats one row in the paper's Table 1 layout.
+pub fn format_row(row: &MeasuredRow) -> String {
+    format!(
+        "{:<11} {:>4}/{:<4} | {:>7} {:>8} {:>6} | {:>7} {:>8} {:>7.2}% {:>6} {:>7.2}% | {:>8} {:>7.2}% {:>6} {:>7.2}%",
+        row.name,
+        row.pi,
+        row.po,
+        row.naive.nodes,
+        row.naive.instructions,
+        row.naive.rams,
+        row.rewritten.nodes,
+        row.rewritten.instructions,
+        row.rewrite_instr_impr(),
+        row.rewritten.rams,
+        row.rewrite_ram_impr(),
+        row.compiled.instructions,
+        row.compiled_instr_impr(),
+        row.compiled.rams,
+        row.compiled_ram_impr(),
+    )
+}
+
+/// The table header matching [`format_row`].
+pub fn table_header() -> String {
+    format!(
+        "{:<11} {:>4}/{:<4} | {:>7} {:>8} {:>6} | {:>7} {:>8} {:>8} {:>6} {:>8} | {:>8} {:>8} {:>6} {:>8}\n{}",
+        "Benchmark",
+        "PI",
+        "PO",
+        "#N",
+        "#I",
+        "#R",
+        "#N",
+        "#I",
+        "impr.",
+        "#R",
+        "impr.",
+        "#I",
+        "impr.",
+        "#R",
+        "impr.",
+        "-".repeat(132)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plim_benchmarks::suite::{build, Scale};
+
+    #[test]
+    fn measure_produces_consistent_points() {
+        let mig = build("adder", Scale::Reduced).unwrap();
+        let row = measure("adder", &mig, 2);
+        assert_eq!(row.pi, 16);
+        assert_eq!(row.po, 9);
+        assert!(row.naive.instructions >= row.naive.nodes);
+        assert!(row.rewritten.nodes <= row.naive.nodes);
+        // Rewriting must pay off on the AOIG-style adder.
+        assert!(row.rewrite_instr_impr() > 0.0);
+        assert!(row.compiled.instructions <= row.rewritten.instructions);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mig = build("dec", Scale::Reduced).unwrap();
+        let row = measure("dec", &mig, 1);
+        let sum = totals(&[row.clone(), row.clone()]);
+        assert_eq!(sum.naive.instructions, 2 * row.naive.instructions);
+        assert_eq!(sum.pi, 2 * row.pi);
+    }
+
+    #[test]
+    fn formatting_has_fixed_shape() {
+        let mig = build("ctrl", Scale::Reduced).unwrap();
+        let row = measure("ctrl", &mig, 1);
+        let line = format_row(&row);
+        assert!(line.contains('|'));
+        assert!(line.contains('%'));
+        assert!(table_header().contains("Benchmark"));
+    }
+}

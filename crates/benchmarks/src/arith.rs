@@ -1,0 +1,258 @@
+//! Arithmetic benchmark generators (EPFL arithmetic suite substitutes).
+//!
+//! Each generator builds the named function family at a configurable width,
+//! AOIG-style (see [`crate::word`]). At the widths listed in
+//! [`crate::suite`], interfaces match the paper's Table 1 (`PI/PO`) rows.
+
+use mig::{Mig, Signal};
+
+use crate::word;
+
+/// Ripple-carry adder: `2n` inputs, `n + 1` outputs (sum and carry-out).
+///
+/// `adder(128)` matches the EPFL `adder` interface (256 PI / 129 PO).
+pub fn adder(bits: usize) -> Mig {
+    let mut mig = Mig::new();
+    let a = mig.add_inputs("a", bits);
+    let b = mig.add_inputs("b", bits);
+    let (sum, cout) = word::ripple_add(&mut mig, &a, &b, Signal::FALSE);
+    for (i, &s) in sum.iter().enumerate() {
+        mig.add_output(format!("s{i}"), s);
+    }
+    mig.add_output("cout", cout);
+    mig
+}
+
+/// Array multiplier: `2n` inputs, `2n` outputs.
+///
+/// `multiplier(64)` matches the EPFL `multiplier` interface (128/128).
+pub fn multiplier(bits: usize) -> Mig {
+    let mut mig = Mig::new();
+    let a = mig.add_inputs("a", bits);
+    let b = mig.add_inputs("b", bits);
+    let product = word::multiply(&mut mig, &a, &b);
+    for (i, &p) in product.iter().enumerate() {
+        mig.add_output(format!("p{i}"), p);
+    }
+    mig
+}
+
+/// Squarer: `n` inputs, `2n` outputs.
+///
+/// `square(64)` matches the EPFL `square` interface (64/128).
+pub fn square(bits: usize) -> Mig {
+    let mut mig = Mig::new();
+    let a = mig.add_inputs("a", bits);
+    let product = word::multiply(&mut mig, &a.clone(), &a);
+    for (i, &p) in product.iter().enumerate() {
+        mig.add_output(format!("p{i}"), p);
+    }
+    mig
+}
+
+/// Restoring divider: `2n` inputs, `2n` outputs (quotient and remainder).
+///
+/// `div(64)` matches the EPFL `div` interface (128/128).
+pub fn div(bits: usize) -> Mig {
+    let mut mig = Mig::new();
+    let dividend = mig.add_inputs("a", bits);
+    let divisor = mig.add_inputs("b", bits);
+    let (quotient, remainder) = word::divide_restoring(&mut mig, &dividend, &divisor);
+    for (i, &q) in quotient.iter().enumerate() {
+        mig.add_output(format!("q{i}"), q);
+    }
+    for (i, &r) in remainder.iter().enumerate() {
+        mig.add_output(format!("r{i}"), r);
+    }
+    mig
+}
+
+/// Restoring square root: `2n` inputs, `n` outputs.
+///
+/// `sqrt(64)` matches the EPFL `sqrt` interface (128/64).
+pub fn sqrt(root_bits: usize) -> Mig {
+    let mut mig = Mig::new();
+    let x = mig.add_inputs("x", 2 * root_bits);
+    let root = word::isqrt_restoring(&mut mig, &x);
+    for (i, &r) in root.iter().enumerate() {
+        mig.add_output(format!("r{i}"), r);
+    }
+    mig
+}
+
+/// Four-way maximum: `4n` inputs, `n + 2` outputs (the maximum word plus a
+/// 2-bit index of the winning operand).
+///
+/// `max(128)` matches the EPFL `max` interface (512/130).
+pub fn max(bits: usize) -> Mig {
+    let mut mig = Mig::new();
+    let words: Vec<Vec<Signal>> = (0..4)
+        .map(|w| mig.add_inputs(&format!("w{w}_"), bits))
+        .collect();
+    // Tournament: two semifinals and a final, with index reconstruction.
+    let sel01 = word::less_than(&mut mig, &words[0], &words[1]); // 1 ⇒ w1 wins
+    let max01 = word::mux_word(&mut mig, sel01, &words[1], &words[0]);
+    let sel23 = word::less_than(&mut mig, &words[2], &words[3]);
+    let max23 = word::mux_word(&mut mig, sel23, &words[3], &words[2]);
+    let sel_final = word::less_than(&mut mig, &max01, &max23); // 1 ⇒ high pair wins
+    let maximum = word::mux_word(&mut mig, sel_final, &max23, &max01);
+    for (i, &m) in maximum.iter().enumerate() {
+        mig.add_output(format!("m{i}"), m);
+    }
+    // Index bit 0: winner within the winning pair; bit 1: which pair.
+    let low_bit = {
+        let hi = mig.and(sel_final, sel23);
+        let lo = mig.and(!sel_final, sel01);
+        word::or2(&mut mig, hi, lo)
+    };
+    mig.add_output("idx0", low_bit);
+    mig.add_output("idx1", sel_final);
+    mig
+}
+
+/// Integer-to-float conversion: `n`-bit unsigned integer to a small
+/// normalized float with `exp_bits` exponent and `man_bits` mantissa bits
+/// (leading one implicit, truncating rounding, exponent saturates).
+///
+/// `int2float(11, 3, 4)` matches the EPFL `int2float` interface (11/7).
+pub fn int2float(bits: usize, exp_bits: usize, man_bits: usize) -> Mig {
+    let mut mig = Mig::new();
+    let x = mig.add_inputs("x", bits);
+    // Pad to a power of two: the recursive priority encoder produces exact
+    // numeric indices only for power-of-two widths.
+    let padded = word::resize(&x, bits.next_power_of_two());
+    // Exponent: position of the most significant set bit.
+    let (msb_index, valid) = word::priority_encode(&mut mig, &padded);
+    // Mantissa: normalize x so the leading one reaches the top bit, i.e.
+    // left-shift by (width-1 - msb_index), which for a power-of-two width
+    // is the bitwise complement of the index.
+    let shift_amount: Vec<Signal> = msb_index.iter().map(|&s| !s).collect();
+    let normalized = word::shift_left_barrel(&mut mig, &padded, &shift_amount);
+    // After normalization the MSB of `padded` is the implicit one; mantissa
+    // bits are the ones directly below it.
+    let top = padded.len() - 1;
+    let mantissa: Vec<Signal> = (0..man_bits)
+        .map(|i| normalized[top.saturating_sub(1 + i)])
+        .collect();
+    // Exponent output: saturate the index into exp_bits, zero when invalid.
+    let exponent: Vec<Signal> = (0..exp_bits)
+        .map(|i| {
+            let bit = msb_index.get(i).copied().unwrap_or(Signal::FALSE);
+            mig.and(bit, valid)
+        })
+        .collect();
+    for (i, &m) in mantissa.iter().enumerate() {
+        let gated = mig.and(m, valid);
+        mig.add_output(format!("man{i}"), gated);
+    }
+    for (i, &e) in exponent.iter().enumerate() {
+        mig.add_output(format!("exp{i}"), e);
+    }
+    mig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::simulate::evaluate;
+
+    fn eval(mig: &Mig, value: u64) -> u64 {
+        let inputs: Vec<bool> = (0..mig.num_inputs()).map(|i| value >> i & 1 != 0).collect();
+        evaluate(mig, &inputs)
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn adder_interface_and_function() {
+        let mig = adder(4);
+        assert_eq!(mig.num_inputs(), 8);
+        assert_eq!(mig.num_outputs(), 5);
+        assert_eq!(eval(&mig, 7 | 9 << 4), 16);
+        assert_eq!(eval(&mig, 15 | 15 << 4), 30);
+    }
+
+    #[test]
+    fn multiplier_function() {
+        let mig = multiplier(4);
+        assert_eq!(mig.num_inputs(), 8);
+        assert_eq!(mig.num_outputs(), 8);
+        assert_eq!(eval(&mig, 5 | 7 << 4), 35);
+    }
+
+    #[test]
+    fn square_function() {
+        let mig = square(4);
+        assert_eq!(mig.num_inputs(), 4);
+        assert_eq!(mig.num_outputs(), 8);
+        for x in 0..16u64 {
+            assert_eq!(eval(&mig, x), x * x, "square({x})");
+        }
+    }
+
+    #[test]
+    fn div_function() {
+        let mig = div(4);
+        assert_eq!(mig.num_inputs(), 8);
+        assert_eq!(mig.num_outputs(), 8);
+        let out = eval(&mig, 13 | 3 << 4);
+        assert_eq!(out & 0xF, 4); // 13 / 3
+        assert_eq!(out >> 4, 1); // 13 % 3
+    }
+
+    #[test]
+    fn sqrt_function() {
+        let mig = sqrt(3);
+        assert_eq!(mig.num_inputs(), 6);
+        assert_eq!(mig.num_outputs(), 3);
+        for x in 0..64u64 {
+            assert_eq!(eval(&mig, x), (x as f64).sqrt().floor() as u64);
+        }
+    }
+
+    #[test]
+    fn max_function() {
+        let mig = max(3);
+        assert_eq!(mig.num_inputs(), 12);
+        assert_eq!(mig.num_outputs(), 5);
+        // words: w0=2, w1=7, w2=5, w3=1 → max 7 at index 1.
+        let packed = 2 | 7 << 3 | 5 << 6 | 1 << 9;
+        let out = eval(&mig, packed);
+        assert_eq!(out & 0x7, 7);
+        assert_eq!(out >> 3, 0b01); // idx1=0 (low pair), idx0=1 (second word)
+    }
+
+    #[test]
+    fn max_index_covers_all_positions() {
+        let mig = max(3);
+        for winner in 0..4u64 {
+            let mut packed = 0u64;
+            for w in 0..4 {
+                let value = if w == winner { 6 } else { w }; // distinct values
+                packed |= value << (3 * w);
+            }
+            let out = eval(&mig, packed);
+            assert_eq!(out & 0x7, 6, "winner {winner}");
+            assert_eq!(out >> 3, winner, "index of winner {winner}");
+        }
+    }
+
+    #[test]
+    fn int2float_interface() {
+        let mig = int2float(11, 3, 4);
+        assert_eq!(mig.num_inputs(), 11);
+        assert_eq!(mig.num_outputs(), 7);
+        // Zero maps to zero.
+        assert_eq!(eval(&mig, 0), 0);
+        // A power of two has an empty mantissa and its exponent index.
+        let out = eval(&mig, 1 << 5);
+        assert_eq!(out & 0xF, 0, "mantissa of 2^5");
+        assert_eq!(out >> 4 & 0x7, 5, "exponent of 2^5");
+        // 0b110100 = 52: msb 5, the four bits below it are 1, 0, 1, 0
+        // (man0 = bit 4 = 1, man1 = bit 3 = 0, man2 = bit 2 = 1, man3 = 0).
+        let out = eval(&mig, 0b110100);
+        assert_eq!(out >> 4 & 0x7, 5);
+        assert_eq!(out & 0xF, 0b0101);
+    }
+}

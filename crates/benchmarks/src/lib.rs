@@ -1,0 +1,35 @@
+//! # plim-benchmarks — EPFL benchmark substitutes
+//!
+//! The paper evaluates on the EPFL combinational benchmark suite, which is
+//! not redistributable inside this repository. This crate *generates*
+//! interface-faithful substitutes: the arithmetic benchmarks are real
+//! gate-level constructions of the same function families (ripple adder,
+//! array multiplier, restoring divider/square-rooter, barrel shifter,
+//! leading-one log, polynomial sine, …) and the control benchmarks are
+//! seeded random logic with matching interfaces, except `dec`, `priority`
+//! and `voter`, which are exact.
+//!
+//! All generators build **AOIG-style** structures (AND/OR/inverter gates,
+//! i.e. majority nodes with constant children), mirroring the paper's
+//! starting point of MIGs transposed from AOIGs — so [`mig::rewrite`] has
+//! the same optimization headroom as in the original evaluation.
+//!
+//! Entry point: [`suite::build`] by Table 1 row name, or the individual
+//! generators in [`arith`], [`shift`] and [`control`].
+//!
+//! ```
+//! use plim_benchmarks::suite::{build, Scale};
+//!
+//! let adder = build("adder", Scale::Reduced).unwrap();
+//! assert_eq!(adder.num_outputs(), 9); // 8-bit reduced adder: 8 sums + carry
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arith;
+pub mod control;
+pub mod random;
+pub mod shift;
+pub mod suite;
+pub mod word;

@@ -1,0 +1,272 @@
+//! Seeded random-logic generation.
+//!
+//! Substitutes for control netlists that cannot be redistributed: the
+//! generator produces AOIG-shaped MIGs (AND/OR nodes with complemented
+//! edges, occasional full majorities) with a given interface and approximate
+//! size. Structures are layered with a locality bias, giving the fanout and
+//! reconvergence profile of synthesized random control logic.
+
+use mig::{Mig, Signal};
+
+use crate::word;
+
+/// Specification of a random logic network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomLogicSpec {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Approximate number of majority nodes to create.
+    pub nodes: usize,
+    /// PRNG seed (generation is fully deterministic).
+    pub seed: u64,
+}
+
+impl RandomLogicSpec {
+    /// Creates a spec.
+    pub fn new(inputs: usize, outputs: usize, nodes: usize, seed: u64) -> Self {
+        RandomLogicSpec {
+            inputs,
+            outputs,
+            nodes: nodes.max(outputs),
+            seed,
+        }
+    }
+}
+
+/// Simple deterministic generator state (xorshift64*, dependency-free).
+struct Rng(mig::simulate::XorShift64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(mig::simulate::XorShift64::new(seed))
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        self.0.next_below(bound as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.0.next_below(100) < percent
+    }
+}
+
+/// Generates a random AOIG-shaped MIG per the spec.
+///
+/// The generator mimics the structure of synthesized control netlists:
+///
+/// * the network is partitioned into **modules** (think per-port or
+///   per-bank logic of a memory controller), each driving a slice of the
+///   outputs from its own locally-clustered logic;
+/// * a small pool of **global** signals (decoded state shared by all
+///   modules) feeds every module;
+/// * gate choice is *signature-guided*: each candidate signal carries a
+///   64-pattern random simulation word, and gate types keep signal
+///   densities away from the constant extremes — deep AND chains of naive
+///   random generation would otherwise collapse every output to a
+///   near-constant function.
+///
+/// The modular structure is what makes node scheduling matter: a levelized
+/// traversal interleaves all modules and keeps live values across every
+/// module at once, while a cone-at-a-time schedule only keeps one module
+/// plus the globals live. The node count is approximate (hashing may merge
+/// nodes).
+pub fn random_logic(spec: &RandomLogicSpec) -> Mig {
+    let mut mig = Mig::new();
+    let mut rng = Rng::new(spec.seed);
+    let inputs = mig.add_inputs("x", spec.inputs);
+
+    let density = |w: u64| w.count_ones().abs_diff(32);
+
+    // Signal pool with simulation signatures; the first `globals` entries
+    // are the slice every module may draw from.
+    let mut pool: Vec<Signal> = inputs.clone();
+    let mut sigs: Vec<u64> = (0..pool.len()).map(|_| rng.0.next_word()).collect();
+    if pool.is_empty() {
+        pool.push(Signal::FALSE);
+        sigs.push(0);
+    }
+
+    // One random gate over the chosen child indices.
+    let add_gate = |mig: &mut Mig,
+                        rng: &mut Rng,
+                        pool: &mut Vec<Signal>,
+                        sigs: &mut Vec<u64>,
+                        ia: usize,
+                        ib: usize,
+                        ic: Option<usize>| {
+        let ca = rng.chance(40);
+        let cb = rng.chance(40);
+        let a = pool[ia].complement_if(ca);
+        let b = pool[ib].complement_if(cb);
+        let wa = if ca { !sigs[ia] } else { sigs[ia] };
+        let wb = if cb { !sigs[ib] } else { sigs[ib] };
+        let (result, word) = match ic {
+            Some(ic) => {
+                let cc = rng.chance(40);
+                let c = pool[ic].complement_if(cc);
+                let wc = if cc { !sigs[ic] } else { sigs[ic] };
+                let w = (wa & wb) | (wa & wc) | (wb & wc);
+                (mig.maj(a, b, c), w)
+            }
+            None => {
+                let w_and = wa & wb;
+                let w_or = wa | wb;
+                // Keep the density balanced (with a random escape hatch).
+                if rng.chance(20) || density(w_and) < density(w_or) {
+                    (mig.and(a, b), w_and)
+                } else {
+                    (!mig.and(!a, !b), w_or) // AIG-style OR
+                }
+            }
+        };
+        if !result.is_constant() {
+            let word = if result.is_complemented() { !word } else { word };
+            pool.push(result.regular());
+            sigs.push(word);
+        }
+    };
+
+    // Phase 1: global shared logic (~10% of the budget).
+    let global_nodes = (spec.nodes / 10).max(4);
+    while mig.num_majority_nodes() < global_nodes {
+        let n = pool.len();
+        let ia = rng.below(n);
+        let ib = rng.below(n);
+        let ic = if rng.chance(15) { Some(rng.below(n)) } else { None };
+        add_gate(&mut mig, &mut rng, &mut pool, &mut sigs, ia, ib, ic);
+    }
+    let globals = pool.len();
+
+    // Phase 2: modules. Each module draws mostly from its own slice of the
+    // pool (locality), sometimes from the globals, and drives a slice of
+    // the outputs from its tail.
+    let modules = (spec.outputs / 12).max(1).min(spec.outputs.max(1)).max(
+        if spec.outputs >= 16 { 16 } else { 1 },
+    );
+    let per_module = (spec.nodes.saturating_sub(global_nodes) / modules).max(1);
+    let mut outputs: Vec<Signal> = Vec::with_capacity(spec.outputs);
+    for m in 0..modules {
+        let module_start = pool.len();
+        let target = mig.num_majority_nodes() + per_module;
+        while mig.num_majority_nodes() < target {
+            let pick = |rng: &mut Rng| -> usize {
+                let local = pool.len() - module_start;
+                if local > 4 && rng.chance(75) {
+                    // Local: recent window inside this module.
+                    let window = local.min(24);
+                    pool.len() - 1 - rng.below(window)
+                } else {
+                    // Global/shared signal (includes the primary inputs).
+                    rng.below(globals)
+                }
+            };
+            let ia = pick(&mut rng);
+            let ib = pick(&mut rng);
+            let ic = if rng.chance(15) { Some(pick(&mut rng)) } else { None };
+            add_gate(&mut mig, &mut rng, &mut pool, &mut sigs, ia, ib, ic);
+        }
+        // This module's outputs: drawn from its own tail.
+        let share = spec.outputs / modules + usize::from(m < spec.outputs % modules);
+        let module_len = (pool.len() - module_start).max(1);
+        for _ in 0..share {
+            let index = pool.len() - 1 - rng.below(module_len.min(16));
+            outputs.push(pool[index].complement_if(rng.chance(25)));
+        }
+    }
+    for (i, signal) in outputs.into_iter().enumerate() {
+        mig.add_output(format!("y{i}"), signal);
+    }
+    mig.cleaned()
+}
+
+/// Generates a random *arithmetic-flavored* MIG: a mixture of small adders
+/// and comparators over random input slices, connected by random logic.
+/// Used by property tests that want realistic structure with known-good
+/// construction.
+pub fn random_arithmetic(inputs: usize, seed: u64) -> Mig {
+    let mut mig = Mig::new();
+    let mut rng = Rng::new(seed);
+    let pis = mig.add_inputs("x", inputs.max(4));
+    let n = pis.len();
+    let width = (n / 2).clamp(2, 8);
+
+    let a: Vec<Signal> = (0..width).map(|_| pis[rng.below(n)]).collect();
+    let b: Vec<Signal> = (0..width).map(|_| pis[rng.below(n)]).collect();
+    let (sum, carry) = word::ripple_add(&mut mig, &a, &b, Signal::FALSE);
+    let lt = word::less_than(&mut mig, &a, &b);
+    let eq = word::equal_words(&mut mig, &a, &b);
+
+    for (i, &s) in sum.iter().enumerate() {
+        mig.add_output(format!("s{i}"), s.complement_if(rng.chance(30)));
+    }
+    mig.add_output("carry", carry);
+    mig.add_output("lt", lt);
+    mig.add_output("eq", !eq);
+    mig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_interface() {
+        let spec = RandomLogicSpec::new(12, 9, 150, 42);
+        let mig = random_logic(&spec);
+        assert_eq!(mig.num_inputs(), 12);
+        assert_eq!(mig.num_outputs(), 9);
+    }
+
+    #[test]
+    fn node_count_is_approximate() {
+        let spec = RandomLogicSpec::new(16, 4, 300, 7);
+        let mig = random_logic(&spec);
+        let n = mig.num_majority_nodes();
+        // Cleanup may drop dead cones, but most of the target must survive.
+        assert!(n > 100, "expected a substantial network, got {n}");
+        assert!(n <= 300, "generation must stop at the target, got {n}");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let spec = RandomLogicSpec::new(8, 4, 100, 99);
+        let a = random_logic(&spec);
+        let b = random_logic(&spec);
+        assert_eq!(a.num_majority_nodes(), b.num_majority_nodes());
+        let ta = mig::simulate::truth_tables(&a);
+        let tb = mig::simulate::truth_tables(&b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_logic(&RandomLogicSpec::new(8, 4, 100, 1));
+        let b = random_logic(&RandomLogicSpec::new(8, 4, 100, 2));
+        let ta = mig::simulate::truth_tables(&a);
+        let tb = mig::simulate::truth_tables(&b);
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn outputs_are_not_all_trivial() {
+        let mig = random_logic(&RandomLogicSpec::new(10, 8, 200, 5));
+        let tables = mig::simulate::truth_tables(&mig);
+        let nontrivial = tables
+            .iter()
+            .filter(|t| {
+                let ones = t.count_ones();
+                ones != 0 && ones != t.num_bits()
+            })
+            .count();
+        assert!(nontrivial >= 6, "only {nontrivial} nontrivial outputs");
+    }
+
+    #[test]
+    fn random_arithmetic_builds() {
+        let mig = random_arithmetic(10, 3);
+        assert!(mig.num_majority_nodes() > 10);
+        assert!(mig.num_outputs() > 4);
+    }
+}

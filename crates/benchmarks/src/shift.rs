@@ -1,0 +1,206 @@
+//! Shifter-based benchmark generators: `bar`, `log2`, `sin`.
+
+use mig::{Mig, Signal};
+
+use crate::word;
+
+/// Barrel shifter (rotator): `n + log2(n)` inputs, `n` outputs.
+///
+/// `bar(128)` matches the EPFL `bar` interface (135/128).
+pub fn bar(data_bits: usize) -> Mig {
+    assert!(
+        data_bits.is_power_of_two(),
+        "barrel shifter width must be a power of two"
+    );
+    let shift_bits = data_bits.trailing_zeros() as usize;
+    let mut mig = Mig::new();
+    let data = mig.add_inputs("d", data_bits);
+    let amount = mig.add_inputs("s", shift_bits);
+    let rotated = word::rotate_left_barrel(&mut mig, &data, &amount);
+    for (i, &r) in rotated.iter().enumerate() {
+        mig.add_output(format!("o{i}"), r);
+    }
+    mig
+}
+
+/// Fixed-point base-2 logarithm approximation: `n` inputs, `n` outputs.
+///
+/// The output packs the fractional part (the normalized mantissa bits below
+/// the leading one) in the low bits and the integer part
+/// `⌊log2(x)⌋` in the top `log2(n)` bits; `x = 0` maps to all zeros. This is
+/// the classical leading-one-detector + normalizer construction, the same
+/// circuit family as the EPFL `log2`.
+///
+/// `log2(32)` matches the EPFL `log2` interface (32/32).
+pub fn log2(bits: usize) -> Mig {
+    assert!(bits.is_power_of_two(), "log2 width must be a power of two");
+    let index_bits = bits.trailing_zeros() as usize;
+    let frac_bits = bits - index_bits;
+    let mut mig = Mig::new();
+    let x = mig.add_inputs("x", bits);
+    let (msb_index, valid) = word::priority_encode(&mut mig, &x);
+    // Normalize so the leading one reaches the top: shift = (bits-1) - idx,
+    // which is the bitwise complement of the index for power-of-two widths.
+    let shift_amount: Vec<Signal> = msb_index.iter().map(|&s| !s).collect();
+    let normalized = word::shift_left_barrel(&mut mig, &x, &shift_amount);
+    // Fraction: the bits directly below the leading one, MSB-aligned.
+    for i in 0..frac_bits {
+        let bit = normalized[bits - 2 - i];
+        let gated = mig.and(bit, valid);
+        // Most significant fraction bit goes to the top of the fraction.
+        mig.add_output(format!("f{i}"), gated);
+    }
+    // Integer part: the index itself.
+    for (i, &b) in msb_index.iter().enumerate() {
+        let gated = mig.and(b, valid);
+        mig.add_output(format!("e{i}"), gated);
+    }
+    mig
+}
+
+/// Fixed-point sine approximation: `n` inputs, `n + 1` outputs.
+///
+/// Interprets the input as an unsigned fraction `x ∈ [0, 1)` and evaluates
+/// the odd polynomial `x·(C₁ - C₂·x²)` with fixed-point constant
+/// multiplications — a truncated Taylor series of `sin(π/2 · x)` scaled to
+/// fixed point. The extra output is the adder carry. This exercises the same
+/// multiplier-adder structure as the EPFL `sin` netlist.
+///
+/// `sin(24)` matches the EPFL `sin` interface (24/25).
+pub fn sin(bits: usize) -> Mig {
+    let mut mig = Mig::new();
+    let x = mig.add_inputs("x", bits);
+    // x² (keep the top `bits` of the 2n-bit product: fraction semantics).
+    let xx_full = word::multiply(&mut mig, &x, &x);
+    let xx: Vec<Signal> = xx_full[bits..].to_vec();
+    // x³ = x²·x, again keeping the top bits.
+    let xxx_full = word::multiply(&mut mig, &xx, &x);
+    let xxx: Vec<Signal> = xxx_full[bits..].to_vec();
+    // sin(π/2·x) ≈ C1·x − C3·x³ with C1 ≈ π/2 scaled to <1 by 1/2:
+    // use C1 = 0.785398… (π/4) and C3 = 0.322982… (π³/96·/2?) — the exact
+    // constants are irrelevant for circuit structure; they are encoded as
+    // fixed-point constant multiplications (shift-and-add).
+    let c1x = const_multiply(&mut mig, &x, 0.785_398_163);
+    let c3x3 = const_multiply(&mut mig, &xxx, 0.322_982_049);
+    let (diff, borrow) = word::ripple_sub(&mut mig, &c1x, &c3x3);
+    for (i, &d) in diff.iter().enumerate() {
+        mig.add_output(format!("s{i}"), d);
+    }
+    mig.add_output("sign", borrow);
+    mig
+}
+
+/// Multiplies a word by a fixed-point constant in `[0, 1)` using the
+/// shift-and-add method (`word.len()` fractional constant bits).
+fn const_multiply(mig: &mut Mig, word_in: &[Signal], constant: f64) -> Vec<Signal> {
+    assert!((0.0..1.0).contains(&constant), "constant must be in [0, 1)");
+    let n = word_in.len();
+    let mut acc = word::constant_word(0, n);
+    let mut scaled = constant;
+    for i in 1..=n {
+        scaled *= 2.0;
+        let bit = scaled >= 1.0;
+        if bit {
+            scaled -= 1.0;
+        }
+        if !bit {
+            continue;
+        }
+        // Add word >> i (the contribution of constant bit 2^-i).
+        let shifted: Vec<Signal> = (0..n)
+            .map(|k| {
+                if k + i < n {
+                    word_in[k + i]
+                } else {
+                    Signal::FALSE
+                }
+            })
+            .collect();
+        let (sum, _) = word::ripple_add(mig, &acc, &shifted, Signal::FALSE);
+        acc = sum;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::simulate::evaluate;
+
+    fn eval(mig: &Mig, value: u64) -> u64 {
+        let inputs: Vec<bool> = (0..mig.num_inputs()).map(|i| value >> i & 1 != 0).collect();
+        evaluate(mig, &inputs)
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn bar_rotates() {
+        let mig = bar(8);
+        assert_eq!(mig.num_inputs(), 11);
+        assert_eq!(mig.num_outputs(), 8);
+        for amount in 0..8u64 {
+            let value = 0b0000_0101u64;
+            let out = eval(&mig, value | amount << 8);
+            let expected = ((value << amount) | (value >> (8 - amount).min(63))) & 0xFF;
+            assert_eq!(out, expected, "rot by {amount}");
+        }
+    }
+
+    #[test]
+    fn log2_integer_part_is_exact() {
+        let mig = log2(8);
+        assert_eq!(mig.num_inputs(), 8);
+        assert_eq!(mig.num_outputs(), 8);
+        for x in 1..256u64 {
+            let out = eval(&mig, x);
+            let int_part = out >> 5; // 5 fraction bits, 3 exponent bits
+            assert_eq!(int_part, 63 - x.leading_zeros() as u64, "log2({x})");
+        }
+        assert_eq!(eval(&mig, 0), 0);
+    }
+
+    #[test]
+    fn log2_fraction_tracks_mantissa() {
+        let mig = log2(8);
+        // x = 0b101 (5): leading one at 2, bits below: 0,1 → fraction MSBs.
+        let out = eval(&mig, 0b101);
+        let f0 = out & 1; // first bit below the leading one
+        assert_eq!(f0, 0);
+        let f1 = out >> 1 & 1;
+        assert_eq!(f1, 1);
+    }
+
+    #[test]
+    fn sin_is_monotone_on_samples() {
+        // The polynomial x(C1 - C3 x²) is monotone on [0, 1): spot-check on
+        // an 8-bit build.
+        let mig = sin(8);
+        assert_eq!(mig.num_inputs(), 8);
+        assert_eq!(mig.num_outputs(), 9);
+        // The polynomial peaks below x = 1 (its derivative goes negative
+        // near the top of the range), so sample the monotone region only.
+        let mut previous = 0u64;
+        for x in [0u64, 32, 64, 96, 128, 160, 192] {
+            let out = eval(&mig, x) & 0xFF;
+            assert!(out + 2 >= previous, "sin sample at {x}: {out} < {previous}");
+            previous = out.max(previous);
+        }
+        assert_eq!(eval(&mig, 0) & 0xFF, 0);
+    }
+
+    #[test]
+    fn sin_matches_float_reference_loosely() {
+        let mig = sin(8);
+        for x in (0..256u64).step_by(17) {
+            let out = (eval(&mig, x) & 0xFF) as f64 / 256.0;
+            let xf = x as f64 / 256.0;
+            let reference = xf * (0.785_398_163 - 0.322_982_049 * xf * xf);
+            assert!(
+                (out - reference).abs() < 0.05,
+                "sin({xf}) ≈ {reference}, circuit gave {out}"
+            );
+        }
+    }
+}

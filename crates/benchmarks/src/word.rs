@@ -1,0 +1,565 @@
+//! Word-level circuit construction on MIGs.
+//!
+//! All constructions are deliberately **AIG-style**: they use only AND
+//! gates (majority nodes with a constant-0 child) and inverters, like the
+//! EPFL benchmark netlists the paper transposes into its initial MIGs.
+//! Disjunctions appear De Morgan-style (`a ∨ b = ¬(ā ∧ b̄)`), so the initial
+//! graphs contain the multi-complement nodes whose elimination is the
+//! target of the paper's rewriting (Ω.I R→L). Starting from this shape
+//! gives [`mig::rewrite`] the same optimization headroom as the original
+//! evaluation.
+//!
+//! Words are little-endian: index 0 is the least-significant bit.
+
+use mig::{Mig, Signal};
+
+/// The signals of a constant word.
+pub fn constant_word(value: u64, width: usize) -> Vec<Signal> {
+    (0..width)
+        .map(|i| Signal::constant(i < 64 && value >> i & 1 != 0))
+        .collect()
+}
+
+/// Two-input OR built AIG-style: `¬(ā ∧ b̄)` (De Morgan).
+pub fn or2(mig: &mut Mig, a: Signal, b: Signal) -> Signal {
+    !mig.and(!a, !b)
+}
+
+/// Two-input XOR built AIG-style: `(a ∨ b) ∧ ¬(a ∧ b)`.
+pub fn xor2(mig: &mut Mig, a: Signal, b: Signal) -> Signal {
+    let or = or2(mig, a, b);
+    let and = mig.and(a, b);
+    mig.and(or, !and)
+}
+
+/// Full adder built AOIG-style. Returns `(sum, carry)`.
+pub fn full_adder(mig: &mut Mig, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+    let axb = xor2(mig, a, b);
+    let sum = xor2(mig, axb, cin);
+    let ab = mig.and(a, b);
+    let cx = mig.and(cin, axb);
+    let carry = or2(mig, ab, cx);
+    (sum, carry)
+}
+
+/// Ripple-carry addition of two equal-width words. Returns the sum word and
+/// the carry-out.
+///
+/// # Panics
+///
+/// Panics if the words differ in width.
+pub fn ripple_add(mig: &mut Mig, a: &[Signal], b: &[Signal], cin: Signal) -> (Vec<Signal>, Signal) {
+    assert_eq!(a.len(), b.len(), "ripple_add requires equal widths");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(mig, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Subtraction `a - b` via two's complement (`a + b̄ + 1`). Returns the
+/// difference and the *borrow* (1 when `a < b`, unsigned).
+///
+/// # Panics
+///
+/// Panics if the words differ in width.
+pub fn ripple_sub(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> (Vec<Signal>, Signal) {
+    assert_eq!(a.len(), b.len(), "ripple_sub requires equal widths");
+    let nb: Vec<Signal> = b.iter().map(|&s| !s).collect();
+    let (diff, carry) = ripple_add(mig, a, &nb, Signal::TRUE);
+    (diff, !carry)
+}
+
+/// Bitwise word multiplexer: `s ? t : e`.
+///
+/// # Panics
+///
+/// Panics if the words differ in width.
+pub fn mux_word(mig: &mut Mig, s: Signal, t: &[Signal], e: &[Signal]) -> Vec<Signal> {
+    assert_eq!(t.len(), e.len(), "mux_word requires equal widths");
+    t.iter()
+        .zip(e)
+        .map(|(&x, &y)| {
+            let st = mig.and(s, x);
+            let se = mig.and(!s, y);
+            or2(mig, st, se)
+        })
+        .collect()
+}
+
+/// Unsigned comparison `a < b` (the borrow of `a - b`).
+pub fn less_than(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> Signal {
+    let (_, borrow) = ripple_sub(mig, a, b);
+    borrow
+}
+
+/// Word equality.
+///
+/// # Panics
+///
+/// Panics if the words differ in width.
+pub fn equal_words(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> Signal {
+    assert_eq!(a.len(), b.len(), "equal_words requires equal widths");
+    let mut acc = Signal::TRUE;
+    for (&x, &y) in a.iter().zip(b) {
+        let bit_eq = xor2(mig, x, y);
+        acc = mig.and(acc, !bit_eq);
+    }
+    acc
+}
+
+/// Zero-extends (or truncates) a word to `width` bits.
+pub fn resize(word: &[Signal], width: usize) -> Vec<Signal> {
+    let mut out: Vec<Signal> = word.iter().copied().take(width).collect();
+    while out.len() < width {
+        out.push(Signal::FALSE);
+    }
+    out
+}
+
+/// Logical left shift by a constant amount (bits shifted in are 0).
+pub fn shift_left_const(word: &[Signal], amount: usize) -> Vec<Signal> {
+    let mut out = vec![Signal::FALSE; amount.min(word.len())];
+    out.extend(word.iter().copied().take(word.len() - out.len()));
+    out
+}
+
+/// Barrel rotation left by a variable amount (one mux stage per shift bit).
+pub fn rotate_left_barrel(mig: &mut Mig, word: &[Signal], amount: &[Signal]) -> Vec<Signal> {
+    let mut current: Vec<Signal> = word.to_vec();
+    let n = word.len();
+    for (stage, &bit) in amount.iter().enumerate() {
+        let distance = 1usize << stage;
+        if distance >= n && n > 0 {
+            // Rotation by a multiple of the width is the identity only when
+            // n is a power of two; handle the general case via modulo.
+            let d = distance % n;
+            if d == 0 {
+                continue;
+            }
+            let rotated: Vec<Signal> = (0..n).map(|i| current[(i + n - d) % n]).collect();
+            current = mux_word(mig, bit, &rotated, &current);
+            continue;
+        }
+        let rotated: Vec<Signal> = (0..n).map(|i| current[(i + n - distance) % n]).collect();
+        current = mux_word(mig, bit, &rotated, &current);
+    }
+    current
+}
+
+/// Barrel logical right shift by a variable amount.
+pub fn shift_right_barrel(mig: &mut Mig, word: &[Signal], amount: &[Signal]) -> Vec<Signal> {
+    let mut current: Vec<Signal> = word.to_vec();
+    let n = word.len();
+    for (stage, &bit) in amount.iter().enumerate() {
+        let distance = 1usize << stage;
+        let shifted: Vec<Signal> = (0..n)
+            .map(|i| {
+                if i + distance < n {
+                    current[i + distance]
+                } else {
+                    Signal::FALSE
+                }
+            })
+            .collect();
+        current = mux_word(mig, bit, &shifted, &current);
+    }
+    current
+}
+
+/// Barrel logical left shift by a variable amount.
+pub fn shift_left_barrel(mig: &mut Mig, word: &[Signal], amount: &[Signal]) -> Vec<Signal> {
+    let mut current: Vec<Signal> = word.to_vec();
+    let n = word.len();
+    for (stage, &bit) in amount.iter().enumerate() {
+        let distance = 1usize << stage;
+        let shifted: Vec<Signal> = (0..n)
+            .map(|i| {
+                if i >= distance {
+                    current[i - distance]
+                } else {
+                    Signal::FALSE
+                }
+            })
+            .collect();
+        current = mux_word(mig, bit, &shifted, &current);
+    }
+    current
+}
+
+/// Array multiplier: partial products summed with ripple adders. The result
+/// has `a.len() + b.len()` bits.
+pub fn multiply(mig: &mut Mig, a: &[Signal], b: &[Signal]) -> Vec<Signal> {
+    let width = a.len() + b.len();
+    let mut acc = constant_word(0, width);
+    for (i, &bi) in b.iter().enumerate() {
+        let mut partial = vec![Signal::FALSE; i];
+        for &aj in a {
+            partial.push(mig.and(aj, bi));
+        }
+        let partial = resize(&partial, width);
+        let (sum, _) = ripple_add(mig, &acc, &partial, Signal::FALSE);
+        acc = sum;
+    }
+    acc
+}
+
+/// Population count: an adder tree summing the input bits. The result has
+/// `ceil(log2(n+1))` bits.
+pub fn popcount(mig: &mut Mig, bits: &[Signal]) -> Vec<Signal> {
+    match bits.len() {
+        0 => vec![Signal::FALSE],
+        1 => vec![bits[0]],
+        2 => {
+            let (s, c) = {
+                let s = xor2(mig, bits[0], bits[1]);
+                let c = mig.and(bits[0], bits[1]);
+                (s, c)
+            };
+            vec![s, c]
+        }
+        3 => {
+            let (s, c) = full_adder(mig, bits[0], bits[1], bits[2]);
+            vec![s, c]
+        }
+        n => {
+            let mid = n / 2;
+            let left = popcount(mig, &bits[..mid]);
+            let right = popcount(mig, &bits[mid..]);
+            let width = left.len().max(right.len()) + 1;
+            let left = resize(&left, width);
+            let right = resize(&right, width);
+            let (sum, _) = ripple_add(mig, &left, &right, Signal::FALSE);
+            sum
+        }
+    }
+}
+
+/// Restoring division: returns `(quotient, remainder)` of the unsigned
+/// division `dividend / divisor` (both words the same width). A zero divisor
+/// yields quotient = all-ones and remainder = dividend, like a hardware
+/// restoring divider.
+///
+/// # Panics
+///
+/// Panics if the words differ in width.
+pub fn divide_restoring(
+    mig: &mut Mig,
+    dividend: &[Signal],
+    divisor: &[Signal],
+) -> (Vec<Signal>, Vec<Signal>) {
+    assert_eq!(
+        dividend.len(),
+        divisor.len(),
+        "divide_restoring requires equal widths"
+    );
+    let n = dividend.len();
+    let width = n + 1;
+    let divisor_ext = resize(divisor, width);
+    let mut remainder = constant_word(0, width);
+    let mut quotient = vec![Signal::FALSE; n];
+    for i in (0..n).rev() {
+        // remainder = (remainder << 1) | dividend[i]
+        let mut shifted = vec![dividend[i]];
+        shifted.extend(remainder.iter().copied().take(width - 1));
+        let (diff, borrow) = ripple_sub(mig, &shifted, &divisor_ext);
+        quotient[i] = !borrow;
+        remainder = mux_word(mig, borrow, &shifted, &diff);
+    }
+    (quotient, resize(&remainder, n))
+}
+
+/// Restoring integer square root of a `2n`-bit word; returns the `n`-bit
+/// root.
+///
+/// # Panics
+///
+/// Panics if the input width is odd.
+pub fn isqrt_restoring(mig: &mut Mig, x: &[Signal]) -> Vec<Signal> {
+    assert!(x.len() % 2 == 0, "isqrt_restoring requires an even width");
+    let n = x.len() / 2;
+    let width = n + 2;
+    let mut remainder = constant_word(0, width);
+    let mut root: Vec<Signal> = Vec::new(); // grows msb-first, kept lsb-first
+    for i in (0..n).rev() {
+        // remainder = (remainder << 2) | x[2i+1..2i]
+        let mut shifted = vec![x[2 * i], x[2 * i + 1]];
+        shifted.extend(remainder.iter().copied().take(width - 2));
+        // trial = (root << 2) | 01
+        let mut trial = vec![Signal::TRUE, Signal::FALSE];
+        trial.extend(root.iter().copied());
+        let trial = resize(&trial, width);
+        let (diff, borrow) = ripple_sub(mig, &shifted, &trial);
+        remainder = mux_word(mig, borrow, &shifted, &diff);
+        // root = (root << 1) | !borrow
+        let mut new_root = vec![!borrow];
+        new_root.extend(root.iter().copied());
+        root = new_root;
+    }
+    root
+}
+
+/// Priority encoder over `bits` (highest index wins). Returns the index word
+/// (`ceil(log2(n))` bits) and a valid flag (any input set).
+pub fn priority_encode(mig: &mut Mig, bits: &[Signal]) -> (Vec<Signal>, Signal) {
+    match bits.len() {
+        0 => (Vec::new(), Signal::FALSE),
+        1 => (Vec::new(), bits[0]),
+        n => {
+            let mid = n.div_ceil(2);
+            // The high half wins priority; halves may be unequal, so pad the
+            // low half's index to the same width.
+            let (idx_lo, valid_lo) = priority_encode(mig, &bits[..mid]);
+            let (idx_hi, valid_hi) = priority_encode(mig, &bits[mid..]);
+            let width = idx_lo.len().max(idx_hi.len());
+            let idx_lo = resize(&idx_lo, width);
+            let idx_hi = resize(&idx_hi, width);
+            let mut index = mux_word(mig, valid_hi, &idx_hi, &idx_lo);
+            index.push(valid_hi);
+            let valid = or2(mig, valid_hi, valid_lo);
+            (index, valid)
+        }
+    }
+}
+
+/// Full decoder: `2^n` one-hot outputs from an `n`-bit select word.
+pub fn decode(mig: &mut Mig, select: &[Signal]) -> Vec<Signal> {
+    let mut outputs = vec![Signal::TRUE];
+    for &bit in select {
+        let mut next = Vec::with_capacity(outputs.len() * 2);
+        for &o in &outputs {
+            next.push(mig.and(o, !bit));
+        }
+        for &o in &outputs {
+            next.push(mig.and(o, bit));
+        }
+        outputs = next;
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::simulate::evaluate;
+
+    /// Builds a graph via `f`, evaluates it on `inputs`, and returns the
+    /// output word as a u64.
+    fn eval_word(
+        num_inputs: usize,
+        inputs: u64,
+        f: impl FnOnce(&mut Mig, &[Signal]) -> Vec<Signal>,
+    ) -> u64 {
+        let mut mig = Mig::new();
+        let pis = mig.add_inputs("x", num_inputs);
+        let outs = f(&mut mig, &pis);
+        for (i, &o) in outs.iter().enumerate() {
+            mig.add_output(format!("o{i}"), o);
+        }
+        let in_bits: Vec<bool> = (0..num_inputs).map(|i| inputs >> i & 1 != 0).collect();
+        let out_bits = evaluate(&mig, &in_bits);
+        out_bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn adder_adds() {
+        for (a, b) in [(0u64, 0u64), (3, 5), (15, 1), (9, 9), (12, 7)] {
+            let got = eval_word(8, a | b << 4, |mig, pis| {
+                let (sum, cout) = ripple_add(mig, &pis[..4], &pis[4..], Signal::FALSE);
+                let mut out = sum;
+                out.push(cout);
+                out
+            });
+            assert_eq!(got, (a + b) & 0x1F, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn subtractor_borrows() {
+        for (a, b) in [(5u64, 3u64), (3, 5), (0, 0), (15, 15), (1, 14)] {
+            let got = eval_word(8, a | b << 4, |mig, pis| {
+                let (diff, borrow) = ripple_sub(mig, &pis[..4], &pis[4..]);
+                let mut out = diff;
+                out.push(borrow);
+                out
+            });
+            let expected = (a.wrapping_sub(b) & 0xF) | ((a < b) as u64) << 4;
+            assert_eq!(got, expected, "{a}-{b}");
+        }
+    }
+
+    #[test]
+    fn comparator_matches() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let got = eval_word(6, a | b << 3, |mig, pis| {
+                    let lt = less_than(mig, &pis[..3], &pis[3..]);
+                    vec![lt]
+                });
+                assert_eq!(got != 0, a < b, "{a}<{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_matches() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let got = eval_word(6, a | b << 3, |mig, pis| {
+                    vec![equal_words(mig, &pis[..3], &pis[3..])]
+                });
+                assert_eq!(got != 0, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        for a in 0..16u64 {
+            for b in [0u64, 1, 3, 7, 12, 15] {
+                let got = eval_word(8, a | b << 4, |mig, pis| {
+                    multiply(mig, &pis[..4], &pis[4..])
+                });
+                assert_eq!(got, a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        for pattern in 0..128u64 {
+            let got = eval_word(7, pattern, |mig, pis| popcount(mig, pis));
+            assert_eq!(got, u64::from(pattern.count_ones()), "{pattern:#b}");
+        }
+    }
+
+    #[test]
+    fn divider_divides() {
+        for a in 0..16u64 {
+            for b in 1..16u64 {
+                let got = eval_word(8, a | b << 4, |mig, pis| {
+                    let (q, r) = divide_restoring(mig, &pis[..4], &pis[4..]);
+                    let mut out = q;
+                    out.extend(r);
+                    out
+                });
+                let expected = (a / b) | (a % b) << 4;
+                assert_eq!(got, expected, "{a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn divider_by_zero_saturates() {
+        let got = eval_word(8, 5, |mig, pis| {
+            let (q, r) = divide_restoring(mig, &pis[..4], &pis[4..]);
+            let mut out = q;
+            out.extend(r);
+            out
+        });
+        assert_eq!(got & 0xF, 0xF, "quotient saturates");
+        assert_eq!(got >> 4, 5, "remainder is the dividend");
+    }
+
+    #[test]
+    fn isqrt_is_exact() {
+        for x in 0..64u64 {
+            let got = eval_word(6, x, |mig, pis| isqrt_restoring(mig, pis));
+            assert_eq!(got, (x as f64).sqrt().floor() as u64, "isqrt({x})");
+        }
+    }
+
+    #[test]
+    fn rotate_left_rotates() {
+        for value in [0b0001u64, 0b1010, 0b1111, 0b0110] {
+            for amount in 0..4u64 {
+                let got = eval_word(6, value | amount << 4, |mig, pis| {
+                    rotate_left_barrel(mig, &pis[..4].to_vec(), &pis[4..])
+                });
+                let expected = ((value << amount) | (value >> (4 - amount))) & 0xF;
+                assert_eq!(got, expected & 0xF, "rot({value:#b}, {amount})");
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_shift() {
+        for value in [0b1011u64, 0b0110] {
+            for amount in 0..4u64 {
+                let right = eval_word(6, value | amount << 4, |mig, pis| {
+                    shift_right_barrel(mig, &pis[..4].to_vec(), &pis[4..])
+                });
+                assert_eq!(right, value >> amount);
+                let left = eval_word(6, value | amount << 4, |mig, pis| {
+                    shift_left_barrel(mig, &pis[..4].to_vec(), &pis[4..])
+                });
+                assert_eq!(left, (value << amount) & 0xF);
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_picks_highest() {
+        for pattern in 1..256u64 {
+            let got = eval_word(8, pattern, |mig, pis| {
+                let (index, valid) = priority_encode(mig, pis);
+                let mut out = index;
+                out.push(valid);
+                out
+            });
+            let highest = 63 - pattern.leading_zeros() as u64;
+            assert_eq!(got & 0x7, highest, "{pattern:#b}");
+            assert_eq!(got >> 3, 1, "valid for {pattern:#b}");
+        }
+        let zero = eval_word(8, 0, |mig, pis| {
+            let (index, valid) = priority_encode(mig, pis);
+            let mut out = index;
+            out.push(valid);
+            out
+        });
+        assert_eq!(zero >> 3, 0, "invalid when no bit set");
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        for sel in 0..8u64 {
+            let got = eval_word(3, sel, |mig, pis| decode(mig, pis));
+            assert_eq!(got, 1 << sel, "decode({sel})");
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let got_t = eval_word(5, 0b1_10_01, |mig, pis| {
+            mux_word(mig, pis[4], &pis[..2].to_vec(), &pis[2..4].to_vec())
+        });
+        assert_eq!(got_t, 0b01);
+        let got_e = eval_word(5, 0b0_10_01, |mig, pis| {
+            mux_word(mig, pis[4], &pis[..2].to_vec(), &pis[2..4].to_vec())
+        });
+        assert_eq!(got_e, 0b10);
+    }
+
+    #[test]
+    fn constant_and_resize_helpers() {
+        let w = constant_word(0b101, 4);
+        assert_eq!(w[0], Signal::TRUE);
+        assert_eq!(w[1], Signal::FALSE);
+        assert_eq!(w[2], Signal::TRUE);
+        assert_eq!(w[3], Signal::FALSE);
+        let r = resize(&w, 6);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r[5], Signal::FALSE);
+        let t = resize(&w, 2);
+        assert_eq!(t.len(), 2);
+        let sl = shift_left_const(&w, 1);
+        assert_eq!(sl[0], Signal::FALSE);
+        assert_eq!(sl[1], Signal::TRUE);
+    }
+}

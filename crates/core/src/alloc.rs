@@ -1,0 +1,167 @@
+//! Work-RRAM allocation (§4.2.3 of the paper).
+//!
+//! The allocator exposes the paper's two-operation interface — *request* an
+//! RRAM ready for use and *release* one that is no longer needed — backed by
+//! a free list. The paper populates the free list FIFO so that the oldest
+//! released cell is reused first, resting recently used cells as long as
+//! possible (an endurance-aware wear-leveling policy).
+
+use std::collections::VecDeque;
+
+use plim::RamAddr;
+
+use crate::options::AllocatorStrategy;
+
+/// Free-list allocator for work RRAM cells.
+///
+/// The number of *fresh* cells ever handed out is the program's RRAM count
+/// (`#R` in Table 1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use plim_compiler::{alloc::RramAllocator, AllocatorStrategy};
+///
+/// let mut alloc = RramAllocator::new(AllocatorStrategy::Fifo);
+/// let a = alloc.request();
+/// let b = alloc.request();
+/// alloc.release(a);
+/// alloc.release(b);
+/// assert_eq!(alloc.request(), a); // oldest released first
+/// assert_eq!(alloc.num_allocated(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RramAllocator {
+    strategy: AllocatorStrategy,
+    free: VecDeque<RamAddr>,
+    next_fresh: u32,
+    live: Vec<bool>,
+    live_count: usize,
+}
+
+impl RramAllocator {
+    /// Creates an allocator with the given reuse strategy.
+    pub fn new(strategy: AllocatorStrategy) -> Self {
+        RramAllocator {
+            strategy,
+            free: VecDeque::new(),
+            next_fresh: 0,
+            live: Vec::new(),
+            live_count: 0,
+        }
+    }
+
+    /// Returns an RRAM cell that is ready for use, reusing a released cell
+    /// if the strategy allows, otherwise allocating a fresh one.
+    pub fn request(&mut self) -> RamAddr {
+        let addr = match self.strategy {
+            AllocatorStrategy::Fifo => self.free.pop_front(),
+            AllocatorStrategy::Lifo => self.free.pop_back(),
+            AllocatorStrategy::Fresh => None,
+        }
+        .unwrap_or_else(|| {
+            let addr = RamAddr(self.next_fresh);
+            self.next_fresh += 1;
+            self.live.push(false);
+            addr
+        });
+        debug_assert!(!self.live[addr.index()], "allocator handed out a live cell");
+        self.live[addr.index()] = true;
+        self.live_count += 1;
+        addr
+    }
+
+    /// Returns a cell to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the cell was not live (double release).
+    pub fn release(&mut self, addr: RamAddr) {
+        debug_assert!(self.live[addr.index()], "double release of {addr}");
+        self.live[addr.index()] = false;
+        self.live_count -= 1;
+        self.free.push_back(addr);
+    }
+
+    /// Total number of distinct cells ever allocated (the `#R` metric).
+    pub fn num_allocated(&self) -> u32 {
+        self.next_fresh
+    }
+
+    /// Number of cells currently live (requested and not released).
+    pub fn num_live(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of cells currently on the free list.
+    pub fn num_free(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_returns_oldest_release() {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::Fifo);
+        let a = alloc.request();
+        let b = alloc.request();
+        let c = alloc.request();
+        alloc.release(b);
+        alloc.release(a);
+        alloc.release(c);
+        assert_eq!(alloc.request(), b);
+        assert_eq!(alloc.request(), a);
+        assert_eq!(alloc.request(), c);
+        assert_eq!(alloc.num_allocated(), 3);
+    }
+
+    #[test]
+    fn lifo_returns_newest_release() {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::Lifo);
+        let a = alloc.request();
+        let b = alloc.request();
+        alloc.release(a);
+        alloc.release(b);
+        assert_eq!(alloc.request(), b);
+        assert_eq!(alloc.request(), a);
+        assert_eq!(alloc.num_allocated(), 2);
+    }
+
+    #[test]
+    fn fresh_never_reuses() {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::Fresh);
+        let a = alloc.request();
+        alloc.release(a);
+        let b = alloc.request();
+        assert_ne!(a, b);
+        assert_eq!(alloc.num_allocated(), 2);
+        assert_eq!(alloc.num_free(), 1);
+    }
+
+    #[test]
+    fn live_accounting() {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::Fifo);
+        let a = alloc.request();
+        let _b = alloc.request();
+        assert_eq!(alloc.num_live(), 2);
+        alloc.release(a);
+        assert_eq!(alloc.num_live(), 1);
+        assert_eq!(alloc.num_free(), 1);
+        let _ = alloc.request();
+        assert_eq!(alloc.num_live(), 2);
+        assert_eq!(alloc.num_free(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    #[cfg(debug_assertions)]
+    fn double_release_is_detected() {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::Fifo);
+        let a = alloc.request();
+        alloc.release(a);
+        alloc.release(a);
+    }
+}

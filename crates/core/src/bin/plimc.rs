@@ -1,0 +1,163 @@
+//! `plimc` — the PLiM compiler command-line driver.
+//!
+//! Reads a logic network (MIG text format or ASCII AIGER), optimizes it for
+//! the PLiM architecture, compiles it to RM3 instructions, verifies the
+//! program against simulation, and emits the requested artifact.
+//!
+//! ```text
+//! plimc [OPTIONS] FILE        (FILE of `-` reads stdin)
+//!
+//!   --format mig|aag     input format (default: by extension, mig otherwise)
+//!   --effort N           rewrite effort, 0 disables rewriting (default 4)
+//!   --extended           use rewrite+majority-resynthesis (stronger)
+//!   --naive              disable candidate selection (Table 1 baseline)
+//!   --limit R            fail unless the program fits R work RRAMs
+//!   --emit asm|listing|stats|dot|mig
+//!                        artifact to print (default: listing)
+//!   --no-verify          skip the simulation check
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use mig::Mig;
+use plim_compiler::report::CostReport;
+use plim_compiler::{compile, verify::verify, CompilerOptions};
+
+struct Args {
+    file: String,
+    format: Option<String>,
+    effort: usize,
+    extended: bool,
+    naive: bool,
+    limit: Option<u32>,
+    emit: String,
+    verify: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        file: String::new(),
+        format: None,
+        effort: 4,
+        extended: false,
+        naive: false,
+        limit: None,
+        emit: "listing".to_string(),
+        verify: true,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--format" => args.format = Some(value("--format")?),
+            "--effort" => {
+                args.effort = value("--effort")?
+                    .parse()
+                    .map_err(|_| "--effort needs a number".to_string())?
+            }
+            "--extended" => args.extended = true,
+            "--naive" => args.naive = true,
+            "--limit" => {
+                args.limit = Some(
+                    value("--limit")?
+                        .parse()
+                        .map_err(|_| "--limit needs a number".to_string())?,
+                )
+            }
+            "--emit" => args.emit = value("--emit")?,
+            "--no-verify" => args.verify = false,
+            "--help" | "-h" => return Err("help".to_string()),
+            _ if arg.starts_with('-') && arg != "-" => {
+                return Err(format!("unknown option `{arg}`"))
+            }
+            _ => args.file = arg,
+        }
+    }
+    if args.file.is_empty() {
+        return Err("no input file (use `-` for stdin)".to_string());
+    }
+    Ok(args)
+}
+
+fn read_input(args: &Args) -> Result<Mig, String> {
+    let text = if args.file == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(&args.file).map_err(|e| format!("reading {}: {e}", args.file))?
+    };
+    let format = args.format.clone().unwrap_or_else(|| {
+        if args.file.ends_with(".aag") {
+            "aag".to_string()
+        } else {
+            "mig".to_string()
+        }
+    });
+    match format.as_str() {
+        "aag" => mig::aiger::parse_aiger(&text).map_err(|e| format!("aiger: {e}")),
+        "mig" => mig::io::parse_mig(&text).map_err(|e| format!("mig: {e}")),
+        other => Err(format!("unknown format `{other}`")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let input = read_input(&args)?;
+
+    let optimized = if args.effort == 0 {
+        input.cleaned()
+    } else if args.extended {
+        mig::resynth::rewrite_extended(&input, args.effort)
+    } else {
+        mig::rewrite::rewrite(&input, args.effort)
+    };
+
+    let compiled = match args.limit {
+        Some(limit) => plim_compiler::constrained::compile_with_ram_limit(&optimized, limit)
+            .map_err(|e| e.to_string())?,
+        None => {
+            let options = if args.naive {
+                CompilerOptions::naive()
+            } else {
+                CompilerOptions::new()
+            };
+            compile(&optimized, options)
+        }
+    };
+
+    if args.verify {
+        verify(&optimized, &compiled, 4, 0xDAC2016).map_err(|e| format!("verification: {e}"))?;
+    }
+
+    match args.emit.as_str() {
+        "listing" => print!("{}", compiled.program),
+        "asm" => print!("{}", plim::asm::write_asm(&compiled.program)),
+        "stats" => println!("{}", CostReport::analyze(&compiled)),
+        "dot" => print!("{}", mig::dot::to_dot(&optimized)),
+        "mig" => print!("{}", mig::io::write_mig(&optimized)),
+        other => return Err(format!("unknown --emit `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) if message == "help" => {
+            eprintln!("usage: plimc [--format mig|aag] [--effort N] [--extended] [--naive]");
+            eprintln!("             [--limit R] [--emit asm|listing|stats|dot|mig] [--no-verify] FILE");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("plimc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Candidate selection (§4.2.1 of the paper).
+//!
+//! Algorithm 2 keeps a priority queue of *candidates* — MIG nodes whose
+//! children have all been computed. The ordering follows two principles:
+//!
+//! 1. **Release early**: prefer candidates with more *releasing children*
+//!    (children with single fanout, whose RRAMs can be freed immediately
+//!    after the candidate is computed — Fig. 4a).
+//! 2. **Allocate late**: prefer candidates whose parents sit on lower
+//!    levels, i.e. whose results will be consumed soon, so their RRAMs stay
+//!    blocked for a short time (Fig. 4b).
+//!
+//! The paper states these as pairwise comparison rules that do not induce a
+//! total order. Our heap key realizes them as: the (dynamically refreshed)
+//! releasing-children count first (principle 1), then the node's position
+//! in a Sethi–Ullman-style **depth-first post-order from the primary
+//! outputs** (principle 2 — a node early in that order is consumed soon
+//! after computation), then the paper's parent-level rule, enqueue recency,
+//! and node index. The post-order component is what makes the schedule
+//! robust across circuit families; a literal greedy interpretation of the
+//! two rules alone degenerates on tree-shaped circuits (see the `ablation`
+//! harness).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mig::{Mig, MigNode, NodeId};
+
+/// Priority information of one candidate node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Position in the depth-first post-order from the outputs (lower is
+    /// scheduled first).
+    pub postorder: u32,
+    /// Number of children with single (static) fanout.
+    pub releasing_children: u32,
+    /// The highest level among the node's parents (lower is better). Nodes
+    /// feeding only primary outputs use `u32::MAX` (consumed last).
+    pub max_parent_level: u32,
+    /// Enqueue recency (assigned by the queue): later-enabled candidates
+    /// are preferred on remaining ties.
+    pub seq: u64,
+    /// The node.
+    pub id: NodeId,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert the ascending components.
+        self.releasing_children
+            .cmp(&other.releasing_children)
+            .then_with(|| other.postorder.cmp(&self.postorder))
+            .then_with(|| other.max_parent_level.cmp(&self.max_parent_level))
+            .then_with(|| self.seq.cmp(&other.seq))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Precomputed static priorities for every node of a graph.
+#[derive(Debug)]
+pub struct Priorities {
+    postorder: Vec<u32>,
+    releasing: Vec<u32>,
+    max_parent_level: Vec<u32>,
+}
+
+impl Priorities {
+    /// Computes priorities from static fanout counts and levels.
+    pub fn compute(mig: &Mig) -> Self {
+        let fanout = mig.fanout_counts();
+        let levels = mig.levels();
+        let mut releasing = vec![0u32; mig.len()];
+        let mut max_parent_level = vec![u32::MAX; mig.len()];
+        for id in mig.node_ids() {
+            if let MigNode::Majority(children) = mig.node(id) {
+                let mut count = 0;
+                for child in children {
+                    let n = child.node();
+                    if mig.node(n).is_majority() && fanout[n.index()] == 1 {
+                        count += 1;
+                    }
+                    let entry = &mut max_parent_level[n.index()];
+                    let level = levels[id.index()];
+                    if *entry == u32::MAX || level > *entry {
+                        *entry = level;
+                    }
+                }
+                releasing[id.index()] = count;
+            }
+        }
+        // Depth-first post-order over the output cones, visiting the
+        // deepest child of each node first (Sethi–Ullman order): shallow
+        // operands are then computed right before their consumer instead of
+        // staying live across a deep sibling subtree.
+        let mut postorder = vec![u32::MAX; mig.len()];
+        let mut next = 0u32;
+        let mut stack: Vec<(NodeId, bool)> = mig
+            .outputs()
+            .iter()
+            .rev()
+            .map(|(_, s)| (s.node(), false))
+            .collect();
+        while let Some((id, expanded)) = stack.pop() {
+            if postorder[id.index()] != u32::MAX {
+                continue;
+            }
+            if expanded {
+                postorder[id.index()] = next;
+                next += 1;
+                continue;
+            }
+            if let MigNode::Majority(children) = mig.node(id) {
+                stack.push((id, true));
+                // Deepest child last on the stack ⇒ visited first.
+                let mut kids: Vec<NodeId> = children.iter().map(|c| c.node()).collect();
+                kids.sort_by_key(|n| levels[n.index()]);
+                for n in kids {
+                    if postorder[n.index()] == u32::MAX {
+                        stack.push((n, false));
+                    }
+                }
+            } else {
+                postorder[id.index()] = next;
+                next += 1;
+            }
+        }
+        Priorities {
+            postorder,
+            releasing,
+            max_parent_level,
+        }
+    }
+
+    /// The candidate record for `id` (sequence number assigned on enqueue).
+    pub fn candidate(&self, id: NodeId) -> Candidate {
+        Candidate {
+            postorder: self.postorder[id.index()],
+            releasing_children: self.releasing[id.index()],
+            max_parent_level: self.max_parent_level[id.index()],
+            seq: 0,
+            id,
+        }
+    }
+}
+
+/// The candidate priority queue of Algorithm 2.
+#[derive(Debug, Default)]
+pub struct CandidateQueue {
+    heap: BinaryHeap<Candidate>,
+    next_seq: u64,
+}
+
+impl CandidateQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CandidateQueue::default()
+    }
+
+    /// Inserts a candidate, stamping its enqueue sequence number.
+    pub fn enqueue(&mut self, mut candidate: Candidate) {
+        candidate.seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(candidate);
+    }
+
+    /// Re-inserts a candidate whose priority was refreshed, keeping its
+    /// original recency stamp (used by the lazy dynamic-priority update).
+    pub fn requeue(&mut self, candidate: Candidate) {
+        self.heap.push(candidate);
+    }
+
+    /// Removes and returns the best candidate.
+    pub fn pop(&mut self) -> Option<Candidate> {
+        self.heap.pop()
+    }
+
+    /// Number of queued candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no candidates are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Mig;
+
+    fn cand(releasing: u32, level: u32, index: usize) -> Candidate {
+        Candidate {
+            postorder: 0,
+            releasing_children: releasing,
+            max_parent_level: level,
+            seq: 0,
+            id: NodeId::from_index(index),
+        }
+    }
+
+    #[test]
+    fn more_releasing_children_wins() {
+        let mut q = CandidateQueue::new();
+        q.enqueue(cand(1, 0, 1));
+        q.enqueue(cand(3, 9, 2));
+        q.enqueue(cand(2, 0, 3));
+        assert_eq!(q.pop().unwrap().id, NodeId::from_index(2));
+        assert_eq!(q.pop().unwrap().id, NodeId::from_index(3));
+        assert_eq!(q.pop().unwrap().id, NodeId::from_index(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn lower_parent_level_breaks_ties() {
+        let mut q = CandidateQueue::new();
+        q.enqueue(cand(1, 5, 1));
+        q.enqueue(cand(1, 2, 2));
+        assert_eq!(q.pop().unwrap().id, NodeId::from_index(2));
+    }
+
+    #[test]
+    fn index_breaks_remaining_ties() {
+        let mut q = CandidateQueue::new();
+        q.enqueue(cand(1, 2, 9));
+        q.enqueue(cand(1, 2, 4));
+        assert_eq!(q.pop().unwrap().id, NodeId::from_index(4));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn priorities_count_releasing_children() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let d = mig.add_input("d");
+        let x = mig.and(a, b); // fanout 1 (used by top only)
+        let y = mig.and(c, d); // fanout 2 (top and output)
+        let top = mig.maj(x, y, a);
+        mig.add_output("f", top);
+        mig.add_output("g", y);
+        let pr = Priorities::compute(&mig);
+        let cand_top = pr.candidate(top.node());
+        // x is a releasing child of top; y is not (fanout 2); a is an input.
+        assert_eq!(cand_top.releasing_children, 1);
+        // top feeds only outputs.
+        assert_eq!(cand_top.max_parent_level, u32::MAX);
+        // x's only parent is top (level 2).
+        assert_eq!(pr.candidate(x.node()).max_parent_level, 2);
+    }
+}

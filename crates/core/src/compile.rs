@@ -1,0 +1,328 @@
+//! The compilation driver (Algorithm 2 of the paper).
+
+use mig::{Mig, MigNode, NodeId};
+
+use crate::candidate::{CandidateQueue, Priorities};
+use crate::options::{CompilerOptions, ScheduleOrder};
+use crate::program::{CompileStats, CompiledProgram};
+use crate::translate::Translator;
+
+/// Compiles an MIG into a PLiM program.
+///
+/// With the default options this is the paper's proposed compiler:
+/// candidates are scheduled through the priority queue of §4.2.1 and each
+/// node is translated with the smart operand selection of §4.2.2, reusing
+/// RRAMs through a FIFO free list. [`CompilerOptions::naive`] reproduces the
+/// Table 1 baseline instead.
+///
+/// Dangling nodes (unreachable from every primary output) are not
+/// translated.
+///
+/// # Examples
+///
+/// ```
+/// use mig::Mig;
+/// use plim_compiler::{compile, CompilerOptions};
+/// use plim::Machine;
+///
+/// let mut mig = Mig::new();
+/// let a = mig.add_input("a");
+/// let b = mig.add_input("b");
+/// let c = mig.add_input("c");
+/// let m = mig.maj(a, !b, c);
+/// mig.add_output("f", m);
+///
+/// let compiled = compile(&mig, CompilerOptions::new());
+/// assert_eq!(compiled.stats.mig_nodes, 1);
+///
+/// let mut machine = Machine::new();
+/// let out = machine.run(&compiled.program, &[true, true, false]).unwrap();
+/// assert_eq!(out, vec![false]); // ⟨1 0 0⟩ = 0
+/// ```
+pub fn compile(mig: &Mig, options: CompilerOptions) -> CompiledProgram {
+    let reachable = reachable_majority(mig);
+    let mut translator = Translator::new(mig, options);
+    let mut translated = 0usize;
+
+    match options.schedule {
+        ScheduleOrder::Index => {
+            for id in mig.majority_ids() {
+                if reachable[id.index()] {
+                    translator.translate_node(id);
+                    translated += 1;
+                }
+            }
+        }
+        ScheduleOrder::Priority => {
+            translated = run_priority_schedule(mig, &reachable, &mut translator);
+        }
+    }
+
+    let (program, peak_live) = translator.finalize();
+    let stats = CompileStats {
+        instructions: program.len(),
+        rams: program.num_rams(),
+        mig_nodes: translated,
+        peak_live,
+    };
+    CompiledProgram { program, stats }
+}
+
+/// Algorithm 2: maintain a priority queue of candidates (nodes whose
+/// children are all computed); repeatedly pop the best candidate, translate
+/// it, and enqueue parents that become computable.
+fn run_priority_schedule(
+    mig: &Mig,
+    reachable: &[bool],
+    translator: &mut Translator<'_>,
+) -> usize {
+    let priorities = Priorities::compute(mig);
+    let fanouts = mig.fanouts();
+    let mut uncomputed_children = vec![0u32; mig.len()];
+    let mut queue = CandidateQueue::new();
+
+    for id in mig.node_ids() {
+        if !reachable[id.index()] {
+            continue;
+        }
+        if let MigNode::Majority(children) = mig.node(id) {
+            let pending = children
+                .iter()
+                .filter(|c| mig.node(c.node()).is_majority())
+                .count() as u32;
+            uncomputed_children[id.index()] = pending;
+            if pending == 0 {
+                queue.enqueue(priorities.candidate(id));
+            }
+        }
+    }
+
+    let mut translated = 0usize;
+    while let Some(mut candidate) = queue.pop() {
+        // Lazy dynamic-priority update: the releasing-children count grows
+        // as parents are computed, so a stale entry may understate its
+        // priority. Refresh and requeue instead of translating.
+        let current = translator.releasing_now(candidate.id);
+        if current > candidate.releasing_children {
+            candidate.releasing_children = current;
+            queue.requeue(candidate);
+            continue;
+        }
+        translator.translate_node(candidate.id);
+        translated += 1;
+        for &parent in &fanouts[candidate.id.index()] {
+            if !reachable[parent.index()] {
+                continue;
+            }
+            let pending = &mut uncomputed_children[parent.index()];
+            debug_assert!(*pending > 0, "parent counted twice");
+            *pending -= 1;
+            if *pending == 0 {
+                queue.enqueue(priorities.candidate(parent));
+            }
+        }
+    }
+    translated
+}
+
+fn reachable_majority(mig: &Mig) -> Vec<bool> {
+    let mut reachable = vec![false; mig.len()];
+    let mut stack: Vec<NodeId> = mig.outputs().iter().map(|(_, s)| s.node()).collect();
+    while let Some(id) = stack.pop() {
+        if reachable[id.index()] {
+            continue;
+        }
+        reachable[id.index()] = true;
+        if let MigNode::Majority(children) = mig.node(id) {
+            stack.extend(children.iter().map(|c| c.node()));
+        }
+    }
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mig::Signal;
+    use plim::Machine;
+
+    fn exhaustive_check(mig: &Mig, compiled: &CompiledProgram) {
+        let n = mig.num_inputs();
+        assert!(n <= 12, "test helper is exhaustive");
+        let mut machine = Machine::new();
+        for pattern in 0..(1usize << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
+            let expected = mig::simulate::evaluate(mig, &inputs);
+            let got = machine.run(&compiled.program, &inputs).unwrap();
+            assert_eq!(got, expected, "mismatch on pattern {pattern:#b}");
+        }
+    }
+
+    fn fig3b_mig() -> Mig {
+        // The six-node MIG of Fig. 3(b), reconstructed from the listings.
+        let mut mig = Mig::new();
+        let i1 = mig.add_input("i1");
+        let i2 = mig.add_input("i2");
+        let i3 = mig.add_input("i3");
+        let n1 = mig.maj(Signal::FALSE, i1, i2);
+        let n2 = mig.maj(Signal::TRUE, !i2, i3);
+        let n3 = mig.maj(i1, i2, i3);
+        let n4 = mig.maj(Signal::TRUE, n1, i3);
+        let n5 = mig.maj(n1, !n2, n3);
+        let n6 = mig.maj(n4, !n5, n1);
+        mig.add_output("f", n6);
+        mig
+    }
+
+    #[test]
+    fn naive_and_smart_compile_fig3b_correctly() {
+        let mig = fig3b_mig();
+        let naive = compile(&mig, CompilerOptions::naive());
+        let smart = compile(&mig, CompilerOptions::new());
+        exhaustive_check(&mig, &naive);
+        exhaustive_check(&mig, &smart);
+        assert_eq!(naive.stats.mig_nodes, 6);
+        assert_eq!(smart.stats.mig_nodes, 6);
+        assert!(
+            smart.stats.instructions <= naive.stats.instructions,
+            "smart ({}) must not exceed naive ({})",
+            smart.stats.instructions,
+            naive.stats.instructions
+        );
+        assert!(smart.stats.rams <= naive.stats.rams);
+    }
+
+    #[test]
+    fn single_and_gate() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.and(a, b);
+        mig.add_output("f", f);
+        let compiled = compile(&mig, CompilerOptions::new());
+        exhaustive_check(&mig, &compiled);
+    }
+
+    #[test]
+    fn complemented_output_is_materialized() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.and(a, b);
+        mig.add_output("f", !f);
+        let compiled = compile(&mig, CompilerOptions::new());
+        exhaustive_check(&mig, &compiled);
+    }
+
+    #[test]
+    fn passthrough_outputs() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        mig.add_output("x", a);
+        mig.add_output("nx", !a);
+        mig.add_output("zero", Signal::FALSE);
+        mig.add_output("one", Signal::TRUE);
+        let f = mig.or(a, b);
+        mig.add_output("f", f);
+        let compiled = compile(&mig, CompilerOptions::new());
+        exhaustive_check(&mig, &compiled);
+    }
+
+    #[test]
+    fn shared_output_plain_and_complemented() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.xor(a, b);
+        mig.add_output("f", f);
+        mig.add_output("g", !f);
+        let compiled = compile(&mig, CompilerOptions::new());
+        exhaustive_check(&mig, &compiled);
+    }
+
+    #[test]
+    fn dangling_nodes_are_skipped() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.and(a, b);
+        let _dead = mig.or(a, b);
+        mig.add_output("f", f);
+        let compiled = compile(&mig, CompilerOptions::new());
+        assert_eq!(compiled.stats.mig_nodes, 1);
+        exhaustive_check(&mig, &compiled);
+    }
+
+    #[test]
+    fn multi_complement_nodes_compile_correctly() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let n1 = mig.maj(!a, !b, c);
+        let n2 = mig.maj(!a, !b, !c);
+        let n3 = mig.maj(!n1, !n2, a);
+        mig.add_output("f", n3);
+        for opts in [CompilerOptions::new(), CompilerOptions::naive()] {
+            let compiled = compile(&mig, opts);
+            exhaustive_check(&mig, &compiled);
+        }
+    }
+
+    #[test]
+    fn deep_xor_chain_all_option_combinations() {
+        use crate::options::{AllocatorStrategy, OperandSelection, ScheduleOrder};
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 6);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = mig.xor(acc, x);
+        }
+        mig.add_output("parity", acc);
+        for schedule in [ScheduleOrder::Index, ScheduleOrder::Priority] {
+            for operands in [OperandSelection::ChildOrder, OperandSelection::Smart] {
+                for allocator in [
+                    AllocatorStrategy::Fifo,
+                    AllocatorStrategy::Lifo,
+                    AllocatorStrategy::Fresh,
+                ] {
+                    let opts = CompilerOptions::new()
+                        .schedule(schedule)
+                        .operands(operands)
+                        .allocator(allocator);
+                    let compiled = compile(&mig, opts);
+                    exhaustive_check(&mig, &compiled);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_allocator_upper_bounds_fifo() {
+        use crate::options::AllocatorStrategy;
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 8);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = mig.maj(acc, x, xs[0]);
+        }
+        mig.add_output("f", acc);
+        let fifo = compile(&mig, CompilerOptions::new());
+        let fresh = compile(
+            &mig,
+            CompilerOptions::new().allocator(AllocatorStrategy::Fresh),
+        );
+        assert!(fifo.stats.rams <= fresh.stats.rams);
+        assert_eq!(fifo.stats.instructions, fresh.stats.instructions);
+    }
+
+    #[test]
+    fn stats_are_consistent_with_program() {
+        let mig = fig3b_mig();
+        let compiled = compile(&mig, CompilerOptions::new());
+        assert_eq!(compiled.stats.instructions, compiled.program.len());
+        assert_eq!(compiled.stats.rams, compiled.program.num_rams());
+        assert!(compiled.stats.peak_live as u32 <= compiled.stats.rams);
+    }
+}

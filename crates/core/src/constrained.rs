@@ -1,0 +1,143 @@
+//! Compilation under an RRAM budget.
+//!
+//! The paper's conclusion names "a limited number of RRAMs" as the next
+//! constraint to support. This module provides a budget-aware driver: it
+//! explores the compiler's scheduling/allocation space from the most to the
+//! least RRAM-frugal configuration and returns the first program that fits
+//! the budget, or an error carrying the best program found so that callers
+//! can inspect how far away the budget is.
+
+use std::fmt;
+
+use mig::Mig;
+
+use crate::compile::compile;
+use crate::options::{AllocatorStrategy, CompilerOptions, OperandSelection, ScheduleOrder};
+use crate::program::CompiledProgram;
+
+/// Error returned when no explored configuration fits the budget.
+#[derive(Debug)]
+pub struct RamLimitError {
+    /// The requested budget.
+    pub limit: u32,
+    /// The most frugal program found (its `stats.rams` exceeds `limit`).
+    pub best: CompiledProgram,
+}
+
+impl fmt::Display for RamLimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no schedule fits {} work RRAMs; best found uses {}",
+            self.limit, self.best.stats.rams
+        )
+    }
+}
+
+impl std::error::Error for RamLimitError {}
+
+/// Compiles `mig` into a program using at most `limit` work RRAMs.
+///
+/// Configurations are explored from the most RRAM-frugal (priority
+/// scheduling, FIFO reuse, smart translation) toward alternatives whose
+/// different traversal orders occasionally fit tighter budgets. The
+/// instruction count is a secondary criterion: among fitting programs the
+/// first (most instruction-efficient configuration) is returned.
+///
+/// # Errors
+///
+/// Returns [`RamLimitError`] with the most frugal program found when the
+/// budget cannot be met.
+///
+/// # Examples
+///
+/// ```
+/// use mig::Mig;
+/// use plim_compiler::constrained::compile_with_ram_limit;
+///
+/// let mut mig = Mig::new();
+/// let a = mig.add_input("a");
+/// let b = mig.add_input("b");
+/// let f = mig.and(a, b);
+/// mig.add_output("f", f);
+/// let compiled = compile_with_ram_limit(&mig, 2).unwrap();
+/// assert!(compiled.stats.rams <= 2);
+/// assert!(compile_with_ram_limit(&mig, 0).is_err());
+/// ```
+pub fn compile_with_ram_limit(
+    mig: &Mig,
+    limit: u32,
+) -> Result<CompiledProgram, RamLimitError> {
+    let configurations = [
+        CompilerOptions::new(),
+        CompilerOptions::new().schedule(ScheduleOrder::Index),
+        CompilerOptions::new()
+            .schedule(ScheduleOrder::Index)
+            .operands(OperandSelection::ChildOrder),
+    ];
+    let mut best: Option<CompiledProgram> = None;
+    for options in configurations {
+        debug_assert_eq!(options.allocator, AllocatorStrategy::Fifo);
+        let compiled = compile(mig, options);
+        if compiled.stats.rams <= limit {
+            return Ok(compiled);
+        }
+        if best
+            .as_ref()
+            .map_or(true, |b| compiled.stats.rams < b.stats.rams)
+        {
+            best = Some(compiled);
+        }
+    }
+    Err(RamLimitError {
+        limit,
+        best: best.expect("at least one configuration was compiled"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Mig {
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 6);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            let or = mig.or(acc, x);
+            let and = mig.and(acc, x);
+            acc = mig.and(or, !and);
+        }
+        mig.add_output("f", acc);
+        mig
+    }
+
+    #[test]
+    fn generous_budget_succeeds() {
+        let mig = sample();
+        let unconstrained = compile(&mig, CompilerOptions::new());
+        let compiled = compile_with_ram_limit(&mig, unconstrained.stats.rams).unwrap();
+        assert!(compiled.stats.rams <= unconstrained.stats.rams);
+        crate::verify::verify(&mig, &compiled, 4, 0).unwrap();
+    }
+
+    #[test]
+    fn impossible_budget_reports_best_effort() {
+        let mig = sample();
+        let err = compile_with_ram_limit(&mig, 1).unwrap_err();
+        assert!(err.best.stats.rams > 1);
+        assert!(err.to_string().contains("no schedule fits 1"));
+    }
+
+    #[test]
+    fn returned_program_is_functional() {
+        let mig = sample();
+        let unconstrained = compile(&mig, CompilerOptions::new());
+        // A slightly tight budget may force a different configuration; the
+        // result must still be correct.
+        for limit in [unconstrained.stats.rams, unconstrained.stats.rams + 5] {
+            let compiled = compile_with_ram_limit(&mig, limit).unwrap();
+            crate::verify::verify(&mig, &compiled, 4, 1).unwrap();
+        }
+    }
+}

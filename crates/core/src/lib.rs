@@ -1,0 +1,65 @@
+//! # plim-compiler — an MIG-based compiler for the PLiM architecture
+//!
+//! Reproduction of Soeken, Shirinzadeh, Gaillardon, Amarú, Drechsler,
+//! De Micheli: *An MIG-based Compiler for Programmable Logic-in-Memory
+//! Architectures*, DAC 2016.
+//!
+//! The compiler translates Boolean functions, represented as
+//! Majority-Inverter Graphs ([`mig::Mig`]), into programs for the PLiM
+//! in-memory computer ([`plim::Program`]), whose single instruction is the
+//! 3-input resistive majority `RM3(A, B, Z): Z ← ⟨A B̄ Z⟩`.
+//!
+//! Two quality metrics matter: the number of RM3 instructions (`#I`,
+//! latency) and the number of work RRAM cells (`#R`, space). The compiler
+//! minimizes both through
+//!
+//! * **candidate selection** ([`candidate`]): a priority queue schedules
+//!   computable nodes so RRAMs are released early and allocated late;
+//! * **smart node translation** ([`compile`]): a case analysis picks which
+//!   child feeds the natively-inverted operand `B`, which child's RRAM is
+//!   overwritten as destination `Z`, and how operand `A` is read, caching
+//!   materialized complements for reuse;
+//! * **RRAM allocation** ([`alloc`]): a FIFO free list reuses released
+//!   cells while spreading writes for endurance.
+//!
+//! Pair it with [`mig::rewrite`] (the paper's Algorithm 1) to optimize the
+//! graph before compilation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mig::{Mig, rewrite::rewrite};
+//! use plim_compiler::{compile, verify::verify, CompilerOptions};
+//!
+//! let mut mig = Mig::new();
+//! let a = mig.add_input("a");
+//! let b = mig.add_input("b");
+//! let cin = mig.add_input("cin");
+//! let sum = mig.xor3(a, b, cin);
+//! let cout = mig.maj(a, b, cin);
+//! mig.add_output("sum", sum);
+//! mig.add_output("cout", cout);
+//!
+//! let optimized = rewrite(&mig, 4);
+//! let compiled = compile(&optimized, CompilerOptions::new());
+//! verify(&optimized, &compiled, 4, 0)?;
+//! println!("{}", compiled.program); // paper-style listing
+//! # Ok::<(), plim_compiler::verify::VerifyError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alloc;
+pub mod candidate;
+mod compile;
+pub mod constrained;
+mod options;
+mod program;
+pub mod report;
+mod translate;
+pub mod verify;
+
+pub use compile::compile;
+pub use options::{AllocatorStrategy, CompilerOptions, OperandSelection, ScheduleOrder};
+pub use program::{CompileStats, CompiledProgram};

@@ -1,0 +1,136 @@
+//! Compiler configuration.
+
+/// Strategy of the work-RRAM allocator (§4.2.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocatorStrategy {
+    /// Free list served oldest-released-first. This is the paper's choice:
+    /// recently released cells rest longest, spreading writes across the
+    /// array and addressing RRAM endurance.
+    #[default]
+    Fifo,
+    /// Free list served most-recently-released-first. Minimizes the working
+    /// set just as well but concentrates writes on few cells; provided as an
+    /// ablation baseline for the endurance claim.
+    Lifo,
+    /// Never reuse released cells. Every request allocates a fresh RRAM —
+    /// the upper bound on `#R`.
+    Fresh,
+}
+
+/// Order in which computable MIG nodes are translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleOrder {
+    /// Topological index order (the paper's naive baseline: "the candidate
+    /// selection scheme is disabled").
+    Index,
+    /// The priority queue of §4.2.1: prefer candidates with more releasing
+    /// children, then candidates whose parents sit on lower levels.
+    #[default]
+    Priority,
+}
+
+/// How RM3 operands and the destination are chosen for each node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OperandSelection {
+    /// Fixed child order: first child → `A`, second → `B`, third → `Z`
+    /// (the naive translation illustrated in §3 of the paper).
+    ChildOrder,
+    /// The case analysis of §4.2.2 (operand-B cases a–h, destination-Z cases
+    /// a–e, operand-A cases a–d), including complement-value caching.
+    #[default]
+    Smart,
+}
+
+/// Options controlling the MIG → PLiM translation.
+///
+/// The defaults correspond to the paper's full proposed compiler; use
+/// [`CompilerOptions::naive`] for the Table 1 baseline.
+///
+/// # Examples
+///
+/// ```
+/// use plim_compiler::{AllocatorStrategy, CompilerOptions};
+///
+/// let opts = CompilerOptions::new().allocator(AllocatorStrategy::Lifo);
+/// assert_eq!(opts.allocator, AllocatorStrategy::Lifo);
+/// assert_eq!(CompilerOptions::naive().schedule, plim_compiler::ScheduleOrder::Index);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompilerOptions {
+    /// Node scheduling order.
+    pub schedule: ScheduleOrder,
+    /// Operand/destination selection policy.
+    pub operands: OperandSelection,
+    /// Work-RRAM allocation strategy.
+    pub allocator: AllocatorStrategy,
+}
+
+impl CompilerOptions {
+    /// The paper's proposed compiler: priority scheduling, smart operand
+    /// selection, FIFO allocation.
+    pub fn new() -> Self {
+        CompilerOptions::default()
+    }
+
+    /// The naive baseline of Table 1: "only the candidate selection scheme
+    /// is disabled" — index-order scheduling with the smart per-node
+    /// translation and FIFO allocation. (The even more naive fixed
+    /// child-order translation illustrated in §3 is available via
+    /// [`OperandSelection::ChildOrder`].)
+    pub fn naive() -> Self {
+        CompilerOptions {
+            schedule: ScheduleOrder::Index,
+            operands: OperandSelection::Smart,
+            allocator: AllocatorStrategy::Fifo,
+        }
+    }
+
+    /// Sets the scheduling order.
+    pub fn schedule(mut self, schedule: ScheduleOrder) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the operand-selection policy.
+    pub fn operands(mut self, operands: OperandSelection) -> Self {
+        self.operands = operands;
+        self
+    }
+
+    /// Sets the allocation strategy.
+    pub fn allocator(mut self, allocator: AllocatorStrategy) -> Self {
+        self.allocator = allocator;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_proposed_compiler() {
+        let opts = CompilerOptions::new();
+        assert_eq!(opts.schedule, ScheduleOrder::Priority);
+        assert_eq!(opts.operands, OperandSelection::Smart);
+        assert_eq!(opts.allocator, AllocatorStrategy::Fifo);
+    }
+
+    #[test]
+    fn naive_preset_disables_candidate_selection_only() {
+        let opts = CompilerOptions::naive();
+        assert_eq!(opts.schedule, ScheduleOrder::Index);
+        assert_eq!(opts.operands, OperandSelection::Smart);
+        assert_eq!(opts.allocator, AllocatorStrategy::Fifo);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let opts = CompilerOptions::new()
+            .schedule(ScheduleOrder::Index)
+            .operands(OperandSelection::ChildOrder)
+            .allocator(AllocatorStrategy::Fresh);
+        assert_eq!(opts.allocator, AllocatorStrategy::Fresh);
+        assert_eq!(opts.schedule, ScheduleOrder::Index);
+    }
+}

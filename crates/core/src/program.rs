@@ -1,0 +1,100 @@
+//! Compilation results.
+
+use std::fmt;
+
+use plim::endurance::EnduranceStats;
+use plim::{Operand, Program};
+
+/// Cost metrics of a compiled PLiM program (the paper's Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileStats {
+    /// Number of RM3 instructions (`#I`).
+    pub instructions: usize,
+    /// Number of distinct work RRAMs allocated (`#R`).
+    pub rams: u32,
+    /// Number of MIG majority nodes translated (`#N`).
+    pub mig_nodes: usize,
+    /// Peak number of simultaneously live work RRAMs during translation.
+    pub peak_live: usize,
+}
+
+impl fmt::Display for CompileStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#N={} #I={} #R={} peak={}",
+            self.mig_nodes, self.instructions, self.rams, self.peak_live
+        )
+    }
+}
+
+/// A compiled PLiM program together with its cost metrics.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The executable RM3 program (including output locations).
+    pub program: Program,
+    /// Cost metrics.
+    pub stats: CompileStats,
+}
+
+impl CompiledProgram {
+    /// Per-cell write counts of a *single* execution, derived statically
+    /// from the instruction sequence. Useful for endurance analysis without
+    /// running the machine.
+    pub fn static_write_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.program.num_rams() as usize];
+        for instruction in self.program.instructions() {
+            counts[instruction.z.index()] += 1;
+        }
+        counts
+    }
+
+    /// Endurance statistics of one execution, derived statically.
+    pub fn static_endurance(&self) -> EnduranceStats {
+        EnduranceStats::from_counts(&self.static_write_counts())
+    }
+
+    /// Number of instructions whose operands are both constants (array
+    /// initialization traffic); the rest perform "real" logic.
+    pub fn init_instruction_count(&self) -> usize {
+        self.program
+            .instructions()
+            .iter()
+            .filter(|i| matches!((i.a, i.b), (Operand::Const(_), Operand::Const(_))))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plim::{Instruction, RamAddr};
+
+    #[test]
+    fn static_write_counts_count_destinations() {
+        let mut program = Program::new(0);
+        program.push(Instruction::reset(RamAddr(0)));
+        program.push(Instruction::reset(RamAddr(0)));
+        program.push(Instruction::set(RamAddr(2)));
+        let compiled = CompiledProgram {
+            program,
+            stats: CompileStats::default(),
+        };
+        assert_eq!(compiled.static_write_counts(), vec![2, 0, 1]);
+        assert_eq!(compiled.static_endurance().max_writes, 2);
+        assert_eq!(compiled.init_instruction_count(), 3);
+    }
+
+    #[test]
+    fn stats_display() {
+        let stats = CompileStats {
+            instructions: 10,
+            rams: 3,
+            mig_nodes: 4,
+            peak_live: 2,
+        };
+        let text = stats.to_string();
+        assert!(text.contains("#I=10"));
+        assert!(text.contains("#R=3"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Cost reports for compiled programs.
+//!
+//! Aggregates the metrics a PLiM deployment cares about: instruction
+//! breakdown, RRAM usage, static endurance, and the architectural
+//! latency/energy estimate of [`plim::controller`].
+
+use std::fmt;
+
+use plim::controller::CostModel;
+use plim::endurance::EnduranceStats;
+use plim::Operand;
+
+use crate::program::CompiledProgram;
+
+/// Instruction breakdown by operand shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstructionMix {
+    /// Both operands constant: initialization (reset/set/constant loads).
+    pub initialization: usize,
+    /// Exactly one constant operand: copies, complement materializations,
+    /// and AND/OR-shaped logic.
+    pub single_operand: usize,
+    /// Both operands from the array: full three-input majority steps.
+    pub dual_operand: usize,
+}
+
+/// A full cost report.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// Instructions (`#I`).
+    pub instructions: usize,
+    /// Work RRAMs (`#R`).
+    pub rams: u32,
+    /// MIG nodes translated (`#N`).
+    pub mig_nodes: usize,
+    /// Instructions per node (overhead factor; 1.0 is the ideal case).
+    pub instructions_per_node: f64,
+    /// Breakdown by operand shape.
+    pub mix: InstructionMix,
+    /// Static per-execution endurance statistics.
+    pub endurance: EnduranceStats,
+    /// Architectural latency estimate (ns) under the given cost model.
+    pub latency_ns: f64,
+    /// Architectural energy estimate (pJ) under the given cost model.
+    pub energy_pj: f64,
+}
+
+impl CostReport {
+    /// Analyzes a compiled program under the default RRAM cost model.
+    pub fn analyze(compiled: &CompiledProgram) -> Self {
+        Self::analyze_with(compiled, CostModel::default())
+    }
+
+    /// Analyzes a compiled program under a specific cost model.
+    pub fn analyze_with(compiled: &CompiledProgram, cost: CostModel) -> Self {
+        let mut mix = InstructionMix::default();
+        let mut reads = 0u64;
+        for instruction in compiled.program.instructions() {
+            let const_count = [instruction.a, instruction.b]
+                .iter()
+                .filter(|o| matches!(o, Operand::Const(_)))
+                .count();
+            match const_count {
+                2 => mix.initialization += 1,
+                1 => mix.single_operand += 1,
+                _ => mix.dual_operand += 1,
+            }
+            reads += cost.fetch_words + (2 - const_count as u64);
+        }
+        let writes = compiled.program.len() as u64;
+        let nodes = compiled.stats.mig_nodes;
+        CostReport {
+            instructions: compiled.stats.instructions,
+            rams: compiled.stats.rams,
+            mig_nodes: nodes,
+            instructions_per_node: if nodes == 0 {
+                0.0
+            } else {
+                compiled.stats.instructions as f64 / nodes as f64
+            },
+            mix,
+            endurance: compiled.static_endurance(),
+            latency_ns: reads as f64 * cost.read_ns + writes as f64 * cost.write_ns,
+            energy_pj: reads as f64 * cost.read_pj + writes as f64 * cost.write_pj,
+        }
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "instructions: {} ({:.2} per node, {} nodes)",
+            self.instructions, self.instructions_per_node, self.mig_nodes
+        )?;
+        writeln!(
+            f,
+            "  init: {}  single-operand: {}  dual-operand: {}",
+            self.mix.initialization, self.mix.single_operand, self.mix.dual_operand
+        )?;
+        writeln!(f, "work RRAMs: {}", self.rams)?;
+        writeln!(f, "endurance: {}", self.endurance)?;
+        write!(
+            f,
+            "estimated: {:.1} ns, {:.1} pJ per execution",
+            self.latency_ns, self.energy_pj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::options::CompilerOptions;
+    use mig::Mig;
+
+    fn compiled_sample() -> CompiledProgram {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, !b, c);
+        mig.add_output("f", m);
+        compile(&mig, CompilerOptions::new())
+    }
+
+    #[test]
+    fn mix_sums_to_instruction_count() {
+        let compiled = compiled_sample();
+        let report = CostReport::analyze(&compiled);
+        assert_eq!(
+            report.mix.initialization + report.mix.single_operand + report.mix.dual_operand,
+            report.instructions
+        );
+        assert_eq!(report.instructions, compiled.stats.instructions);
+    }
+
+    #[test]
+    fn per_node_factor_and_costs_are_positive() {
+        let report = CostReport::analyze(&compiled_sample());
+        assert!(report.instructions_per_node >= 1.0);
+        assert!(report.latency_ns > 0.0);
+        assert!(report.energy_pj > 0.0);
+        assert!(report.endurance.total_writes as usize == report.instructions);
+    }
+
+    #[test]
+    fn display_has_all_sections() {
+        let text = CostReport::analyze(&compiled_sample()).to_string();
+        assert!(text.contains("instructions:"));
+        assert!(text.contains("work RRAMs:"));
+        assert!(text.contains("endurance:"));
+        assert!(text.contains("estimated:"));
+    }
+
+    #[test]
+    fn empty_program_reports_zero() {
+        let compiled = CompiledProgram {
+            program: plim::Program::new(0),
+            stats: crate::program::CompileStats::default(),
+        };
+        let report = CostReport::analyze(&compiled);
+        assert_eq!(report.instructions, 0);
+        assert_eq!(report.instructions_per_node, 0.0);
+    }
+}

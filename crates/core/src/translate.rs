@@ -1,0 +1,447 @@
+//! Node translation (§4.2.2 of the paper).
+//!
+//! Each majority node `⟨c₀ c₁ c₂⟩` is translated into at least one RM3
+//! instruction `Z ← ⟨A B̄ Z⟩`:
+//!
+//! * operand **B** is read inverted by the hardware, so a complemented child
+//!   edge is "free" there;
+//! * destination **Z** must already hold the third child's value and is
+//!   overwritten, so reusing a child RRAM is only safe when nobody else
+//!   still needs it;
+//! * operand **A** is read plain.
+//!
+//! Children that do not fit their slot cost extra instructions (constant
+//! loads, copies, complement materializations) and possibly extra RRAMs.
+//! The smart selection implements the case analyses of Fig. 5 (operand B,
+//! cases a–h), Fig. 6 (destination Z, cases a–e) and §4.2.2 (operand A,
+//! cases a–d), including the *complement cache*: once a child's inverted
+//! value has been materialized in an RRAM, it is remembered for future use.
+
+use mig::{Mig, MigNode, NodeId, Signal};
+use plim::{Instruction, Operand, OutputLoc, Program, RamAddr};
+
+use crate::alloc::RramAllocator;
+use crate::options::{CompilerOptions, OperandSelection};
+
+/// Where a node's value currently resides during translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// The node is the constant (value 0).
+    Const,
+    /// The node is primary input `i`, readable from the input region.
+    Pi(u32),
+    /// The node's value has been computed into a work RRAM.
+    Ram(RamAddr),
+}
+
+/// Incremental translation state shared by the naive and smart compilers.
+#[derive(Debug)]
+pub(crate) struct Translator<'a> {
+    mig: &'a Mig,
+    opts: CompilerOptions,
+    pub(crate) program: Program,
+    pub(crate) alloc: RramAllocator,
+    /// Current location of each node's value (indexed by node).
+    loc: Vec<Option<Loc>>,
+    /// RRAM holding the *complement* of each node's value, if materialized.
+    compl: Vec<Option<RamAddr>>,
+    /// References (parent edges + primary outputs) not yet consumed.
+    remaining: Vec<u32>,
+    /// Peak number of simultaneously live RRAMs.
+    pub(crate) peak_live: usize,
+}
+
+impl<'a> Translator<'a> {
+    pub(crate) fn new(mig: &'a Mig, opts: CompilerOptions) -> Self {
+        let mut loc = vec![None; mig.len()];
+        loc[NodeId::CONSTANT.index()] = Some(Loc::Const);
+        for (index, &id) in mig.inputs().iter().enumerate() {
+            loc[id.index()] = Some(Loc::Pi(index as u32));
+        }
+        Translator {
+            mig,
+            opts,
+            program: Program::new(mig.num_inputs()),
+            alloc: RramAllocator::new(opts.allocator),
+            loc,
+            compl: vec![None; mig.len()],
+            remaining: mig.fanout_counts(),
+            peak_live: 0,
+        }
+    }
+
+    /// The operand reading a node's (plain) value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has not been computed — a scheduling bug.
+    fn read_operand(&self, node: NodeId) -> Operand {
+        match self.loc[node.index()].expect("operand read before computation") {
+            Loc::Const => Operand::Const(false),
+            Loc::Pi(i) => Operand::Input(i),
+            Loc::Ram(addr) => Operand::Ram(addr),
+        }
+    }
+
+    /// A short human-readable name of a node for listing comments.
+    fn describe(&self, signal: Signal) -> String {
+        let bar = if signal.is_complemented() { "¬" } else { "" };
+        match self.mig.node(signal.node()) {
+            MigNode::Constant => format!("{}", signal.is_complemented() as u8),
+            MigNode::Input(i) => format!("{bar}i{}", i + 1),
+            MigNode::Majority(_) => format!("{bar}N{}", signal.node().index()),
+        }
+    }
+
+    fn emit(&mut self, a: Operand, b: Operand, z: RamAddr, comment: String) {
+        self.program
+            .push_commented(Instruction::new(a, b, z), comment);
+    }
+
+    fn request(&mut self) -> RamAddr {
+        let addr = self.alloc.request();
+        self.peak_live = self.peak_live.max(self.alloc.num_live());
+        addr
+    }
+
+    /// Allocates an RRAM initialized to a constant (1 instruction).
+    fn fresh_const(&mut self, value: bool) -> RamAddr {
+        let addr = self.request();
+        let instruction = if value {
+            Instruction::set(addr)
+        } else {
+            Instruction::reset(addr)
+        };
+        self.program
+            .push_commented(instruction, format!("X{} ← {}", addr.0 + 1, value as u8));
+        addr
+    }
+
+    /// Allocates an RRAM loaded with the *complement* of a node's value
+    /// (2 instructions: reset, then `⟨1 v̄ 0⟩ = v̄`). When `cache` is set the
+    /// RRAM is remembered as the node's complement for future use.
+    fn fresh_complement_of(&mut self, node: NodeId, cache: bool) -> RamAddr {
+        let addr = self.request();
+        let src = self.read_operand(node);
+        self.program.push_commented(
+            Instruction::reset(addr),
+            format!("X{} ← 0", addr.0 + 1),
+        );
+        let name = self.describe(Signal::new(node, true));
+        self.emit(
+            Operand::Const(true),
+            src,
+            addr,
+            format!("X{} ← {}", addr.0 + 1, name),
+        );
+        if cache {
+            self.compl[node.index()] = Some(addr);
+        }
+        addr
+    }
+
+    /// Allocates an RRAM loaded with a *copy* of a node's value
+    /// (2 instructions: set, then `⟨v 0 1⟩ = v`).
+    fn fresh_copy_of(&mut self, node: NodeId) -> RamAddr {
+        let addr = self.request();
+        let src = self.read_operand(node);
+        self.program
+            .push_commented(Instruction::set(addr), format!("X{} ← 1", addr.0 + 1));
+        let name = self.describe(Signal::new(node, false));
+        self.emit(
+            src,
+            Operand::Const(true),
+            addr,
+            format!("X{} ← {}", addr.0 + 1, name),
+        );
+        addr
+    }
+
+    /// Whether a child edge is a complemented edge to a non-constant node.
+    fn is_complemented_child(&self, s: Signal) -> bool {
+        !s.is_constant() && s.is_complemented()
+    }
+
+    /// References to this child's node not yet consumed (including the one
+    /// being translated).
+    fn remaining_of(&self, s: Signal) -> u32 {
+        self.remaining[s.node().index()]
+    }
+
+    /// Whether the child's RRAM may be overwritten: it is an internal node
+    /// held in a work RRAM and this is its last use.
+    fn overwritable(&self, s: Signal) -> bool {
+        self.remaining_of(s) == 1 && matches!(self.loc[s.node().index()], Some(Loc::Ram(_)))
+    }
+
+    /// Number of this node's children whose RRAM becomes releasable right
+    /// after translating it: majority children with exactly one remaining
+    /// reference. This is the *dynamic* version of the paper's
+    /// releasing-children count — remaining fanout decreases as parents are
+    /// computed, so the count can only grow over time.
+    pub(crate) fn releasing_now(&self, id: NodeId) -> u32 {
+        let Some(children) = self.mig.node(id).children() else {
+            return 0;
+        };
+        children
+            .iter()
+            .filter(|c| {
+                self.mig.node(c.node()).is_majority() && self.remaining_of(**c) == 1
+            })
+            .count() as u32
+    }
+
+    /// Translates one majority node into RM3 instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a majority node or a child is uncomputed.
+    pub(crate) fn translate_node(&mut self, id: NodeId) {
+        let children = *self
+            .mig
+            .node(id)
+            .children()
+            .expect("only majority nodes are translated");
+        match self.opts.operands {
+            OperandSelection::ChildOrder => self.translate_child_order(id, children),
+            OperandSelection::Smart => self.translate_smart(id, children),
+        }
+        for child in children {
+            self.consume_reference(child.node());
+        }
+    }
+
+    /// Decrements a node's pending reference count and releases its RRAMs
+    /// when it is no longer needed.
+    fn consume_reference(&mut self, node: NodeId) {
+        let remaining = &mut self.remaining[node.index()];
+        debug_assert!(*remaining > 0, "reference count underflow");
+        *remaining -= 1;
+        if *remaining == 0 {
+            if let Some(Loc::Ram(addr)) = self.loc[node.index()].take() {
+                self.alloc.release(addr);
+            } else {
+                // Constants and inputs have nothing to release, but their
+                // location must stay valid for later readers… which cannot
+                // exist since remaining is 0. Restore for robustness.
+                self.loc[node.index()] = match self.mig.node(node) {
+                    MigNode::Constant => Some(Loc::Const),
+                    MigNode::Input(i) => Some(Loc::Pi(*i)),
+                    MigNode::Majority(_) => None,
+                };
+            }
+            if let Some(addr) = self.compl[node.index()].take() {
+                self.alloc.release(addr);
+            }
+        }
+    }
+
+    /// Naive fixed-slot translation (§3): first child → A, second → B,
+    /// third → Z, no complement caching.
+    fn translate_child_order(&mut self, id: NodeId, children: [Signal; 3]) {
+        let [c0, c1, c2] = children;
+
+        // Operand B: the hardware inverts it, so a complemented child fits
+        // directly; otherwise its complement must be materialized.
+        let b = if let Some(value) = c1.constant_value() {
+            Operand::Const(!value)
+        } else if c1.is_complemented() {
+            self.read_operand(c1.node())
+        } else {
+            Operand::Ram(self.fresh_complement_of(c1.node(), false))
+        };
+
+        // Destination Z must hold the third child's value.
+        let z = if let Some(value) = c2.constant_value() {
+            self.fresh_const(value)
+        } else if !c2.is_complemented() && self.overwritable(c2) {
+            match self.loc[c2.node().index()].take() {
+                Some(Loc::Ram(addr)) => addr,
+                _ => unreachable!("overwritable implies a RAM location"),
+            }
+        } else if c2.is_complemented() {
+            self.fresh_complement_of(c2.node(), false)
+        } else {
+            self.fresh_copy_of(c2.node())
+        };
+
+        // Operand A is read plain.
+        let a = if let Some(value) = c0.constant_value() {
+            Operand::Const(value)
+        } else if !c0.is_complemented() {
+            self.read_operand(c0.node())
+        } else {
+            Operand::Ram(self.fresh_complement_of(c0.node(), false))
+        };
+
+        self.finish_node(id, a, b, z);
+    }
+
+    /// Smart translation implementing the case analyses of §4.2.2.
+    fn translate_smart(&mut self, id: NodeId, children: [Signal; 3]) {
+        let (b, b_index) = self.select_operand_b(&children);
+        let rest: Vec<usize> = (0..3).filter(|&k| k != b_index).collect();
+        let (z, z_index) = self.select_destination_z(&children, [rest[0], rest[1]]);
+        let a_index = rest.into_iter().find(|&k| k != z_index).expect("one left");
+        let a = self.select_operand_a(children[a_index]);
+        self.finish_node(id, a, b, z);
+    }
+
+    /// Operand-B selection, Fig. 5 cases (a)–(h). Returns the operand and
+    /// the index of the child it covers.
+    fn select_operand_b(&mut self, children: &[Signal; 3]) -> (Operand, usize) {
+        let complemented: Vec<usize> = (0..3)
+            .filter(|&k| self.is_complemented_child(children[k]))
+            .collect();
+        let constant = (0..3).find(|&k| children[k].is_constant());
+
+        match complemented.len() {
+            // (a) exactly one complemented child: its RRAM/input feeds B.
+            1 => {
+                let k = complemented[0];
+                (self.read_operand(children[k].node()), k)
+            }
+            // More than one complemented child.
+            n if n >= 2 => {
+                // (b) with a constant child present, any non-constant
+                // complemented child works; like (d), prefer one with
+                // multiple fanout since it cannot serve as destination.
+                // (d)/(e) without a constant child: same preference.
+                let k = complemented
+                    .iter()
+                    .copied()
+                    .find(|&k| self.remaining_of(children[k]) > 1)
+                    .unwrap_or(complemented[0]);
+                let _ = constant;
+                (self.read_operand(children[k].node()), k)
+            }
+            // No complemented child.
+            _ => {
+                if let Some(k) = constant {
+                    // (c) B takes the inverse of the constant.
+                    let value = children[k].constant_value().expect("constant child");
+                    (Operand::Const(!value), k)
+                } else if let Some(k) =
+                    (0..3).find(|&k| self.compl[children[k].node().index()].is_some())
+                {
+                    // (f) a complement of this child is already materialized.
+                    let addr = self.compl[children[k].node().index()].expect("checked");
+                    (Operand::Ram(addr), k)
+                } else {
+                    // (g) prefer a multiple-fanout child (it is excluded from
+                    // serving as destination anyway); (h) otherwise the first.
+                    let k = (0..3)
+                        .find(|&k| self.remaining_of(children[k]) > 1)
+                        .unwrap_or(0);
+                    let addr = self.fresh_complement_of(children[k].node(), true);
+                    (Operand::Ram(addr), k)
+                }
+            }
+        }
+    }
+
+    /// Destination-Z selection, Fig. 6 cases (a)–(e), over the two children
+    /// not consumed by operand B. Returns the destination RRAM and the index
+    /// of the child it covers.
+    fn select_destination_z(&mut self, children: &[Signal; 3], rest: [usize; 2]) -> (RamAddr, usize) {
+        // (a) complemented last-use child whose complement is materialized:
+        // that RRAM already holds the edge's value and is safe to overwrite.
+        for &k in &rest {
+            let c = children[k];
+            if self.is_complemented_child(c)
+                && self.remaining_of(c) == 1
+                && self.compl[c.node().index()].is_some()
+            {
+                let addr = self.compl[c.node().index()].take().expect("checked");
+                return (addr, k);
+            }
+        }
+        // (b) plain last-use child held in a work RRAM: overwrite in place.
+        for &k in &rest {
+            let c = children[k];
+            if !c.is_complemented() && self.overwritable(c) {
+                match self.loc[c.node().index()].take() {
+                    Some(Loc::Ram(addr)) => return (addr, k),
+                    _ => unreachable!("overwritable implies a RAM location"),
+                }
+            }
+        }
+        // (c) constant child: allocate and initialize (1 instruction).
+        for &k in &rest {
+            if let Some(value) = children[k].constant_value() {
+                return (self.fresh_const(value), k);
+            }
+        }
+        // (d) complemented child: materialize its complement (2 instructions).
+        for &k in &rest {
+            let c = children[k];
+            if self.is_complemented_child(c) {
+                return (self.fresh_complement_of(c.node(), false), k);
+            }
+        }
+        // (e) plain child with other uses (or a primary input): copy it.
+        let k = rest[0];
+        (self.fresh_copy_of(children[k].node()), k)
+    }
+
+    /// Operand-A selection, §4.2.2 cases (a)–(d), for the remaining child.
+    fn select_operand_a(&mut self, child: Signal) -> Operand {
+        if let Some(value) = child.constant_value() {
+            // (a) constant, complement folded into the value.
+            Operand::Const(value)
+        } else if !child.is_complemented() {
+            // (b) plain child: read its RRAM or input directly.
+            self.read_operand(child.node())
+        } else if let Some(addr) = self.compl[child.node().index()] {
+            // (c) complement already materialized.
+            Operand::Ram(addr)
+        } else {
+            // (d) materialize (and cache) the complement.
+            Operand::Ram(self.fresh_complement_of(child.node(), true))
+        }
+    }
+
+    /// Emits the node's main RM3 instruction and records its location.
+    fn finish_node(&mut self, id: NodeId, a: Operand, b: Operand, z: RamAddr) {
+        self.emit(a, b, z, format!("X{} ← N{}", z.0 + 1, id.index()));
+        self.loc[id.index()] = Some(Loc::Ram(z));
+    }
+
+    /// Resolves primary outputs, materializing complemented internal results
+    /// so that every output is readable from the array, and finishes the
+    /// program.
+    pub(crate) fn finalize(mut self) -> (Program, usize) {
+        let outputs: Vec<(String, Signal)> = self
+            .mig
+            .outputs()
+            .iter()
+            .map(|(n, s)| (n.clone(), *s))
+            .collect();
+        for (name, signal) in outputs {
+            let node = signal.node();
+            let loc = match self.mig.node(node) {
+                MigNode::Constant => OutputLoc::Const(signal.is_complemented()),
+                MigNode::Input(i) => OutputLoc::Input {
+                    index: *i,
+                    complemented: signal.is_complemented(),
+                },
+                MigNode::Majority(_) => {
+                    if signal.is_complemented() {
+                        let addr = match self.compl[node.index()] {
+                            Some(addr) => addr,
+                            None => self.fresh_complement_of(node, true),
+                        };
+                        OutputLoc::Ram(addr)
+                    } else {
+                        match self.loc[node.index()] {
+                            Some(Loc::Ram(addr)) => OutputLoc::Ram(addr),
+                            _ => panic!("primary output `{name}` was never computed"),
+                        }
+                    }
+                }
+            };
+            self.program.add_output(name, loc);
+        }
+        (self.program, self.peak_live)
+    }
+}

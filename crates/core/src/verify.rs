@@ -1,0 +1,255 @@
+//! End-to-end verification of compiled programs.
+//!
+//! A compiled program is correct when executing it on the PLiM machine
+//! reproduces the MIG's Boolean function for every primary output. The
+//! checker is exhaustive for small interfaces and falls back to seeded
+//! random patterns for large ones, mirroring [`mig::equiv`].
+
+use std::fmt;
+
+use mig::simulate::XorShift64;
+use mig::Mig;
+use plim::{Machine, MachineError, Operand};
+
+use crate::program::CompiledProgram;
+
+/// Number of primary inputs up to which [`verify`] is exhaustive.
+pub const EXHAUSTIVE_LIMIT: usize = 12;
+
+/// Error raised when a compiled program does not match its source MIG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The machine rejected the program.
+    Machine(MachineError),
+    /// Outputs differ on some input pattern.
+    Mismatch {
+        /// Name of the first differing output.
+        output: String,
+        /// The offending input assignment.
+        inputs: Vec<bool>,
+    },
+    /// An instruction reads a work cell that no earlier instruction wrote
+    /// and whose result depends on that cell (initialization-discipline
+    /// violation, detected statically).
+    UninitializedRead {
+        /// 0-based index of the offending instruction.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Machine(e) => write!(f, "machine error: {e}"),
+            VerifyError::Mismatch { output, inputs } => {
+                let pattern: String = inputs.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                write!(f, "output `{output}` differs on input pattern {pattern}")
+            }
+            VerifyError::UninitializedRead { pc } => {
+                write!(f, "instruction {} reads an uninitialized cell", pc + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<MachineError> for VerifyError {
+    fn from(e: MachineError) -> Self {
+        VerifyError::Machine(e)
+    }
+}
+
+/// Verifies that the compiled program computes the MIG's function.
+///
+/// Exhaustive for up to [`EXHAUSTIVE_LIMIT`] inputs; otherwise `rounds × 64`
+/// random patterns seeded by `seed` are checked. The machine is reused
+/// across patterns, which also validates the compiler's write-before-read
+/// initialization discipline.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Mismatch`] with a counterexample on failure, or
+/// [`VerifyError::Machine`] if the program is malformed.
+pub fn verify(
+    mig: &Mig,
+    compiled: &CompiledProgram,
+    rounds: usize,
+    seed: u64,
+) -> Result<(), VerifyError> {
+    check_init_discipline(compiled)?;
+    let n = mig.num_inputs();
+    let mut machine = Machine::new();
+
+    let check_pattern = |inputs: &[bool], machine: &mut Machine| -> Result<(), VerifyError> {
+        let expected = mig::simulate::evaluate(mig, inputs);
+        let got = machine.run(&compiled.program, inputs)?;
+        for (index, (e, g)) in expected.iter().zip(&got).enumerate() {
+            if e != g {
+                return Err(VerifyError::Mismatch {
+                    output: mig.outputs()[index].0.clone(),
+                    inputs: inputs.to_vec(),
+                });
+            }
+        }
+        Ok(())
+    };
+
+    if n <= EXHAUSTIVE_LIMIT {
+        for pattern in 0..(1usize << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
+            check_pattern(&inputs, &mut machine)?;
+        }
+    } else {
+        let mut rng = XorShift64::new(seed);
+        for _ in 0..rounds.max(1) * 64 {
+            let inputs: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
+            check_pattern(&inputs, &mut machine)?;
+        }
+    }
+    Ok(())
+}
+
+/// Statically checks that no instruction's result depends on a work cell
+/// that has not been written yet.
+///
+/// An instruction masks its destination (result independent of the old
+/// value) exactly when its constant operands satisfy `A = ¬B̄`, i.e. the
+/// pairs `(0, 1)` and `(1, 0)` — the reset/set idioms and constant loads.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::UninitializedRead`] at the first offending
+/// instruction.
+pub fn check_init_discipline(compiled: &CompiledProgram) -> Result<(), VerifyError> {
+    let mut written = vec![false; compiled.program.num_rams() as usize];
+    for (pc, instruction) in compiled.program.instructions().iter().enumerate() {
+        let masking = matches!(
+            (instruction.a, instruction.b),
+            (Operand::Const(a), Operand::Const(b)) if a != b
+        );
+        // Reading operands from unwritten cells is always a bug.
+        for operand in [instruction.a, instruction.b] {
+            if let Operand::Ram(addr) = operand {
+                if !written[addr.index()] {
+                    return Err(VerifyError::UninitializedRead { pc });
+                }
+            }
+        }
+        if !masking && !written[instruction.z.index()] {
+            return Err(VerifyError::UninitializedRead { pc });
+        }
+        written[instruction.z.index()] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::options::CompilerOptions;
+    use crate::program::CompileStats;
+    use plim::{Instruction, Program, RamAddr};
+
+    #[test]
+    fn verify_accepts_correct_compilation() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let f = mig.maj(a, !b, c);
+        mig.add_output("f", f);
+        let compiled = compile(&mig, CompilerOptions::new());
+        verify(&mig, &compiled, 4, 1).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_wrong_program() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.and(a, b);
+        mig.add_output("f", f);
+        let mut compiled = compile(&mig, CompilerOptions::new());
+        // Sabotage: flip the output location to a constant.
+        let mut program = Program::new(2);
+        for &i in compiled.program.instructions() {
+            program.push(i);
+        }
+        program.add_output("f", plim::OutputLoc::Const(true));
+        compiled.program = program;
+        let err = verify(&mig, &compiled, 4, 1).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn init_discipline_catches_unwritten_destination() {
+        let mut program = Program::new(0);
+        // Non-masking instruction on an unwritten cell.
+        program.push(Instruction::new(
+            Operand::Const(true),
+            Operand::Const(true),
+            RamAddr(0),
+        ));
+        let compiled = CompiledProgram {
+            program,
+            stats: CompileStats::default(),
+        };
+        assert_eq!(
+            check_init_discipline(&compiled),
+            Err(VerifyError::UninitializedRead { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn init_discipline_catches_unwritten_operand() {
+        let mut program = Program::new(0);
+        program.push(Instruction::reset(RamAddr(0)));
+        program.push(Instruction::new(
+            Operand::Ram(RamAddr(1)),
+            Operand::Const(true),
+            RamAddr(0),
+        ));
+        let compiled = CompiledProgram {
+            program,
+            stats: CompileStats::default(),
+        };
+        assert_eq!(
+            check_init_discipline(&compiled),
+            Err(VerifyError::UninitializedRead { pc: 1 })
+        );
+    }
+
+    #[test]
+    fn init_discipline_accepts_masking_idioms() {
+        let mut program = Program::new(0);
+        program.push(Instruction::reset(RamAddr(0)));
+        program.push(Instruction::set(RamAddr(1)));
+        program.push(Instruction::new(
+            Operand::Ram(RamAddr(0)),
+            Operand::Ram(RamAddr(1)),
+            RamAddr(0),
+        ));
+        let compiled = CompiledProgram {
+            program,
+            stats: CompileStats::default(),
+        };
+        check_init_discipline(&compiled).unwrap();
+    }
+
+    #[test]
+    fn compiled_programs_satisfy_init_discipline() {
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 5);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = mig.xor(acc, x);
+        }
+        mig.add_output("f", !acc);
+        for opts in [CompilerOptions::new(), CompilerOptions::naive()] {
+            let compiled = compile(&mig, opts);
+            check_init_discipline(&compiled).unwrap();
+        }
+    }
+}

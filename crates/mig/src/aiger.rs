@@ -1,0 +1,420 @@
+//! ASCII AIGER (`.aag`) import and export.
+//!
+//! The EPFL benchmark suite the paper evaluates on is distributed in the
+//! AIGER format. This module reads combinational ASCII AIGER files into
+//! MIGs (ANDs become majority nodes with a constant-0 child — the exact
+//! "transposed AOIG" starting point of the paper) and writes MIGs back out,
+//! decomposing full majority nodes into their AND/OR expansion.
+//!
+//! Only combinational AIGs are supported (no latches).
+
+use std::fmt;
+
+use crate::graph::Mig;
+use crate::node::MigNode;
+use crate::signal::Signal;
+
+/// Error produced while parsing an ASCII AIGER file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAigerError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAigerError {}
+
+/// Parses a combinational ASCII AIGER (`aag`) document into an MIG.
+///
+/// AND gates map to `⟨0 a b⟩`; inverters map to complemented edges. Latches
+/// are rejected. Symbol-table names for inputs and outputs are honored.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers, out-of-range literals,
+/// sequential circuits, or undefined AND operands.
+///
+/// # Examples
+///
+/// ```
+/// use mig::aiger::parse_aiger;
+///
+/// // f = a AND NOT b
+/// let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 5\ni0 a\ni1 b\no0 f\n";
+/// let mig = parse_aiger(src).unwrap();
+/// assert_eq!(mig.num_inputs(), 2);
+/// assert_eq!(mig.num_majority_nodes(), 1);
+/// ```
+pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
+    let err = |line: usize, message: &str| ParseAigerError {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty document"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(err(1, "expected header `aag M I L O A`"));
+    }
+    let parse_field = |s: &str| s.parse::<usize>().map_err(|_| err(1, "bad header field"));
+    let max_var = parse_field(fields[1])?;
+    let num_inputs = parse_field(fields[2])?;
+    let num_latches = parse_field(fields[3])?;
+    let num_outputs = parse_field(fields[4])?;
+    let num_ands = parse_field(fields[5])?;
+    if num_latches != 0 {
+        return Err(err(1, "sequential AIGs (latches) are not supported"));
+    }
+
+    let mut mig = Mig::new();
+    // literal → signal, indexed by variable (literal / 2).
+    let mut map: Vec<Option<Signal>> = vec![None; max_var + 1];
+    map[0] = Some(Signal::FALSE);
+
+    let take_line = |what: &str,
+                         lines: &mut std::iter::Enumerate<std::str::Lines<'_>>|
+     -> Result<(usize, String), ParseAigerError> {
+        lines
+            .next()
+            .map(|(i, l)| (i + 1, l.to_string()))
+            .ok_or_else(|| err(0, &format!("unexpected end of file reading {what}")))
+    };
+
+    let mut input_vars = Vec::with_capacity(num_inputs);
+    for k in 0..num_inputs {
+        let (line_no, line) = take_line("an input literal", &mut lines)?;
+        let lit: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| err(line_no, "bad input literal"))?;
+        if lit % 2 != 0 || lit / 2 > max_var || lit == 0 {
+            return Err(err(line_no, "input literal must be a fresh even literal"));
+        }
+        let signal = mig.add_input(format!("i{k}"));
+        if map[lit / 2].is_some() {
+            return Err(err(line_no, "duplicate variable definition"));
+        }
+        map[lit / 2] = Some(signal);
+        input_vars.push(lit / 2);
+    }
+
+    let mut output_lits = Vec::with_capacity(num_outputs);
+    for _ in 0..num_outputs {
+        let (line_no, line) = take_line("an output literal", &mut lines)?;
+        let lit: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| err(line_no, "bad output literal"))?;
+        if lit / 2 > max_var {
+            return Err(err(line_no, "output literal out of range"));
+        }
+        output_lits.push(lit);
+    }
+
+    let mut and_defs = Vec::with_capacity(num_ands);
+    for _ in 0..num_ands {
+        let (line_no, line) = take_line("an AND definition", &mut lines)?;
+        let lits: Vec<usize> = line
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|_| err(line_no, "bad AND literal")))
+            .collect::<Result<_, _>>()?;
+        if lits.len() != 3 {
+            return Err(err(line_no, "AND definition needs three literals"));
+        }
+        if lits[0] % 2 != 0 || lits[0] / 2 > max_var {
+            return Err(err(line_no, "AND output must be a fresh even literal"));
+        }
+        and_defs.push((line_no, lits[0], lits[1], lits[2]));
+    }
+
+    // AIGER allows AND definitions in any topological order; ours resolves
+    // them with a worklist.
+    let mut pending = and_defs;
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|&(line_no, out, a, b)| {
+            let resolve = |lit: usize| {
+                map[lit / 2].map(|s| s.complement_if(lit % 2 == 1))
+            };
+            match (resolve(a), resolve(b)) {
+                (Some(sa), Some(sb)) => {
+                    let gate = mig.and(sa, sb);
+                    map[out / 2] = Some(gate);
+                    let _ = line_no;
+                    false
+                }
+                _ => true,
+            }
+        });
+        if pending.len() == before {
+            let (line_no, ..) = pending[0];
+            return Err(err(line_no, "AND operands form a cycle or are undefined"));
+        }
+    }
+
+    // Symbol table (optional): `iK name` / `oK name`; comments after `c`.
+    let mut input_names: Vec<Option<String>> = vec![None; num_inputs];
+    let mut output_names: Vec<Option<String>> = vec![None; num_outputs];
+    for (line_no, line) in lines {
+        let line = line.trim();
+        if line == "c" || line.starts_with("c ") {
+            break;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_at(1);
+        let mut parts = rest.splitn(2, ' ');
+        let index: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err(line_no + 1, "bad symbol table index"))?;
+        let name = parts.next().unwrap_or("").to_string();
+        match kind {
+            "i" if index < num_inputs => input_names[index] = Some(name),
+            "o" if index < num_outputs => output_names[index] = Some(name),
+            _ => return Err(err(line_no + 1, "bad symbol table entry")),
+        }
+    }
+
+    // Rebuild with final names (inputs were created before names were known).
+    let mut named = Mig::new();
+    let mut name_map: Vec<Option<Signal>> = vec![None; mig.len()];
+    name_map[0] = Some(Signal::FALSE);
+    for (k, &id) in mig.inputs().iter().enumerate() {
+        let name = input_names[k]
+            .clone()
+            .unwrap_or_else(|| format!("i{k}"));
+        name_map[id.index()] = Some(named.add_input(name));
+    }
+    for id in mig.node_ids() {
+        if let MigNode::Majority(children) = mig.node(id) {
+            let mapped: Vec<Signal> = children
+                .iter()
+                .map(|c| {
+                    name_map[c.node().index()]
+                        .expect("topological order")
+                        .complement_if(c.is_complemented())
+                })
+                .collect();
+            name_map[id.index()] = Some(named.maj(mapped[0], mapped[1], mapped[2]));
+        }
+    }
+    for (k, lit) in output_lits.iter().enumerate() {
+        let signal = map[lit / 2]
+            .ok_or_else(|| err(0, "output references an undefined literal"))?
+            .complement_if(lit % 2 == 1);
+        let mapped = name_map[signal.node().index()]
+            .expect("defined")
+            .complement_if(signal.is_complemented());
+        let name = output_names[k]
+            .clone()
+            .unwrap_or_else(|| format!("o{k}"));
+        named.add_output(name, mapped);
+    }
+    Ok(named)
+}
+
+/// Writes an MIG as a combinational ASCII AIGER document.
+///
+/// AND/OR-shaped majority nodes (one constant child) map directly to one
+/// AND gate (OR via De Morgan); full majority nodes are decomposed into
+/// their 4-AND expansion `¬(¬(ab) ∧ ¬(ac) ∧ ¬(bc))`.
+pub fn write_aiger(mig: &Mig) -> String {
+    use std::fmt::Write as _;
+
+    // Assign AIGER variables: inputs first, then one or more ANDs per node.
+    let mut literal: Vec<u32> = vec![0; mig.len()]; // positive literal per node
+    let mut next_var = 1u32;
+    for &id in mig.inputs() {
+        literal[id.index()] = next_var * 2;
+        next_var += 1;
+    }
+
+    let mut ands: Vec<(u32, u32, u32)> = Vec::new();
+    let mut new_and = |a: u32, b: u32, ands: &mut Vec<(u32, u32, u32)>| -> u32 {
+        let out = next_var * 2;
+        next_var += 1;
+        ands.push((out, a, b));
+        out
+    };
+
+    for id in mig.node_ids() {
+        let MigNode::Majority(children) = mig.node(id) else {
+            continue;
+        };
+        let lit = |s: &Signal| literal[s.node().index()] ^ s.is_complemented() as u32;
+        let constant = children.iter().position(|c| c.is_constant());
+        let out = match constant {
+            Some(k) => {
+                let value = children[k].constant_value().expect("constant");
+                let rest: Vec<u32> = (0..3).filter(|&i| i != k).map(|i| lit(&children[i])).collect();
+                if value {
+                    // OR = ¬(¬a ∧ ¬b)
+                    new_and(rest[0] ^ 1, rest[1] ^ 1, &mut ands) ^ 1
+                } else {
+                    new_and(rest[0], rest[1], &mut ands)
+                }
+            }
+            None => {
+                let (a, b, c) = (lit(&children[0]), lit(&children[1]), lit(&children[2]));
+                let ab = new_and(a, b, &mut ands);
+                let ac = new_and(a, c, &mut ands);
+                let bc = new_and(b, c, &mut ands);
+                let n1 = new_and(ab ^ 1, ac ^ 1, &mut ands);
+                new_and(n1, bc ^ 1, &mut ands) ^ 1
+            }
+        };
+        // `out` may be odd (the node's function is the complement of an
+        // AND output); edge complements simply XOR onto it.
+        literal[id.index()] = out;
+    }
+
+    let mut out = String::new();
+    let num_ands = ands.len();
+    let _ = writeln!(
+        out,
+        "aag {} {} 0 {} {}",
+        next_var - 1,
+        mig.num_inputs(),
+        mig.num_outputs(),
+        num_ands
+    );
+    for &id in mig.inputs() {
+        let _ = writeln!(out, "{}", literal[id.index()]);
+    }
+    for (_, signal) in mig.outputs() {
+        let lit = literal[signal.node().index()] ^ signal.is_complemented() as u32;
+        let _ = writeln!(out, "{lit}");
+    }
+    for (o, a, b) in ands {
+        let _ = writeln!(out, "{o} {a} {b}");
+    }
+    for k in 0..mig.num_inputs() {
+        let _ = writeln!(out, "i{k} {}", mig.input_name(k));
+    }
+    for (k, (name, _)) in mig.outputs().iter().enumerate() {
+        let _ = writeln!(out, "o{k} {name}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::check_equivalence;
+
+    #[test]
+    fn parses_minimal_and() {
+        let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let mig = parse_aiger(src).unwrap();
+        assert_eq!(mig.num_inputs(), 2);
+        assert_eq!(mig.num_outputs(), 1);
+        assert_eq!(mig.num_majority_nodes(), 1);
+        let tts = crate::simulate::truth_tables(&mig);
+        assert_eq!(tts[0].blocks()[0], 0b1000);
+    }
+
+    #[test]
+    fn parses_inverted_edges_and_outputs() {
+        // f = NOT(a AND NOT b)
+        let src = "aag 3 2 0 1 1\n2\n4\n7\n6 2 5\n";
+        let mig = parse_aiger(src).unwrap();
+        let tts = crate::simulate::truth_tables(&mig);
+        // a AND NOT b = 0b0010 → complement 0b1101.
+        assert_eq!(tts[0].blocks()[0], 0b1101);
+    }
+
+    #[test]
+    fn honors_symbol_table() {
+        let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 alpha\ni1 beta\no0 result\n";
+        let mig = parse_aiger(src).unwrap();
+        assert_eq!(mig.input_name(0), "alpha");
+        assert_eq!(mig.input_name(1), "beta");
+        assert_eq!(mig.outputs()[0].0, "result");
+    }
+
+    #[test]
+    fn rejects_latches_and_bad_headers() {
+        assert!(parse_aiger("aag 1 0 1 0 0\n").is_err());
+        assert!(parse_aiger("aig 1 0 0 0 0\n").is_err());
+        assert!(parse_aiger("").is_err());
+        assert!(parse_aiger("aag 1 0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_cyclic_ands() {
+        let src = "aag 4 1 0 1 2\n2\n8\n6 8 2\n8 6 2\n";
+        let e = parse_aiger(src).unwrap_err();
+        assert!(e.message.contains("cycle"));
+    }
+
+    #[test]
+    fn constant_outputs_parse() {
+        // Output literal 1 = constant true.
+        let src = "aag 1 1 0 2 0\n2\n1\n0\n";
+        let mig = parse_aiger(src).unwrap();
+        let tts = crate::simulate::truth_tables(&mig);
+        assert_eq!(tts[0].count_ones(), 2); // constant 1 over 1 var
+        assert_eq!(tts[1].count_ones(), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_function_with_and_or() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let x = mig.and(a, !b);
+        let y = mig.or(x, c);
+        mig.add_output("f", !y);
+        mig.add_output("g", x);
+        let text = write_aiger(&mig);
+        let reparsed = parse_aiger(&text).unwrap();
+        assert!(check_equivalence(&mig, &reparsed, 8, 5).unwrap().holds());
+        assert_eq!(reparsed.input_name(0), "a");
+    }
+
+    #[test]
+    fn roundtrip_decomposes_full_majority() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, !b, c);
+        mig.add_output("f", m);
+        let text = write_aiger(&mig);
+        let reparsed = parse_aiger(&text).unwrap();
+        assert!(check_equivalence(&mig, &reparsed, 8, 5).unwrap().holds());
+        // The majority expands into five ANDs.
+        assert_eq!(reparsed.num_majority_nodes(), 5);
+    }
+
+    #[test]
+    fn roundtrip_on_generated_logic() {
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 6);
+        let mut acc = xs[0];
+        for (k, &x) in xs[1..].iter().enumerate() {
+            acc = if k % 2 == 0 {
+                mig.and(acc, !x)
+            } else {
+                mig.maj(acc, x, xs[0])
+            };
+        }
+        mig.add_output("f", acc);
+        let text = write_aiger(&mig);
+        let reparsed = parse_aiger(&text).unwrap();
+        assert!(check_equivalence(&mig, &reparsed, 8, 6).unwrap().holds());
+    }
+}

@@ -1,0 +1,166 @@
+//! The MIG Boolean algebra Ω.
+//!
+//! The five primitive axioms of the MIG algebra (Amarù et al.):
+//!
+//! * **Ω.C — commutativity**: `⟨x y z⟩ = ⟨y x z⟩ = ⟨z y x⟩`.
+//!   Baked into the representation: children are canonically sorted.
+//! * **Ω.M — majority**: `⟨x x z⟩ = x` and `⟨x x̄ z⟩ = z`.
+//!   Applied at node-creation time by [`crate::Mig::maj`].
+//! * **Ω.A — associativity**: `⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩`.
+//! * **Ω.D — distributivity**: `⟨x y ⟨u v z⟩⟩ = ⟨⟨x y u⟩ ⟨x y v⟩ z⟩`.
+//!   Applied right-to-left it saves one node.
+//! * **Ω.I — inverter propagation**: `⟨x y z⟩ = ¬⟨x̄ ȳ z̄⟩`.
+//!
+//! This module provides the pattern-matching helpers shared by the rewriting
+//! passes in [`crate::rewrite`], plus word-level reference implementations of
+//! each axiom used by the test-suite to validate the rewrites semantically.
+
+use crate::signal::Signal;
+
+/// Result of matching the shared pair required by distributivity R→L on two
+/// child triples: `⟨x y u⟩` and `⟨x y v⟩` share the pair `(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedPair {
+    /// The two signals common to both triples.
+    pub common: [Signal; 2],
+    /// The non-shared signal of the first triple (`u`).
+    pub rest_a: Signal,
+    /// The non-shared signal of the second triple (`v`).
+    pub rest_b: Signal,
+}
+
+/// Finds two signals shared between the (sorted) child triples `a` and `b`,
+/// as required for the right-to-left distributivity rewrite
+/// `⟨⟨x y u⟩ ⟨x y v⟩ z⟩ → ⟨x y ⟨u v z⟩⟩`.
+///
+/// Signals must match exactly, including complement attributes. Returns
+/// `None` if fewer than two signals are shared. When all three are shared
+/// the triples are identical (strashing would have merged them), so this
+/// situation cannot arise for distinct nodes.
+pub fn find_shared_pair(a: &[Signal; 3], b: &[Signal; 3]) -> Option<SharedPair> {
+    // Child triples are small; a quadratic scan beats anything clever.
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let x = a[i];
+            let y = a[j];
+            if let Some((bi, bj)) = find_two(b, x, y) {
+                let rest_a = a[3 - i - j];
+                let rest_b = b[3 - bi - bj];
+                return Some(SharedPair {
+                    common: [x, y],
+                    rest_a,
+                    rest_b,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn find_two(b: &[Signal; 3], x: Signal, y: Signal) -> Option<(usize, usize)> {
+    let ix = b.iter().position(|&s| s == x)?;
+    let iy = b.iter().enumerate().position(|(k, &s)| k != ix && s == y)?;
+    Some((ix.min(iy), ix.max(iy)))
+}
+
+/// Finds a signal shared between triple `a` and triple `b` (exact match,
+/// including complement), as required by associativity. Returns the index in
+/// each triple.
+pub fn find_shared_one(a: &[Signal; 3], b: &[Signal; 3]) -> Option<(usize, usize)> {
+    for (i, &x) in a.iter().enumerate() {
+        if let Some(j) = b.iter().position(|&s| s == x) {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
+/// Word-level reference semantics of the majority operator, used to validate
+/// the axioms in tests and documentation.
+pub mod reference {
+    /// `⟨a b c⟩` on 64 parallel bits.
+    #[inline]
+    pub fn maj(a: u64, b: u64, c: u64) -> u64 {
+        (a & b) | (a & c) | (b & c)
+    }
+
+    /// Checks Ω.A on concrete words: `⟨x u ⟨y u z⟩⟩ = ⟨z u ⟨y u x⟩⟩`.
+    pub fn associativity_holds(x: u64, u: u64, y: u64, z: u64) -> bool {
+        maj(x, u, maj(y, u, z)) == maj(z, u, maj(y, u, x))
+    }
+
+    /// Checks Ω.D on concrete words:
+    /// `⟨x y ⟨u v z⟩⟩ = ⟨⟨x y u⟩ ⟨x y v⟩ z⟩`.
+    pub fn distributivity_holds(x: u64, y: u64, u: u64, v: u64, z: u64) -> bool {
+        maj(x, y, maj(u, v, z)) == maj(maj(x, y, u), maj(x, y, v), z)
+    }
+
+    /// Checks Ω.I on concrete words: `¬⟨x y z⟩ = ⟨x̄ ȳ z̄⟩`.
+    pub fn inverter_propagation_holds(x: u64, y: u64, z: u64) -> bool {
+        !maj(x, y, z) == maj(!x, !y, !z)
+    }
+
+    /// Checks the extended Ω.I R→L(2) rule used by the PLiM rewriting:
+    /// `⟨x̄ ȳ z⟩ = ¬⟨x y z̄⟩`.
+    pub fn inverter_two_flip_holds(x: u64, y: u64, z: u64) -> bool {
+        maj(!x, !y, z) == !maj(x, y, !z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::NodeId;
+
+    fn sig(index: usize, compl: bool) -> Signal {
+        Signal::new(NodeId::from_index(index), compl)
+    }
+
+    #[test]
+    fn shared_pair_found_with_matching_polarity() {
+        let a = [sig(1, false), sig(2, true), sig(5, false)];
+        let b = [sig(1, false), sig(2, true), sig(7, false)];
+        let m = find_shared_pair(&a, &b).expect("pair shared");
+        assert_eq!(m.common, [sig(1, false), sig(2, true)]);
+        assert_eq!(m.rest_a, sig(5, false));
+        assert_eq!(m.rest_b, sig(7, false));
+    }
+
+    #[test]
+    fn shared_pair_respects_complements() {
+        let a = [sig(1, false), sig(2, false), sig(5, false)];
+        let b = [sig(1, true), sig(2, false), sig(7, false)];
+        // Only node 2 matches exactly; node 1 differs in polarity.
+        assert_eq!(find_shared_pair(&a, &b), None);
+    }
+
+    #[test]
+    fn shared_pair_absent() {
+        let a = [sig(1, false), sig(2, false), sig(3, false)];
+        let b = [sig(4, false), sig(5, false), sig(6, false)];
+        assert_eq!(find_shared_pair(&a, &b), None);
+    }
+
+    #[test]
+    fn shared_one_basics() {
+        let a = [sig(1, false), sig(2, false), sig(3, false)];
+        let b = [sig(9, false), sig(2, false), sig(8, false)];
+        assert_eq!(find_shared_one(&a, &b), Some((1, 1)));
+        let c = [sig(9, false), sig(10, false), sig(8, false)];
+        assert_eq!(find_shared_one(&a, &c), None);
+    }
+
+    #[test]
+    fn axioms_hold_on_random_words() {
+        use crate::simulate::XorShift64;
+        let mut rng = XorShift64::new(0xDAC2016);
+        for _ in 0..200 {
+            let (x, y, z) = (rng.next_word(), rng.next_word(), rng.next_word());
+            let (u, v) = (rng.next_word(), rng.next_word());
+            assert!(reference::associativity_holds(x, u, y, z));
+            assert!(reference::distributivity_holds(x, y, u, v, z));
+            assert!(reference::inverter_propagation_holds(x, y, z));
+            assert!(reference::inverter_two_flip_holds(x, y, z));
+        }
+    }
+}

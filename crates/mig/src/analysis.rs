@@ -1,0 +1,214 @@
+//! Structural statistics of MIGs.
+//!
+//! The PLiM translation cost of a node depends on its complemented-edge count
+//! and fanout, so these statistics predict compiled-program quality before
+//! running the compiler. [`MigStats::gather`] is also what the rewriting
+//! driver reports after each pass.
+
+use std::fmt;
+
+use crate::graph::Mig;
+use crate::node::MigNode;
+
+/// Aggregate structural statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MigStats {
+    /// Number of majority nodes (`#N` in the paper).
+    pub num_nodes: usize,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Logic depth (maximum output level).
+    pub depth: u32,
+    /// Majority nodes with zero complemented children.
+    pub nodes_compl0: usize,
+    /// Majority nodes with exactly one complemented child — the ideal case
+    /// for RM3 translation.
+    pub nodes_compl1: usize,
+    /// Majority nodes with two complemented children.
+    pub nodes_compl2: usize,
+    /// Majority nodes with three complemented children.
+    pub nodes_compl3: usize,
+    /// Majority nodes with at least one constant child (AND/OR shaped).
+    pub nodes_with_constant: usize,
+    /// Total complemented edges (including output edges).
+    pub complemented_edges: usize,
+}
+
+impl MigStats {
+    /// Gathers statistics over the given graph.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mig::{Mig, analysis::MigStats};
+    ///
+    /// let mut mig = Mig::new();
+    /// let a = mig.add_input("a");
+    /// let b = mig.add_input("b");
+    /// let f = mig.and(a, !b);
+    /// mig.add_output("f", f);
+    /// let stats = MigStats::gather(&mig);
+    /// assert_eq!(stats.num_nodes, 1);
+    /// assert_eq!(stats.nodes_compl1, 1);
+    /// ```
+    pub fn gather(mig: &Mig) -> Self {
+        let mut stats = MigStats {
+            num_inputs: mig.num_inputs(),
+            num_outputs: mig.num_outputs(),
+            depth: mig.depth(),
+            ..MigStats::default()
+        };
+        for id in mig.node_ids() {
+            if let MigNode::Majority(children) = mig.node(id) {
+                stats.num_nodes += 1;
+                let compl = children.iter().filter(|c| c.is_complemented()).count();
+                stats.complemented_edges += compl;
+                match compl {
+                    0 => stats.nodes_compl0 += 1,
+                    1 => stats.nodes_compl1 += 1,
+                    2 => stats.nodes_compl2 += 1,
+                    _ => stats.nodes_compl3 += 1,
+                }
+                if children.iter().any(|c| c.is_constant()) {
+                    stats.nodes_with_constant += 1;
+                }
+            }
+        }
+        for (_, signal) in mig.outputs() {
+            if signal.is_complemented() {
+                stats.complemented_edges += 1;
+            }
+        }
+        stats
+    }
+
+    /// Number of majority nodes with more than one complemented child: these
+    /// are the nodes that cost extra RM3 instructions and RRAMs.
+    pub fn multi_complement_nodes(&self) -> usize {
+        self.nodes_compl2 + self.nodes_compl3
+    }
+
+    /// Fraction of majority nodes that are in the ideal single-complement
+    /// shape (0 when the graph has no majority nodes).
+    pub fn ideal_fraction(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.nodes_compl1 as f64 / self.num_nodes as f64
+        }
+    }
+}
+
+impl fmt::Display for MigStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} depth={} compl[0/1/2/3]={}/{}/{}/{} const-children={}",
+            self.num_nodes,
+            self.depth,
+            self.nodes_compl0,
+            self.nodes_compl1,
+            self.nodes_compl2,
+            self.nodes_compl3,
+            self.nodes_with_constant
+        )
+    }
+}
+
+/// Percentage improvement of `new` over `old` (positive = improvement),
+/// following the paper's Table 1 convention.
+///
+/// Returns 0 when `old` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use mig::analysis::improvement_percent;
+///
+/// assert_eq!(improvement_percent(100, 80), 20.0);
+/// assert_eq!(improvement_percent(100, 110), -10.0);
+/// ```
+pub fn improvement_percent(old: usize, new: usize) -> f64 {
+    if old == 0 {
+        0.0
+    } else {
+        (old as f64 - new as f64) / old as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Mig;
+    use crate::signal::Signal;
+
+    #[test]
+    fn gathers_complement_profile() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let n0 = mig.maj(a, b, c);
+        let n1 = mig.maj(!a, b, c);
+        let n2 = mig.maj(!a, !b, c);
+        let n3 = mig.maj(!a, !b, !c);
+        mig.add_output("o0", n0);
+        mig.add_output("o1", n1);
+        mig.add_output("o2", n2);
+        mig.add_output("o3", !n3);
+        let stats = MigStats::gather(&mig);
+        assert_eq!(stats.num_nodes, 4);
+        assert_eq!(stats.nodes_compl0, 1);
+        assert_eq!(stats.nodes_compl1, 1);
+        assert_eq!(stats.nodes_compl2, 1);
+        assert_eq!(stats.nodes_compl3, 1);
+        assert_eq!(stats.multi_complement_nodes(), 2);
+        assert_eq!(stats.complemented_edges, 0 + 1 + 2 + 3 + 1);
+        assert_eq!(stats.num_inputs, 3);
+        assert_eq!(stats.num_outputs, 4);
+    }
+
+    #[test]
+    fn counts_constant_children() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let g = mig.and(a, b);
+        let h = mig.maj(a, b, g);
+        mig.add_output("f", h);
+        let stats = MigStats::gather(&mig);
+        assert_eq!(stats.nodes_with_constant, 1);
+        assert_eq!(stats.num_nodes, 2);
+    }
+
+    #[test]
+    fn ideal_fraction_bounds() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.and(a, !b);
+        mig.add_output("f", f);
+        let stats = MigStats::gather(&mig);
+        assert!((stats.ideal_fraction() - 1.0).abs() < 1e-12);
+        let empty = MigStats::gather(&Mig::new());
+        assert_eq!(empty.ideal_fraction(), 0.0);
+    }
+
+    #[test]
+    fn improvement_percent_edge_cases() {
+        assert_eq!(improvement_percent(0, 10), 0.0);
+        assert!((improvement_percent(200, 100) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_nodes() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        mig.add_output("f", a.complement_if(false));
+        let _ = Signal::FALSE;
+        let text = MigStats::gather(&mig).to_string();
+        assert!(text.contains("nodes=0"));
+    }
+}

@@ -1,0 +1,279 @@
+//! K-feasible cut enumeration.
+//!
+//! A *cut* of node `n` is a set of nodes (*leaves*) such that every path
+//! from a primary input to `n` passes through a leaf. Cuts with few leaves
+//! describe small single-output subcircuits (*cones*) rooted at `n`, and
+//! are the standard working unit of resynthesis: compute the cone's truth
+//! table over the leaves, then look for a cheaper implementation.
+//!
+//! This module enumerates cuts of up to 6 leaves (so cone functions fit in
+//! a single `u64` truth table) with a per-node cut budget, plus the cone
+//! evaluation needed to get those functions.
+
+use std::collections::HashMap;
+
+use crate::graph::Mig;
+use crate::node::MigNode;
+use crate::signal::NodeId;
+use crate::simulate::TruthTable;
+
+/// Maximum leaves per cut (functions fit a `u64` table).
+pub const MAX_CUT_SIZE: usize = 6;
+
+/// A cut: sorted leaf set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+}
+
+impl Cut {
+    /// The trivial cut `{n}`.
+    pub fn trivial(node: NodeId) -> Self {
+        Cut {
+            leaves: vec![node],
+        }
+    }
+
+    /// The empty cut (used for the constant node, which needs no leaf —
+    /// cone evaluation substitutes its fixed value).
+    pub fn empty() -> Self {
+        Cut { leaves: Vec::new() }
+    }
+
+    /// The sorted leaves.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Merges three cuts; `None` if the union exceeds `max_size` leaves.
+    pub fn merge(a: &Cut, b: &Cut, c: &Cut, max_size: usize) -> Option<Cut> {
+        let mut leaves: Vec<NodeId> = Vec::with_capacity(max_size);
+        for source in [&a.leaves, &b.leaves, &c.leaves] {
+            for &leaf in source {
+                if !leaves.contains(&leaf) {
+                    if leaves.len() == max_size {
+                        return None;
+                    }
+                    leaves.push(leaf);
+                }
+            }
+        }
+        leaves.sort_unstable();
+        Some(Cut { leaves })
+    }
+
+    /// `true` if every leaf of `self` is also a leaf of `other` (so `other`
+    /// is redundant when both are kept).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.iter().all(|l| other.leaves.contains(l))
+    }
+}
+
+/// Per-node cut sets for a whole graph.
+#[derive(Debug)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSet {
+    /// The cuts enumerated for `node` (always at least the trivial cut for
+    /// majority nodes; inputs and the constant only get their trivial cut).
+    pub fn of(&self, node: NodeId) -> &[Cut] {
+        &self.cuts[node.index()]
+    }
+}
+
+/// Enumerates cuts bottom-up with at most `max_size` leaves (≤
+/// [`MAX_CUT_SIZE`]) and `budget` cuts kept per node (smallest first).
+///
+/// # Panics
+///
+/// Panics if `max_size` exceeds [`MAX_CUT_SIZE`] or is zero.
+pub fn enumerate_cuts(mig: &Mig, max_size: usize, budget: usize) -> CutSet {
+    assert!(
+        (1..=MAX_CUT_SIZE).contains(&max_size),
+        "cut size must be between 1 and {MAX_CUT_SIZE}"
+    );
+    let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(mig.len());
+    for id in mig.node_ids() {
+        let node_cuts = match mig.node(id) {
+            MigNode::Constant => vec![Cut::empty()],
+            MigNode::Input(_) => vec![Cut::trivial(id)],
+            MigNode::Majority(children) => {
+                let mut merged: Vec<Cut> = Vec::new();
+                let [a, b, c] = children;
+                for ca in &cuts[a.node().index()] {
+                    for cb in &cuts[b.node().index()] {
+                        for cc in &cuts[c.node().index()] {
+                            let Some(cut) = Cut::merge(ca, cb, cc, max_size) else {
+                                continue;
+                            };
+                            if merged.iter().any(|m| m.dominates(&cut)) {
+                                continue;
+                            }
+                            merged.retain(|m| !cut.dominates(m));
+                            merged.push(cut);
+                        }
+                    }
+                }
+                merged.sort_by_key(Cut::size);
+                merged.truncate(budget.saturating_sub(1).max(1));
+                merged.push(Cut::trivial(id));
+                merged
+            }
+        };
+        cuts.push(node_cuts);
+    }
+    CutSet { cuts }
+}
+
+/// Computes the truth table of the cone rooted at `root` over the cut's
+/// leaves (variable `i` = `cut.leaves()[i]`), as the low `2^size` bits of a
+/// `u64`.
+///
+/// Returns `None` if the cone reaches a non-leaf input or constant that is
+/// not part of the cut (i.e. the cut is not a valid cut of `root`) — except
+/// the constant node, which always evaluates to 0.
+pub fn cone_function(mig: &Mig, root: NodeId, cut: &Cut) -> Option<u64> {
+    debug_assert!(cut.size() <= MAX_CUT_SIZE);
+    let mut memo: HashMap<NodeId, u64> = HashMap::new();
+    for (i, &leaf) in cut.leaves().iter().enumerate() {
+        memo.insert(leaf, TruthTable::variable(cut.size().max(1), i).blocks()[0]);
+    }
+    memo.entry(NodeId::CONSTANT).or_insert(0);
+    eval(mig, root, &mut memo)
+}
+
+fn eval(mig: &Mig, node: NodeId, memo: &mut HashMap<NodeId, u64>) -> Option<u64> {
+    if let Some(&w) = memo.get(&node) {
+        return Some(w);
+    }
+    let MigNode::Majority(children) = mig.node(node) else {
+        return None; // an input outside the cut: invalid cone
+    };
+    let children = *children;
+    let mut words = [0u64; 3];
+    for (w, child) in words.iter_mut().zip(&children) {
+        let value = eval(mig, child.node(), memo)?;
+        *w = if child.is_complemented() { !value } else { value };
+    }
+    let result = (words[0] & words[1]) | (words[0] & words[2]) | (words[1] & words[2]);
+    memo.insert(node, result);
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Signal;
+
+    fn sample() -> (Mig, Signal, Signal, Signal, Signal, Signal) {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let x = mig.and(a, b);
+        let y = mig.or(x, c);
+        mig.add_output("f", y);
+        (mig, a, b, c, x, y)
+    }
+
+    #[test]
+    fn trivial_cuts_exist_everywhere() {
+        let (mig, a, _, _, x, y) = sample();
+        let cuts = enumerate_cuts(&mig, 4, 8);
+        assert_eq!(cuts.of(a.node()), &[Cut::trivial(a.node())]);
+        assert!(cuts.of(x.node()).contains(&Cut::trivial(x.node())));
+        assert!(cuts.of(y.node()).contains(&Cut::trivial(y.node())));
+    }
+
+    #[test]
+    fn root_cut_over_inputs_is_found() {
+        let (mig, a, b, c, _, y) = sample();
+        let cuts = enumerate_cuts(&mig, 4, 8);
+        let mut leaves = vec![a.node(), b.node(), c.node()];
+        leaves.sort_unstable();
+        let found = cuts
+            .of(y.node())
+            .iter()
+            .any(|cut| cut.leaves() == leaves.as_slice());
+        assert!(found, "cut {{a,b,c}} must be enumerated for the root");
+    }
+
+    #[test]
+    fn cone_function_evaluates_the_cone() {
+        let (mig, a, b, c, _, y) = sample();
+        let mut leaves = vec![a.node(), b.node(), c.node()];
+        leaves.sort_unstable();
+        let cut = Cut {
+            leaves: leaves.clone(),
+        };
+        let f = cone_function(&mig, y.node(), &cut).expect("valid cut");
+        // (a ∧ b) ∨ c over sorted leaves (a, b, c in creation order).
+        let va = TruthTable::variable(3, 0).blocks()[0];
+        let vb = TruthTable::variable(3, 1).blocks()[0];
+        let vc = TruthTable::variable(3, 2).blocks()[0];
+        assert_eq!(f & 0xFF, ((va & vb) | vc) & 0xFF);
+    }
+
+    #[test]
+    fn cone_function_rejects_incomplete_cuts() {
+        let (mig, a, b, _, _, y) = sample();
+        let mut leaves = vec![a.node(), b.node()];
+        leaves.sort_unstable();
+        let cut = Cut { leaves };
+        assert_eq!(cone_function(&mig, y.node(), &cut), None);
+    }
+
+    #[test]
+    fn merge_respects_size_limit() {
+        let a = Cut::trivial(NodeId::from_index(1));
+        let b = Cut::trivial(NodeId::from_index(2));
+        let c = Cut::trivial(NodeId::from_index(3));
+        assert!(Cut::merge(&a, &b, &c, 3).is_some());
+        assert!(Cut::merge(&a, &b, &c, 2).is_none());
+        let merged = Cut::merge(&a, &b, &b, 2).expect("duplicates collapse");
+        assert_eq!(merged.size(), 2);
+    }
+
+    #[test]
+    fn domination_filters_supersets() {
+        let (mig, _, _, c, x, y) = sample();
+        let cuts = enumerate_cuts(&mig, 4, 8);
+        // {x, c} and {a, b, c} both exist; neither dominates the other is
+        // false: {x,c} has fewer leaves but different nodes. Check that no
+        // cut in the set is dominated by another.
+        let set = cuts.of(y.node());
+        for (i, ci) in set.iter().enumerate() {
+            for (j, cj) in set.iter().enumerate() {
+                if i != j && ci != cj {
+                    assert!(
+                        !ci.dominates(cj) || cj.size() <= ci.size(),
+                        "dominated cut kept: {ci:?} ⊂ {cj:?}"
+                    );
+                }
+            }
+        }
+        let _ = (x, c);
+    }
+
+    #[test]
+    fn budget_caps_cut_count() {
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 6);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = mig.maj(acc, x, xs[0]);
+        }
+        mig.add_output("f", acc);
+        let cuts = enumerate_cuts(&mig, 4, 3);
+        for id in mig.majority_ids() {
+            assert!(cuts.of(id).len() <= 3, "budget exceeded at {id}");
+        }
+    }
+}

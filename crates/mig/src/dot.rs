@@ -1,0 +1,116 @@
+//! Graphviz (DOT) export of MIGs.
+//!
+//! Complemented edges are rendered dashed, following the usual MIG drawing
+//! convention (cf. Fig. 1 and Fig. 3 of the paper).
+
+use std::fmt::Write as _;
+
+use crate::graph::Mig;
+use crate::node::MigNode;
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// # Examples
+///
+/// ```
+/// use mig::{Mig, dot::to_dot};
+///
+/// let mut mig = Mig::new();
+/// let a = mig.add_input("a");
+/// let b = mig.add_input("b");
+/// let f = mig.and(a, !b);
+/// mig.add_output("f", f);
+/// let dot = to_dot(&mig);
+/// assert!(dot.contains("digraph mig"));
+/// assert!(dot.contains("dashed"));
+/// ```
+pub fn to_dot(mig: &Mig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph mig {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for id in mig.node_ids() {
+        match mig.node(id) {
+            MigNode::Constant => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"0\" shape=box style=filled fillcolor=lightgray];",
+                    id.index()
+                );
+            }
+            MigNode::Input(pi) => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{}\" shape=box];",
+                    id.index(),
+                    mig.input_name(*pi as usize)
+                );
+            }
+            MigNode::Majority(children) => {
+                let _ = writeln!(out, "  n{} [label=\"MAJ\"];", id.index());
+                for child in children {
+                    let style = if child.is_complemented() {
+                        " [style=dashed]"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{}{};",
+                        child.node().index(),
+                        id.index(),
+                        style
+                    );
+                }
+            }
+        }
+    }
+    for (index, (name, signal)) in mig.outputs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  o{index} [label=\"{name}\" shape=invtriangle];"
+        );
+        let style = if signal.is_complemented() {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{} -> o{index}{};", signal.node().index(), style);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Mig;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, !b, c);
+        mig.add_output("f", !m);
+        let dot = to_dot(&mig);
+        assert!(dot.starts_with("digraph mig"));
+        assert!(dot.contains("MAJ"));
+        assert!(dot.contains("invtriangle"));
+        // One dashed child edge plus one dashed output edge.
+        assert_eq!(dot.matches("dashed").count(), 2);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_renders_constant_node() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.and(a, b); // uses the constant node
+        mig.add_output("f", f);
+        let dot = to_dot(&mig);
+        assert!(dot.contains("fillcolor=lightgray"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Combinational equivalence checking between MIGs.
+//!
+//! Rewriting and compilation must preserve the Boolean function of every
+//! primary output. For small interfaces (≤ [`EXHAUSTIVE_LIMIT`] inputs) the
+//! check is exhaustive; for larger graphs it falls back to randomized
+//! bit-parallel simulation, which is the standard validation approach for
+//! logic rewriting at benchmark scale.
+
+use crate::graph::Mig;
+use crate::simulate::{simulate, truth_tables, XorShift64};
+
+/// Maximum number of primary inputs for which [`check_equivalence`] is
+/// exhaustive.
+pub const EXHAUSTIVE_LIMIT: usize = 14;
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// Proven equivalent by exhaustive enumeration of all input assignments.
+    Equivalent,
+    /// No mismatch found by randomized simulation with the given number of
+    /// 64-pattern rounds (not a proof).
+    ProbablyEquivalent {
+        /// Number of 64-pattern simulation rounds executed.
+        rounds: usize,
+    },
+    /// A mismatching output was found.
+    NotEquivalent {
+        /// Index of the first differing primary output.
+        output: usize,
+    },
+}
+
+impl Equivalence {
+    /// `true` unless a mismatch was found.
+    pub fn holds(&self) -> bool {
+        !matches!(self, Equivalence::NotEquivalent { .. })
+    }
+}
+
+/// Error raised when two graphs cannot be compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceMismatch {
+    /// Inputs of the two graphs.
+    pub inputs: (usize, usize),
+    /// Outputs of the two graphs.
+    pub outputs: (usize, usize),
+}
+
+impl std::fmt::Display for InterfaceMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "interface mismatch: {}/{} inputs, {}/{} outputs",
+            self.inputs.0, self.inputs.1, self.outputs.0, self.outputs.1
+        )
+    }
+}
+
+impl std::error::Error for InterfaceMismatch {}
+
+/// Checks functional equivalence of two graphs with identical interfaces.
+///
+/// Uses exhaustive truth tables when the input count is at most
+/// [`EXHAUSTIVE_LIMIT`]; otherwise runs `rounds` rounds of 64 random patterns
+/// seeded by `seed`.
+///
+/// # Errors
+///
+/// Returns [`InterfaceMismatch`] if the graphs differ in input or output
+/// count.
+///
+/// # Examples
+///
+/// ```
+/// use mig::{Mig, equiv::check_equivalence};
+///
+/// let mut m1 = Mig::new();
+/// let a = m1.add_input("a");
+/// let b = m1.add_input("b");
+/// let f = m1.and(a, b);
+/// m1.add_output("f", f);
+///
+/// let mut m2 = Mig::new();
+/// let a = m2.add_input("a");
+/// let b = m2.add_input("b");
+/// let f = m2.or(!a, !b);
+/// m2.add_output("f", !f); // De Morgan
+///
+/// assert!(check_equivalence(&m1, &m2, 64, 1).unwrap().holds());
+/// ```
+pub fn check_equivalence(
+    lhs: &Mig,
+    rhs: &Mig,
+    rounds: usize,
+    seed: u64,
+) -> Result<Equivalence, InterfaceMismatch> {
+    if lhs.num_inputs() != rhs.num_inputs() || lhs.num_outputs() != rhs.num_outputs() {
+        return Err(InterfaceMismatch {
+            inputs: (lhs.num_inputs(), rhs.num_inputs()),
+            outputs: (lhs.num_outputs(), rhs.num_outputs()),
+        });
+    }
+
+    if lhs.num_inputs() <= EXHAUSTIVE_LIMIT {
+        let t1 = truth_tables(lhs);
+        let t2 = truth_tables(rhs);
+        for (output, (a, b)) in t1.iter().zip(&t2).enumerate() {
+            if a != b {
+                return Ok(Equivalence::NotEquivalent { output });
+            }
+        }
+        return Ok(Equivalence::Equivalent);
+    }
+
+    let mut rng = XorShift64::new(seed);
+    for _ in 0..rounds {
+        let words: Vec<u64> = (0..lhs.num_inputs()).map(|_| rng.next_word()).collect();
+        let o1 = simulate(lhs, &words);
+        let o2 = simulate(rhs, &words);
+        for (output, (a, b)) in o1.iter().zip(&o2).enumerate() {
+            if a != b {
+                return Ok(Equivalence::NotEquivalent { output });
+            }
+        }
+    }
+    Ok(Equivalence::ProbablyEquivalent { rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Mig;
+
+    fn and_graph() -> Mig {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.and(a, b);
+        mig.add_output("f", f);
+        mig
+    }
+
+    #[test]
+    fn identical_graphs_are_equivalent() {
+        let m = and_graph();
+        assert_eq!(
+            check_equivalence(&m, &m.clone(), 8, 3).unwrap(),
+            Equivalence::Equivalent
+        );
+    }
+
+    #[test]
+    fn different_functions_are_detected() {
+        let m1 = and_graph();
+        let mut m2 = Mig::new();
+        let a = m2.add_input("a");
+        let b = m2.add_input("b");
+        let f = m2.or(a, b);
+        m2.add_output("f", f);
+        assert_eq!(
+            check_equivalence(&m1, &m2, 8, 3).unwrap(),
+            Equivalence::NotEquivalent { output: 0 }
+        );
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let m1 = and_graph();
+        let mut m2 = Mig::new();
+        let a = m2.add_input("a");
+        m2.add_output("f", a);
+        let err = check_equivalence(&m1, &m2, 8, 3).unwrap_err();
+        assert_eq!(err.inputs, (2, 1));
+        assert!(err.to_string().contains("interface mismatch"));
+    }
+
+    #[test]
+    fn randomized_check_on_wide_graphs() {
+        // 20 inputs exceeds the exhaustive limit, forcing the random path.
+        let mut m1 = Mig::new();
+        let mut m2 = Mig::new();
+        let xs1 = m1.add_inputs("x", 20);
+        let xs2 = m2.add_inputs("x", 20);
+        let mut acc1 = xs1[0];
+        let mut acc2 = xs2[0];
+        for i in 1..20 {
+            acc1 = m1.and(acc1, xs1[i]);
+            // Build the same conjunction with De Morgan in the other graph.
+            let or = m2.or(!acc2, !xs2[i]);
+            acc2 = !or;
+        }
+        m1.add_output("f", acc1);
+        m2.add_output("f", acc2);
+        let result = check_equivalence(&m1, &m2, 16, 7).unwrap();
+        assert!(matches!(result, Equivalence::ProbablyEquivalent { rounds: 16 }));
+        assert!(result.holds());
+    }
+
+    #[test]
+    fn randomized_check_detects_wide_mismatch() {
+        let mut m1 = Mig::new();
+        let mut m2 = Mig::new();
+        let xs1 = m1.add_inputs("x", 20);
+        let xs2 = m2.add_inputs("x", 20);
+        let f1 = m1.and(xs1[0], xs1[1]);
+        let f2 = m2.or(xs2[0], xs2[1]);
+        m1.add_output("f", f1);
+        m2.add_output("f", f2);
+        let result = check_equivalence(&m1, &m2, 16, 7).unwrap();
+        assert!(!result.holds());
+    }
+}

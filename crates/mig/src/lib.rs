@@ -1,0 +1,60 @@
+//! # mig — Majority-Inverter Graphs
+//!
+//! A Majority-Inverter Graph (MIG) is a directed acyclic graph whose only
+//! logic primitives are the 3-input majority function `⟨x y z⟩ = xy ∨ xz ∨ yz`
+//! and edge inverters. MIGs subsume And-Or-Inverter Graphs (fixing one
+//! majority input to a constant yields AND/OR) and come with a complete
+//! Boolean algebra Ω that permits reaching any equivalent MIG structure by
+//! axiomatic rewriting.
+//!
+//! This crate provides the MIG substrate used by the PLiM compiler
+//! reproduction (Soeken et al., *An MIG-based Compiler for Programmable
+//! Logic-in-Memory Architectures*, DAC 2016):
+//!
+//! * [`Mig`] — the graph: structural hashing, creation-time Ω.M
+//!   simplification, logic-builder helpers;
+//! * [`rewrite`] — the paper's Algorithm 1: size rewriting plus
+//!   complement-edge redistribution targeted at the RM3 instruction;
+//! * [`simulate`] / [`equiv`] — bit-parallel simulation, truth tables, and
+//!   equivalence checking;
+//! * [`analysis`] — structural statistics (complement profile, depth);
+//! * [`io`] / [`dot`] — a textual interchange format and Graphviz export.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mig::{Mig, rewrite::rewrite, equiv::check_equivalence};
+//!
+//! let mut mig = Mig::new();
+//! let a = mig.add_input("a");
+//! let b = mig.add_input("b");
+//! let c = mig.add_input("c");
+//! // An AOIG-style construction with redundant inverters.
+//! let f = mig.maj(!a, !b, c);
+//! mig.add_output("f", f);
+//!
+//! let optimized = rewrite(&mig, 4);
+//! assert!(check_equivalence(&mig, &optimized, 16, 0)?.holds());
+//! # Ok::<(), mig::equiv::InterfaceMismatch>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algebra;
+pub mod analysis;
+pub mod dot;
+pub mod equiv;
+mod graph;
+pub mod aiger;
+pub mod io;
+mod node;
+pub mod cut;
+pub mod resynth;
+pub mod rewrite;
+pub mod simulate;
+mod signal;
+
+pub use graph::Mig;
+pub use node::MigNode;
+pub use signal::{NodeId, Signal};

@@ -1,0 +1,115 @@
+//! MIG nodes.
+
+use crate::signal::Signal;
+
+/// A node of the Majority-Inverter Graph.
+///
+/// There are three kinds of nodes:
+///
+/// * the **constant** node (always node 0), representing Boolean 0;
+/// * **primary inputs**, identified by their input index;
+/// * **majority nodes**, computing the majority-of-three of their children
+///   (taking edge complement attributes into account).
+///
+/// Nodes are created through [`crate::Mig`] and are immutable afterwards; all
+/// restructuring happens by building new nodes and remapping references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigNode {
+    /// The constant-zero node.
+    Constant,
+    /// A primary input with its index into the graph's input list.
+    Input(u32),
+    /// A majority-of-three node with its three child signals.
+    ///
+    /// Children are stored in canonically sorted order (ascending raw signal
+    /// value), which makes structural hashing independent of argument order —
+    /// this bakes the commutativity axiom Ω.C into the representation.
+    Majority([Signal; 3]),
+}
+
+impl MigNode {
+    /// Returns the children of a majority node, or `None` otherwise.
+    #[inline]
+    pub fn children(&self) -> Option<&[Signal; 3]> {
+        match self {
+            MigNode::Majority(children) => Some(children),
+            _ => None,
+        }
+    }
+
+    /// Whether this node is a majority gate.
+    #[inline]
+    pub fn is_majority(&self) -> bool {
+        matches!(self, MigNode::Majority(_))
+    }
+
+    /// Whether this node is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self, MigNode::Input(_))
+    }
+
+    /// Whether this node is the constant node.
+    #[inline]
+    pub fn is_constant(&self) -> bool {
+        matches!(self, MigNode::Constant)
+    }
+
+    /// Number of complemented child edges (0 for non-majority nodes).
+    ///
+    /// This is the key cost metric of the PLiM translation: the RM3
+    /// instruction natively consumes exactly one complemented operand, so
+    /// majority nodes with two or three complemented children require extra
+    /// instructions and RRAMs.
+    #[inline]
+    pub fn complemented_child_count(&self) -> usize {
+        match self {
+            MigNode::Majority(children) => {
+                children.iter().filter(|c| c.is_complemented()).count()
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::NodeId;
+
+    fn sig(index: usize, compl: bool) -> Signal {
+        Signal::new(NodeId::from_index(index), compl)
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(MigNode::Constant.is_constant());
+        assert!(MigNode::Input(0).is_input());
+        let n = MigNode::Majority([sig(1, false), sig(2, false), sig(3, false)]);
+        assert!(n.is_majority());
+        assert!(!n.is_input());
+        assert!(!n.is_constant());
+    }
+
+    #[test]
+    fn children_accessor() {
+        let children = [sig(1, false), sig(2, true), sig(3, false)];
+        let n = MigNode::Majority(children);
+        assert_eq!(n.children(), Some(&children));
+        assert_eq!(MigNode::Constant.children(), None);
+        assert_eq!(MigNode::Input(1).children(), None);
+    }
+
+    #[test]
+    fn complement_counting() {
+        let n0 = MigNode::Majority([sig(1, false), sig(2, false), sig(3, false)]);
+        let n1 = MigNode::Majority([sig(1, true), sig(2, false), sig(3, false)]);
+        let n2 = MigNode::Majority([sig(1, true), sig(2, true), sig(3, false)]);
+        let n3 = MigNode::Majority([sig(1, true), sig(2, true), sig(3, true)]);
+        assert_eq!(n0.complemented_child_count(), 0);
+        assert_eq!(n1.complemented_child_count(), 1);
+        assert_eq!(n2.complemented_child_count(), 2);
+        assert_eq!(n3.complemented_child_count(), 3);
+        assert_eq!(MigNode::Input(0).complemented_child_count(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Signals and node identifiers.
+//!
+//! A [`Signal`] is an edge in a Majority-Inverter Graph: a reference to a node
+//! together with an optional complement (inversion) attribute. Signals are the
+//! currency of all MIG construction APIs: inputs and outputs of majority nodes
+//! are signals, primary outputs are signals, and all rewriting rules are stated
+//! in terms of signals.
+//!
+//! The representation packs a node index and the complement bit into a single
+//! `u32` (complement in the least-significant bit), mirroring the classic
+//! AIG literal encoding.
+
+use std::fmt;
+use std::ops::Not;
+
+/// Identifier of a node inside a [`crate::Mig`].
+///
+/// Node 0 is always the constant-zero node. Identifiers are indices into the
+/// graph's node arena and are assigned in creation order, which is guaranteed
+/// to be a topological order (children are always created before parents).
+///
+/// # Examples
+///
+/// ```
+/// use mig::NodeId;
+///
+/// let id = NodeId::from_index(3);
+/// assert_eq!(id.index(), 3);
+/// assert!(!id.is_constant());
+/// assert!(NodeId::CONSTANT.is_constant());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The identifier of the constant-zero node present in every graph.
+    pub const CONSTANT: NodeId = NodeId(0);
+
+    /// Creates a node identifier from a raw arena index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        NodeId(index as u32)
+    }
+
+    /// Returns the arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the constant-zero node.
+    #[inline]
+    pub fn is_constant(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An edge of the MIG: a node reference plus a complement attribute.
+///
+/// Two signals are equal only if they reference the same node *with the same
+/// polarity*. Use [`Signal::node`] to compare the referenced nodes regardless
+/// of polarity.
+///
+/// # Examples
+///
+/// ```
+/// use mig::Mig;
+///
+/// let mut mig = Mig::new();
+/// let a = mig.add_input("a");
+/// assert_ne!(a, !a);
+/// assert_eq!((!a).node(), a.node());
+/// assert!((!a).is_complemented());
+/// assert_eq!(!!a, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// The constant-zero signal.
+    pub const FALSE: Signal = Signal(0);
+    /// The constant-one signal (complemented zero).
+    pub const TRUE: Signal = Signal(1);
+
+    /// Creates a signal referencing `node`, complemented if `complement`.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Self {
+        Signal(node.0 << 1 | complement as u32)
+    }
+
+    /// Creates the constant signal with the given Boolean value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mig::Signal;
+    ///
+    /// assert_eq!(Signal::constant(false), Signal::FALSE);
+    /// assert_eq!(Signal::constant(true), Signal::TRUE);
+    /// ```
+    #[inline]
+    pub fn constant(value: bool) -> Self {
+        Signal(value as u32)
+    }
+
+    /// The node this signal refers to.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the edge carries a complement attribute.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this signal is one of the two constants.
+    #[inline]
+    pub fn is_constant(self) -> bool {
+        self.node().is_constant()
+    }
+
+    /// For a constant signal, the Boolean value it denotes.
+    ///
+    /// Returns `None` for non-constant signals.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mig::Signal;
+    ///
+    /// assert_eq!(Signal::TRUE.constant_value(), Some(true));
+    /// ```
+    #[inline]
+    pub fn constant_value(self) -> Option<bool> {
+        if self.is_constant() {
+            Some(self.is_complemented())
+        } else {
+            None
+        }
+    }
+
+    /// Returns the same signal with the complement attribute set to `value`.
+    #[inline]
+    pub fn with_complement(self, value: bool) -> Self {
+        Signal(self.0 & !1 | value as u32)
+    }
+
+    /// Returns the non-complemented version of this signal.
+    #[inline]
+    pub fn regular(self) -> Self {
+        Signal(self.0 & !1)
+    }
+
+    /// XORs the complement attribute with `flip`.
+    ///
+    /// This is the fundamental operation for pushing inverters along edges:
+    /// `s.complement_if(c)` equals `!s` when `c` is true and `s` otherwise.
+    #[inline]
+    pub fn complement_if(self, flip: bool) -> Self {
+        Signal(self.0 ^ flip as u32)
+    }
+
+    /// The raw packed representation (node index ≪ 1 | complement).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a signal from its raw packed representation.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        Signal(raw)
+    }
+}
+
+impl Not for Signal {
+    type Output = Signal;
+
+    #[inline]
+    fn not(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+}
+
+impl From<bool> for Signal {
+    #[inline]
+    fn from(value: bool) -> Self {
+        Signal::constant(value)
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!{}", self.node())
+        } else {
+            write!(f, "{}", self.node())
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_encoding() {
+        assert_eq!(Signal::FALSE.raw(), 0);
+        assert_eq!(Signal::TRUE.raw(), 1);
+        assert_eq!(Signal::FALSE.node(), NodeId::CONSTANT);
+        assert_eq!(Signal::TRUE.node(), NodeId::CONSTANT);
+        assert!(!Signal::FALSE.is_complemented());
+        assert!(Signal::TRUE.is_complemented());
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let s = Signal::new(NodeId::from_index(7), false);
+        assert_eq!(!!s, s);
+        assert_ne!(!s, s);
+        assert_eq!((!s).node(), s.node());
+    }
+
+    #[test]
+    fn complement_if_flips_conditionally() {
+        let s = Signal::new(NodeId::from_index(3), false);
+        assert_eq!(s.complement_if(false), s);
+        assert_eq!(s.complement_if(true), !s);
+        assert_eq!((!s).complement_if(true), s);
+    }
+
+    #[test]
+    fn with_complement_overrides_polarity() {
+        let s = Signal::new(NodeId::from_index(5), true);
+        assert!(!s.with_complement(false).is_complemented());
+        assert!(s.with_complement(true).is_complemented());
+        assert_eq!(s.regular(), s.with_complement(false));
+    }
+
+    #[test]
+    fn constant_value_detection() {
+        assert_eq!(Signal::FALSE.constant_value(), Some(false));
+        assert_eq!(Signal::TRUE.constant_value(), Some(true));
+        let s = Signal::new(NodeId::from_index(2), false);
+        assert_eq!(s.constant_value(), None);
+    }
+
+    #[test]
+    fn ordering_follows_raw_encoding() {
+        let a = Signal::new(NodeId::from_index(1), false);
+        let b = Signal::new(NodeId::from_index(1), true);
+        let c = Signal::new(NodeId::from_index(2), false);
+        assert!(Signal::FALSE < a);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Signal::new(NodeId::from_index(4), true);
+        assert_eq!(format!("{s}"), "!n4");
+        assert_eq!(format!("{}", s.regular()), "n4");
+        assert_eq!(format!("{}", NodeId::from_index(4)), "n4");
+    }
+
+    #[test]
+    fn from_bool_conversion() {
+        assert_eq!(Signal::from(false), Signal::FALSE);
+        assert_eq!(Signal::from(true), Signal::TRUE);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let s = Signal::new(NodeId::from_index(123), true);
+        assert_eq!(Signal::from_raw(s.raw()), s);
+    }
+}

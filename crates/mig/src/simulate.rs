@@ -1,0 +1,475 @@
+//! Bit-parallel simulation of MIGs.
+//!
+//! Simulation assigns each primary input a 64-bit word and propagates words
+//! through the graph, evaluating 64 input patterns at once. This is the
+//! workhorse behind equivalence checking and compiled-program verification.
+
+use crate::graph::Mig;
+use crate::node::MigNode;
+use crate::signal::Signal;
+
+/// Evaluates the majority of three words bitwise.
+#[inline]
+pub fn maj_word(a: u64, b: u64, c: u64) -> u64 {
+    (a & b) | (a & c) | (b & c)
+}
+
+/// Simulates the graph for one block of 64 input patterns.
+///
+/// `input_words[i]` holds 64 values (one per bit position) for primary input
+/// `i`. Returns one word per primary output.
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != mig.num_inputs()`.
+pub fn simulate(mig: &Mig, input_words: &[u64]) -> Vec<u64> {
+    assert_eq!(
+        input_words.len(),
+        mig.num_inputs(),
+        "one simulation word is required per primary input"
+    );
+    let values = node_values(mig, input_words);
+    mig.outputs()
+        .iter()
+        .map(|(_, s)| signal_word(&values, *s))
+        .collect()
+}
+
+/// Simulates the graph and returns the word of every node (indexed by node
+/// arena index). Complement attributes of edges are *not* applied — these are
+/// the raw node function values.
+pub fn node_values(mig: &Mig, input_words: &[u64]) -> Vec<u64> {
+    let mut values = vec![0u64; mig.len()];
+    for id in mig.node_ids() {
+        values[id.index()] = match mig.node(id) {
+            MigNode::Constant => 0,
+            MigNode::Input(pi) => input_words[*pi as usize],
+            MigNode::Majority(children) => {
+                let w = |s: &Signal| {
+                    let v = values[s.node().index()];
+                    if s.is_complemented() {
+                        !v
+                    } else {
+                        v
+                    }
+                };
+                maj_word(w(&children[0]), w(&children[1]), w(&children[2]))
+            }
+        };
+    }
+    values
+}
+
+/// Applies a signal's complement attribute to a simulated node-value table.
+#[inline]
+pub fn signal_word(values: &[u64], signal: Signal) -> u64 {
+    let v = values[signal.node().index()];
+    if signal.is_complemented() {
+        !v
+    } else {
+        v
+    }
+}
+
+/// Evaluates the graph on a single Boolean input assignment.
+///
+/// Convenience wrapper around [`simulate`] for one pattern.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != mig.num_inputs()`.
+pub fn evaluate(mig: &Mig, inputs: &[bool]) -> Vec<bool> {
+    let words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+    simulate(mig, &words).iter().map(|&w| w & 1 != 0).collect()
+}
+
+/// A truth table over `num_vars` variables, stored as packed 64-bit blocks.
+///
+/// Bit `i` of the table is the function value under the assignment whose
+/// variable `v` equals bit `v` of `i`.
+///
+/// # Examples
+///
+/// ```
+/// use mig::simulate::TruthTable;
+///
+/// let and2 = TruthTable::from_bits(2, 0b1000);
+/// assert!(and2.bit(3));
+/// assert!(!and2.bit(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    blocks: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Maximum variable count supported by [`TruthTable`] (the table for 24
+    /// variables occupies 2 MiB).
+    pub const MAX_VARS: usize = 24;
+
+    /// Creates the all-zero table over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > Self::MAX_VARS`.
+    pub fn zero(num_vars: usize) -> Self {
+        assert!(num_vars <= Self::MAX_VARS, "too many truth table variables");
+        TruthTable {
+            num_vars,
+            blocks: vec![0; Self::block_count(num_vars)],
+        }
+    }
+
+    /// Creates a table over up to 6 variables from its low `2^num_vars` bits.
+    pub fn from_bits(num_vars: usize, bits: u64) -> Self {
+        assert!(num_vars <= 6, "from_bits supports at most 6 variables");
+        let mut tt = TruthTable::zero(num_vars);
+        tt.blocks[0] = bits & Self::used_mask(num_vars);
+        tt
+    }
+
+    /// The projection table of variable `var` over `num_vars` variables.
+    pub fn variable(num_vars: usize, var: usize) -> Self {
+        assert!(var < num_vars, "variable index out of range");
+        let mut tt = TruthTable::zero(num_vars);
+        if var < 6 {
+            let pattern = Self::VAR_PATTERNS[var];
+            for block in &mut tt.blocks {
+                *block = pattern;
+            }
+        } else {
+            let stride = 1usize << (var - 6);
+            for (index, block) in tt.blocks.iter_mut().enumerate() {
+                if index / stride % 2 == 1 {
+                    *block = !0;
+                }
+            }
+        }
+        tt.mask_unused();
+        tt
+    }
+
+    const VAR_PATTERNS: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+
+    fn block_count(num_vars: usize) -> usize {
+        if num_vars < 6 {
+            1
+        } else {
+            1 << (num_vars - 6)
+        }
+    }
+
+    fn used_mask(num_vars: usize) -> u64 {
+        if num_vars >= 6 {
+            !0
+        } else {
+            (1u64 << (1 << num_vars)) - 1
+        }
+    }
+
+    fn mask_unused(&mut self) {
+        if self.num_vars < 6 {
+            self.blocks[0] &= Self::used_mask(self.num_vars);
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of table rows (`2^num_vars`).
+    #[inline]
+    pub fn num_bits(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    /// The raw 64-bit blocks of the table.
+    #[inline]
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// The function value in row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_bits()`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.num_bits(), "truth table row out of range");
+        self.blocks[index / 64] >> (index % 64) & 1 != 0
+    }
+
+    /// Bitwise complement of the table.
+    pub fn complement(&self) -> Self {
+        let mut result = self.clone();
+        for block in &mut result.blocks {
+            *block = !*block;
+        }
+        result.mask_unused();
+        result
+    }
+
+    /// Number of rows where the function is 1.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Majority-of-three of tables with identical variable counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn maj(a: &Self, b: &Self, c: &Self) -> Self {
+        assert!(
+            a.num_vars == b.num_vars && b.num_vars == c.num_vars,
+            "majority requires tables over the same variables"
+        );
+        let blocks = a
+            .blocks
+            .iter()
+            .zip(&b.blocks)
+            .zip(&c.blocks)
+            .map(|((&x, &y), &z)| maj_word(x, y, z))
+            .collect();
+        let mut result = TruthTable {
+            num_vars: a.num_vars,
+            blocks,
+        };
+        result.mask_unused();
+        result
+    }
+}
+
+/// Computes the truth table of every primary output.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`TruthTable::MAX_VARS`] inputs.
+pub fn truth_tables(mig: &Mig) -> Vec<TruthTable> {
+    let n = mig.num_inputs();
+    assert!(
+        n <= TruthTable::MAX_VARS,
+        "exhaustive truth tables support at most {} inputs",
+        TruthTable::MAX_VARS
+    );
+    let mut tables: Vec<TruthTable> = Vec::with_capacity(mig.len());
+    for id in mig.node_ids() {
+        let tt = match mig.node(id) {
+            MigNode::Constant => TruthTable::zero(n),
+            MigNode::Input(pi) => TruthTable::variable(n, *pi as usize),
+            MigNode::Majority(children) => {
+                let t = |s: &Signal| {
+                    let tt = &tables[s.node().index()];
+                    if s.is_complemented() {
+                        tt.complement()
+                    } else {
+                        tt.clone()
+                    }
+                };
+                TruthTable::maj(&t(&children[0]), &t(&children[1]), &t(&children[2]))
+            }
+        };
+        tables.push(tt);
+    }
+    mig.outputs()
+        .iter()
+        .map(|(_, s)| {
+            let tt = &tables[s.node().index()];
+            if s.is_complemented() {
+                tt.complement()
+            } else {
+                tt.clone()
+            }
+        })
+        .collect()
+}
+
+/// A small, deterministic xorshift64* pseudo-random generator used for
+/// randomized simulation. Self-contained so the core crates stay
+/// dependency-free.
+///
+/// # Examples
+///
+/// ```
+/// use mig::simulate::XorShift64;
+///
+/// let mut rng = XorShift64::new(42);
+/// assert_ne!(rng.next_word(), rng.next_word());
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (a zero seed is remapped).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// The next pseudo-random 64-bit word.
+    pub fn next_word(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A pseudo-random value in `0..bound` (`bound` must be nonzero).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        self.next_word() % bound
+    }
+
+    /// A pseudo-random Boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_word() & 1 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Mig;
+
+    #[test]
+    fn maj_word_matches_definition() {
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                for c in 0..2u64 {
+                    let expected = u64::from(a + b + c >= 2);
+                    assert_eq!(maj_word(a, b, c) & 1, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_and_gate() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let g = mig.and(a, b);
+        mig.add_output("f", g);
+        let out = simulate(&mig, &[0b1100, 0b1010]);
+        assert_eq!(out[0] & 0b1111, 0b1000);
+    }
+
+    #[test]
+    fn simulate_complemented_output() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let g = mig.or(a, b);
+        mig.add_output("f", !g);
+        let out = simulate(&mig, &[0b1100, 0b1010]);
+        assert_eq!(out[0] & 0b1111, 0b0001); // NOR
+    }
+
+    #[test]
+    fn evaluate_single_pattern() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, b, c);
+        mig.add_output("f", m);
+        assert_eq!(evaluate(&mig, &[true, true, false]), vec![true]);
+        assert_eq!(evaluate(&mig, &[true, false, false]), vec![false]);
+    }
+
+    #[test]
+    fn xor_gates_behave() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let x = mig.xor(a, b);
+        mig.add_output("f", x);
+        let out = simulate(&mig, &[0b1100, 0b1010]);
+        assert_eq!(out[0] & 0b1111, 0b0110);
+    }
+
+    #[test]
+    fn xor3_truth_table() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let x = mig.xor3(a, b, c);
+        mig.add_output("f", x);
+        let tts = truth_tables(&mig);
+        // x ⊕ y ⊕ z is 1 on odd-parity rows: 1,2,4,7 → 0b10010110.
+        assert_eq!(tts[0].blocks()[0], 0b1001_0110);
+    }
+
+    #[test]
+    fn truth_table_variables() {
+        let v0 = TruthTable::variable(3, 0);
+        let v2 = TruthTable::variable(3, 2);
+        assert_eq!(v0.blocks()[0], 0xAA);
+        assert_eq!(v2.blocks()[0], 0xF0);
+        assert_eq!(v0.count_ones(), 4);
+    }
+
+    #[test]
+    fn truth_table_many_vars() {
+        let v7 = TruthTable::variable(8, 7);
+        assert_eq!(v7.num_bits(), 256);
+        assert_eq!(v7.count_ones(), 128);
+        assert!(!v7.bit(127));
+        assert!(v7.bit(128));
+        let v6 = TruthTable::variable(7, 6);
+        assert!(!v6.bit(63));
+        assert!(v6.bit(64));
+    }
+
+    #[test]
+    fn truth_table_complement_masks_unused() {
+        let tt = TruthTable::from_bits(2, 0b1000);
+        let c = tt.complement();
+        assert_eq!(c.blocks()[0], 0b0111);
+        assert_eq!(c.count_ones(), 3);
+    }
+
+    #[test]
+    fn truth_table_majority() {
+        let a = TruthTable::variable(3, 0);
+        let b = TruthTable::variable(3, 1);
+        let c = TruthTable::variable(3, 2);
+        let m = TruthTable::maj(&a, &b, &c);
+        assert_eq!(m.blocks()[0], 0b1110_1000);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut r1 = XorShift64::new(7);
+        let mut r2 = XorShift64::new(7);
+        for _ in 0..16 {
+            assert_eq!(r1.next_word(), r2.next_word());
+        }
+        let mut r3 = XorShift64::new(8);
+        assert_ne!(r1.next_word(), r3.next_word());
+    }
+
+    #[test]
+    fn xorshift_bounded() {
+        let mut rng = XorShift64::new(99);
+        for _ in 0..100 {
+            assert!(rng.next_below(10) < 10);
+        }
+    }
+}

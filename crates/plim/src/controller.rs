@@ -1,0 +1,202 @@
+//! Architectural cost model of the PLiM controller (Fig. 2 of the paper).
+//!
+//! The [`crate::Machine`] simulator is purely functional; this module adds
+//! the architecture-level accounting of the PLiM computer: the controller
+//! stores the program *inside* the RRAM array, so executing one RM3
+//! instruction costs instruction-fetch reads, operand reads, and the
+//! majority write — each with configurable latency and energy derived from
+//! RRAM device literature.
+
+use crate::error::MachineError;
+use crate::isa::{Operand, Program};
+use crate::machine::Machine;
+
+/// Per-operation device costs.
+///
+/// Defaults follow commonly cited HfOₓ/TaOₓ RRAM figures: 10 ns / 1 pJ per
+/// read, 100 ns / 10 pJ per write. All fields are public so studies can
+/// sweep them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Array read latency in nanoseconds.
+    pub read_ns: f64,
+    /// Array write (RM3) latency in nanoseconds.
+    pub write_ns: f64,
+    /// Energy per array read in picojoules.
+    pub read_pj: f64,
+    /// Energy per array write in picojoules.
+    pub write_pj: f64,
+    /// Array words fetched per instruction (operand A, operand B,
+    /// destination address — the instruction format of §2.2).
+    pub fetch_words: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            read_ns: 10.0,
+            write_ns: 100.0,
+            read_pj: 1.0,
+            write_pj: 10.0,
+            fetch_words: 3,
+        }
+    }
+}
+
+/// Cost report of one program execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecutionReport {
+    /// RM3 instructions executed.
+    pub instructions: u64,
+    /// Array reads: instruction fetches plus operand reads.
+    pub reads: u64,
+    /// Array writes (one per RM3).
+    pub writes: u64,
+    /// Estimated latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Estimated energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl ExecutionReport {
+    /// Estimated latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.latency_ns / 1000.0
+    }
+}
+
+/// The PLiM controller: a [`Machine`] plus architectural accounting.
+///
+/// # Examples
+///
+/// ```
+/// use plim::{controller::{Controller, CostModel}, Instruction, Program, RamAddr, OutputLoc};
+///
+/// let mut p = Program::new(0);
+/// p.push(Instruction::reset(RamAddr(0)));
+/// p.add_output("f", OutputLoc::Ram(RamAddr(0)));
+///
+/// let mut controller = Controller::new(CostModel::default());
+/// let (outputs, report) = controller.execute(&p, &[]).unwrap();
+/// assert_eq!(outputs, vec![false]);
+/// assert_eq!(report.writes, 1);
+/// assert!(report.latency_ns > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Controller {
+    machine: Machine,
+    cost: CostModel,
+}
+
+impl Controller {
+    /// Creates a controller with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Controller {
+            machine: Machine::new(),
+            cost,
+        }
+    }
+
+    /// The wrapped functional machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Executes a program, returning the outputs and the cost report.
+    ///
+    /// Operand reads are counted only for operands fetched from the array
+    /// (work cells and primary inputs); constants are applied directly to
+    /// the array terminals and cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineError`] from the functional machine.
+    pub fn execute(
+        &mut self,
+        program: &Program,
+        inputs: &[bool],
+    ) -> Result<(Vec<bool>, ExecutionReport), MachineError> {
+        let mut report = ExecutionReport::default();
+        for instruction in program.instructions() {
+            report.instructions += 1;
+            report.reads += self.cost.fetch_words;
+            for operand in [instruction.a, instruction.b] {
+                if !matches!(operand, Operand::Const(_)) {
+                    report.reads += 1;
+                }
+            }
+            report.writes += 1;
+        }
+        report.latency_ns = report.reads as f64 * self.cost.read_ns
+            + report.writes as f64 * self.cost.write_ns;
+        report.energy_pj = report.reads as f64 * self.cost.read_pj
+            + report.writes as f64 * self.cost.write_pj;
+        let outputs = self.machine.run(program, inputs)?;
+        Ok((outputs, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instruction, OutputLoc, RamAddr};
+
+    fn two_instruction_program() -> Program {
+        let mut p = Program::new(1);
+        p.push(Instruction::reset(RamAddr(0))); // constants only
+        p.push(Instruction::new(
+            Operand::Input(0),
+            Operand::Ram(RamAddr(0)),
+            RamAddr(0),
+        )); // two array operands
+        p.add_output("f", OutputLoc::Ram(RamAddr(0)));
+        p
+    }
+
+    #[test]
+    fn read_accounting_distinguishes_constants() {
+        let p = two_instruction_program();
+        let mut controller = Controller::new(CostModel::default());
+        let (_, report) = controller.execute(&p, &[true]).unwrap();
+        assert_eq!(report.instructions, 2);
+        // Fetch: 3 words per instruction; operands: 0 for the reset, 2 for
+        // the second instruction.
+        assert_eq!(report.reads, 3 + 3 + 2);
+        assert_eq!(report.writes, 2);
+    }
+
+    #[test]
+    fn latency_and_energy_follow_the_model() {
+        let p = two_instruction_program();
+        let cost = CostModel {
+            read_ns: 1.0,
+            write_ns: 10.0,
+            read_pj: 2.0,
+            write_pj: 20.0,
+            fetch_words: 3,
+        };
+        let mut controller = Controller::new(cost);
+        let (_, report) = controller.execute(&p, &[false]).unwrap();
+        assert_eq!(report.latency_ns, 8.0 * 1.0 + 2.0 * 10.0);
+        assert_eq!(report.energy_pj, 8.0 * 2.0 + 2.0 * 20.0);
+        assert!((report.latency_us() - 0.028).abs() < 1e-9);
+    }
+
+    #[test]
+    fn functional_result_matches_machine() {
+        let p = two_instruction_program();
+        let mut controller = Controller::new(CostModel::default());
+        // Second instruction: Z ← ⟨i1, X̄1, X1⟩ with X1 = 0 → ⟨i1, 1, 0⟩ = i1.
+        let (outputs, _) = controller.execute(&p, &[true]).unwrap();
+        assert_eq!(outputs, vec![true]);
+        let (outputs, _) = controller.execute(&p, &[false]).unwrap();
+        assert_eq!(outputs, vec![false]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let p = two_instruction_program();
+        let mut controller = Controller::new(CostModel::default());
+        assert!(controller.execute(&p, &[]).is_err());
+    }
+}

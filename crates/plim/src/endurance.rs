@@ -1,0 +1,160 @@
+//! RRAM endurance accounting.
+//!
+//! Resistive memory cells tolerate a bounded number of write cycles, so a
+//! logic-in-memory program that hammers a few cells wears the array out
+//! prematurely. The paper addresses this with a FIFO RRAM allocation policy
+//! that spreads writes across cells; this module provides the statistics to
+//! quantify that effect.
+
+use std::fmt;
+
+/// Aggregate write statistics over a set of RRAM cells.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnduranceStats {
+    /// Number of cells considered.
+    pub cells: usize,
+    /// Total writes across all cells.
+    pub total_writes: u64,
+    /// Maximum writes to a single cell (the wear bottleneck).
+    pub max_writes: u64,
+    /// Minimum writes to a single cell.
+    pub min_writes: u64,
+    /// Mean writes per cell.
+    pub mean_writes: f64,
+    /// Population standard deviation of per-cell writes.
+    pub stddev_writes: f64,
+}
+
+impl EnduranceStats {
+    /// Computes statistics from per-cell write counters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use plim::endurance::EnduranceStats;
+    ///
+    /// let stats = EnduranceStats::from_counts(&[4, 4, 4, 4]);
+    /// assert_eq!(stats.max_writes, 4);
+    /// assert_eq!(stats.stddev_writes, 0.0);
+    /// assert_eq!(stats.imbalance(), 1.0);
+    /// ```
+    pub fn from_counts(counts: &[u64]) -> Self {
+        if counts.is_empty() {
+            return EnduranceStats::default();
+        }
+        let cells = counts.len();
+        let total: u64 = counts.iter().sum();
+        let max = *counts.iter().max().expect("nonempty");
+        let min = *counts.iter().min().expect("nonempty");
+        let mean = total as f64 / cells as f64;
+        let variance = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / cells as f64;
+        EnduranceStats {
+            cells,
+            total_writes: total,
+            max_writes: max,
+            min_writes: min,
+            mean_writes: mean,
+            stddev_writes: variance.sqrt(),
+        }
+    }
+
+    /// Wear imbalance: `max / mean` (1.0 is perfectly balanced; large values
+    /// mean a few cells absorb most writes). Returns 0 when no writes
+    /// occurred.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_writes == 0.0 {
+            0.0
+        } else {
+            self.max_writes as f64 / self.mean_writes
+        }
+    }
+
+    /// Estimated array lifetime in *program executions*, given a per-cell
+    /// endurance budget: the array fails when its most-written cell reaches
+    /// `cell_endurance` writes. Returns `None` when no cell is written.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use plim::endurance::EnduranceStats;
+    ///
+    /// let stats = EnduranceStats::from_counts(&[10, 2]);
+    /// assert_eq!(stats.lifetime_executions(1_000_000), Some(100_000));
+    /// ```
+    pub fn lifetime_executions(&self, cell_endurance: u64) -> Option<u64> {
+        if self.max_writes == 0 {
+            None
+        } else {
+            Some(cell_endurance / self.max_writes)
+        }
+    }
+}
+
+impl fmt::Display for EnduranceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cells={} writes={} max={} min={} mean={:.2} stddev={:.2}",
+            self.cells,
+            self.total_writes,
+            self.max_writes,
+            self.min_writes,
+            self.mean_writes,
+            self.stddev_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counts_are_all_zero() {
+        let stats = EnduranceStats::from_counts(&[]);
+        assert_eq!(stats.cells, 0);
+        assert_eq!(stats.total_writes, 0);
+        assert_eq!(stats.imbalance(), 0.0);
+        assert_eq!(stats.lifetime_executions(1000), None);
+    }
+
+    #[test]
+    fn uniform_counts_have_zero_stddev() {
+        let stats = EnduranceStats::from_counts(&[7, 7, 7]);
+        assert_eq!(stats.total_writes, 21);
+        assert_eq!(stats.max_writes, 7);
+        assert_eq!(stats.min_writes, 7);
+        assert!((stats.mean_writes - 7.0).abs() < 1e-12);
+        assert_eq!(stats.stddev_writes, 0.0);
+    }
+
+    #[test]
+    fn skewed_counts_show_imbalance() {
+        let stats = EnduranceStats::from_counts(&[100, 1, 1, 1, 1]);
+        assert!(stats.imbalance() > 4.0);
+        assert!(stats.stddev_writes > 30.0);
+        assert_eq!(stats.min_writes, 1);
+    }
+
+    #[test]
+    fn lifetime_scales_with_hotspot() {
+        let balanced = EnduranceStats::from_counts(&[5, 5]);
+        let skewed = EnduranceStats::from_counts(&[10, 0]);
+        assert_eq!(balanced.total_writes, skewed.total_writes);
+        assert!(balanced.lifetime_executions(1000) > skewed.lifetime_executions(1000));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = EnduranceStats::from_counts(&[1, 3]).to_string();
+        assert!(text.contains("cells=2"));
+        assert!(text.contains("max=3"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Machine execution errors.
+
+use std::fmt;
+
+use crate::isa::RamAddr;
+
+/// Error raised while executing a PLiM program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// An instruction referenced a work cell beyond the allocated array.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: RamAddr,
+    },
+    /// An instruction referenced a primary input that was not loaded.
+    InputOutOfRange {
+        /// The offending input index.
+        index: u32,
+    },
+    /// `Machine::run` received the wrong number of input values.
+    InputCountMismatch {
+        /// Inputs declared by the program.
+        expected: usize,
+        /// Inputs supplied by the caller.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::AddressOutOfRange { addr } => {
+                write!(f, "work cell {addr} is not allocated")
+            }
+            MachineError::InputOutOfRange { index } => {
+                write!(f, "primary input i{} is not loaded", index + 1)
+            }
+            MachineError::InputCountMismatch { expected, got } => {
+                write!(f, "program expects {expected} inputs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e1 = MachineError::AddressOutOfRange { addr: RamAddr(3) };
+        assert_eq!(e1.to_string(), "work cell @X4 is not allocated");
+        let e2 = MachineError::InputOutOfRange { index: 0 };
+        assert_eq!(e2.to_string(), "primary input i1 is not loaded");
+        let e3 = MachineError::InputCountMismatch {
+            expected: 2,
+            got: 5,
+        };
+        assert_eq!(e3.to_string(), "program expects 2 inputs, got 5");
+    }
+}

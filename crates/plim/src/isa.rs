@@ -1,0 +1,322 @@
+//! The PLiM instruction set: the single RM3 instruction.
+//!
+//! The PLiM computer (Gaillardon et al., DATE'16) executes one instruction,
+//! 3-input resistive majority:
+//!
+//! ```text
+//! RM3(A, B, Z):   Z ← ⟨A B̄ Z⟩
+//! ```
+//!
+//! where `A` and `B` are single-bit operands read from constants, primary
+//! inputs, or RRAM cells, and `Z` is the address of the destination RRAM
+//! cell, whose stored value participates in the majority and is overwritten
+//! by the result. The inversion of the second operand is intrinsic to the
+//! RRAM write mechanism (Linn et al. 2012), which is why Majority-Inverter
+//! Graphs map so directly onto this architecture.
+
+use std::fmt;
+
+/// Address of a work RRAM cell inside the PLiM memory array.
+///
+/// Displayed as `@X1`, `@X2`, … matching the paper's program listings
+/// (addresses are 0-based internally, 1-based in listings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RamAddr(pub u32);
+
+impl RamAddr {
+    /// The raw cell index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RamAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@X{}", self.0 + 1)
+    }
+}
+
+/// A single-bit operand of an RM3 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A constant 0 or 1 applied to the array terminal.
+    Const(bool),
+    /// Primary input with the given index, read from the input region of the
+    /// memory array.
+    Input(u32),
+    /// A work RRAM cell.
+    Ram(RamAddr),
+}
+
+impl Operand {
+    /// `true` if the operand is a constant.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Operand::Const(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(v) => write!(f, "{}", *v as u8),
+            Operand::Input(i) => write!(f, "i{}", i + 1),
+            Operand::Ram(addr) => write!(f, "{addr}"),
+        }
+    }
+}
+
+impl From<bool> for Operand {
+    fn from(value: bool) -> Self {
+        Operand::Const(value)
+    }
+}
+
+impl From<RamAddr> for Operand {
+    fn from(addr: RamAddr) -> Self {
+        Operand::Ram(addr)
+    }
+}
+
+/// One RM3 instruction: `Z ← ⟨A B̄ Z⟩`.
+///
+/// # Examples
+///
+/// ```
+/// use plim::{Instruction, Operand, RamAddr};
+///
+/// // X1 ← 0  (the canonical reset idiom: ⟨0 1̄ Z⟩ = ⟨0 0 Z⟩ = 0)
+/// let reset = Instruction::new(Operand::Const(false), Operand::Const(true), RamAddr(0));
+/// assert_eq!(reset.to_string(), "0, 1, @X1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// First operand (applied non-inverted).
+    pub a: Operand,
+    /// Second operand (inverted intrinsically by the RRAM write).
+    pub b: Operand,
+    /// Destination cell; its current value is the third majority operand.
+    pub z: RamAddr,
+}
+
+impl Instruction {
+    /// Creates an RM3 instruction.
+    pub fn new(a: Operand, b: Operand, z: RamAddr) -> Self {
+        Instruction { a, b, z }
+    }
+
+    /// The canonical "reset to 0" idiom `(0, 1, @Z)`.
+    pub fn reset(z: RamAddr) -> Self {
+        Instruction::new(Operand::Const(false), Operand::Const(true), z)
+    }
+
+    /// The canonical "set to 1" idiom `(1, 0, @Z)`.
+    pub fn set(z: RamAddr) -> Self {
+        Instruction::new(Operand::Const(true), Operand::Const(false), z)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, {}, {}", self.a, self.b, self.z)
+    }
+}
+
+/// Where a program's primary-output value resides after execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputLoc {
+    /// The output is stored in a work RRAM cell.
+    Ram(RamAddr),
+    /// The output equals a primary input (possibly complemented) — the
+    /// compiler does not copy pass-through outputs unless asked to.
+    Input {
+        /// Input index.
+        index: u32,
+        /// Whether the output is the complement of the input.
+        complemented: bool,
+    },
+    /// The output is a constant.
+    Const(bool),
+}
+
+/// A PLiM program: a sequence of RM3 instructions plus interface metadata.
+///
+/// Programs are produced by the `plim-compiler` crate and executed by
+/// [`crate::Machine`].
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+    comments: Vec<String>,
+    num_inputs: usize,
+    num_rams: u32,
+    outputs: Vec<(String, OutputLoc)>,
+}
+
+impl Program {
+    /// Creates an empty program over `num_inputs` primary inputs.
+    pub fn new(num_inputs: usize) -> Self {
+        Program {
+            num_inputs,
+            ..Program::default()
+        }
+    }
+
+    /// Appends an instruction with an empty comment.
+    pub fn push(&mut self, instruction: Instruction) {
+        self.push_commented(instruction, String::new());
+    }
+
+    /// Appends an instruction with a listing comment (e.g. `X1 ← N3`).
+    pub fn push_commented(&mut self, instruction: Instruction, comment: impl Into<String>) {
+        if instruction.z.0 >= self.num_rams {
+            self.num_rams = instruction.z.0 + 1;
+        }
+        if let Operand::Ram(addr) = instruction.a {
+            self.num_rams = self.num_rams.max(addr.0 + 1);
+        }
+        if let Operand::Ram(addr) = instruction.b {
+            self.num_rams = self.num_rams.max(addr.0 + 1);
+        }
+        self.instructions.push(instruction);
+        self.comments.push(comment.into());
+    }
+
+    /// The instruction sequence.
+    #[inline]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// The listing comment of instruction `index` (may be empty).
+    pub fn comment(&self, index: usize) -> &str {
+        &self.comments[index]
+    }
+
+    /// Number of instructions (`#I` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` if the program has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of primary inputs the program expects.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of distinct work RRAM cells referenced (`#R` in the paper).
+    #[inline]
+    pub fn num_rams(&self) -> u32 {
+        self.num_rams
+    }
+
+    /// Declares where output `name` lives after execution.
+    pub fn add_output(&mut self, name: impl Into<String>, loc: OutputLoc) {
+        self.outputs.push((name.into(), loc));
+    }
+
+    /// The declared outputs.
+    #[inline]
+    pub fn outputs(&self) -> &[(String, OutputLoc)] {
+        &self.outputs
+    }
+}
+
+impl fmt::Display for Program {
+    /// Formats the program as a paper-style listing:
+    ///
+    /// ```text
+    /// 01: 0, 1, @X1      X1 ← 0
+    /// 02: i3, 0, @X1     X1 ← i3
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.instructions.len().to_string().len().max(2);
+        for (index, instruction) in self.instructions.iter().enumerate() {
+            let comment = &self.comments[index];
+            if comment.is_empty() {
+                writeln!(f, "{:0width$}: {}", index + 1, instruction)?;
+            } else {
+                let text = instruction.to_string();
+                writeln!(f, "{:0width$}: {:<18} {}", index + 1, text, comment)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_display_matches_paper() {
+        assert_eq!(Operand::Const(false).to_string(), "0");
+        assert_eq!(Operand::Const(true).to_string(), "1");
+        assert_eq!(Operand::Input(2).to_string(), "i3");
+        assert_eq!(Operand::Ram(RamAddr(0)).to_string(), "@X1");
+    }
+
+    #[test]
+    fn instruction_idioms() {
+        assert_eq!(Instruction::reset(RamAddr(4)).to_string(), "0, 1, @X5");
+        assert_eq!(Instruction::set(RamAddr(4)).to_string(), "1, 0, @X5");
+    }
+
+    #[test]
+    fn program_tracks_ram_high_water() {
+        let mut p = Program::new(2);
+        p.push(Instruction::reset(RamAddr(0)));
+        p.push(Instruction::new(
+            Operand::Ram(RamAddr(3)),
+            Operand::Input(0),
+            RamAddr(1),
+        ));
+        assert_eq!(p.num_rams(), 4);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn listing_format() {
+        let mut p = Program::new(3);
+        p.push_commented(Instruction::reset(RamAddr(0)), "X1 ← 0");
+        p.push_commented(
+            Instruction::new(Operand::Input(2), Operand::Const(false), RamAddr(0)),
+            "X1 ← i3",
+        );
+        let text = p.to_string();
+        assert!(text.contains("01: 0, 1, @X1"));
+        assert!(text.contains("02: i3, 0, @X1"));
+        assert!(text.contains("X1 ← i3"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Operand::from(true), Operand::Const(true));
+        assert_eq!(Operand::from(RamAddr(7)), Operand::Ram(RamAddr(7)));
+        assert!(Operand::Const(false).is_const());
+        assert!(!Operand::Input(0).is_const());
+    }
+
+    #[test]
+    fn outputs_are_recorded() {
+        let mut p = Program::new(1);
+        p.add_output("f", OutputLoc::Ram(RamAddr(0)));
+        p.add_output("g", OutputLoc::Const(true));
+        p.add_output(
+            "h",
+            OutputLoc::Input {
+                index: 0,
+                complemented: true,
+            },
+        );
+        assert_eq!(p.outputs().len(), 3);
+    }
+}

@@ -1,0 +1,394 @@
+//! Functional simulator of the PLiM architecture.
+//!
+//! The PLiM controller wraps a standard RRAM array (see Fig. 2 of the
+//! paper): when the `LiM` flag is off, the array behaves as an ordinary
+//! memory; when it is on, the controller fetches RM3 instructions and
+//! performs the majority write `Z ← ⟨A B̄ Z⟩` one instruction per cycle.
+//!
+//! The simulator models exactly that: a bit-addressable work array, a
+//! read-only input region, a program counter, and per-cell write counters
+//! (RRAM endurance is a first-class cost of in-memory computing).
+
+use crate::endurance::EnduranceStats;
+use crate::error::MachineError;
+use crate::isa::{Instruction, Operand, OutputLoc, Program, RamAddr};
+
+/// The PLiM machine: work RRAM cells, input region and execution state.
+///
+/// # Examples
+///
+/// Hand-assembling a two-instruction program that computes `a ∧ b`:
+/// reset `X1` to 0, then `RM3(a, b̄ intrinsically… )` — concretely
+/// `(a, !b, 0)` is expressed as `RM3(A = a, B = b, Z = 0)` since the RM3
+/// write inverts `B`: `⟨a b̄ 0⟩ = a ∧ b̄`. To get `a ∧ b` we pass the
+/// already-complemented input:
+///
+/// ```
+/// use plim::{Instruction, Machine, Operand, Program, RamAddr, OutputLoc};
+///
+/// let mut p = Program::new(2);
+/// p.push(Instruction::reset(RamAddr(0)));                // X1 ← 0
+/// // X1 ← ⟨i1 ī2 0⟩ = i1 ∧ ī2
+/// p.push(Instruction::new(Operand::Input(0), Operand::Input(1), RamAddr(0)));
+/// p.add_output("f", OutputLoc::Ram(RamAddr(0)));
+///
+/// let mut machine = Machine::new();
+/// assert_eq!(machine.run(&p, &[true, false]).unwrap(), vec![true]);
+/// assert_eq!(machine.run(&p, &[true, true]).unwrap(), vec![false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cells: Vec<bool>,
+    write_counts: Vec<u64>,
+    inputs: Vec<bool>,
+    cycles: u64,
+}
+
+impl Machine {
+    /// Creates a machine with no cells; the array grows on demand when a
+    /// program is loaded.
+    pub fn new() -> Self {
+        Machine {
+            cells: Vec::new(),
+            write_counts: Vec::new(),
+            inputs: Vec::new(),
+            cycles: 0,
+        }
+    }
+
+    /// Loads primary-input values into the input region.
+    pub fn load_inputs(&mut self, inputs: &[bool]) {
+        self.inputs = inputs.to_vec();
+    }
+
+    /// Ensures the work array has at least `count` cells (new cells are 0).
+    pub fn ensure_cells(&mut self, count: usize) {
+        if self.cells.len() < count {
+            self.cells.resize(count, false);
+            self.write_counts.resize(count, 0);
+        }
+    }
+
+    /// The current value of a work cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::AddressOutOfRange`] for unallocated cells.
+    pub fn cell(&self, addr: RamAddr) -> Result<bool, MachineError> {
+        self.cells
+            .get(addr.index())
+            .copied()
+            .ok_or(MachineError::AddressOutOfRange { addr })
+    }
+
+    /// Writes a work cell directly (standard-RAM mode, `LiM = 0`).
+    ///
+    /// Counts toward endurance like any other write.
+    pub fn write_cell(&mut self, addr: RamAddr, value: bool) {
+        self.ensure_cells(addr.index() + 1);
+        self.cells[addr.index()] = value;
+        self.write_counts[addr.index()] += 1;
+    }
+
+    /// Number of LiM cycles (RM3 instructions) executed so far.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Per-cell write counters accumulated so far.
+    #[inline]
+    pub fn write_counts(&self) -> &[u64] {
+        &self.write_counts
+    }
+
+    /// Endurance statistics over all work cells.
+    pub fn endurance(&self) -> EnduranceStats {
+        EnduranceStats::from_counts(&self.write_counts)
+    }
+
+    fn operand_value(&self, operand: Operand) -> Result<bool, MachineError> {
+        match operand {
+            Operand::Const(v) => Ok(v),
+            Operand::Input(i) => self
+                .inputs
+                .get(i as usize)
+                .copied()
+                .ok_or(MachineError::InputOutOfRange { index: i }),
+            Operand::Ram(addr) => self.cell(addr),
+        }
+    }
+
+    /// Executes a single RM3 instruction: `Z ← ⟨A B̄ Z⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operand references a missing input or an
+    /// unallocated cell.
+    pub fn step(&mut self, instruction: Instruction) -> Result<(), MachineError> {
+        let a = self.operand_value(instruction.a)?;
+        let b = self.operand_value(instruction.b)?;
+        let z = self.cell(instruction.z)?;
+        let not_b = !b;
+        let result = (a & not_b) | (a & z) | (not_b & z);
+        self.cells[instruction.z.index()] = result;
+        self.write_counts[instruction.z.index()] += 1;
+        self.cycles += 1;
+        Ok(())
+    }
+
+    /// Executes a whole program on the given inputs and reads back the
+    /// declared outputs.
+    ///
+    /// The work array is sized to the program's RRAM count and **not**
+    /// cleared between runs (matching real hardware, where cells retain
+    /// their previous values); compiled programs must initialize every cell
+    /// before use. Write counters accumulate across runs, which is exactly
+    /// what an endurance analysis over a workload wants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input count mismatches or an operand is
+    /// invalid.
+    pub fn run(&mut self, program: &Program, inputs: &[bool]) -> Result<Vec<bool>, MachineError> {
+        if inputs.len() != program.num_inputs() {
+            return Err(MachineError::InputCountMismatch {
+                expected: program.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        self.load_inputs(inputs);
+        self.ensure_cells(program.num_rams() as usize);
+        for &instruction in program.instructions() {
+            self.step(instruction)?;
+        }
+        program
+            .outputs()
+            .iter()
+            .map(|(_, loc)| match *loc {
+                OutputLoc::Ram(addr) => self.cell(addr),
+                OutputLoc::Const(v) => Ok(v),
+                OutputLoc::Input {
+                    index,
+                    complemented,
+                } => self
+                    .inputs
+                    .get(index as usize)
+                    .copied()
+                    .map(|v| v ^ complemented)
+                    .ok_or(MachineError::InputOutOfRange { index }),
+            })
+            .collect()
+    }
+
+    /// Runs the program and additionally returns a cycle-by-cycle execution
+    /// trace: the value written by each instruction.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Machine::run`].
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        inputs: &[bool],
+    ) -> Result<(Vec<bool>, Vec<bool>), MachineError> {
+        if inputs.len() != program.num_inputs() {
+            return Err(MachineError::InputCountMismatch {
+                expected: program.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        self.load_inputs(inputs);
+        self.ensure_cells(program.num_rams() as usize);
+        let mut trace = Vec::with_capacity(program.len());
+        for &instruction in program.instructions() {
+            self.step(instruction)?;
+            trace.push(self.cells[instruction.z.index()]);
+        }
+        let outputs = program
+            .outputs()
+            .iter()
+            .map(|(_, loc)| match *loc {
+                OutputLoc::Ram(addr) => self.cell(addr),
+                OutputLoc::Const(v) => Ok(v),
+                OutputLoc::Input {
+                    index,
+                    complemented,
+                } => self
+                    .inputs
+                    .get(index as usize)
+                    .copied()
+                    .map(|v| v ^ complemented)
+                    .ok_or(MachineError::InputOutOfRange { index }),
+            })
+            .collect::<Result<Vec<bool>, MachineError>>()?;
+        Ok((outputs, trace))
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rm3_semantics_exhaustive() {
+        // Z ← ⟨A B̄ Z⟩ for all eight operand combinations.
+        for a in [false, true] {
+            for b in [false, true] {
+                for z in [false, true] {
+                    let mut machine = Machine::new();
+                    machine.ensure_cells(1);
+                    machine.write_cell(RamAddr(0), z);
+                    machine
+                        .step(Instruction::new(
+                            Operand::Const(a),
+                            Operand::Const(b),
+                            RamAddr(0),
+                        ))
+                        .unwrap();
+                    let expected =
+                        (a & !b) | (a & z) | (!b & z);
+                    assert_eq!(machine.cell(RamAddr(0)).unwrap(), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_and_set_idioms() {
+        let mut machine = Machine::new();
+        machine.ensure_cells(1);
+        machine.write_cell(RamAddr(0), true);
+        machine.step(Instruction::reset(RamAddr(0))).unwrap();
+        assert!(!machine.cell(RamAddr(0)).unwrap());
+        machine.step(Instruction::set(RamAddr(0))).unwrap();
+        assert!(machine.cell(RamAddr(0)).unwrap());
+    }
+
+    #[test]
+    fn paper_complement_copy_idiom() {
+        // X ← ī: reset then (1, i, @X): ⟨1 ī 0⟩ = ī.
+        for input in [false, true] {
+            let mut machine = Machine::new();
+            machine.load_inputs(&[input]);
+            machine.ensure_cells(1);
+            machine.step(Instruction::reset(RamAddr(0))).unwrap();
+            machine
+                .step(Instruction::new(
+                    Operand::Const(true),
+                    Operand::Input(0),
+                    RamAddr(0),
+                ))
+                .unwrap();
+            assert_eq!(machine.cell(RamAddr(0)).unwrap(), !input);
+        }
+    }
+
+    #[test]
+    fn paper_copy_idiom() {
+        // X ← v: set X to 1 then (v, 1, @X): ⟨v 0 1⟩ = v.
+        for input in [false, true] {
+            let mut machine = Machine::new();
+            machine.load_inputs(&[input]);
+            machine.ensure_cells(1);
+            machine.step(Instruction::set(RamAddr(0))).unwrap();
+            machine
+                .step(Instruction::new(
+                    Operand::Input(0),
+                    Operand::Const(true),
+                    RamAddr(0),
+                ))
+                .unwrap();
+            assert_eq!(machine.cell(RamAddr(0)).unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn run_checks_input_count() {
+        let p = Program::new(3);
+        let mut machine = Machine::new();
+        let err = machine.run(&p, &[true]).unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::InputCountMismatch { expected: 3, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn step_rejects_unallocated_cell() {
+        let mut machine = Machine::new();
+        let err = machine
+            .step(Instruction::reset(RamAddr(5)))
+            .unwrap_err();
+        assert!(matches!(err, MachineError::AddressOutOfRange { .. }));
+    }
+
+    #[test]
+    fn step_rejects_missing_input() {
+        let mut machine = Machine::new();
+        machine.ensure_cells(1);
+        let err = machine
+            .step(Instruction::new(
+                Operand::Input(2),
+                Operand::Const(false),
+                RamAddr(0),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, MachineError::InputOutOfRange { index: 2 }));
+    }
+
+    #[test]
+    fn write_counts_accumulate() {
+        let mut machine = Machine::new();
+        machine.ensure_cells(2);
+        for _ in 0..5 {
+            machine.step(Instruction::reset(RamAddr(0))).unwrap();
+        }
+        machine.step(Instruction::reset(RamAddr(1))).unwrap();
+        assert_eq!(machine.write_counts()[0], 5);
+        assert_eq!(machine.write_counts()[1], 1);
+        assert_eq!(machine.cycles(), 6);
+        let stats = machine.endurance();
+        assert_eq!(stats.max_writes, 5);
+    }
+
+    #[test]
+    fn traced_run_records_written_values() {
+        let mut p = Program::new(1);
+        p.push(Instruction::reset(RamAddr(0)));
+        p.push(Instruction::new(
+            Operand::Const(true),
+            Operand::Input(0),
+            RamAddr(0),
+        ));
+        p.add_output("f", OutputLoc::Ram(RamAddr(0)));
+        let mut machine = Machine::new();
+        let (outputs, trace) = machine.run_traced(&p, &[false]).unwrap();
+        assert_eq!(outputs, vec![true]); // ī with i = 0
+        assert_eq!(trace, vec![false, true]);
+    }
+
+    #[test]
+    fn output_locations_resolve() {
+        let mut p = Program::new(2);
+        p.push(Instruction::reset(RamAddr(0)));
+        p.add_output("r", OutputLoc::Ram(RamAddr(0)));
+        p.add_output("c", OutputLoc::Const(true));
+        p.add_output(
+            "i",
+            OutputLoc::Input {
+                index: 1,
+                complemented: true,
+            },
+        );
+        let mut machine = Machine::new();
+        let outputs = machine.run(&p, &[false, false]).unwrap();
+        assert_eq!(outputs, vec![false, true, true]);
+    }
+}

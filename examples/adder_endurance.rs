@@ -1,0 +1,64 @@
+//! Endurance analysis: RRAM cells tolerate a bounded number of writes, so
+//! the allocator's reuse policy decides how long the array survives a
+//! workload. This example compiles a 16-bit adder with the FIFO (paper),
+//! LIFO and fresh-only allocators, executes a batch of additions on each,
+//! and compares the wear profiles.
+//!
+//! Run with `cargo run --release -p plim-compiler --example adder_endurance`.
+
+use mig::rewrite::rewrite;
+use plim::Machine;
+use plim_benchmarks::arith::adder;
+use plim_compiler::{compile, AllocatorStrategy, CompilerOptions};
+
+/// A commodity RRAM cell endures ~10^6 writes.
+const CELL_ENDURANCE: u64 = 1_000_000;
+
+fn main() {
+    let mig = rewrite(&adder(16).levelized(), 4);
+
+    println!(
+        "{:<8} {:>6} {:>8} {:>10} {:>10} {:>12} {:>14}",
+        "policy", "#R", "writes", "max/cell", "stddev", "imbalance", "lifetime(runs)"
+    );
+    for (name, strategy) in [
+        ("fifo", AllocatorStrategy::Fifo),
+        ("lifo", AllocatorStrategy::Lifo),
+        ("fresh", AllocatorStrategy::Fresh),
+    ] {
+        let compiled = compile(&mig, CompilerOptions::new().allocator(strategy));
+
+        // Execute a batch of random additions; wear accumulates in the
+        // machine's per-cell write counters.
+        let mut machine = Machine::new();
+        let mut rng = mig::simulate::XorShift64::new(2016);
+        for _ in 0..100 {
+            let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.next_bool()).collect();
+            machine
+                .run(&compiled.program, &inputs)
+                .expect("execution succeeds");
+        }
+        let endurance = machine.endurance();
+        let per_run = endurance.max_writes / 100;
+        println!(
+            "{:<8} {:>6} {:>8} {:>10} {:>10.2} {:>12.2} {:>14}",
+            name,
+            compiled.stats.rams,
+            endurance.total_writes,
+            endurance.max_writes,
+            endurance.stddev_writes,
+            endurance.imbalance(),
+            CELL_ENDURANCE / per_run.max(1),
+        );
+    }
+    println!();
+    println!("fifo/lifo reuse released cells (small #R); fresh never reuses (large #R");
+    println!("but minimal per-cell wear). The lifetime column estimates how many");
+    println!("program executions the array survives at 10^6 writes per cell.");
+    println!();
+    println!("For a fixed program the write pattern is deterministic, so which reuse");
+    println!("policy concentrates wear is circuit-dependent (compare the `max` and");
+    println!("`priority` rows of the ablation harness, where FIFO wins). The paper");
+    println!("adopts FIFO so that across a *varying* workload every cell takes turns");
+    println!("resting — the space/lifetime trade-off is the row to take away here.");
+}

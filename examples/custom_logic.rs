@@ -1,0 +1,51 @@
+//! Working with external logic descriptions: parse an MIG from its textual
+//! interchange format, optimize and compile it, inspect the program, and
+//! export the optimized graph to Graphviz.
+//!
+//! Run with `cargo run -p plim-compiler --example custom_logic`.
+
+use mig::io::{parse_mig, write_mig};
+use mig::rewrite::rewrite;
+use plim_compiler::{compile, verify::verify, CompilerOptions};
+
+/// A 2-bit magnitude comparator (`a > b`) in the MIG text format. The
+/// structure is deliberately AIG-ish with De Morgan inverter pairs —
+/// exactly the redundancy the rewriting pass removes.
+const SOURCE: &str = "
+# 2-bit magnitude comparator: gt = (a1 > b1) or (a1 = b1 and a0 > b0)
+inputs a0 a1 b0 b1
+hi   = maj(0, a1, !b1)     # a1 and not b1
+lo1  = maj(0, !a1, b1)     # b1 and not a1
+eqhi = maj(0, !hi, !lo1)   # a1 = b1 as not(hi) and not(lo1)
+lo   = maj(0, a0, !b0)     # a0 and not b0
+both = maj(0, eqhi, lo)
+gt   = maj(1, hi, both)
+output gt = gt
+";
+
+fn main() {
+    let mig = parse_mig(SOURCE).expect("well-formed MIG source");
+    println!(
+        "parsed {} majority nodes over {} inputs",
+        mig.num_majority_nodes(),
+        mig.num_inputs()
+    );
+
+    let optimized = rewrite(&mig, 4);
+    println!(
+        "after rewriting: {} nodes (round-trip below)",
+        optimized.num_majority_nodes()
+    );
+    print!("{}", write_mig(&optimized));
+
+    let compiled = compile(&optimized, CompilerOptions::new());
+    verify(&optimized, &compiled, 4, 0).expect("compilation is correct");
+    println!(
+        "\ncompiled to {} instructions / {} RRAMs:",
+        compiled.stats.instructions, compiled.stats.rams
+    );
+    print!("{}", compiled.program);
+
+    println!("\nGraphviz of the optimized MIG (pipe into `dot -Tsvg`):");
+    print!("{}", mig::dot::to_dot(&optimized));
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over randomly generated MIGs: rewriting preserves
+//! functions, compilation is correct under every option combination, and
+//! the allocator invariants hold.
+
+use proptest::prelude::*;
+
+use mig::equiv::check_equivalence;
+use mig::rewrite::{
+    pass_associativity, pass_distributivity_rl, pass_inverter_reduce, rewrite,
+};
+use plim_benchmarks::random::{random_arithmetic, random_logic, RandomLogicSpec};
+use plim_compiler::{
+    compile, verify::verify, AllocatorStrategy, CompilerOptions, OperandSelection, ScheduleOrder,
+};
+
+fn spec_strategy() -> impl Strategy<Value = RandomLogicSpec> {
+    (2usize..10, 1usize..8, 10usize..120, any::<u64>())
+        .prop_map(|(inputs, outputs, nodes, seed)| RandomLogicSpec::new(inputs, outputs, nodes, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rewriting_preserves_random_functions(spec in spec_strategy(), effort in 1usize..5) {
+        let mig = random_logic(&spec);
+        let rewritten = rewrite(&mig, effort);
+        prop_assert!(check_equivalence(&mig, &rewritten, 8, spec.seed)
+            .expect("same interface")
+            .holds());
+        prop_assert!(rewritten.num_majority_nodes() <= mig.num_majority_nodes());
+    }
+
+    #[test]
+    fn each_pass_preserves_random_functions(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        let (d, _) = pass_distributivity_rl(&mig);
+        prop_assert!(check_equivalence(&mig, &d, 8, 1).expect("iface").holds());
+        let (a, _) = pass_associativity(&mig);
+        prop_assert!(check_equivalence(&mig, &a, 8, 2).expect("iface").holds());
+        let (i, _) = pass_inverter_reduce(&mig);
+        prop_assert!(check_equivalence(&mig, &i, 8, 3).expect("iface").holds());
+    }
+
+    #[test]
+    fn inverter_pass_reaches_single_complement_form(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        let (once, _) = pass_inverter_reduce(&mig);
+        let (twice, _) = pass_inverter_reduce(&once);
+        for id in twice.majority_ids() {
+            let children = twice.node(id).children().expect("majority");
+            let real = children
+                .iter()
+                .filter(|s| s.is_complemented() && !s.is_constant())
+                .count();
+            prop_assert!(real <= 1, "node {id} keeps {real} complemented children");
+        }
+    }
+
+    #[test]
+    fn compilation_is_correct_on_random_logic(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        let compiled = compile(&mig, CompilerOptions::new());
+        prop_assert!(verify(&mig, &compiled, 2, spec.seed).is_ok());
+    }
+
+    #[test]
+    fn compilation_is_correct_under_all_options(
+        spec in spec_strategy(),
+        schedule_priority: bool,
+        smart_operands: bool,
+        allocator in 0u8..3,
+    ) {
+        let mig = random_logic(&spec);
+        let opts = CompilerOptions::new()
+            .schedule(if schedule_priority { ScheduleOrder::Priority } else { ScheduleOrder::Index })
+            .operands(if smart_operands { OperandSelection::Smart } else { OperandSelection::ChildOrder })
+            .allocator(match allocator {
+                0 => AllocatorStrategy::Fifo,
+                1 => AllocatorStrategy::Lifo,
+                _ => AllocatorStrategy::Fresh,
+            });
+        let compiled = compile(&mig, opts);
+        prop_assert!(verify(&mig, &compiled, 2, spec.seed).is_ok());
+    }
+
+    #[test]
+    fn compilation_is_correct_on_arithmetic(inputs in 4usize..12, seed: u64) {
+        let mig = random_arithmetic(inputs, seed);
+        let rewritten = rewrite(&mig, 2);
+        prop_assert!(check_equivalence(&mig, &rewritten, 8, seed).expect("iface").holds());
+        let compiled = compile(&rewritten, CompilerOptions::new());
+        prop_assert!(verify(&rewritten, &compiled, 2, seed).is_ok());
+    }
+
+    #[test]
+    fn stats_match_program_contents(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        let compiled = compile(&mig, CompilerOptions::new());
+        prop_assert_eq!(compiled.stats.instructions, compiled.program.len());
+        prop_assert_eq!(compiled.stats.rams, compiled.program.num_rams());
+        prop_assert!(compiled.stats.peak_live as u32 <= compiled.stats.rams);
+        // Every instruction writes one cell; static counts must sum to #I.
+        let total: u64 = compiled.static_write_counts().iter().sum();
+        prop_assert_eq!(total as usize, compiled.stats.instructions);
+    }
+
+    #[test]
+    fn fresh_allocator_upper_bounds_reusing_allocators(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        let fifo = compile(&mig, CompilerOptions::new());
+        let lifo = compile(&mig, CompilerOptions::new().allocator(AllocatorStrategy::Lifo));
+        let fresh = compile(&mig, CompilerOptions::new().allocator(AllocatorStrategy::Fresh));
+        prop_assert!(fifo.stats.rams <= fresh.stats.rams);
+        prop_assert!(lifo.stats.rams <= fresh.stats.rams);
+        // Reuse policy cannot change the instruction count.
+        prop_assert_eq!(fifo.stats.instructions, fresh.stats.instructions);
+        prop_assert_eq!(lifo.stats.instructions, fresh.stats.instructions);
+    }
+
+    #[test]
+    fn allocator_never_double_books(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        use plim_compiler::alloc::RramAllocator;
+        let mut alloc = RramAllocator::new(AllocatorStrategy::Fifo);
+        let mut live = Vec::new();
+        for request in ops {
+            if request || live.is_empty() {
+                let addr = alloc.request();
+                prop_assert!(!live.contains(&addr), "double-booked {addr}");
+                live.push(addr);
+            } else {
+                let addr = live.swap_remove(live.len() / 2);
+                alloc.release(addr);
+            }
+            prop_assert_eq!(alloc.num_live(), live.len());
+        }
+    }
+
+    #[test]
+    fn io_roundtrip_on_random_graphs(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        let text = mig::io::write_mig(&mig);
+        let parsed = mig::io::parse_mig(&text).expect("own output parses");
+        prop_assert!(check_equivalence(&mig, &parsed, 8, 9).expect("iface").holds());
+    }
+
+    #[test]
+    fn levelized_preserves_function(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        let levelized = mig.levelized();
+        prop_assert!(check_equivalence(&mig, &levelized, 8, 11).expect("iface").holds());
+        prop_assert_eq!(levelized.num_majority_nodes(), mig.cleaned().num_majority_nodes());
+    }
+}
