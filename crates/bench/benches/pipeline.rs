@@ -1,79 +1,104 @@
-//! Criterion benchmarks for the three pipeline stages: MIG rewriting,
-//! compilation (naive and smart), and PLiM machine execution.
+//! Timed benchmarks for the pipeline stages and the batch driver.
 //!
 //! These measure compiler *throughput* (the paper reports only program
-//! quality, not compile time; a practical compiler needs both).
+//! quality, not compile time; a practical compiler needs both). The harness
+//! is criterion-free so the workspace builds offline (`harness = false`);
+//! each measurement reports the best of `--iters` runs.
+//!
+//! The headline measurement is **serial vs batch** full-suite compilation:
+//! the exact Table 1 workload (three compilations per circuit, one shared
+//! rewrite) run job-by-job on one thread and fanned across cores by
+//! `plim_compiler::batch`. On a ≥ 4-core machine the batch pipeline is
+//! expected to finish the suite ≥ 2× faster; the achieved speedup and the
+//! worker count are printed either way.
+//!
+//! Run with `cargo bench -p plim-bench [-- --full] [-- --iters N]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use mig::rewrite::rewrite;
+use plim_bench::{measure, measure_suite, suite_circuits, Parallelism};
 use plim_benchmarks::suite::{build, Scale};
 use plim_compiler::{compile, CompilerOptions};
 
 const CIRCUITS: [&str; 4] = ["adder", "bar", "voter", "i2c"];
 
-fn bench_rewrite(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rewrite");
+/// Best-of-`iters` wall-clock time of `f`.
+fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters.max(1) {
+        let clock = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(clock.elapsed());
+    }
+    best
+}
+
+fn bench_stages(iters: usize) {
+    println!("── stage benchmarks (reduced scale, best of {iters}) ──");
+    println!(
+        "{:<11} {:>12} {:>14} {:>14} {:>12}",
+        "circuit", "rewrite", "compile naive", "compile smart", "machine run"
+    );
     for name in CIRCUITS {
         let mig = build(name, Scale::Reduced).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mig, |b, mig| {
-            b.iter(|| rewrite(mig, 4));
-        });
-    }
-    group.finish();
-}
-
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
-    for name in CIRCUITS {
-        let mig = rewrite(&build(name, Scale::Reduced).unwrap(), 4);
-        group.bench_with_input(BenchmarkId::new("naive", name), &mig, |b, mig| {
-            b.iter(|| compile(mig, CompilerOptions::naive()));
-        });
-        group.bench_with_input(BenchmarkId::new("smart", name), &mig, |b, mig| {
-            b.iter(|| compile(mig, CompilerOptions::new()));
-        });
-    }
-    group.finish();
-}
-
-fn bench_machine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine");
-    for name in CIRCUITS {
-        let mig = rewrite(&build(name, Scale::Reduced).unwrap(), 4);
-        let compiled = compile(&mig, CompilerOptions::new());
-        let inputs = vec![false; mig.num_inputs()];
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &(compiled, inputs),
-            |b, (compiled, inputs)| {
-                let mut machine = plim::Machine::new();
-                b.iter(|| machine.run(&compiled.program, inputs).unwrap());
-            },
+        let rewritten = rewrite(&mig, 4);
+        let compiled = compile(&rewritten, CompilerOptions::new());
+        let inputs = vec![false; rewritten.num_inputs()];
+        let t_rewrite = best_of(iters, || rewrite(&mig, 4));
+        let t_naive = best_of(iters, || compile(&rewritten, CompilerOptions::naive()));
+        let t_smart = best_of(iters, || compile(&rewritten, CompilerOptions::new()));
+        let mut machine = plim::Machine::new();
+        let t_machine = best_of(iters, || machine.run(&compiled.program, &inputs).unwrap());
+        println!(
+            "{:<11} {:>12.1?} {:>14.1?} {:>14.1?} {:>12.1?}",
+            name, t_rewrite, t_naive, t_smart, t_machine
         );
     }
-    group.finish();
+    println!();
 }
 
-fn bench_full_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    for name in CIRCUITS {
-        let mig = build(name, Scale::Reduced).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mig, |b, mig| {
-            b.iter(|| {
-                let rewritten = rewrite(mig, 4);
-                compile(&rewritten, CompilerOptions::new())
-            });
-        });
+fn bench_suite(scale: Scale, effort: usize, iters: usize) {
+    let circuits = suite_circuits(scale);
+    println!(
+        "── full-suite compilation: serial vs batch ({} circuits, effort {effort}, best of {iters}) ──",
+        circuits.len()
+    );
+
+    let serial = best_of(iters, || {
+        circuits
+            .iter()
+            .map(|c| measure(&c.name, &c.mig, effort))
+            .collect::<Vec<_>>()
+    });
+    let mut workers = 0;
+    let batch = best_of(iters, || {
+        let run = measure_suite(&circuits, effort, Parallelism::Auto);
+        workers = run.report.workers;
+        run
+    });
+
+    let speedup = serial.as_secs_f64() / batch.as_secs_f64().max(f64::EPSILON);
+    println!("serial (1 thread):    {serial:>10.2?}");
+    println!("batch  ({workers} workers):   {batch:>10.2?}");
+    println!("speedup:              {speedup:>10.2}x");
+    if plim_parallel::available_threads() >= 4 && speedup < 2.0 {
+        println!("WARNING: expected ≥ 2x on ≥ 4 cores");
     }
-    group.finish();
+    println!();
 }
 
-criterion_group!(
-    benches,
-    bench_rewrite,
-    bench_compile,
-    bench_machine,
-    bench_full_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let iters = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let scale = if full { Scale::Full } else { Scale::Reduced };
+
+    bench_stages(iters);
+    bench_suite(scale, 4, iters);
+}

@@ -9,39 +9,109 @@
 //!    and LIFO tie on `#R`, but FIFO levels wear across cells (endurance).
 //! 4. **Rewrite effort**: 0–8 cycles (the paper fixes 4).
 //!
-//! Run with `cargo run --release -p plim-bench --bin ablation [--reduced]`.
+//! All four studies are expressed as **one batch job matrix** and executed
+//! through `plim_compiler::batch`: studies 1–3 and the effort-4 column of
+//! study 4 share a single memoized rewrite pass per circuit.
+//!
+//! Run with `cargo run --release -p plim-bench --bin ablation [--reduced]
+//! [--jobs N] [--serial]`.
 
-use mig::rewrite::rewrite;
-use plim_bench::PAPER_EFFORT;
-use plim_benchmarks::suite::{self, Scale};
-use plim_compiler::{compile, AllocatorStrategy, CompilerOptions, OperandSelection};
+use plim_bench::{
+    circuits_named, run_batch, BatchReport, Circuit, JobSpec, Parallelism, RewriteEffort,
+    PAPER_EFFORT,
+};
+use plim_benchmarks::suite::Scale;
+use plim_compiler::{AllocatorStrategy, CompilerOptions, OperandSelection};
 
 /// Benchmarks used for the ablations (a representative, fast subset).
 const CIRCUITS: [&str; 6] = ["adder", "bar", "max", "voter", "i2c", "priority"];
 
-fn main() {
-    let reduced = std::env::args().any(|a| a == "--reduced");
-    let scale = if reduced { Scale::Reduced } else { Scale::Full };
+/// Rewrite efforts of the sweep (the paper fixes 4).
+const EFFORTS: [usize; 5] = [0, 1, 2, 4, 8];
 
-    candidate_selection_ablation(scale);
-    operand_selection_ablation(scale);
-    allocator_ablation(scale);
-    effort_sweep(scale);
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reduced = args.iter().any(|a| a == "--reduced");
+    let scale = if reduced { Scale::Reduced } else { Scale::Full };
+    let jobs = args.iter().position(|a| a == "--jobs").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("ablation: --jobs needs a number");
+                std::process::exit(2);
+            })
+    });
+    let parallelism = if args.iter().any(|a| a == "--serial") {
+        Parallelism::Serial
+    } else {
+        Parallelism::from_jobs(jobs)
+    };
+
+    let circuits = circuits_named(&CIRCUITS, scale);
+    let paper = RewriteEffort::Effort(PAPER_EFFORT);
+
+    // One job matrix for all four studies; sections are sliced back out of
+    // the (deterministically ordered) report below.
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for c in 0..circuits.len() {
+        specs.push(JobSpec::new(c, paper, CompilerOptions::naive()));
+        specs.push(JobSpec::new(c, paper, CompilerOptions::new()));
+    }
+    for c in 0..circuits.len() {
+        specs.push(JobSpec::new(
+            c,
+            paper,
+            CompilerOptions::naive().operands(OperandSelection::ChildOrder),
+        ));
+        specs.push(JobSpec::new(c, paper, CompilerOptions::naive()));
+    }
+    for c in 0..circuits.len() {
+        for strategy in [
+            AllocatorStrategy::Fifo,
+            AllocatorStrategy::Lifo,
+            AllocatorStrategy::Fresh,
+        ] {
+            specs.push(JobSpec::new(
+                c,
+                paper,
+                CompilerOptions::new().allocator(strategy),
+            ));
+        }
+    }
+    for c in 0..circuits.len() {
+        for effort in EFFORTS {
+            specs.push(JobSpec::new(
+                c,
+                RewriteEffort::Effort(effort),
+                CompilerOptions::new(),
+            ));
+        }
+    }
+
+    let report = run_batch(&circuits, &specs, parallelism);
+    let n = circuits.len();
+    let (scheduling, rest) = report.jobs.split_at(2 * n);
+    let (operands, rest) = rest.split_at(2 * n);
+    let (allocators, sweep) = rest.split_at(3 * n);
+
+    candidate_selection_ablation(&circuits, scheduling);
+    operand_selection_ablation(&circuits, operands);
+    allocator_ablation(&circuits, allocators);
+    effort_sweep(&circuits, sweep, &report);
+    println!("batch: {}", report.summary());
 }
 
-fn candidate_selection_ablation(scale: Scale) {
+fn candidate_selection_ablation(circuits: &[Circuit], jobs: &[plim_bench::JobResult]) {
     println!("═══ Ablation 1: candidate selection (scheduling) — #R on rewritten MIGs ═══");
     println!(
         "{:<11} {:>10} {:>10} {:>9}",
         "Benchmark", "index #R", "priority #R", "impr."
     );
-    for name in CIRCUITS {
-        let mig = rewrite(&suite::build(name, scale).unwrap(), PAPER_EFFORT);
-        let index = compile(&mig, CompilerOptions::naive());
-        let priority = compile(&mig, CompilerOptions::new());
+    for (c, pair) in jobs.chunks(2).enumerate() {
+        let (index, priority) = (&pair[0].compiled, &pair[1].compiled);
         println!(
             "{:<11} {:>10} {:>10} {:>8.2}%",
-            name,
+            circuits[c].name,
             index.stats.rams,
             priority.stats.rams,
             improvement(index.stats.rams as usize, priority.stats.rams as usize),
@@ -50,22 +120,17 @@ fn candidate_selection_ablation(scale: Scale) {
     println!();
 }
 
-fn operand_selection_ablation(scale: Scale) {
+fn operand_selection_ablation(circuits: &[Circuit], jobs: &[plim_bench::JobResult]) {
     println!("═══ Ablation 2: operand selection (translation) — #I on rewritten MIGs ═══");
     println!(
         "{:<11} {:>12} {:>10} {:>9}",
         "Benchmark", "child-order", "smart #I", "impr."
     );
-    for name in CIRCUITS {
-        let mig = rewrite(&suite::build(name, scale).unwrap(), PAPER_EFFORT);
-        let fixed = compile(
-            &mig,
-            CompilerOptions::naive().operands(OperandSelection::ChildOrder),
-        );
-        let smart = compile(&mig, CompilerOptions::naive());
+    for (c, pair) in jobs.chunks(2).enumerate() {
+        let (fixed, smart) = (&pair[0].compiled, &pair[1].compiled);
         println!(
             "{:<11} {:>12} {:>10} {:>8.2}%",
-            name,
+            circuits[c].name,
             fixed.stats.instructions,
             smart.stats.instructions,
             improvement(fixed.stats.instructions, smart.stats.instructions),
@@ -74,25 +139,26 @@ fn operand_selection_ablation(scale: Scale) {
     println!();
 }
 
-fn allocator_ablation(scale: Scale) {
+fn allocator_ablation(circuits: &[Circuit], jobs: &[plim_bench::JobResult]) {
     println!("═══ Ablation 3: allocator strategy — #R and endurance (max writes/cell) ═══");
     println!(
         "{:<11} {:>8} {:>8} {:>8} {:>10} {:>10}",
         "Benchmark", "fifo #R", "lifo #R", "fresh #R", "fifo max-w", "lifo max-w"
     );
-    for name in CIRCUITS {
-        let mig = rewrite(&suite::build(name, scale).unwrap(), PAPER_EFFORT);
-        let run = |strategy| {
-            let compiled = compile(&mig, CompilerOptions::new().allocator(strategy));
-            let endurance = compiled.static_endurance();
-            (compiled.stats.rams, endurance.max_writes)
-        };
-        let (fifo_r, fifo_w) = run(AllocatorStrategy::Fifo);
-        let (lifo_r, lifo_w) = run(AllocatorStrategy::Lifo);
-        let (fresh_r, _) = run(AllocatorStrategy::Fresh);
+    for (c, triple) in jobs.chunks(3).enumerate() {
+        let (fifo, lifo, fresh) = (
+            &triple[0].compiled,
+            &triple[1].compiled,
+            &triple[2].compiled,
+        );
         println!(
             "{:<11} {:>8} {:>8} {:>8} {:>10} {:>10}",
-            name, fifo_r, lifo_r, fresh_r, fifo_w, lifo_w
+            circuits[c].name,
+            fifo.stats.rams,
+            lifo.stats.rams,
+            fresh.stats.rams,
+            fifo.static_endurance().max_writes,
+            lifo.static_endurance().max_writes,
         );
     }
     println!("(FIFO and LIFO reuse cells equally well; the max-writes columns show");
@@ -101,31 +167,37 @@ fn allocator_ablation(scale: Scale) {
     println!();
 }
 
-fn effort_sweep(scale: Scale) {
+fn effort_sweep(circuits: &[Circuit], jobs: &[plim_bench::JobResult], report: &BatchReport) {
     println!("═══ Ablation 4: rewrite effort sweep — #N / #I after k cycles ═══");
     print!("{:<11}", "Benchmark");
-    for effort in [0usize, 1, 2, 4, 8] {
+    for effort in EFFORTS {
         print!(" {:>14}", format!("effort {effort}"));
     }
     println!();
-    for name in CIRCUITS {
-        let mig = suite::build(name, scale).unwrap();
-        print!("{:<11}", name);
-        for effort in [0usize, 1, 2, 4, 8] {
-            let rewritten = rewrite(&mig, effort);
-            let compiled = compile(&rewritten, CompilerOptions::new());
+    let rewritten_nodes = |circuit: usize, effort: usize| {
+        report
+            .rewrites
+            .iter()
+            .find(|pass| pass.circuit == circuit && pass.effort == effort)
+            .expect("sweep jobs rewrite every (circuit, effort)")
+            .nodes
+    };
+    for (c, row) in jobs.chunks(EFFORTS.len()).enumerate() {
+        print!("{:<11}", circuits[c].name);
+        for (job, effort) in row.iter().zip(EFFORTS) {
             print!(
                 " {:>14}",
                 format!(
                     "{}/{}",
-                    rewritten.num_majority_nodes(),
-                    compiled.stats.instructions
+                    rewritten_nodes(c, effort),
+                    job.compiled.stats.instructions
                 )
             );
         }
         println!();
     }
     println!("(the paper fixes effort = 4; the sweep shows where returns diminish)");
+    println!();
 }
 
 fn improvement(old: usize, new: usize) -> f64 {

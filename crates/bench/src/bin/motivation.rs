@@ -46,7 +46,10 @@ fn fig3b() -> Mig {
 
 fn show(title: &str, mig: &Mig, options: CompilerOptions) {
     let compiled = compile(mig, options);
-    println!("── {title}: {} instructions, {} RRAMs", compiled.stats.instructions, compiled.stats.rams);
+    println!(
+        "── {title}: {} instructions, {} RRAMs",
+        compiled.stats.instructions, compiled.stats.rams
+    );
     print!("{}", compiled.program);
     println!();
 }
@@ -55,11 +58,17 @@ fn main() {
     println!("═══ Fig. 3(a): effect of MIG rewriting ═══\n");
     let before = fig3a();
     let after = rewrite(&before, 4);
-    show("before rewriting (naive translation)", &before, CompilerOptions::naive());
-    show("after rewriting  (naive translation)", &after, CompilerOptions::naive());
-    println!(
-        "paper reference: 6 → 4 instructions, 2 → 1 RRAMs\n"
+    show(
+        "before rewriting (naive translation)",
+        &before,
+        CompilerOptions::naive(),
     );
+    show(
+        "after rewriting  (naive translation)",
+        &after,
+        CompilerOptions::naive(),
+    );
+    println!("paper reference: 6 → 4 instructions, 2 → 1 RRAMs\n");
 
     println!("═══ Fig. 3(b): effect of translation order and operand selection ═══\n");
     let mig = fig3b();
@@ -70,7 +79,11 @@ fn main() {
             .schedule(ScheduleOrder::Index)
             .operands(OperandSelection::ChildOrder),
     );
-    show("smart: priority order, case-based selection", &mig, CompilerOptions::new());
+    show(
+        "smart: priority order, case-based selection",
+        &mig,
+        CompilerOptions::new(),
+    );
     println!("paper reference: 19 → 15 instructions, 7 → 4 RRAMs");
     println!("(the naive count differs from the paper's 19 because this library");
     println!(" canonically sorts node children, while the paper's fixed-slot naive");

@@ -1,33 +1,52 @@
 //! Regenerates the paper's Table 1: naive translation vs MIG rewriting vs
-//! rewriting + smart compilation, over all 18 benchmark-suite circuits.
+//! rewriting + smart compilation, over all 18 benchmark-suite circuits,
+//! batch-compiled across CPU cores (per circuit, the naive and smart
+//! variants share one rewrite pass).
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p plim-bench --bin table1 [--reduced] [--effort N] [--verify]
+//! cargo run --release -p plim-bench --bin table1 [--reduced] [--effort N]
+//!                                                [--jobs N] [--serial] [--verify]
 //! ```
 //!
 //! `--reduced` builds the small test-scale circuits (fast); the default
-//! full scale matches the paper's interfaces. `--verify` additionally
-//! executes every compiled program on the PLiM machine simulator against
-//! MIG simulation (slower).
+//! full scale matches the paper's interfaces. `--jobs N` caps the worker
+//! threads and `--serial` disables parallelism entirely (the output rows
+//! are identical either way — scheduling only changes the wall clock).
+//! `--verify` additionally executes every compiled program on the PLiM
+//! machine simulator against MIG simulation (slower).
 
-use std::time::Instant;
+use plim_bench::{
+    format_row, measure_suite, suite_circuits, table_header, Parallelism, PAPER_EFFORT,
+};
+use plim_benchmarks::suite::Scale;
+use plim_compiler::verify::verify;
 
-use plim_bench::{format_row, measure, table_header, totals, MeasuredRow, PAPER_EFFORT};
-use plim_benchmarks::suite::{self, Scale};
-use plim_compiler::{compile, verify::verify, CompilerOptions};
+/// Parses the value following `flag`, exiting with an error on a missing or
+/// unparsable value (matching `plimc bench` rather than silently falling
+/// back to a default).
+fn value_of(args: &[String], flag: &str) -> Option<usize> {
+    let index = args.iter().position(|a| a == flag)?;
+    match args.get(index + 1).map(|v| v.parse()) {
+        Some(Ok(value)) => Some(value),
+        _ => {
+            eprintln!("{}: {flag} needs a number", env!("CARGO_BIN_NAME"));
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let reduced = args.iter().any(|a| a == "--reduced");
     let run_verify = args.iter().any(|a| a == "--verify");
-    let effort = args
-        .iter()
-        .position(|a| a == "--effort")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(PAPER_EFFORT);
+    let effort = value_of(&args, "--effort").unwrap_or(PAPER_EFFORT);
+    let parallelism = if args.iter().any(|a| a == "--serial") {
+        Parallelism::Serial
+    } else {
+        Parallelism::from_jobs(value_of(&args, "--jobs"))
+    };
     let scale = if reduced { Scale::Reduced } else { Scale::Full };
 
     println!(
@@ -36,26 +55,30 @@ fn main() {
     );
     println!("{}", table_header());
 
-    let mut rows: Vec<MeasuredRow> = Vec::new();
-    for name in suite::ALL {
-        let start = Instant::now();
-        let mig = suite::build(name, scale).expect("known benchmark");
-        let row = measure(name, &mig, effort);
-        println!("{}   [{:.1?}]", format_row(&row), start.elapsed());
-        if run_verify {
-            let rewritten = mig::rewrite::rewrite(&mig, effort);
-            let compiled = compile(&rewritten, CompilerOptions::new());
-            verify(&rewritten, &compiled, 4, 0xDAC).expect("compiled program must match");
+    let circuits = suite_circuits(scale);
+    let run = measure_suite(&circuits, effort, parallelism);
+    for (index, row) in run.rows.iter().enumerate() {
+        println!("{}   [{:.1?}]", format_row(row), run.row_time(index));
+    }
+    if run_verify {
+        // Verify the smart-compiled program the batch actually produced
+        // (job 3 of each circuit's triple) against the *original* MIG:
+        // rewriting preserves the function, so this checks the rewrite and
+        // the compilation in one pass without recomputing either.
+        for (index, circuit) in circuits.iter().enumerate() {
+            let compiled = &run.report.jobs[index * 3 + 2].compiled;
+            verify(&circuit.mig, compiled, 4, 0xDAC).expect("compiled program must match");
         }
-        rows.push(row);
     }
 
     println!("{}", "-".repeat(132));
-    println!("{}", format_row(&totals(&rows)));
+    println!("{}", format_row(&plim_bench::totals(&run.rows)));
+    println!();
+    println!("batch: {}", run.report.summary());
 
     println!();
     println!("Paper Σ reference: rewriting #I −20.09% #R −14.83%; rewriting+compilation #I −19.95% #R −61.40%");
-    let sum = totals(&rows);
+    let sum = plim_bench::totals(&run.rows);
     println!(
         "Measured Σ:        rewriting #I {:+.2}% #R {:+.2}%; rewriting+compilation #I {:+.2}% #R {:+.2}%",
         -sum.rewrite_instr_impr(),

@@ -4,207 +4,79 @@
 //! experimental artifacts:
 //!
 //! * `table1` — the full Table 1 (naive | MIG rewriting | rewriting +
-//!   compilation) over the benchmark suite;
+//!   compilation) over the benchmark suite, batch-compiled across cores;
 //! * `motivation` — the §3 example programs (Fig. 3a/3b);
 //! * `ablation` — candidate-selection, allocator-strategy and
-//!   rewrite-effort ablations.
+//!   rewrite-effort ablations, batch-compiled across cores.
+//!
+//! The measurement vocabulary ([`Point`], [`MeasuredRow`], [`measure`],
+//! [`measure_suite`]) and the parallel driver live in
+//! [`plim_compiler::batch`]; this crate re-exports them and adds the
+//! suite-loading glue.
 
-use mig::analysis::improvement_percent;
-use mig::rewrite::rewrite;
-use mig::Mig;
-use plim_compiler::{compile, CompiledProgram, CompilerOptions};
+pub use plim_compiler::batch::{
+    format_row, measure, measure_suite, run_batch, table_header, totals, BatchReport, Circuit,
+    JobResult, JobSpec, MeasuredRow, Point, RewriteEffort, RewritePass, SuiteRun, PAPER_EFFORT,
+};
+pub use plim_parallel::Parallelism;
 
-/// Rewrite effort used throughout the evaluation (the paper fixes 4).
-pub const PAPER_EFFORT: usize = 4;
+use plim_benchmarks::suite::{self, Scale};
 
-/// Measured `(#N, #I, #R)` of one compilation mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Point {
-    /// MIG majority nodes translated.
-    pub nodes: usize,
-    /// RM3 instructions.
-    pub instructions: usize,
-    /// Work RRAMs.
-    pub rams: usize,
+/// Builds every Table 1 benchmark as a batch [`Circuit`], in the paper's
+/// row order.
+pub fn suite_circuits(scale: Scale) -> Vec<Circuit> {
+    suite::ALL
+        .iter()
+        .map(|&name| Circuit::new(name, suite::build(name, scale).expect("known benchmark")))
+        .collect()
 }
 
-impl From<&CompiledProgram> for Point {
-    fn from(compiled: &CompiledProgram) -> Self {
-        Point {
-            nodes: compiled.stats.mig_nodes,
-            instructions: compiled.stats.instructions,
-            rams: compiled.stats.rams as usize,
-        }
-    }
-}
-
-/// One measured row of Table 1.
-#[derive(Debug, Clone)]
-pub struct MeasuredRow {
-    /// Benchmark name.
-    pub name: String,
-    /// Primary inputs of the built circuit.
-    pub pi: usize,
-    /// Primary outputs.
-    pub po: usize,
-    /// Naive translation of the initial (unoptimized) MIG.
-    pub naive: Point,
-    /// Naive translation after MIG rewriting.
-    pub rewritten: Point,
-    /// Smart compilation after MIG rewriting.
-    pub compiled: Point,
-}
-
-impl MeasuredRow {
-    /// Instruction improvement of rewriting over naive, in percent.
-    pub fn rewrite_instr_impr(&self) -> f64 {
-        improvement_percent(self.naive.instructions, self.rewritten.instructions)
-    }
-
-    /// RRAM improvement of rewriting over naive, in percent.
-    pub fn rewrite_ram_impr(&self) -> f64 {
-        improvement_percent(self.naive.rams, self.rewritten.rams)
-    }
-
-    /// Instruction improvement of rewriting + compilation over naive.
-    pub fn compiled_instr_impr(&self) -> f64 {
-        improvement_percent(self.naive.instructions, self.compiled.instructions)
-    }
-
-    /// RRAM improvement of rewriting + compilation over naive.
-    pub fn compiled_ram_impr(&self) -> f64 {
-        improvement_percent(self.naive.rams, self.compiled.rams)
-    }
-}
-
-/// Runs the full paper pipeline on one circuit: naive compilation of the
-/// initial MIG, rewriting (at `effort`), naive compilation of the rewritten
-/// MIG, and smart compilation of the rewritten MIG.
-pub fn measure(name: &str, mig: &Mig, effort: usize) -> MeasuredRow {
-    let naive = compile(mig, CompilerOptions::naive());
-    let rewritten_mig = rewrite(mig, effort);
-    let rewritten = compile(&rewritten_mig, CompilerOptions::naive());
-    let smart = compile(&rewritten_mig, CompilerOptions::new());
-    MeasuredRow {
-        name: name.to_string(),
-        pi: mig.num_inputs(),
-        po: mig.num_outputs(),
-        naive: Point::from(&naive),
-        rewritten: Point::from(&rewritten),
-        compiled: Point::from(&smart),
-    }
-}
-
-/// Accumulates the Σ row over measured rows.
-pub fn totals(rows: &[MeasuredRow]) -> MeasuredRow {
-    let zero = Point {
-        nodes: 0,
-        instructions: 0,
-        rams: 0,
-    };
-    let mut sum = MeasuredRow {
-        name: "Σ".to_string(),
-        pi: 0,
-        po: 0,
-        naive: zero,
-        rewritten: zero,
-        compiled: zero,
-    };
-    for row in rows {
-        sum.pi += row.pi;
-        sum.po += row.po;
-        for (acc, point) in [
-            (&mut sum.naive, &row.naive),
-            (&mut sum.rewritten, &row.rewritten),
-            (&mut sum.compiled, &row.compiled),
-        ] {
-            acc.nodes += point.nodes;
-            acc.instructions += point.instructions;
-            acc.rams += point.rams;
-        }
-    }
-    sum
-}
-
-/// Formats one row in the paper's Table 1 layout.
-pub fn format_row(row: &MeasuredRow) -> String {
-    format!(
-        "{:<11} {:>4}/{:<4} | {:>7} {:>8} {:>6} | {:>7} {:>8} {:>7.2}% {:>6} {:>7.2}% | {:>8} {:>7.2}% {:>6} {:>7.2}%",
-        row.name,
-        row.pi,
-        row.po,
-        row.naive.nodes,
-        row.naive.instructions,
-        row.naive.rams,
-        row.rewritten.nodes,
-        row.rewritten.instructions,
-        row.rewrite_instr_impr(),
-        row.rewritten.rams,
-        row.rewrite_ram_impr(),
-        row.compiled.instructions,
-        row.compiled_instr_impr(),
-        row.compiled.rams,
-        row.compiled_ram_impr(),
-    )
-}
-
-/// The table header matching [`format_row`].
-pub fn table_header() -> String {
-    format!(
-        "{:<11} {:>4}/{:<4} | {:>7} {:>8} {:>6} | {:>7} {:>8} {:>8} {:>6} {:>8} | {:>8} {:>8} {:>6} {:>8}\n{}",
-        "Benchmark",
-        "PI",
-        "PO",
-        "#N",
-        "#I",
-        "#R",
-        "#N",
-        "#I",
-        "impr.",
-        "#R",
-        "impr.",
-        "#I",
-        "impr.",
-        "#R",
-        "impr.",
-        "-".repeat(132)
-    )
+/// Builds a named subset of the suite as batch [`Circuit`]s.
+///
+/// # Panics
+///
+/// Panics if a name is not a Table 1 benchmark.
+pub fn circuits_named(names: &[&str], scale: Scale) -> Vec<Circuit> {
+    names
+        .iter()
+        .map(|&name| Circuit::new(name, suite::build(name, scale).expect("known benchmark")))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plim_benchmarks::suite::{build, Scale};
 
     #[test]
-    fn measure_produces_consistent_points() {
-        let mig = build("adder", Scale::Reduced).unwrap();
-        let row = measure("adder", &mig, 2);
-        assert_eq!(row.pi, 16);
-        assert_eq!(row.po, 9);
-        assert!(row.naive.instructions >= row.naive.nodes);
-        assert!(row.rewritten.nodes <= row.naive.nodes);
-        // Rewriting must pay off on the AOIG-style adder.
-        assert!(row.rewrite_instr_impr() > 0.0);
-        assert!(row.compiled.instructions <= row.rewritten.instructions);
+    fn suite_circuits_cover_all_rows() {
+        let circuits = suite_circuits(Scale::Reduced);
+        assert_eq!(circuits.len(), suite::ALL.len());
+        for (circuit, &name) in circuits.iter().zip(suite::ALL.iter()) {
+            assert_eq!(circuit.name, name);
+            assert!(circuit.mig.num_majority_nodes() > 0, "{name} is empty");
+        }
     }
 
     #[test]
-    fn totals_accumulate() {
-        let mig = build("dec", Scale::Reduced).unwrap();
-        let row = measure("dec", &mig, 1);
-        let sum = totals(&[row.clone(), row.clone()]);
-        assert_eq!(sum.naive.instructions, 2 * row.naive.instructions);
-        assert_eq!(sum.pi, 2 * row.pi);
+    fn named_subset_preserves_order() {
+        let circuits = circuits_named(&["voter", "adder"], Scale::Reduced);
+        assert_eq!(circuits[0].name, "voter");
+        assert_eq!(circuits[1].name, "adder");
     }
 
     #[test]
-    fn formatting_has_fixed_shape() {
-        let mig = build("ctrl", Scale::Reduced).unwrap();
-        let row = measure("ctrl", &mig, 1);
-        let line = format_row(&row);
-        assert!(line.contains('|'));
-        assert!(line.contains('%'));
-        assert!(table_header().contains("Benchmark"));
+    fn reexported_measure_matches_suite_pipeline() {
+        let circuits = circuits_named(&["ctrl", "dec"], Scale::Reduced);
+        let suite_run = measure_suite(&circuits, 1, Parallelism::Auto);
+        for circuit in &circuits {
+            let serial = measure(&circuit.name, &circuit.mig, 1);
+            let batched = suite_run
+                .rows
+                .iter()
+                .find(|row| row.name == circuit.name)
+                .unwrap();
+            assert_eq!(format_row(&serial), format_row(batched));
+        }
+        assert_eq!(suite_run.report.jobs.len(), 6);
     }
 }

@@ -90,12 +90,12 @@ pub fn random_logic(spec: &RandomLogicSpec) -> Mig {
 
     // One random gate over the chosen child indices.
     let add_gate = |mig: &mut Mig,
-                        rng: &mut Rng,
-                        pool: &mut Vec<Signal>,
-                        sigs: &mut Vec<u64>,
-                        ia: usize,
-                        ib: usize,
-                        ic: Option<usize>| {
+                    rng: &mut Rng,
+                    pool: &mut Vec<Signal>,
+                    sigs: &mut Vec<u64>,
+                    ia: usize,
+                    ib: usize,
+                    ic: Option<usize>| {
         let ca = rng.chance(40);
         let cb = rng.chance(40);
         let a = pool[ia].complement_if(ca);
@@ -122,7 +122,11 @@ pub fn random_logic(spec: &RandomLogicSpec) -> Mig {
             }
         };
         if !result.is_constant() {
-            let word = if result.is_complemented() { !word } else { word };
+            let word = if result.is_complemented() {
+                !word
+            } else {
+                word
+            };
             pool.push(result.regular());
             sigs.push(word);
         }
@@ -134,7 +138,11 @@ pub fn random_logic(spec: &RandomLogicSpec) -> Mig {
         let n = pool.len();
         let ia = rng.below(n);
         let ib = rng.below(n);
-        let ic = if rng.chance(15) { Some(rng.below(n)) } else { None };
+        let ic = if rng.chance(15) {
+            Some(rng.below(n))
+        } else {
+            None
+        };
         add_gate(&mut mig, &mut rng, &mut pool, &mut sigs, ia, ib, ic);
     }
     let globals = pool.len();
@@ -142,9 +150,10 @@ pub fn random_logic(spec: &RandomLogicSpec) -> Mig {
     // Phase 2: modules. Each module draws mostly from its own slice of the
     // pool (locality), sometimes from the globals, and drives a slice of
     // the outputs from its tail.
-    let modules = (spec.outputs / 12).max(1).min(spec.outputs.max(1)).max(
-        if spec.outputs >= 16 { 16 } else { 1 },
-    );
+    let modules = (spec.outputs / 12)
+        .max(1)
+        .min(spec.outputs.max(1))
+        .max(if spec.outputs >= 16 { 16 } else { 1 });
     let per_module = (spec.nodes.saturating_sub(global_nodes) / modules).max(1);
     let mut outputs: Vec<Signal> = Vec::with_capacity(spec.outputs);
     for m in 0..modules {
@@ -164,7 +173,11 @@ pub fn random_logic(spec: &RandomLogicSpec) -> Mig {
             };
             let ia = pick(&mut rng);
             let ib = pick(&mut rng);
-            let ic = if rng.chance(15) { Some(pick(&mut rng)) } else { None };
+            let ic = if rng.chance(15) {
+                Some(pick(&mut rng))
+            } else {
+                None
+            };
             add_gate(&mut mig, &mut rng, &mut pool, &mut sigs, ia, ib, ic);
         }
         // This module's outputs: drawn from its own tail.

@@ -80,7 +80,7 @@ pub fn sin(bits: usize) -> Mig {
     // use C1 = 0.785398… (π/4) and C3 = 0.322982… (π³/96·/2?) — the exact
     // constants are irrelevant for circuit structure; they are encoded as
     // fixed-point constant multiplications (shift-and-add).
-    let c1x = const_multiply(&mut mig, &x, 0.785_398_163);
+    let c1x = const_multiply(&mut mig, &x, std::f64::consts::FRAC_PI_4);
     let c3x3 = const_multiply(&mut mig, &xxx, 0.322_982_049);
     let (diff, borrow) = word::ripple_sub(&mut mig, &c1x, &c3x3);
     for (i, &d) in diff.iter().enumerate() {
@@ -196,7 +196,7 @@ mod tests {
         for x in (0..256u64).step_by(17) {
             let out = (eval(&mig, x) & 0xFF) as f64 / 256.0;
             let xf = x as f64 / 256.0;
-            let reference = xf * (0.785_398_163 - 0.322_982_049 * xf * xf);
+            let reference = xf * (std::f64::consts::FRAC_PI_4 - 0.322_982_049 * xf * xf);
             assert!(
                 (out - reference).abs() < 0.05,
                 "sin({xf}) ≈ {reference}, circuit gave {out}"

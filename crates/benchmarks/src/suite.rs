@@ -75,11 +75,46 @@ pub fn paper_row(name: &str) -> Option<PaperRow> {
         compiled,
     };
     Some(match name {
-        "adder" => row("adder", 256, 129, (1020, 2844, 512), (1020, 2037, 386), (1911, 259)),
-        "bar" => row("bar", 135, 128, (3336, 8136, 523), (3240, 5895, 371), (6011, 332)),
-        "div" => row("div", 128, 128, (57247, 146617, 687), (50841, 147026, 771), (147608, 590)),
-        "log2" => row("log2", 32, 32, (32060, 78885, 1597), (31419, 60402, 1487), (60184, 1256)),
-        "max" => row("max", 512, 130, (2865, 6731, 1021), (2845, 5092, 867), (4996, 579)),
+        "adder" => row(
+            "adder",
+            256,
+            129,
+            (1020, 2844, 512),
+            (1020, 2037, 386),
+            (1911, 259),
+        ),
+        "bar" => row(
+            "bar",
+            135,
+            128,
+            (3336, 8136, 523),
+            (3240, 5895, 371),
+            (6011, 332),
+        ),
+        "div" => row(
+            "div",
+            128,
+            128,
+            (57247, 146617, 687),
+            (50841, 147026, 771),
+            (147608, 590),
+        ),
+        "log2" => row(
+            "log2",
+            32,
+            32,
+            (32060, 78885, 1597),
+            (31419, 60402, 1487),
+            (60184, 1256),
+        ),
+        "max" => row(
+            "max",
+            512,
+            130,
+            (2865, 6731, 1021),
+            (2845, 5092, 867),
+            (4996, 579),
+        ),
         "multiplier" => row(
             "multiplier",
             128,
@@ -88,8 +123,22 @@ pub fn paper_row(name: &str) -> Option<PaperRow> {
             (26951, 56428, 1672),
             (56009, 419),
         ),
-        "sin" => row("sin", 24, 25, (5416, 12479, 438), (5344, 10300, 426), (10223, 402)),
-        "sqrt" => row("sqrt", 128, 64, (24618, 60691, 375), (22351, 47454, 433), (49782, 323)),
+        "sin" => row(
+            "sin",
+            24,
+            25,
+            (5416, 12479, 438),
+            (5344, 10300, 426),
+            (10223, 402),
+        ),
+        "sqrt" => row(
+            "sqrt",
+            128,
+            64,
+            (24618, 60691, 375),
+            (22351, 47454, 433),
+            (49782, 323),
+        ),
         "square" => row(
             "square",
             64,
@@ -98,11 +147,32 @@ pub fn paper_row(name: &str) -> Option<PaperRow> {
             (18085, 33625, 3247),
             (33369, 452),
         ),
-        "cavlc" => row("cavlc", 10, 11, (693, 1919, 262), (691, 1146, 236), (1124, 102)),
+        "cavlc" => row(
+            "cavlc",
+            10,
+            11,
+            (693, 1919, 262),
+            (691, 1146, 236),
+            (1124, 102),
+        ),
         "ctrl" => row("ctrl", 7, 26, (174, 499, 66), (156, 258, 55), (263, 39)),
         "dec" => row("dec", 8, 256, (304, 822, 257), (304, 783, 257), (777, 258)),
-        "i2c" => row("i2c", 147, 142, (1342, 3314, 545), (1311, 2119, 487), (2028, 234)),
-        "int2float" => row("int2float", 11, 7, (260, 648, 99), (257, 432, 83), (428, 41)),
+        "i2c" => row(
+            "i2c",
+            147,
+            142,
+            (1342, 3314, 545),
+            (1311, 2119, 487),
+            (2028, 234),
+        ),
+        "int2float" => row(
+            "int2float",
+            11,
+            7,
+            (260, 648, 99),
+            (257, 432, 83),
+            (428, 41),
+        ),
         "mem_ctrl" => row(
             "mem_ctrl",
             1204,
@@ -111,9 +181,30 @@ pub fn paper_row(name: &str) -> Option<PaperRow> {
             (46519, 85785, 6708),
             (84963, 2223),
         ),
-        "priority" => row("priority", 128, 8, (978, 2461, 315), (977, 2126, 241), (2147, 149)),
-        "router" => row("router", 60, 30, (257, 503, 117), (257, 407, 112), (401, 64)),
-        "voter" => row("voter", 1001, 1, (13758, 38002, 1749), (12992, 25009, 1544), (24990, 1063)),
+        "priority" => row(
+            "priority",
+            128,
+            8,
+            (978, 2461, 315),
+            (977, 2126, 241),
+            (2147, 149),
+        ),
+        "router" => row(
+            "router",
+            60,
+            30,
+            (257, 503, 117),
+            (257, 407, 112),
+            (401, 64),
+        ),
+        "voter" => row(
+            "voter",
+            1001,
+            1,
+            (13758, 38002, 1749),
+            (12992, 25009, 1544),
+            (24990, 1063),
+        ),
         _ => return None,
     })
 }

@@ -279,7 +279,10 @@ pub fn divide_restoring(
 ///
 /// Panics if the input width is odd.
 pub fn isqrt_restoring(mig: &mut Mig, x: &[Signal]) -> Vec<Signal> {
-    assert!(x.len() % 2 == 0, "isqrt_restoring requires an even width");
+    assert!(
+        x.len().is_multiple_of(2),
+        "isqrt_restoring requires an even width"
+    );
     let n = x.len() / 2;
     let width = n + 2;
     let mut remainder = constant_word(0, width);
@@ -434,7 +437,7 @@ mod tests {
     #[test]
     fn popcount_counts() {
         for pattern in 0..128u64 {
-            let got = eval_word(7, pattern, |mig, pis| popcount(mig, pis));
+            let got = eval_word(7, pattern, popcount);
             assert_eq!(got, u64::from(pattern.count_ones()), "{pattern:#b}");
         }
     }
@@ -470,7 +473,7 @@ mod tests {
     #[test]
     fn isqrt_is_exact() {
         for x in 0..64u64 {
-            let got = eval_word(6, x, |mig, pis| isqrt_restoring(mig, pis));
+            let got = eval_word(6, x, isqrt_restoring);
             assert_eq!(got, (x as f64).sqrt().floor() as u64, "isqrt({x})");
         }
     }
@@ -480,7 +483,7 @@ mod tests {
         for value in [0b0001u64, 0b1010, 0b1111, 0b0110] {
             for amount in 0..4u64 {
                 let got = eval_word(6, value | amount << 4, |mig, pis| {
-                    rotate_left_barrel(mig, &pis[..4].to_vec(), &pis[4..])
+                    rotate_left_barrel(mig, &pis[..4], &pis[4..])
                 });
                 let expected = ((value << amount) | (value >> (4 - amount))) & 0xF;
                 assert_eq!(got, expected & 0xF, "rot({value:#b}, {amount})");
@@ -493,11 +496,11 @@ mod tests {
         for value in [0b1011u64, 0b0110] {
             for amount in 0..4u64 {
                 let right = eval_word(6, value | amount << 4, |mig, pis| {
-                    shift_right_barrel(mig, &pis[..4].to_vec(), &pis[4..])
+                    shift_right_barrel(mig, &pis[..4], &pis[4..])
                 });
                 assert_eq!(right, value >> amount);
                 let left = eval_word(6, value | amount << 4, |mig, pis| {
-                    shift_left_barrel(mig, &pis[..4].to_vec(), &pis[4..])
+                    shift_left_barrel(mig, &pis[..4], &pis[4..])
                 });
                 assert_eq!(left, (value << amount) & 0xF);
             }
@@ -529,7 +532,7 @@ mod tests {
     #[test]
     fn decoder_is_one_hot() {
         for sel in 0..8u64 {
-            let got = eval_word(3, sel, |mig, pis| decode(mig, pis));
+            let got = eval_word(3, sel, decode);
             assert_eq!(got, 1 << sel, "decode({sel})");
         }
     }
@@ -537,11 +540,11 @@ mod tests {
     #[test]
     fn mux_selects() {
         let got_t = eval_word(5, 0b1_10_01, |mig, pis| {
-            mux_word(mig, pis[4], &pis[..2].to_vec(), &pis[2..4].to_vec())
+            mux_word(mig, pis[4], &pis[..2], &pis[2..4])
         });
         assert_eq!(got_t, 0b01);
         let got_e = eval_word(5, 0b0_10_01, |mig, pis| {
-            mux_word(mig, pis[4], &pis[..2].to_vec(), &pis[2..4].to_vec())
+            mux_word(mig, pis[4], &pis[..2], &pis[2..4])
         });
         assert_eq!(got_e, 0b10);
     }

@@ -15,6 +15,13 @@
 //!   --emit asm|listing|stats|dot|mig
 //!                        artifact to print (default: listing)
 //!   --no-verify          skip the simulation check
+//!
+//! plimc bench [OPTIONS]       regenerate Table 1 via the batch pipeline
+//!
+//!   --reduced            build the small test-scale circuits (fast)
+//!   --effort N           rewrite effort (default 4)
+//!   --jobs N             cap worker threads (default: all cores)
+//!   --serial             compile on one thread
 //! ```
 
 use std::io::Read as _;
@@ -147,12 +154,84 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+/// The `plimc bench` subcommand: regenerates Table 1 through the parallel
+/// batch-compilation pipeline.
+#[cfg(feature = "suite")]
+fn run_bench(args: &[String]) -> Result<(), String> {
+    use plim_compiler::batch::{self, Circuit};
+    use plim_parallel::Parallelism;
+
+    let mut reduced = false;
+    let mut effort = 4usize;
+    let mut parallelism = Parallelism::Auto;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--reduced" => reduced = true,
+            "--serial" => parallelism = Parallelism::Serial,
+            "--effort" => {
+                effort = value("--effort")?
+                    .parse()
+                    .map_err(|_| "--effort needs a number".to_string())?
+            }
+            "--jobs" => {
+                parallelism = Parallelism::from_jobs(Some(
+                    value("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs needs a number".to_string())?,
+                ))
+            }
+            other => return Err(format!("unknown bench option `{other}`")),
+        }
+    }
+
+    use plim_benchmarks::suite::{self, Scale};
+    let scale = if reduced { Scale::Reduced } else { Scale::Full };
+    let circuits: Vec<Circuit> = suite::ALL
+        .iter()
+        .map(|&name| Circuit::new(name, suite::build(name, scale).expect("known benchmark")))
+        .collect();
+
+    println!(
+        "Table 1 via batch pipeline (scale: {}, rewrite effort: {effort})",
+        if reduced { "reduced" } else { "full" }
+    );
+    println!("{}", batch::table_header());
+    let run = batch::measure_suite(&circuits, effort, parallelism);
+    for (index, row) in run.rows.iter().enumerate() {
+        println!("{}   [{:.1?}]", batch::format_row(row), run.row_time(index));
+    }
+    println!("{}", "-".repeat(132));
+    println!("{}", batch::format_row(&batch::totals(&run.rows)));
+    println!();
+    println!("batch: {}", run.report.summary());
+    Ok(())
+}
+
+#[cfg(not(feature = "suite"))]
+fn run_bench(_args: &[String]) -> Result<(), String> {
+    Err("`plimc bench` requires the `suite` feature (enabled by default)".to_string())
+}
+
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..])
+    } else {
+        run()
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) if message == "help" => {
             eprintln!("usage: plimc [--format mig|aag] [--effort N] [--extended] [--naive]");
-            eprintln!("             [--limit R] [--emit asm|listing|stats|dot|mig] [--no-verify] FILE");
+            eprintln!(
+                "             [--limit R] [--emit asm|listing|stats|dot|mig] [--no-verify] FILE"
+            );
+            eprintln!("       plimc bench [--reduced] [--effort N] [--jobs N] [--serial]");
             ExitCode::SUCCESS
         }
         Err(message) => {

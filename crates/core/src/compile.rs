@@ -71,11 +71,7 @@ pub fn compile(mig: &Mig, options: CompilerOptions) -> CompiledProgram {
 /// Algorithm 2: maintain a priority queue of candidates (nodes whose
 /// children are all computed); repeatedly pop the best candidate, translate
 /// it, and enqueue parents that become computable.
-fn run_priority_schedule(
-    mig: &Mig,
-    reachable: &[bool],
-    translator: &mut Translator<'_>,
-) -> usize {
+fn run_priority_schedule(mig: &Mig, reachable: &[bool], translator: &mut Translator<'_>) -> usize {
     let priorities = Priorities::compute(mig);
     let fanouts = mig.fanouts();
     let mut uncomputed_children = vec![0u32; mig.len()];

@@ -64,10 +64,10 @@ impl std::error::Error for RamLimitError {}
 /// assert!(compiled.stats.rams <= 2);
 /// assert!(compile_with_ram_limit(&mig, 0).is_err());
 /// ```
-pub fn compile_with_ram_limit(
-    mig: &Mig,
-    limit: u32,
-) -> Result<CompiledProgram, RamLimitError> {
+// The Err variant intentionally carries the full best-effort program so
+// callers can inspect how far from the budget they landed.
+#[allow(clippy::result_large_err)]
+pub fn compile_with_ram_limit(mig: &Mig, limit: u32) -> Result<CompiledProgram, RamLimitError> {
     let configurations = [
         CompilerOptions::new(),
         CompilerOptions::new().schedule(ScheduleOrder::Index),
@@ -84,7 +84,7 @@ pub fn compile_with_ram_limit(
         }
         if best
             .as_ref()
-            .map_or(true, |b| compiled.stats.rams < b.stats.rams)
+            .is_none_or(|b| compiled.stats.rams < b.stats.rams)
         {
             best = Some(compiled);
         }

@@ -23,7 +23,9 @@
 //!   cells while spreading writes for endurance.
 //!
 //! Pair it with [`mig::rewrite`] (the paper's Algorithm 1) to optimize the
-//! graph before compilation.
+//! graph before compilation, and with [`batch`] to compile whole benchmark
+//! suites in parallel (one memoized rewrite pass per `(circuit, effort)`,
+//! deterministic result order).
 //!
 //! ## Quick example
 //!
@@ -51,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
+pub mod batch;
 pub mod candidate;
 mod compile;
 pub mod constrained;

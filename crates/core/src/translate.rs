@@ -123,10 +123,8 @@ impl<'a> Translator<'a> {
     fn fresh_complement_of(&mut self, node: NodeId, cache: bool) -> RamAddr {
         let addr = self.request();
         let src = self.read_operand(node);
-        self.program.push_commented(
-            Instruction::reset(addr),
-            format!("X{} ← 0", addr.0 + 1),
-        );
+        self.program
+            .push_commented(Instruction::reset(addr), format!("X{} ← 0", addr.0 + 1));
         let name = self.describe(Signal::new(node, true));
         self.emit(
             Operand::Const(true),
@@ -185,9 +183,7 @@ impl<'a> Translator<'a> {
         };
         children
             .iter()
-            .filter(|c| {
-                self.mig.node(c.node()).is_majority() && self.remaining_of(**c) == 1
-            })
+            .filter(|c| self.mig.node(c.node()).is_majority() && self.remaining_of(**c) == 1)
             .count() as u32
     }
 
@@ -343,7 +339,11 @@ impl<'a> Translator<'a> {
     /// Destination-Z selection, Fig. 6 cases (a)–(e), over the two children
     /// not consumed by operand B. Returns the destination RRAM and the index
     /// of the child it covers.
-    fn select_destination_z(&mut self, children: &[Signal; 3], rest: [usize; 2]) -> (RamAddr, usize) {
+    fn select_destination_z(
+        &mut self,
+        children: &[Signal; 3],
+        rest: [usize; 2],
+    ) -> (RamAddr, usize) {
         // (a) complemented last-use child whose complement is materialized:
         // that RRAM already holds the edge's value and is safe to overwrite.
         for &k in &rest {

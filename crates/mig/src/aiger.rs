@@ -59,9 +59,7 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
     };
     let mut lines = text.lines().enumerate();
 
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty document"))?;
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 6 || fields[0] != "aag" {
         return Err(err(1, "expected header `aag M I L O A`"));
@@ -82,7 +80,7 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
     map[0] = Some(Signal::FALSE);
 
     let take_line = |what: &str,
-                         lines: &mut std::iter::Enumerate<std::str::Lines<'_>>|
+                     lines: &mut std::iter::Enumerate<std::str::Lines<'_>>|
      -> Result<(usize, String), ParseAigerError> {
         lines
             .next()
@@ -97,7 +95,7 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
             .trim()
             .parse()
             .map_err(|_| err(line_no, "bad input literal"))?;
-        if lit % 2 != 0 || lit / 2 > max_var || lit == 0 {
+        if !lit.is_multiple_of(2) || lit / 2 > max_var || lit == 0 {
             return Err(err(line_no, "input literal must be a fresh even literal"));
         }
         let signal = mig.add_input(format!("i{k}"));
@@ -122,6 +120,7 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
     }
 
     let mut and_defs = Vec::with_capacity(num_ands);
+    let mut and_outputs = vec![false; max_var + 1];
     for _ in 0..num_ands {
         let (line_no, line) = take_line("an AND definition", &mut lines)?;
         let lits: Vec<usize> = line
@@ -131,9 +130,17 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
         if lits.len() != 3 {
             return Err(err(line_no, "AND definition needs three literals"));
         }
-        if lits[0] % 2 != 0 || lits[0] / 2 > max_var {
+        if !lits[0].is_multiple_of(2) || lits[0] / 2 > max_var {
             return Err(err(line_no, "AND output must be a fresh even literal"));
         }
+        if lits[1] / 2 > max_var || lits[2] / 2 > max_var {
+            return Err(err(line_no, "AND operand literal out of range"));
+        }
+        let var = lits[0] / 2;
+        if map[var].is_some() || and_outputs[var] {
+            return Err(err(line_no, "duplicate variable definition"));
+        }
+        and_outputs[var] = true;
         and_defs.push((line_no, lits[0], lits[1], lits[2]));
     }
 
@@ -143,9 +150,7 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
     while !pending.is_empty() {
         let before = pending.len();
         pending.retain(|&(line_no, out, a, b)| {
-            let resolve = |lit: usize| {
-                map[lit / 2].map(|s| s.complement_if(lit % 2 == 1))
-            };
+            let resolve = |lit: usize| map[lit / 2].map(|s| s.complement_if(lit % 2 == 1));
             match (resolve(a), resolve(b)) {
                 (Some(sa), Some(sb)) => {
                     let gate = mig.and(sa, sb);
@@ -192,9 +197,7 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
     let mut name_map: Vec<Option<Signal>> = vec![None; mig.len()];
     name_map[0] = Some(Signal::FALSE);
     for (k, &id) in mig.inputs().iter().enumerate() {
-        let name = input_names[k]
-            .clone()
-            .unwrap_or_else(|| format!("i{k}"));
+        let name = input_names[k].clone().unwrap_or_else(|| format!("i{k}"));
         name_map[id.index()] = Some(named.add_input(name));
     }
     for id in mig.node_ids() {
@@ -217,9 +220,7 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
         let mapped = name_map[signal.node().index()]
             .expect("defined")
             .complement_if(signal.is_complemented());
-        let name = output_names[k]
-            .clone()
-            .unwrap_or_else(|| format!("o{k}"));
+        let name = output_names[k].clone().unwrap_or_else(|| format!("o{k}"));
         named.add_output(name, mapped);
     }
     Ok(named)
@@ -258,7 +259,10 @@ pub fn write_aiger(mig: &Mig) -> String {
         let out = match constant {
             Some(k) => {
                 let value = children[k].constant_value().expect("constant");
-                let rest: Vec<u32> = (0..3).filter(|&i| i != k).map(|i| lit(&children[i])).collect();
+                let rest: Vec<u32> = (0..3)
+                    .filter(|&i| i != k)
+                    .map(|i| lit(&children[i]))
+                    .collect();
                 if value {
                     // OR = ¬(¬a ∧ ¬b)
                     new_and(rest[0] ^ 1, rest[1] ^ 1, &mut ands) ^ 1
@@ -350,6 +354,60 @@ mod tests {
         assert!(parse_aiger("aig 1 0 0 0 0\n").is_err());
         assert!(parse_aiger("").is_err());
         assert!(parse_aiger("aag 1 0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_documents() {
+        // Header promises inputs/outputs/ANDs that never arrive.
+        for (src, what) in [
+            ("aag 3 2 0 1 1\n2\n", "input"),
+            ("aag 3 2 0 1 1\n2\n4\n", "output"),
+            ("aag 3 2 0 1 1\n2\n4\n6\n", "AND definition"),
+        ] {
+            let e = parse_aiger(src).unwrap_err();
+            assert!(e.message.contains("unexpected end of file"), "{what}: {e}");
+        }
+        // A header cut short mid-field is rejected up front.
+        let e = parse_aiger("aag 3 2 0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expected header"));
+        assert!(parse_aiger("aag 3 2 x 1 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_literals() {
+        // Input literal beyond the declared maximum variable.
+        let e = parse_aiger("aag 1 1 0 0 0\n4\n").unwrap_err();
+        assert!(e.message.contains("fresh even literal"), "{e}");
+        assert_eq!(e.line, 2);
+        // Odd input literal.
+        assert!(parse_aiger("aag 1 1 0 0 0\n3\n").is_err());
+        // Output literal beyond the maximum variable.
+        let e = parse_aiger("aag 1 1 0 1 0\n2\n9\n").unwrap_err();
+        assert!(e.message.contains("output literal out of range"), "{e}");
+        // AND output beyond the maximum variable.
+        let e = parse_aiger("aag 2 1 0 1 1\n2\n4\n8 2 2\n").unwrap_err();
+        assert!(e.message.contains("fresh even literal"), "{e}");
+        // AND operand beyond the maximum variable (must error, not panic).
+        let e = parse_aiger("aag 2 1 0 1 1\n2\n4\n4 98 2\n").unwrap_err();
+        assert!(e.message.contains("operand literal out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_reused_output_literals() {
+        // An AND redefining an input variable.
+        let e = parse_aiger("aag 3 2 0 1 1\n2\n4\n6\n2 2 4\n").unwrap_err();
+        assert!(e.message.contains("duplicate variable definition"), "{e}");
+        // Two ANDs writing the same variable.
+        let e = parse_aiger("aag 4 2 0 1 2\n2\n4\n6\n6 2 4\n6 4 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate variable definition"), "{e}");
+        assert_eq!(e.line, 6);
+        // An AND redefining the constant.
+        let e = parse_aiger("aag 2 1 0 1 1\n2\n4\n0 2 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate variable definition"), "{e}");
+        // Duplicate input literals are already rejected.
+        let e = parse_aiger("aag 2 2 0 0 0\n2\n2\n").unwrap_err();
+        assert!(e.message.contains("duplicate variable definition"), "{e}");
     }
 
     #[test]

@@ -165,7 +165,7 @@ mod tests {
         assert_eq!(stats.nodes_compl2, 1);
         assert_eq!(stats.nodes_compl3, 1);
         assert_eq!(stats.multi_complement_nodes(), 2);
-        assert_eq!(stats.complemented_edges, 0 + 1 + 2 + 3 + 1);
+        assert_eq!(stats.complemented_edges, 1 + 2 + 3 + 1);
         assert_eq!(stats.num_inputs, 3);
         assert_eq!(stats.num_outputs, 4);
     }

@@ -29,9 +29,7 @@ pub struct Cut {
 impl Cut {
     /// The trivial cut `{n}`.
     pub fn trivial(node: NodeId) -> Self {
-        Cut {
-            leaves: vec![node],
-        }
+        Cut { leaves: vec![node] }
     }
 
     /// The empty cut (used for the constant node, which needs no leaf —
@@ -160,7 +158,11 @@ fn eval(mig: &Mig, node: NodeId, memo: &mut HashMap<NodeId, u64>) -> Option<u64>
     let mut words = [0u64; 3];
     for (w, child) in words.iter_mut().zip(&children) {
         let value = eval(mig, child.node(), memo)?;
-        *w = if child.is_complemented() { !value } else { value };
+        *w = if child.is_complemented() {
+            !value
+        } else {
+            value
+        };
     }
     let result = (words[0] & words[1]) | (words[0] & words[2]) | (words[1] & words[2]);
     memo.insert(node, result);

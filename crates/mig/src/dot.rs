@@ -66,10 +66,7 @@ pub fn to_dot(mig: &Mig) -> String {
         }
     }
     for (index, (name, signal)) in mig.outputs().iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  o{index} [label=\"{name}\" shape=invtriangle];"
-        );
+        let _ = writeln!(out, "  o{index} [label=\"{name}\" shape=invtriangle];");
         let style = if signal.is_complemented() {
             " [style=dashed]"
         } else {

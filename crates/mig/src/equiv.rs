@@ -193,7 +193,10 @@ mod tests {
         m1.add_output("f", acc1);
         m2.add_output("f", acc2);
         let result = check_equivalence(&m1, &m2, 16, 7).unwrap();
-        assert!(matches!(result, Equivalence::ProbablyEquivalent { rounds: 16 }));
+        assert!(matches!(
+            result,
+            Equivalence::ProbablyEquivalent { rounds: 16 }
+        ));
         assert!(result.holds());
     }
 

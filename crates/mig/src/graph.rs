@@ -143,9 +143,7 @@ impl Mig {
         if x.node() == y.node() || y.node() == z.node() {
             return None;
         }
-        self.strash
-            .get(&children)
-            .map(|&id| Signal::new(id, false))
+        self.strash.get(&children).map(|&id| Signal::new(id, false))
     }
 
     /// `a ∧ b`, built as `⟨0 a b⟩`.

@@ -116,8 +116,8 @@ pub fn parse_mig(text: &str) -> Result<Mig, ParseMigError> {
     };
 
     let resolve = |token: &str,
-                       names: &HashMap<String, Signal>,
-                       line: usize|
+                   names: &HashMap<String, Signal>,
+                   line: usize|
      -> Result<Signal, ParseMigError> {
         let (compl, name) = match token.strip_prefix('!') {
             Some(rest) => (true, rest),
@@ -213,9 +213,7 @@ mod tests {
         let parsed = parse_mig(&text).unwrap();
         assert_eq!(parsed.num_inputs(), 3);
         assert_eq!(parsed.num_outputs(), 2);
-        assert!(check_equivalence(&original, &parsed, 8, 1)
-            .unwrap()
-            .holds());
+        assert!(check_equivalence(&original, &parsed, 8, 1).unwrap().holds());
     }
 
     #[test]

@@ -41,19 +41,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod aiger;
 pub mod algebra;
 pub mod analysis;
+pub mod cut;
 pub mod dot;
 pub mod equiv;
 mod graph;
-pub mod aiger;
 pub mod io;
 mod node;
-pub mod cut;
 pub mod resynth;
 pub mod rewrite;
-pub mod simulate;
 mod signal;
+pub mod simulate;
 
 pub use graph::Mig;
 pub use node::MigNode;

@@ -64,9 +64,7 @@ impl MigNode {
     #[inline]
     pub fn complemented_child_count(&self) -> usize {
         match self {
-            MigNode::Majority(children) => {
-                children.iter().filter(|c| c.is_complemented()).count()
-            }
+            MigNode::Majority(children) => children.iter().filter(|c| c.is_complemented()).count(),
             _ => 0,
         }
     }

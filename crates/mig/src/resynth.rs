@@ -50,10 +50,16 @@ fn match_majority(function: u64) -> Option<([bool; 3], bool)> {
         let (a, b, c) = (w(0), w(1), w(2));
         let maj = ((a & b) | (a & c) | (b & c)) & 0xFF;
         if f == maj {
-            return Some(([mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1], false));
+            return Some((
+                [mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1],
+                false,
+            ));
         }
         if f == !maj & 0xFF {
-            return Some(([mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1], true));
+            return Some((
+                [mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1],
+                true,
+            ));
         }
     }
     None
@@ -62,12 +68,7 @@ fn match_majority(function: u64) -> Option<([bool; 3], bool)> {
 /// Counts the interior nodes of the cone (nodes strictly between the cut
 /// leaves and the root, plus the root) and checks that all non-root
 /// interior nodes are fanout-free (used only inside the cone).
-fn cone_gain(
-    mig: &Mig,
-    root: NodeId,
-    leaves: &[NodeId],
-    fanout: &[u32],
-) -> Option<usize> {
+fn cone_gain(mig: &Mig, root: NodeId, leaves: &[NodeId], fanout: &[u32]) -> Option<usize> {
     let mut interior = Vec::new();
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
@@ -133,7 +134,7 @@ pub fn pass_majority_resynthesis(mig: &Mig) -> (Mig, usize) {
                 output_complement,
                 gain,
             };
-            if best.map_or(true, |b| candidate.gain > b.gain) {
+            if best.is_none_or(|b| candidate.gain > b.gain) {
                 best = Some(candidate);
             }
         }
@@ -212,7 +213,9 @@ pub fn rewrite_extended_with_stats(mig: &Mig, effort: usize) -> (Mig, RewriteSta
         let (next, applied) = pass_majority_resynthesis(&current);
         resynthesized += applied;
         current = next;
-        total_stats.size_per_cycle.push(current.num_majority_nodes());
+        total_stats
+            .size_per_cycle
+            .push(current.num_majority_nodes());
         if applied == 0 && current.num_majority_nodes() == size_before {
             break;
         }
@@ -297,10 +300,7 @@ mod tests {
         let mut mig = aoig_majority();
         // Expose an interior node as an extra output: the cone is no longer
         // fanout-free, so the collapse must keep the graph consistent.
-        let interior = mig
-            .majority_ids()
-            .next()
-            .expect("has majority nodes");
+        let interior = mig.majority_ids().next().expect("has majority nodes");
         mig.add_output("tap", Signal::new(interior, false));
         let (collapsed, _) = pass_majority_resynthesis(&mig);
         assert!(check_equivalence(&mig, &collapsed, 8, 3).unwrap().holds());

@@ -197,8 +197,7 @@ pub fn pass_distributivity_rl(mig: &Mig) -> (Mig, usize) {
         'outer: for i in 0..3 {
             for j in (i + 1)..3 {
                 let (ci, cj) = (children[i], children[j]);
-                if let Some(result) =
-                    try_distributivity(mig, &fanout, ci, cj, children[3 - i - j])
+                if let Some(result) = try_distributivity(mig, &fanout, ci, cj, children[3 - i - j])
                 {
                     replaced = Some(result);
                     break 'outer;
@@ -338,7 +337,7 @@ fn try_associativity(
             for r in 0..2 {
                 let swap = inner_rest[r]; // moves to the outer node
                 let other = inner_rest[1 - r]; // stays inner
-                // New inner ⟨other u x⟩, new node ⟨swap u inner'⟩.
+                                               // New inner ⟨other u x⟩, new node ⟨swap u inner'⟩.
                 let (mo, mu, mx) = (remap.get(other), remap.get(u), remap.get(x));
                 if trivial_triple(mo, mu, mx) || new.find_maj(mo, mu, mx).is_some() {
                     let inner_sig = new.maj(mo, mu, mx);

@@ -211,17 +211,24 @@ mod tests {
     fn roundtrip_preserves_everything() {
         let mut p = Program::new(3);
         p.push(Instruction::reset(RamAddr(0)));
-        p.push(Instruction::new(Operand::Input(2), Operand::Const(false), RamAddr(0)));
+        p.push(Instruction::new(
+            Operand::Input(2),
+            Operand::Const(false),
+            RamAddr(0),
+        ));
         p.push(Instruction::new(
             Operand::Ram(RamAddr(0)),
             Operand::Input(0),
             RamAddr(1),
         ));
         p.add_output("f", OutputLoc::Ram(RamAddr(1)));
-        p.add_output("g", OutputLoc::Input {
-            index: 1,
-            complemented: true,
-        });
+        p.add_output(
+            "g",
+            OutputLoc::Input {
+                index: 1,
+                complemented: true,
+            },
+        );
         p.add_output("k", OutputLoc::Const(true));
 
         let text = write_asm(&p);
@@ -235,7 +242,11 @@ mod tests {
     fn executes_identically_after_roundtrip() {
         let mut p = Program::new(2);
         p.push(Instruction::reset(RamAddr(0)));
-        p.push(Instruction::new(Operand::Input(0), Operand::Input(1), RamAddr(0)));
+        p.push(Instruction::new(
+            Operand::Input(0),
+            Operand::Input(1),
+            RamAddr(0),
+        ));
         p.add_output("f", OutputLoc::Ram(RamAddr(0)));
         let parsed = parse_asm(&write_asm(&p)).unwrap();
         let mut m1 = Machine::new();

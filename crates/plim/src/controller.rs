@@ -127,10 +127,10 @@ impl Controller {
             }
             report.writes += 1;
         }
-        report.latency_ns = report.reads as f64 * self.cost.read_ns
-            + report.writes as f64 * self.cost.write_ns;
-        report.energy_pj = report.reads as f64 * self.cost.read_pj
-            + report.writes as f64 * self.cost.write_pj;
+        report.latency_ns =
+            report.reads as f64 * self.cost.read_ns + report.writes as f64 * self.cost.write_ns;
+        report.energy_pj =
+            report.reads as f64 * self.cost.read_pj + report.writes as f64 * self.cost.write_pj;
         let outputs = self.machine.run(program, inputs)?;
         Ok((outputs, report))
     }

@@ -89,11 +89,7 @@ impl EnduranceStats {
     /// assert_eq!(stats.lifetime_executions(1_000_000), Some(100_000));
     /// ```
     pub fn lifetime_executions(&self, cell_endurance: u64) -> Option<u64> {
-        if self.max_writes == 0 {
-            None
-        } else {
-            Some(cell_endurance / self.max_writes)
-        }
+        cell_endurance.checked_div(self.max_writes)
     }
 }
 

@@ -252,8 +252,7 @@ mod tests {
                             RamAddr(0),
                         ))
                         .unwrap();
-                    let expected =
-                        (a & !b) | (a & z) | (!b & z);
+                    let expected = (a & !b) | (a & z) | (!b & z);
                     assert_eq!(machine.cell(RamAddr(0)).unwrap(), expected);
                 }
             }
@@ -316,16 +315,17 @@ mod tests {
         let err = machine.run(&p, &[true]).unwrap_err();
         assert!(matches!(
             err,
-            MachineError::InputCountMismatch { expected: 3, got: 1 }
+            MachineError::InputCountMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
     }
 
     #[test]
     fn step_rejects_unallocated_cell() {
         let mut machine = Machine::new();
-        let err = machine
-            .step(Instruction::reset(RamAddr(5)))
-            .unwrap_err();
+        let err = machine.step(Instruction::reset(RamAddr(5))).unwrap_err();
         assert!(matches!(err, MachineError::AddressOutOfRange { .. }));
     }
 

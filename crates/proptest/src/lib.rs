@@ -1,0 +1,373 @@
+//! # proptest (offline stub)
+//!
+//! This workspace builds with **no network access**, so the real
+//! [proptest](https://crates.io/crates/proptest) crate cannot be fetched.
+//! This crate is a deliberately small, dependency-free stand-in that
+//! implements exactly the subset the workspace's property tests use, with
+//! the same surface syntax:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`];
+//! * [`any`] for primitive types, ranges as strategies, tuples of
+//!   strategies, and [`collection::vec`];
+//! * [`ProptestConfig::with_cases`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros.
+//!
+//! Differences from the real crate: generation is driven by a fixed
+//! per-test seed (runs are fully deterministic), and there is **no
+//! shrinking** — a failing case panics with the assertion message directly.
+//! If the repository ever gains registry access, deleting this crate and
+//! adding `proptest = "1"` to the dev-dependencies restores the real
+//! engine without touching any test.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator state (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed ^ 0x5EED_CAFE_F00D_D1CE)
+    }
+
+    /// Creates the generator for a named property test (FNV-1a over the
+    /// name), so every test has its own reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(hash)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Only the generation half of proptest's `Strategy` exists here; there are
+/// no value trees and no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// An unconstrained strategy for `T` (`any::<u64>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy_unsigned {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                let offset = u128::from(rng.next_u64()) % span;
+                ((self.start as u128) + offset) as $t
+            }
+        }
+    )*};
+}
+range_strategy_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let offset = (u128::from(rng.next_u64()) % (span as u128)) as i128;
+                ((self.start as i128) + offset) as $t
+            }
+        }
+    )*};
+}
+range_strategy_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 1..200)`: a vector of 1–199 generated elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import module mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, Map, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests.
+///
+/// Supports the real crate's surface syntax for the forms used in this
+/// workspace: an optional `#![proptest_config(..)]` header and `#[test]`
+/// functions whose parameters are either `name in strategy` or
+/// `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // Internal: no more items.
+    (@items ($cfg:expr); ) => {};
+    // Internal: one test function (any attributes, `#[test]` among them),
+    // then the rest.
+    (@items ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::proptest!(@bind __rng, ($($params)*), $body);
+            }
+        }
+        $crate::proptest!(@items ($cfg); $($rest)*);
+    };
+    // Internal: bind parameters, then run the body.
+    (@bind $rng:ident, (), $body:block) => {{ $body }};
+    (@bind $rng:ident, ($name:ident in $strategy:expr), $body:block) => {{
+        let $name = $crate::Strategy::generate(&($strategy), &mut $rng);
+        $body
+    }};
+    (@bind $rng:ident, ($name:ident in $strategy:expr, $($rest:tt)*), $body:block) => {{
+        let $name = $crate::Strategy::generate(&($strategy), &mut $rng);
+        $crate::proptest!(@bind $rng, ($($rest)*), $body)
+    }};
+    (@bind $rng:ident, ($name:ident: $ty:ty), $body:block) => {{
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $body
+    }};
+    (@bind $rng:ident, ($name:ident: $ty:ty, $($rest:tt)*), $body:block) => {{
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng, ($($rest)*), $body)
+    }};
+    // Entry with a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg); $($rest)*);
+    };
+    // Entry without a config header.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u8..3).generate(&mut rng);
+            assert!(w < 3);
+            let s = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strategy = (2usize..10, any::<u64>()).prop_map(|(a, b)| (a, b));
+        let mut r1 = TestRng::for_test("t");
+        let mut r2 = TestRng::for_test("t");
+        for _ in 0..100 {
+            assert_eq!(strategy.generate(&mut r1), strategy.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = collection::vec(any::<bool>(), 1..9).generate(&mut rng);
+            assert!((1..9).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_both_parameter_forms(
+            seed: u64,
+            small in 1usize..5,
+            pair in (0u8..4, any::<bool>()),
+        ) {
+            let _ = seed;
+            prop_assert!((1..5).contains(&small));
+            prop_assert!(pair.0 < 4);
+            prop_assert_ne!(small, 0);
+            prop_assert_eq!(small, small);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_works_without_config(flag: bool) {
+            prop_assert!(u8::from(flag) <= 1);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Differential properties of the batch-compilation pipeline: on random
+//! MIGs, the naive and smart compilers and the batch driver must all agree
+//! with the PLiM machine simulator, and a batch run must be byte-identical
+//! to compiling the same specs serially.
+
+use proptest::prelude::*;
+
+use plim::Machine;
+use plim_benchmarks::random::{random_logic, RandomLogicSpec};
+use plim_compiler::batch::{
+    format_row, measure, measure_suite, run_batch, Circuit, JobSpec, RewriteEffort,
+};
+use plim_compiler::{compile, verify::verify, CompilerOptions};
+use plim_parallel::Parallelism;
+
+fn spec_strategy() -> impl Strategy<Value = RandomLogicSpec> {
+    (2usize..10, 1usize..8, 10usize..120, any::<u64>()).prop_map(
+        |(inputs, outputs, nodes, seed)| RandomLogicSpec::new(inputs, outputs, nodes, seed),
+    )
+}
+
+/// Simulates `mig` and both programs on random input vectors and checks the
+/// three agree bit-for-bit.
+fn assert_programs_agree(
+    mig: &mig::Mig,
+    first: &plim_compiler::CompiledProgram,
+    second: &plim_compiler::CompiledProgram,
+    seed: u64,
+) {
+    let mut rng = mig::simulate::XorShift64::new(seed | 1);
+    let mut m1 = Machine::new();
+    let mut m2 = Machine::new();
+    for _ in 0..8 {
+        let inputs: Vec<bool> = (0..mig.num_inputs())
+            .map(|_| rng.next_below(2) == 1)
+            .collect();
+        let golden = mig::simulate::evaluate(mig, &inputs);
+        let out1 = m1.run(&first.program, &inputs).expect("first program runs");
+        let out2 = m2
+            .run(&second.program, &inputs)
+            .expect("second program runs");
+        assert_eq!(out1, golden, "first program disagrees with MIG simulation");
+        assert_eq!(out2, golden, "second program disagrees with MIG simulation");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Naive, smart and batch-compiled programs all implement the same
+    /// function as the source MIG (checked against the machine simulator).
+    #[test]
+    fn naive_smart_and_batch_agree_with_the_machine(
+        spec in spec_strategy(),
+        effort in 1usize..4,
+    ) {
+        let mig = random_logic(&spec);
+        let naive = compile(&mig, CompilerOptions::naive());
+        let smart = compile(&mig, CompilerOptions::new());
+        prop_assert!(verify(&mig, &naive, 2, spec.seed).is_ok());
+        prop_assert!(verify(&mig, &smart, 2, spec.seed).is_ok());
+        assert_programs_agree(&mig, &naive, &smart, spec.seed);
+
+        // The batch pipeline over the same (circuit, options) matrix must
+        // reproduce the serial programs exactly.
+        let circuits = [Circuit::new("random", mig.clone())];
+        let specs = [
+            JobSpec::new(0, RewriteEffort::Raw, CompilerOptions::naive()),
+            JobSpec::new(0, RewriteEffort::Raw, CompilerOptions::new()),
+            JobSpec::new(0, RewriteEffort::Effort(effort), CompilerOptions::new()),
+        ];
+        let report = run_batch(&circuits, &specs, Parallelism::Threads(4));
+        prop_assert_eq!(report.jobs[0].compiled.program.to_string(), naive.program.to_string());
+        prop_assert_eq!(report.jobs[1].compiled.program.to_string(), smart.program.to_string());
+        prop_assert_eq!(report.jobs[0].compiled.stats, naive.stats);
+        prop_assert_eq!(report.jobs[1].compiled.stats, smart.stats);
+
+        // The rewritten job is byte-identical to serial compilation of the
+        // rewritten graph, and agrees with the machine too.
+        let rewritten = mig::rewrite::rewrite(&mig, effort);
+        let serial_smart = compile(&rewritten, CompilerOptions::new());
+        prop_assert_eq!(
+            report.jobs[2].compiled.program.to_string(),
+            serial_smart.program.to_string()
+        );
+        prop_assert!(verify(&rewritten, &report.jobs[2].compiled, 2, spec.seed).is_ok());
+        assert_programs_agree(&rewritten, &report.jobs[2].compiled, &serial_smart, spec.seed);
+    }
+
+    /// A batch suite measurement is byte-identical (through the Table 1
+    /// formatter) to the serial reference `measure`, independent of worker
+    /// count.
+    #[test]
+    fn batch_rows_are_byte_identical_to_serial(
+        spec in spec_strategy(),
+        other in spec_strategy(),
+        effort in 1usize..4,
+        workers in 2usize..9,
+    ) {
+        let circuits = [
+            Circuit::new("a", random_logic(&spec)),
+            Circuit::new("b", random_logic(&other)),
+        ];
+        let run = measure_suite(&circuits, effort, Parallelism::Threads(workers));
+        for circuit in &circuits {
+            let serial = measure(&circuit.name, &circuit.mig, effort);
+            let batched = run.rows.iter().find(|r| r.name == circuit.name).unwrap();
+            prop_assert_eq!(format_row(&serial), format_row(batched));
+        }
+        // Three jobs per circuit, one shared rewrite pass per circuit.
+        prop_assert_eq!(run.report.jobs.len(), 6);
+        prop_assert_eq!(run.report.rewrites.len(), 2);
+        prop_assert_eq!(run.report.rewrite_cache_hits, 2);
+    }
+}
+
+/// Full-suite acceptance check: the batch pipeline reproduces serial rows
+/// exactly, and its wall-clock speedup over serial compilation is reported.
+/// The ≥ 2× speedup expected on ≥ 4 cores is only *asserted* when
+/// `PLIM_REQUIRE_SPEEDUP=1` is set (debug builds on loaded or SMT-limited
+/// CI runners make a hard wall-clock assertion flaky); the release-mode
+/// demonstration lives in `cargo bench -p plim-bench`.
+#[test]
+fn batch_speedup_on_multicore_hosts() {
+    use plim_benchmarks::suite::{self, Scale};
+    let circuits: Vec<Circuit> = suite::ALL
+        .iter()
+        .map(|&name| Circuit::new(name, suite::build(name, Scale::Reduced).unwrap()))
+        .collect();
+
+    let clock = std::time::Instant::now();
+    let serial_rows: Vec<_> = circuits
+        .iter()
+        .map(|c| measure(&c.name, &c.mig, 4))
+        .collect();
+    let serial = clock.elapsed();
+
+    let run = measure_suite(&circuits, 4, Parallelism::Auto);
+    let batch = run.report.elapsed;
+
+    for (serial_row, batch_row) in serial_rows.iter().zip(&run.rows) {
+        assert_eq!(format_row(serial_row), format_row(batch_row));
+    }
+
+    let cores = plim_parallel::available_threads();
+    let speedup = serial.as_secs_f64() / batch.as_secs_f64().max(f64::EPSILON);
+    eprintln!("suite compilation: serial {serial:.2?}, batch {batch:.2?} on {cores} cores ({speedup:.2}x)");
+    if cores >= 4 && std::env::var_os("PLIM_REQUIRE_SPEEDUP").is_some_and(|v| v == "1") {
+        assert!(
+            speedup >= 2.0,
+            "expected ≥ 2x speedup on {cores} cores, got {speedup:.2}x \
+             (serial {serial:?}, batch {batch:?})"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Write-counter accounting: the machine's per-cell endurance counters
+//! after executing a compiled program must equal the histogram of the
+//! program's instruction destinations (every RM3 instruction writes exactly
+//! its `Z` cell, and nothing else writes).
+
+use plim::endurance::EnduranceStats;
+use plim::Machine;
+use plim_benchmarks::suite::{build, Scale};
+use plim_compiler::{compile, CompilerOptions};
+
+/// Histogram of instruction destinations, recomputed independently of
+/// `CompiledProgram::static_write_counts`.
+fn destination_histogram(program: &plim::Program) -> Vec<u64> {
+    let mut counts = vec![0u64; program.num_rams() as usize];
+    for instruction in program.instructions() {
+        counts[instruction.z.index()] += 1;
+    }
+    counts
+}
+
+#[test]
+fn machine_counters_equal_destination_histogram() {
+    for name in ["adder", "ctrl", "i2c", "router"] {
+        let mig = build(name, Scale::Reduced).unwrap();
+        let compiled = compile(&mig, CompilerOptions::new());
+        let histogram = destination_histogram(&compiled.program);
+        assert_eq!(
+            compiled.static_write_counts(),
+            histogram,
+            "{name}: static accounting disagrees with the instruction stream"
+        );
+
+        let inputs = vec![false; mig.num_inputs()];
+        let mut machine = Machine::new();
+        machine.run(&compiled.program, &inputs).unwrap();
+        assert_eq!(
+            machine.write_counts(),
+            histogram.as_slice(),
+            "{name}: machine counters disagree with the instruction stream"
+        );
+        assert_eq!(
+            machine.cycles(),
+            compiled.stats.instructions as u64,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn counters_accumulate_across_executions() {
+    let mig = build("int2float", Scale::Reduced).unwrap();
+    let compiled = compile(&mig, CompilerOptions::new());
+    let histogram = destination_histogram(&compiled.program);
+
+    let mut machine = Machine::new();
+    let mut rng = mig::simulate::XorShift64::new(0xE4D0);
+    for run in 1..=3u64 {
+        let inputs: Vec<bool> = (0..mig.num_inputs()).map(|_| rng.next_bool()).collect();
+        machine.run(&compiled.program, &inputs).unwrap();
+        let expected: Vec<u64> = histogram.iter().map(|&c| c * run).collect();
+        assert_eq!(
+            machine.write_counts(),
+            expected.as_slice(),
+            "counters must accumulate linearly (run {run})"
+        );
+    }
+}
+
+#[test]
+fn endurance_stats_match_counter_vector() {
+    let mig = build("priority", Scale::Reduced).unwrap();
+    let compiled = compile(&mig, CompilerOptions::new());
+    let inputs = vec![true; mig.num_inputs()];
+    let mut machine = Machine::new();
+    machine.run(&compiled.program, &inputs).unwrap();
+
+    let from_machine = machine.endurance();
+    let from_counts = EnduranceStats::from_counts(machine.write_counts());
+    assert_eq!(from_machine, from_counts);
+
+    // Inputs never change which cells are written — the wear profile of a
+    // single run is static.
+    assert_eq!(from_machine, compiled.static_endurance());
+    assert_eq!(
+        from_machine.total_writes,
+        compiled.stats.instructions as u64
+    );
+}
+
+#[test]
+fn direct_cell_writes_count_toward_endurance() {
+    use plim::RamAddr;
+    let mut machine = Machine::new();
+    machine.write_cell(RamAddr(2), true);
+    machine.write_cell(RamAddr(2), false);
+    machine.write_cell(RamAddr(0), true);
+    assert_eq!(machine.write_counts(), &[1, 0, 2]);
+    assert_eq!(machine.endurance().max_writes, 2);
+    // Standard-RAM-mode writes are not LiM cycles.
+    assert_eq!(machine.cycles(), 0);
+}

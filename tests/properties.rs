@@ -5,17 +5,16 @@
 use proptest::prelude::*;
 
 use mig::equiv::check_equivalence;
-use mig::rewrite::{
-    pass_associativity, pass_distributivity_rl, pass_inverter_reduce, rewrite,
-};
+use mig::rewrite::{pass_associativity, pass_distributivity_rl, pass_inverter_reduce, rewrite};
 use plim_benchmarks::random::{random_arithmetic, random_logic, RandomLogicSpec};
 use plim_compiler::{
     compile, verify::verify, AllocatorStrategy, CompilerOptions, OperandSelection, ScheduleOrder,
 };
 
 fn spec_strategy() -> impl Strategy<Value = RandomLogicSpec> {
-    (2usize..10, 1usize..8, 10usize..120, any::<u64>())
-        .prop_map(|(inputs, outputs, nodes, seed)| RandomLogicSpec::new(inputs, outputs, nodes, seed))
+    (2usize..10, 1usize..8, 10usize..120, any::<u64>()).prop_map(
+        |(inputs, outputs, nodes, seed)| RandomLogicSpec::new(inputs, outputs, nodes, seed),
+    )
 }
 
 proptest! {
