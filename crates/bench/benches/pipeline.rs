@@ -5,23 +5,38 @@
 //! is criterion-free so the workspace builds offline (`harness = false`);
 //! each measurement reports the best of `--iters` runs.
 //!
-//! The headline measurement is **serial vs batch** full-suite compilation:
-//! the exact Table 1 workload (three compilations per circuit, one shared
-//! rewrite) run job-by-job on one thread and fanned across cores by
-//! `plim_compiler::batch`. On a ≥ 4-core machine the batch pipeline is
-//! expected to finish the suite ≥ 2× faster; the achieved speedup and the
-//! worker count are printed either way.
+//! Two headline measurements:
 //!
-//! Run with `cargo bench -p plim-bench [-- --full] [-- --iters N]`.
+//! * **in-place vs rebuild rewriting** — the exact Algorithm 1 schedule run
+//!   by the reusable-arena engine (`mig::arena::RewriteArena`, the default
+//!   behind `rewrite`) and by the rebuild reference engine
+//!   (`rewrite_rebuild`), per circuit, with the in-place engine's per-pass
+//!   wall-clock breakdown and peak node-arena size. The in-place engine
+//!   performs one import and one compaction per call instead of ~5 graph
+//!   reconstructions per cycle, and is expected to win on every circuit.
+//! * **serial vs batch** full-suite compilation: the exact Table 1 workload
+//!   (three compilations per circuit, one shared rewrite) run job-by-job on
+//!   one thread and fanned across cores by `plim_compiler::batch`. On a
+//!   ≥ 4-core machine the batch pipeline is expected to finish the suite
+//!   ≥ 2× faster; the achieved speedup and the worker count are printed
+//!   either way.
+//!
+//! Run with
+//! `cargo bench -p plim-bench --bench pipeline [-- --full] [-- --iters N]`.
+//! `cargo bench -p plim-bench --bench pipeline -- --smoke` runs everything
+//! in a reduced one-iteration configuration (the CI smoke step), so the
+//! harness itself cannot rot.
 
 use std::time::{Duration, Instant};
 
-use mig::rewrite::rewrite;
+use mig::arena::RewriteArena;
+use mig::rewrite::{rewrite, rewrite_rebuild};
 use plim_bench::{measure, measure_suite, suite_circuits, Parallelism};
 use plim_benchmarks::suite::{build, Scale};
 use plim_compiler::{compile, CompilerOptions};
 
 const CIRCUITS: [&str; 4] = ["adder", "bar", "voter", "i2c"];
+const SMOKE_CIRCUITS: [&str; 2] = ["ctrl", "voter"];
 
 /// Best-of-`iters` wall-clock time of `f`.
 fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
@@ -34,13 +49,13 @@ fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
     best
 }
 
-fn bench_stages(iters: usize) {
+fn bench_stages(circuits: &[&str], iters: usize) {
     println!("── stage benchmarks (reduced scale, best of {iters}) ──");
     println!(
         "{:<11} {:>12} {:>14} {:>14} {:>12}",
         "circuit", "rewrite", "compile naive", "compile smart", "machine run"
     );
-    for name in CIRCUITS {
+    for &name in circuits {
         let mig = build(name, Scale::Reduced).unwrap();
         let rewritten = rewrite(&mig, 4);
         let compiled = compile(&rewritten, CompilerOptions::new());
@@ -54,6 +69,74 @@ fn bench_stages(iters: usize) {
             "{:<11} {:>12.1?} {:>14.1?} {:>14.1?} {:>12.1?}",
             name, t_rewrite, t_naive, t_smart, t_machine
         );
+    }
+    println!();
+}
+
+/// The in-place-vs-rebuild rewrite comparison: total wall-clock per engine
+/// plus the arena engine's per-pass breakdown and peak arena size. The two
+/// engines must agree functionally and the in-place node count must be no
+/// worse — both are asserted here so the bench doubles as a smoke check.
+fn bench_rewrite_engines(circuits: &[&str], scale: Scale, iters: usize) {
+    println!("── rewrite engines: rebuild vs in-place (effort 4, best of {iters}) ──");
+    println!(
+        "{:<11} {:>11} {:>11} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "circuit",
+        "rebuild",
+        "in-place",
+        "speedup",
+        "load",
+        "Ω.D",
+        "Ω.A",
+        "Ω.I",
+        "compact",
+        "peak-arena"
+    );
+    let mut arena = RewriteArena::new();
+    let mut total_rebuild = Duration::ZERO;
+    let mut total_inplace = Duration::ZERO;
+    for &name in circuits {
+        let mig = build(name, scale).unwrap();
+        let t_rebuild = best_of(iters, || rewrite_rebuild(&mig, 4));
+        let t_inplace = best_of(iters, || arena.rewrite(&mig, 4));
+        total_rebuild += t_rebuild;
+        total_inplace += t_inplace;
+
+        let inplace = arena.rewrite(&mig, 4);
+        let profile = arena.profile().clone();
+        let rebuild = rewrite_rebuild(&mig, 4);
+        assert!(
+            mig::equiv::check_equivalence(&rebuild, &inplace, 16, 0xDAC)
+                .unwrap()
+                .holds(),
+            "{name}: engines disagree"
+        );
+        assert!(
+            inplace.num_majority_nodes() <= rebuild.num_majority_nodes(),
+            "{name}: in-place produced more nodes"
+        );
+        let speedup = t_rebuild.as_secs_f64() / t_inplace.as_secs_f64().max(f64::EPSILON);
+        println!(
+            "{:<11} {:>11.1?} {:>11.1?} {:>7.2}x | {:>9.1?} {:>9.1?} {:>9.1?} {:>9.1?} {:>9.1?} {:>10}",
+            name,
+            t_rebuild,
+            t_inplace,
+            speedup,
+            profile.load,
+            profile.distributivity,
+            profile.associativity,
+            profile.inverter,
+            profile.compact,
+            profile.peak_arena_nodes,
+        );
+    }
+    let overall = total_rebuild.as_secs_f64() / total_inplace.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "{:<11} {:>11.1?} {:>11.1?} {:>7.2}x",
+        "Σ", total_rebuild, total_inplace, overall
+    );
+    if overall < 1.0 {
+        println!("WARNING: in-place engine slower than rebuild overall");
     }
     println!();
 }
@@ -91,14 +174,31 @@ fn bench_suite(scale: Scale, effort: usize, iters: usize) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let iters = args
         .iter()
         .position(|a| a == "--iters")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
-    let scale = if full { Scale::Full } else { Scale::Reduced };
+        .unwrap_or(if smoke { 1 } else { 3 });
+    let scale = if full && !smoke {
+        Scale::Full
+    } else {
+        Scale::Reduced
+    };
+    let stage_circuits: &[&str] = if smoke { &SMOKE_CIRCUITS } else { &CIRCUITS };
+    // Under --full the engine comparison covers the entire Table 1 suite,
+    // matching the numbers recorded in the README; otherwise it sticks to
+    // the stage-bench subset for speed.
+    let engine_circuits: &[&str] = if smoke {
+        &SMOKE_CIRCUITS
+    } else if full {
+        &plim_benchmarks::suite::ALL
+    } else {
+        &CIRCUITS
+    };
 
-    bench_stages(iters);
+    bench_stages(stage_circuits, iters);
+    bench_rewrite_engines(engine_circuits, scale, iters);
     bench_suite(scale, 4, iters);
 }

@@ -41,10 +41,12 @@
 //! assert_eq!(report.rewrites.len(), 1); // one distinct rewrite pass
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use mig::analysis::improvement_percent;
+use mig::arena::RewriteArena;
 use mig::rewrite::rewrite;
 use mig::Mig;
 use plim_parallel::{par_map, Parallelism};
@@ -53,6 +55,18 @@ use crate::{compile, CompiledProgram, CompilerOptions};
 
 /// Rewrite effort used throughout the evaluation (the paper fixes 4).
 pub const PAPER_EFFORT: usize = 4;
+
+/// Runs a rewrite pass on this worker's thread-local [`RewriteArena`], so a
+/// batch reuses one arena (node table, strash map, scratch buffers) per
+/// worker thread instead of allocating a fresh engine per `(circuit,
+/// effort)` key. Results are identical to [`mig::rewrite::rewrite`]; only
+/// the allocation profile differs.
+fn rewrite_on_worker_arena(mig: &Mig, effort: usize) -> Mig {
+    thread_local! {
+        static ARENA: RefCell<RewriteArena> = RefCell::new(RewriteArena::new());
+    }
+    ARENA.with(|arena| arena.borrow_mut().rewrite(mig, effort))
+}
 
 /// A named input circuit of a batch.
 #[derive(Debug, Clone)]
@@ -213,7 +227,7 @@ pub fn run_batch(circuits: &[Circuit], specs: &[JobSpec], parallelism: Paralleli
     let workers = parallelism.worker_count(specs.len().max(keys.len()));
     let rewritten: Vec<(Mig, Duration)> = par_map(&keys, parallelism, |_, &(circuit, effort)| {
         let clock = Instant::now();
-        let mig = rewrite(&circuits[circuit].mig, effort);
+        let mig = rewrite_on_worker_arena(&circuits[circuit].mig, effort);
         (mig, clock.elapsed())
     });
     let memo: HashMap<(usize, usize), &Mig> = keys

@@ -90,15 +90,37 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Whether the document starts with the binary-AIGER magic: an `aig`
+/// keyword followed by at least the five numeric header fields
+/// `M I L O A`. Requiring the numeric fields keeps text inputs that merely
+/// begin with the letters `aig` (say, a MIG node named `aig`) from being
+/// misdetected. The binary format delta-encodes its AND section, so it
+/// cannot be fed to any of the text parsers.
+fn is_binary_aiger(bytes: &[u8]) -> bool {
+    let first_line = bytes.split(|&b| b == b'\n').next().unwrap_or(bytes);
+    let mut fields = first_line.split(|&b| b == b' ').filter(|f| !f.is_empty());
+    if fields.next() != Some(b"aig") {
+        return false;
+    }
+    let mut numeric_fields = 0;
+    for field in fields {
+        if !field.iter().all(u8::is_ascii_digit) {
+            return false;
+        }
+        numeric_fields += 1;
+    }
+    numeric_fields >= 5
+}
+
 fn read_input(args: &Args) -> Result<Mig, String> {
-    let text = if args.file == "-" {
-        let mut buffer = String::new();
+    let bytes = if args.file == "-" {
+        let mut buffer = Vec::new();
         std::io::stdin()
-            .read_to_string(&mut buffer)
+            .read_to_end(&mut buffer)
             .map_err(|e| format!("reading stdin: {e}"))?;
         buffer
     } else {
-        std::fs::read_to_string(&args.file).map_err(|e| format!("reading {}: {e}", args.file))?
+        std::fs::read(&args.file).map_err(|e| format!("reading {}: {e}", args.file))?
     };
     let format = args.format.clone().unwrap_or_else(|| {
         if args.file.ends_with(".aag") {
@@ -107,6 +129,20 @@ fn read_input(args: &Args) -> Result<Mig, String> {
             "mig".to_string()
         }
     });
+    // Sniff the binary-AIGER magic unless the user explicitly forced a
+    // non-AIGER format: the payload is not text, so the AIGER parser (or
+    // the MIG parser the extension default falls through to) would produce
+    // a baffling first-line error or a UTF-8 failure instead of this
+    // diagnosis.
+    let forced_non_aiger = args.format.as_deref().is_some_and(|f| f != "aag");
+    if !forced_non_aiger && is_binary_aiger(&bytes) {
+        return Err(
+            "binary AIGER is not supported; convert to ASCII with `aigtoaig input.aig output.aag`"
+                .to_string(),
+        );
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| format!("{}: input is not valid UTF-8 text", args.file))?;
     match format.as_str() {
         "aag" => mig::aiger::parse_aiger(&text).map_err(|e| format!("aiger: {e}")),
         "mig" => mig::io::parse_mig(&text).map_err(|e| format!("mig: {e}")),

@@ -58,6 +58,9 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
         message: message.to_string(),
     };
     let mut lines = text.lines().enumerate();
+    // The 1-based number of the most recently consumed line, so truncated
+    // documents report where the input actually stopped.
+    let mut last_line = 1usize;
 
     let (_, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
@@ -80,17 +83,24 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
     map[0] = Some(Signal::FALSE);
 
     let take_line = |what: &str,
-                     lines: &mut std::iter::Enumerate<std::str::Lines<'_>>|
+                     lines: &mut std::iter::Enumerate<std::str::Lines<'_>>,
+                     last_line: &mut usize|
      -> Result<(usize, String), ParseAigerError> {
-        lines
-            .next()
-            .map(|(i, l)| (i + 1, l.to_string()))
-            .ok_or_else(|| err(0, &format!("unexpected end of file reading {what}")))
+        match lines.next() {
+            Some((i, l)) => {
+                *last_line = i + 1;
+                Ok((i + 1, l.to_string()))
+            }
+            None => Err(err(
+                *last_line,
+                &format!("unexpected end of file reading {what}"),
+            )),
+        }
     };
 
     let mut input_vars = Vec::with_capacity(num_inputs);
     for k in 0..num_inputs {
-        let (line_no, line) = take_line("an input literal", &mut lines)?;
+        let (line_no, line) = take_line("an input literal", &mut lines, &mut last_line)?;
         let lit: usize = line
             .trim()
             .parse()
@@ -106,9 +116,11 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
         input_vars.push(lit / 2);
     }
 
+    // Each output keeps the line it was declared on, so errors discovered
+    // later (an undefined literal) can point at the offending line.
     let mut output_lits = Vec::with_capacity(num_outputs);
     for _ in 0..num_outputs {
-        let (line_no, line) = take_line("an output literal", &mut lines)?;
+        let (line_no, line) = take_line("an output literal", &mut lines, &mut last_line)?;
         let lit: usize = line
             .trim()
             .parse()
@@ -116,13 +128,13 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
         if lit / 2 > max_var {
             return Err(err(line_no, "output literal out of range"));
         }
-        output_lits.push(lit);
+        output_lits.push((line_no, lit));
     }
 
     let mut and_defs = Vec::with_capacity(num_ands);
     let mut and_outputs = vec![false; max_var + 1];
     for _ in 0..num_ands {
-        let (line_no, line) = take_line("an AND definition", &mut lines)?;
+        let (line_no, line) = take_line("an AND definition", &mut lines, &mut last_line)?;
         let lits: Vec<usize> = line
             .split_whitespace()
             .map(|t| t.parse().map_err(|_| err(line_no, "bad AND literal")))
@@ -213,9 +225,9 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
             name_map[id.index()] = Some(named.maj(mapped[0], mapped[1], mapped[2]));
         }
     }
-    for (k, lit) in output_lits.iter().enumerate() {
+    for (k, &(line_no, lit)) in output_lits.iter().enumerate() {
         let signal = map[lit / 2]
-            .ok_or_else(|| err(0, "output references an undefined literal"))?
+            .ok_or_else(|| err(line_no, "output references an undefined literal"))?
             .complement_if(lit % 2 == 1);
         let mapped = name_map[signal.node().index()]
             .expect("defined")
@@ -358,15 +370,21 @@ mod tests {
 
     #[test]
     fn rejects_truncated_documents() {
-        // Header promises inputs/outputs/ANDs that never arrive.
-        for (src, what) in [
-            ("aag 3 2 0 1 1\n2\n", "input"),
-            ("aag 3 2 0 1 1\n2\n4\n", "output"),
-            ("aag 3 2 0 1 1\n2\n4\n6\n", "AND definition"),
+        // Header promises inputs/outputs/ANDs that never arrive. The error
+        // must carry the last line the parser actually read, not line 0.
+        for (src, what, last_line) in [
+            ("aag 3 2 0 1 1\n2\n", "input", 2),
+            ("aag 3 2 0 1 1\n2\n4\n", "output", 3),
+            ("aag 3 2 0 1 1\n2\n4\n6\n", "AND definition", 4),
         ] {
             let e = parse_aiger(src).unwrap_err();
             assert!(e.message.contains("unexpected end of file"), "{what}: {e}");
+            assert_eq!(e.line, last_line, "{what}: {e}");
         }
+        // A document truncated right after the header points at line 1.
+        let e = parse_aiger("aag 3 2 0 1 1\n").unwrap_err();
+        assert!(e.message.contains("unexpected end of file"), "{e}");
+        assert_eq!(e.line, 1);
         // A header cut short mid-field is rejected up front.
         let e = parse_aiger("aag 3 2 0\n").unwrap_err();
         assert_eq!(e.line, 1);
@@ -408,6 +426,25 @@ mod tests {
         // Duplicate input literals are already rejected.
         let e = parse_aiger("aag 2 2 0 0 0\n2\n2\n").unwrap_err();
         assert!(e.message.contains("duplicate variable definition"), "{e}");
+    }
+
+    #[test]
+    fn undefined_output_literal_reports_its_line() {
+        // Output literal 4 (variable 2) is declared by neither an input nor
+        // an AND; the error must point at the output's own line (3).
+        let e = parse_aiger("aag 2 1 0 1 0\n2\n4\n").unwrap_err();
+        assert!(
+            e.message.contains("output references an undefined literal"),
+            "{e}"
+        );
+        assert_eq!(e.line, 3);
+        // With two outputs, the second one (line 4) is the offender.
+        let e = parse_aiger("aag 2 1 0 2 0\n2\n2\n5\n").unwrap_err();
+        assert!(
+            e.message.contains("output references an undefined literal"),
+            "{e}"
+        );
+        assert_eq!(e.line, 4);
     }
 
     #[test]

@@ -57,6 +57,21 @@ pub fn find_shared_pair(a: &[Signal; 3], b: &[Signal; 3]) -> Option<SharedPair> 
     None
 }
 
+/// Pushes a complement through a majority node by Ω.I:
+/// `!⟨a b c⟩ = ⟨ā b̄ c̄⟩`.
+#[inline]
+pub fn invert_triple(t: &[Signal; 3]) -> [Signal; 3] {
+    [!t[0], !t[1], !t[2]]
+}
+
+/// Whether `⟨a b c⟩` simplifies without creating a node, i.e. the majority
+/// axiom Ω.M applies because two of the signals reference the same node
+/// (equal or complementary).
+#[inline]
+pub fn trivial_triple(a: Signal, b: Signal, c: Signal) -> bool {
+    a.node() == b.node() || a.node() == c.node() || b.node() == c.node()
+}
+
 fn find_two(b: &[Signal; 3], x: Signal, y: Signal) -> Option<(usize, usize)> {
     let ix = b.iter().position(|&s| s == x)?;
     let iy = b.iter().enumerate().position(|(k, &s)| k != ix && s == y)?;

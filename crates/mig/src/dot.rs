@@ -8,6 +8,19 @@ use std::fmt::Write as _;
 use crate::graph::Mig;
 use crate::node::MigNode;
 
+/// Escapes a name for use inside a double-quoted DOT string: `"` and `\`
+/// must be backslash-escaped or the emitted document is malformed.
+fn escape_label(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        if ch == '"' || ch == '\\' {
+            out.push('\\');
+        }
+        out.push(ch);
+    }
+    out
+}
+
 /// Renders the graph in Graphviz DOT format.
 ///
 /// # Examples
@@ -43,7 +56,7 @@ pub fn to_dot(mig: &Mig) -> String {
                     out,
                     "  n{} [label=\"{}\" shape=box];",
                     id.index(),
-                    mig.input_name(*pi as usize)
+                    escape_label(mig.input_name(*pi as usize))
                 );
             }
             MigNode::Majority(children) => {
@@ -66,7 +79,11 @@ pub fn to_dot(mig: &Mig) -> String {
         }
     }
     for (index, (name, signal)) in mig.outputs().iter().enumerate() {
-        let _ = writeln!(out, "  o{index} [label=\"{name}\" shape=invtriangle];");
+        let _ = writeln!(
+            out,
+            "  o{index} [label=\"{}\" shape=invtriangle];",
+            escape_label(name)
+        );
         let style = if signal.is_complemented() {
             " [style=dashed]"
         } else {
@@ -98,6 +115,28 @@ mod tests {
         // One dashed child edge plus one dashed output edge.
         assert_eq!(dot.matches("dashed").count(), 2);
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_hostile_names() {
+        // Names containing `"` and `\` must round-trip into well-formed
+        // quoted DOT strings instead of terminating the label early.
+        let mut mig = Mig::new();
+        let a = mig.add_input(r#"a"quote"#);
+        let b = mig.add_input(r"b\slash");
+        let f = mig.and(a, b);
+        mig.add_output(r#"f"\out"#, f);
+        let dot = to_dot(&mig);
+        assert!(dot.contains(r#"[label="a\"quote" shape=box]"#), "{dot}");
+        assert!(dot.contains(r#"[label="b\\slash" shape=box]"#), "{dot}");
+        assert!(
+            dot.contains(r#"[label="f\"\\out" shape=invtriangle]"#),
+            "{dot}"
+        );
+        // Every quote in the document is either a delimiter or escaped:
+        // stripping escaped sequences must leave an even quote count.
+        let stripped = dot.replace("\\\\", "").replace("\\\"", "");
+        assert_eq!(stripped.matches('"').count() % 2, 0);
     }
 
     #[test]

@@ -316,17 +316,9 @@ impl Mig {
             .unwrap_or(0)
     }
 
-    /// Returns a copy of this graph containing only the logic reachable from
-    /// the primary outputs ("dangling" nodes are removed). All primary inputs
-    /// are kept to preserve the interface.
-    pub fn cleaned(&self) -> Mig {
-        let mut result = Mig::with_capacity(self.num_majority_nodes());
-        let mut map: Vec<Option<Signal>> = vec![None; self.nodes.len()];
-        map[0] = Some(Signal::FALSE);
-        for (&id, name) in self.inputs.iter().zip(&self.input_names) {
-            map[id.index()] = Some(result.add_input(name.clone()));
-        }
-
+    /// Computes, for every node, whether it is reachable from a primary
+    /// output (the "live cone" of the graph).
+    pub fn reachable_mask(&self) -> Vec<bool> {
         let mut reachable = vec![false; self.nodes.len()];
         let mut stack: Vec<NodeId> = self.outputs.iter().map(|(_, s)| s.node()).collect();
         while let Some(id) = stack.pop() {
@@ -338,6 +330,21 @@ impl Mig {
                 stack.extend(children.iter().map(|c| c.node()));
             }
         }
+        reachable
+    }
+
+    /// Returns a copy of this graph containing only the logic reachable from
+    /// the primary outputs ("dangling" nodes are removed). All primary inputs
+    /// are kept to preserve the interface.
+    pub fn cleaned(&self) -> Mig {
+        let mut result = Mig::with_capacity(self.num_majority_nodes());
+        let mut map: Vec<Option<Signal>> = vec![None; self.nodes.len()];
+        map[0] = Some(Signal::FALSE);
+        for (&id, name) in self.inputs.iter().zip(&self.input_names) {
+            map[id.index()] = Some(result.add_input(name.clone()));
+        }
+
+        let reachable = self.reachable_mask();
 
         for id in self.node_ids() {
             if !reachable[id.index()] {
@@ -380,17 +387,7 @@ impl Mig {
     /// levelized before compilation.
     pub fn levelized(&self) -> Mig {
         let levels = self.levels();
-        let mut reachable = vec![false; self.nodes.len()];
-        let mut stack: Vec<NodeId> = self.outputs.iter().map(|(_, s)| s.node()).collect();
-        while let Some(id) = stack.pop() {
-            if reachable[id.index()] {
-                continue;
-            }
-            reachable[id.index()] = true;
-            if let MigNode::Majority(children) = self.node(id) {
-                stack.extend(children.iter().map(|c| c.node()));
-            }
-        }
+        let reachable = self.reachable_mask();
 
         let mut order: Vec<NodeId> = self
             .node_ids()

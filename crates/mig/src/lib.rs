@@ -15,6 +15,9 @@
 //!   simplification, logic-builder helpers;
 //! * [`rewrite`] — the paper's Algorithm 1: size rewriting plus
 //!   complement-edge redistribution targeted at the RM3 instruction;
+//! * [`arena`] — the in-place rewriting engine behind [`rewrite::rewrite`]:
+//!   a reusable arena with incremental re-strashing, generation-marked dead
+//!   nodes, and a single end-of-rewrite compaction;
 //! * [`simulate`] / [`equiv`] — bit-parallel simulation, truth tables, and
 //!   equivalence checking;
 //! * [`analysis`] — structural statistics (complement profile, depth);
@@ -44,6 +47,7 @@
 pub mod aiger;
 pub mod algebra;
 pub mod analysis;
+pub mod arena;
 pub mod cut;
 pub mod dot;
 pub mod equiv;

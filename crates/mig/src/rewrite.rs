@@ -18,8 +18,31 @@
 //! ```
 //!
 //! and [`rewrite`] runs `effort` cycles (the paper uses 4).
+//!
+//! # Two engines, one schedule
+//!
+//! The module ships two implementations of the same pass schedule:
+//!
+//! * the **in-place engine** ([`rewrite`], [`rewrite_inplace`],
+//!   [`crate::arena::RewriteArena`]) mutates one arena across all passes
+//!   and cycles, re-strashing only the nodes a rewrite touches, and
+//!   compacts the graph exactly once at the end of the run. This is the
+//!   default: it performs no per-pass graph reconstruction and its working
+//!   set is a single node table plus one hash map.
+//! * the **rebuild engine** ([`rewrite_rebuild`], [`pass_distributivity_rl`],
+//!   [`pass_associativity`], [`pass_inverter_reduce`]) reconstructs the
+//!   graph on every pass. It is retained as the simple reference
+//!   implementation the in-place engine is differential-tested against
+//!   (`tests/rewrite_differential.rs`) and benchmarked against
+//!   (`cargo bench -p plim-bench`).
+//!
+//! Both engines apply only Ω-axiom instances, so their results are
+//! functionally equivalent to the input; the in-place engine additionally
+//! never produces more nodes than the rebuild engine on the benchmark
+//! suite (asserted in the differential tests).
 
-use crate::algebra::find_shared_pair;
+use crate::algebra::{find_shared_pair, invert_triple, trivial_triple};
+use crate::arena::RewriteArena;
 use crate::graph::Mig;
 use crate::node::MigNode;
 use crate::signal::{NodeId, Signal};
@@ -44,7 +67,7 @@ pub struct RewriteStats {
 }
 
 /// Rewrites the graph for PLiM compilation, running `effort` cycles of
-/// Algorithm 1. Returns the rewritten graph.
+/// Algorithm 1 on the in-place arena engine. Returns the rewritten graph.
 ///
 /// The result is functionally equivalent to the input (every pass applies
 /// only Ω-axiom instances); [`crate::equiv::check_equivalence`] can be used
@@ -71,6 +94,31 @@ pub fn rewrite(mig: &Mig, effort: usize) -> Mig {
 
 /// Like [`rewrite`], also returning pass statistics.
 pub fn rewrite_with_stats(mig: &Mig, effort: usize) -> (Mig, RewriteStats) {
+    rewrite_inplace_with_stats(mig, effort)
+}
+
+/// Explicit entry point for the in-place arena engine (what [`rewrite`]
+/// delegates to). Allocates a fresh [`RewriteArena`] per call; drivers that
+/// rewrite many circuits should keep one arena and call
+/// [`RewriteArena::rewrite`] to reuse its buffers.
+pub fn rewrite_inplace(mig: &Mig, effort: usize) -> Mig {
+    rewrite_inplace_with_stats(mig, effort).0
+}
+
+/// Like [`rewrite_inplace`], also returning pass statistics.
+pub fn rewrite_inplace_with_stats(mig: &Mig, effort: usize) -> (Mig, RewriteStats) {
+    RewriteArena::new().rewrite_with_stats(mig, effort)
+}
+
+/// The rebuild-based reference engine: every pass reconstructs the graph.
+/// Kept for differential testing and benchmarking against the in-place
+/// engine; prefer [`rewrite`] everywhere else.
+pub fn rewrite_rebuild(mig: &Mig, effort: usize) -> Mig {
+    rewrite_rebuild_with_stats(mig, effort).0
+}
+
+/// Like [`rewrite_rebuild`], also returning pass statistics.
+pub fn rewrite_rebuild_with_stats(mig: &Mig, effort: usize) -> (Mig, RewriteStats) {
     let mut stats = RewriteStats {
         nodes_before: mig.num_majority_nodes(),
         ..RewriteStats::default()
@@ -142,21 +190,6 @@ impl Remap {
     }
 }
 
-fn reachable_set(mig: &Mig) -> Vec<bool> {
-    let mut reachable = vec![false; mig.len()];
-    let mut stack: Vec<NodeId> = mig.outputs().iter().map(|(_, s)| s.node()).collect();
-    while let Some(id) = stack.pop() {
-        if reachable[id.index()] {
-            continue;
-        }
-        reachable[id.index()] = true;
-        if let MigNode::Majority(children) = mig.node(id) {
-            stack.extend(children.iter().map(|c| c.node()));
-        }
-    }
-    reachable
-}
-
 fn copy_outputs(old: &Mig, new: &mut Mig, remap: &Remap) {
     for (name, signal) in old.outputs() {
         let mapped = remap.get(*signal);
@@ -179,7 +212,7 @@ pub fn pass_majority(mig: &Mig) -> Mig {
 /// by pushing the inverter into the child triple via Ω.I. Returns the new
 /// graph and the number of applications.
 pub fn pass_distributivity_rl(mig: &Mig) -> (Mig, usize) {
-    let reachable = reachable_set(mig);
+    let reachable = mig.reachable_mask();
     let fanout = mig.fanout_counts();
     let mut new = Mig::with_capacity(mig.num_majority_nodes());
     let mut remap = Remap::with_inputs(mig, &mut new);
@@ -250,7 +283,7 @@ fn try_distributivity(
 fn effective_triple(mig: &Mig, s: Signal) -> Option<[Signal; 3]> {
     let children = mig.node(s.node()).children()?;
     Some(if s.is_complemented() {
-        [!children[0], !children[1], !children[2]]
+        invert_triple(children)
     } else {
         *children
     })
@@ -263,7 +296,7 @@ fn effective_triple(mig: &Mig, s: Signal) -> Option<[Signal; 3]> {
 /// it simplifies trivially under Ω.M. Returns the new graph and the number of
 /// applications.
 pub fn pass_associativity(mig: &Mig) -> (Mig, usize) {
-    let reachable = reachable_set(mig);
+    let reachable = mig.reachable_mask();
     let fanout = mig.fanout_counts();
     let mut new = Mig::with_capacity(mig.num_majority_nodes());
     let mut remap = Remap::with_inputs(mig, &mut new);
@@ -349,11 +382,6 @@ fn try_associativity(
     None
 }
 
-/// Whether `⟨a b c⟩` simplifies without creating a node (Ω.M applies).
-fn trivial_triple(a: Signal, b: Signal, c: Signal) -> bool {
-    a.node() == b.node() || a.node() == c.node() || b.node() == c.node()
-}
-
 /// Inverter-propagation pass Ω.I R→L(1–3): rewrites every node with two or
 /// three complemented non-constant children into a node with at most one,
 /// complementing the output edge:
@@ -365,7 +393,7 @@ fn trivial_triple(a: Signal, b: Signal, c: Signal) -> bool {
 /// are free operands in the RM3 translation. Returns the new graph and the
 /// number of flipped nodes.
 pub fn pass_inverter_reduce(mig: &Mig) -> (Mig, usize) {
-    let reachable = reachable_set(mig);
+    let reachable = mig.reachable_mask();
     let mut new = Mig::with_capacity(mig.num_majority_nodes());
     let mut remap = Remap::with_inputs(mig, &mut new);
     let mut flips = 0;

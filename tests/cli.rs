@@ -1,0 +1,143 @@
+//! Command-line driver regressions: format sniffing and diagnostics that
+//! only manifest through the `plimc` binary itself.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn plimc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_plimc"))
+}
+
+/// A tiny binary AIGER document: the `aig` header followed by the
+/// delta-encoded AND section (not valid UTF-8 in general; here the single
+/// AND `6 4 2` encodes as the two delta bytes 2, 2).
+fn binary_aiger_bytes() -> Vec<u8> {
+    let mut bytes = b"aig 3 2 0 1 1\n4\n".to_vec();
+    bytes.extend_from_slice(&[2u8, 2u8]);
+    bytes
+}
+
+#[test]
+fn binary_aiger_file_gets_a_clear_error() {
+    // Process-unique name: concurrent test runs must not race on the file.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("plimc_cli_test_binary_{}.aig", std::process::id()));
+    std::fs::write(&path, binary_aiger_bytes()).unwrap();
+
+    let output = plimc().arg(path.to_str().unwrap()).output().unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("binary AIGER is not supported"),
+        "unexpected diagnostic: {stderr}"
+    );
+    assert!(stderr.contains("aigtoaig"), "should suggest the converter");
+    // The old behavior fell through to the MIG text parser.
+    assert!(
+        !stderr.contains("unrecognized line"),
+        "must not reach the MIG parser: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn binary_aiger_on_stdin_gets_the_same_error() {
+    // Sniffing must run on stdin too, and before the --format dispatch.
+    let mut child = plimc()
+        .args(["--format", "aag", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(&binary_aiger_bytes())
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("binary AIGER is not supported"),
+        "unexpected diagnostic: {stderr}"
+    );
+}
+
+#[test]
+fn explicit_non_aiger_format_overrides_the_sniff() {
+    // A MIG text document whose first line happens to start with `aig `
+    // must still parse when the user explicitly forces --format mig.
+    let mut child = plimc()
+        .args(["--format", "mig", "--no-verify", "--emit", "mig", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"aig = maj(0, 1, 0)\noutput f = aig\n")
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stderr: {stderr}");
+    assert!(
+        !stderr.contains("binary AIGER"),
+        "sniff ran anyway: {stderr}"
+    );
+}
+
+#[test]
+fn ascii_aiger_still_compiles_end_to_end() {
+    // f = a AND NOT b, through the whole pipeline (rewrite + verify).
+    let mut child = plimc()
+        .args(["--format", "aag", "--emit", "stats", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"aag 3 2 0 1 1\n2\n4\n6\n6 2 5\ni0 a\ni1 b\no0 f\n")
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("instructions"), "stats missing: {stdout}");
+}
+
+#[test]
+fn aiger_parse_errors_carry_line_numbers_through_the_cli() {
+    // Truncated document: the header promises more than the file holds.
+    let mut child = plimc()
+        .args(["--format", "aag", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"aag 3 2 0 1 1\n2\n")
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(1));
+    assert!(
+        stderr.contains("line 2") && stderr.contains("unexpected end of file"),
+        "EOF diagnostic must name the last line read: {stderr}"
+    );
+}
