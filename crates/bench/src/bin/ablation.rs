@@ -5,8 +5,11 @@
 //!    scheduler.
 //! 2. **Operand selection** (§4.2.2): smart case analysis vs fixed
 //!    child-order slots — isolates the `#I` contribution of translation.
-//! 3. **Allocator strategy** (§4.2.3): FIFO vs LIFO vs fresh-only — FIFO
-//!    and LIFO tie on `#R`, but FIFO levels wear across cells (endurance).
+//! 3. **Scheduling × allocation sweep**: every [`ScheduleOrder`] crossed
+//!    with every [`AllocatorStrategy`], reporting `#I` / `#R` / max
+//!    cell-writes per combination — where the lifetime-driven lookahead
+//!    scheduler and the wear-budget/lifetime-binned allocators earn (or
+//!    fail to earn) their keep, per circuit.
 //! 4. **Rewrite effort**: 0–8 cycles (the paper fixes 4).
 //!
 //! All four studies are expressed as **one batch job matrix** and executed
@@ -21,13 +24,17 @@ use plim_bench::{
     PAPER_EFFORT,
 };
 use plim_benchmarks::suite::Scale;
-use plim_compiler::{AllocatorStrategy, CompilerOptions, OperandSelection};
+use plim_compiler::{AllocatorStrategy, CompilerOptions, OperandSelection, ScheduleOrder};
 
 /// Benchmarks used for the ablations (a representative, fast subset).
 const CIRCUITS: [&str; 6] = ["adder", "bar", "max", "voter", "i2c", "priority"];
 
 /// Rewrite efforts of the sweep (the paper fixes 4).
 const EFFORTS: [usize; 5] = [0, 1, 2, 4, 8];
+
+/// Schedules crossed with every allocator in study 3 (index order is
+/// covered separately by study 1).
+const SWEEP_SCHEDULES: [ScheduleOrder; 2] = [ScheduleOrder::Priority, ScheduleOrder::Lookahead];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +45,7 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| {
                 eprintln!("ablation: --jobs needs a number");
-                std::process::exit(2);
+                std::process::exit(1);
             })
     });
     let parallelism = if args.iter().any(|a| a == "--serial") {
@@ -66,16 +73,16 @@ fn main() {
         specs.push(JobSpec::new(c, paper, CompilerOptions::naive()));
     }
     for c in 0..circuits.len() {
-        for strategy in [
-            AllocatorStrategy::Fifo,
-            AllocatorStrategy::Lifo,
-            AllocatorStrategy::Fresh,
-        ] {
-            specs.push(JobSpec::new(
-                c,
-                paper,
-                CompilerOptions::new().allocator(strategy),
-            ));
+        for schedule in SWEEP_SCHEDULES {
+            for strategy in AllocatorStrategy::ALL {
+                specs.push(JobSpec::new(
+                    c,
+                    paper,
+                    CompilerOptions::new()
+                        .schedule(schedule)
+                        .allocator(strategy),
+                ));
+            }
         }
     }
     for c in 0..circuits.len() {
@@ -90,13 +97,14 @@ fn main() {
 
     let report = run_batch(&circuits, &specs, parallelism);
     let n = circuits.len();
+    let combos = SWEEP_SCHEDULES.len() * AllocatorStrategy::ALL.len();
     let (scheduling, rest) = report.jobs.split_at(2 * n);
     let (operands, rest) = rest.split_at(2 * n);
-    let (allocators, sweep) = rest.split_at(3 * n);
+    let (allocators, sweep) = rest.split_at(combos * n);
 
     candidate_selection_ablation(&circuits, scheduling);
     operand_selection_ablation(&circuits, operands);
-    allocator_ablation(&circuits, allocators);
+    schedule_allocation_sweep(&circuits, allocators);
     effort_sweep(&circuits, sweep, &report);
     println!("batch: {}", report.summary());
 }
@@ -139,31 +147,32 @@ fn operand_selection_ablation(circuits: &[Circuit], jobs: &[plim_bench::JobResul
     println!();
 }
 
-fn allocator_ablation(circuits: &[Circuit], jobs: &[plim_bench::JobResult]) {
-    println!("═══ Ablation 3: allocator strategy — #R and endurance (max writes/cell) ═══");
-    println!(
-        "{:<11} {:>8} {:>8} {:>8} {:>10} {:>10}",
-        "Benchmark", "fifo #R", "lifo #R", "fresh #R", "fifo max-w", "lifo max-w"
-    );
-    for (c, triple) in jobs.chunks(3).enumerate() {
-        let (fifo, lifo, fresh) = (
-            &triple[0].compiled,
-            &triple[1].compiled,
-            &triple[2].compiled,
-        );
-        println!(
-            "{:<11} {:>8} {:>8} {:>8} {:>10} {:>10}",
-            circuits[c].name,
-            fifo.stats.rams,
-            lifo.stats.rams,
-            fresh.stats.rams,
-            fifo.static_endurance().max_writes,
-            lifo.static_endurance().max_writes,
-        );
+fn schedule_allocation_sweep(circuits: &[Circuit], jobs: &[plim_bench::JobResult]) {
+    println!("═══ Ablation 3: scheduling × allocation — #I / #R / max writes per cell ═══");
+    print!("{:<11} {:<10}", "Benchmark", "schedule");
+    for strategy in AllocatorStrategy::ALL {
+        print!(" {:>14}", strategy.name());
     }
-    println!("(FIFO and LIFO reuse cells equally well; the max-writes columns show");
-    println!(" how the reuse policy shifts wear between cells — FIFO rotates through");
-    println!(" the free pool while LIFO hammers the most recently released cells)");
+    println!();
+    let per_circuit = SWEEP_SCHEDULES.len() * AllocatorStrategy::ALL.len();
+    for (c, block) in jobs.chunks(per_circuit).enumerate() {
+        for (s, row) in block.chunks(AllocatorStrategy::ALL.len()).enumerate() {
+            print!("{:<11} {:<10}", circuits[c].name, SWEEP_SCHEDULES[s].name());
+            for job in row {
+                let stats = &job.compiled.stats;
+                print!(
+                    " {:>14}",
+                    format!(
+                        "{}/{}/{}",
+                        stats.instructions, stats.rams, stats.max_cell_writes
+                    )
+                );
+            }
+            println!();
+        }
+    }
+    println!("(reuse policy never changes #I; the scheduler changes #R; the wear and");
+    println!(" binned policies trade free-pool rotation for lower peak cell wear)");
     println!();
 }
 

@@ -1,18 +1,117 @@
-//! Work-RRAM allocation (§4.2.3 of the paper).
+//! Work-RRAM allocation (§4.2.3 of the paper, extended).
 //!
 //! The allocator exposes the paper's two-operation interface — *request* an
 //! RRAM ready for use and *release* one that is no longer needed — backed by
-//! a free list. The paper populates the free list FIFO so that the oldest
-//! released cell is reused first, resting recently used cells as long as
-//! possible (an endurance-aware wear-leveling policy).
+//! a pluggable free-cell pool (the private `FreePool` enum, one variant per
+//! [`AllocatorStrategy`]). The paper populates the pool
+//! FIFO so that the oldest released cell is reused first, resting recently
+//! used cells as long as possible; the extended strategies reuse the same
+//! pool interface to level wear explicitly (least-written cell first) or to
+//! segregate cells by the expected lifetime of the value they receive.
+//!
+//! The allocator also keeps **per-cell write counters**: the translator
+//! reports every instruction's destination through [`RramAllocator::note_write`],
+//! so the counters agree exactly with the program's static endurance profile
+//! ([`crate::CompiledProgram::static_write_counts`]) and the wear-budget
+//! strategy can consult them while the program is still being built.
 
 use std::collections::VecDeque;
 
 use plim::RamAddr;
 
+use crate::lifetime::LifetimeClass;
 use crate::options::AllocatorStrategy;
 
-/// Free-list allocator for work RRAM cells.
+/// The reuse-policy layer: one free-cell pool per [`AllocatorStrategy`].
+///
+/// Every variant stores released cells and serves them back under its own
+/// discipline; a strategy that needs more context receives it at pop time
+/// (the lifetime hint of the requesting value, the per-cell write counters).
+/// Adding a strategy means adding a variant here — the exhaustive matches
+/// below make the compiler point at every site that must learn about it.
+#[derive(Debug, Clone)]
+enum FreePool {
+    /// Oldest-released-first (the paper's endurance-aware rotation).
+    Fifo(VecDeque<RamAddr>),
+    /// Most-recently-released-first.
+    Lifo(Vec<RamAddr>),
+    /// Released cells are parked and never served again.
+    Fresh(Vec<RamAddr>),
+    /// Served least-written-first, consulting the write counters.
+    WearLeveled(Vec<RamAddr>),
+    /// Two FIFO bins keyed by the lifetime class a cell last held.
+    Binned {
+        short: VecDeque<RamAddr>,
+        long: VecDeque<RamAddr>,
+    },
+}
+
+impl FreePool {
+    fn new(strategy: AllocatorStrategy) -> Self {
+        match strategy {
+            AllocatorStrategy::Fifo => FreePool::Fifo(VecDeque::new()),
+            AllocatorStrategy::Lifo => FreePool::Lifo(Vec::new()),
+            AllocatorStrategy::Fresh => FreePool::Fresh(Vec::new()),
+            AllocatorStrategy::WearLeveled => FreePool::WearLeveled(Vec::new()),
+            AllocatorStrategy::LifetimeBinned => FreePool::Binned {
+                short: VecDeque::new(),
+                long: VecDeque::new(),
+            },
+        }
+    }
+
+    /// Returns a reusable cell for a value of class `hint`, or `None` when
+    /// the caller must allocate a fresh one.
+    fn pop(&mut self, hint: LifetimeClass, writes: &[u64]) -> Option<RamAddr> {
+        match self {
+            FreePool::Fifo(pool) => pool.pop_front(),
+            FreePool::Lifo(pool) => pool.pop(),
+            FreePool::Fresh(_) => None,
+            FreePool::WearLeveled(pool) => {
+                let best = pool
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, addr)| (writes[addr.index()], addr.index()))?
+                    .0;
+                // Order within the pool is irrelevant — only the counters
+                // decide — so a swap_remove keeps the scan linear.
+                Some(pool.swap_remove(best))
+            }
+            FreePool::Binned { short, long } => {
+                let (preferred, fallback) = match hint {
+                    LifetimeClass::Short => (short, long),
+                    LifetimeClass::Long => (long, short),
+                };
+                preferred.pop_front().or_else(|| fallback.pop_front())
+            }
+        }
+    }
+
+    fn push(&mut self, addr: RamAddr, class: LifetimeClass) {
+        match self {
+            FreePool::Fifo(pool) => pool.push_back(addr),
+            FreePool::Lifo(pool) | FreePool::Fresh(pool) | FreePool::WearLeveled(pool) => {
+                pool.push(addr)
+            }
+            FreePool::Binned { short, long } => match class {
+                LifetimeClass::Short => short.push_back(addr),
+                LifetimeClass::Long => long.push_back(addr),
+            },
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            FreePool::Fifo(pool) => pool.len(),
+            FreePool::Lifo(pool) | FreePool::Fresh(pool) | FreePool::WearLeveled(pool) => {
+                pool.len()
+            }
+            FreePool::Binned { short, long } => short.len() + long.len(),
+        }
+    }
+}
+
+/// Free-pool allocator for work RRAM cells.
 ///
 /// The number of *fresh* cells ever handed out is the program's RRAM count
 /// (`#R` in Table 1 of the paper).
@@ -32,46 +131,59 @@ use crate::options::AllocatorStrategy;
 /// ```
 #[derive(Debug, Clone)]
 pub struct RramAllocator {
-    strategy: AllocatorStrategy,
-    free: VecDeque<RamAddr>,
+    pool: FreePool,
     next_fresh: u32,
     live: Vec<bool>,
     live_count: usize,
+    /// Lifetime class each cell was last requested under (drives the
+    /// binned pool's release bookkeeping).
+    class: Vec<LifetimeClass>,
+    /// Writes recorded per cell via [`RramAllocator::note_write`].
+    writes: Vec<u64>,
 }
 
 impl RramAllocator {
     /// Creates an allocator with the given reuse strategy.
     pub fn new(strategy: AllocatorStrategy) -> Self {
         RramAllocator {
-            strategy,
-            free: VecDeque::new(),
+            pool: FreePool::new(strategy),
             next_fresh: 0,
             live: Vec::new(),
             live_count: 0,
+            class: Vec::new(),
+            writes: Vec::new(),
         }
     }
 
     /// Returns an RRAM cell that is ready for use, reusing a released cell
-    /// if the strategy allows, otherwise allocating a fresh one.
+    /// if the strategy allows, otherwise allocating a fresh one. Equivalent
+    /// to [`RramAllocator::request_with_hint`] with a
+    /// [`LifetimeClass::Short`] hint.
     pub fn request(&mut self) -> RamAddr {
-        let addr = match self.strategy {
-            AllocatorStrategy::Fifo => self.free.pop_front(),
-            AllocatorStrategy::Lifo => self.free.pop_back(),
-            AllocatorStrategy::Fresh => None,
-        }
-        .unwrap_or_else(|| {
+        self.request_with_hint(LifetimeClass::Short)
+    }
+
+    /// Like [`RramAllocator::request`], with a hint describing how long the
+    /// value placed in the cell is expected to live. Only lifetime-aware
+    /// strategies consult the hint; for the others the call is identical to
+    /// `request`.
+    pub fn request_with_hint(&mut self, hint: LifetimeClass) -> RamAddr {
+        let addr = self.pool.pop(hint, &self.writes).unwrap_or_else(|| {
             let addr = RamAddr(self.next_fresh);
             self.next_fresh += 1;
             self.live.push(false);
+            self.class.push(LifetimeClass::Short);
+            self.writes.push(0);
             addr
         });
         debug_assert!(!self.live[addr.index()], "allocator handed out a live cell");
         self.live[addr.index()] = true;
         self.live_count += 1;
+        self.class[addr.index()] = hint;
         addr
     }
 
-    /// Returns a cell to the free list.
+    /// Returns a cell to the free pool.
     ///
     /// # Panics
     ///
@@ -80,7 +192,25 @@ impl RramAllocator {
         debug_assert!(self.live[addr.index()], "double release of {addr}");
         self.live[addr.index()] = false;
         self.live_count -= 1;
-        self.free.push_back(addr);
+        self.pool.push(addr, self.class[addr.index()]);
+    }
+
+    /// Records one write to a cell (every RM3 instruction writes its
+    /// destination). The counters feed the wear-budget strategy and the
+    /// endurance report.
+    pub fn note_write(&mut self, addr: RamAddr) {
+        self.writes[addr.index()] += 1;
+    }
+
+    /// Per-cell write counts recorded so far, indexed by cell.
+    pub fn write_counts(&self) -> &[u64] {
+        &self.writes
+    }
+
+    /// The highest per-cell write count recorded so far (0 for an empty
+    /// program) — the endurance-limiting cell's wear.
+    pub fn max_writes(&self) -> u64 {
+        self.writes.iter().copied().max().unwrap_or(0)
     }
 
     /// Total number of distinct cells ever allocated (the `#R` metric).
@@ -93,9 +223,10 @@ impl RramAllocator {
         self.live_count
     }
 
-    /// Number of cells currently on the free list.
+    /// Number of cells currently on the free pool (for the fresh-only
+    /// strategy this counts parked, never-reused cells).
     pub fn num_free(&self) -> usize {
-        self.free.len()
+        self.pool.len()
     }
 }
 
@@ -139,6 +270,57 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(alloc.num_allocated(), 2);
         assert_eq!(alloc.num_free(), 1);
+    }
+
+    #[test]
+    fn wear_leveled_serves_the_least_written_cell() {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::WearLeveled);
+        let a = alloc.request();
+        let b = alloc.request();
+        let c = alloc.request();
+        alloc.note_write(a);
+        alloc.note_write(a);
+        alloc.note_write(b);
+        alloc.note_write(b);
+        alloc.note_write(b);
+        alloc.note_write(c);
+        alloc.release(a);
+        alloc.release(b);
+        alloc.release(c);
+        // c has 1 write, a has 2, b has 3.
+        assert_eq!(alloc.request(), c);
+        assert_eq!(alloc.request(), a);
+        assert_eq!(alloc.request(), b);
+        assert_eq!(alloc.num_allocated(), 3);
+        assert_eq!(alloc.write_counts(), &[2, 3, 1]);
+        assert_eq!(alloc.max_writes(), 3);
+    }
+
+    #[test]
+    fn wear_leveled_breaks_write_ties_by_address() {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::WearLeveled);
+        let a = alloc.request();
+        let b = alloc.request();
+        alloc.release(b);
+        alloc.release(a);
+        assert_eq!(alloc.request(), a, "equal wear serves the lowest address");
+    }
+
+    #[test]
+    fn binned_pool_prefers_the_matching_lifetime_bin() {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::LifetimeBinned);
+        let s = alloc.request_with_hint(LifetimeClass::Short);
+        let l = alloc.request_with_hint(LifetimeClass::Long);
+        alloc.release(s);
+        alloc.release(l);
+        // A long-lived request takes the cell that last held a long value.
+        assert_eq!(alloc.request_with_hint(LifetimeClass::Long), l);
+        // The short bin still serves short requests.
+        assert_eq!(alloc.request_with_hint(LifetimeClass::Short), s);
+        alloc.release(s);
+        // Cross-bin fallback instead of a fresh allocation.
+        assert_eq!(alloc.request_with_hint(LifetimeClass::Long), s);
+        assert_eq!(alloc.num_allocated(), 2);
     }
 
     #[test]

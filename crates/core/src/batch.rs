@@ -51,7 +51,8 @@ use mig::rewrite::rewrite;
 use mig::Mig;
 use plim_parallel::{par_map, Parallelism};
 
-use crate::{compile, CompiledProgram, CompilerOptions};
+use crate::benchfile::BenchRecord;
+use crate::{compile, AllocatorStrategy, CompiledProgram, CompilerOptions, ScheduleOrder};
 
 /// Rewrite effort used throughout the evaluation (the paper fixes 4).
 pub const PAPER_EFFORT: usize = 4;
@@ -433,6 +434,115 @@ pub fn measure_suite(circuits: &[Circuit], effort: usize, parallelism: Paralleli
     SuiteRun { rows, report }
 }
 
+/// The five job specs behind one `BENCH.json` row, in order: the three
+/// Table 1 jobs of [`measure_specs`], then the lookahead-scheduling probe
+/// and the wear-budget-allocator probe on the same rewritten graph (all
+/// four rewritten jobs share one memoized rewrite pass).
+fn bench_specs(circuit: usize, effort: usize) -> [JobSpec; 5] {
+    let [a, b, c] = measure_specs(circuit, effort);
+    let rewritten = RewriteEffort::Effort(effort);
+    [
+        a,
+        b,
+        c,
+        JobSpec::new(
+            circuit,
+            rewritten,
+            CompilerOptions::new().schedule(ScheduleOrder::Lookahead),
+        ),
+        JobSpec::new(
+            circuit,
+            rewritten,
+            CompilerOptions::new().allocator(AllocatorStrategy::WearLeveled),
+        ),
+    ]
+}
+
+/// A suite measurement extended with the `BENCH.json` rows: Table 1 rows,
+/// one [`BenchRecord`] per circuit, and the underlying batch report.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// One Table 1 row per circuit, in circuit order.
+    pub rows: Vec<MeasuredRow>,
+    /// One bench-gate record per circuit, in circuit order.
+    pub records: Vec<BenchRecord>,
+    /// The batch that produced the rows (five jobs per circuit).
+    pub report: BatchReport,
+}
+
+impl BenchRun {
+    /// Wall-clock work attributable to one circuit: its rewrite pass plus
+    /// its five compile jobs.
+    pub fn row_time(&self, circuit: usize) -> Duration {
+        let rewrite: Duration = self
+            .report
+            .rewrites
+            .iter()
+            .filter(|pass| pass.circuit == circuit)
+            .map(|pass| pass.time)
+            .sum();
+        let compile: Duration = self
+            .report
+            .jobs
+            .iter()
+            .filter(|job| job.spec.circuit == circuit)
+            .map(|job| job.compile_time)
+            .sum();
+        rewrite + compile
+    }
+}
+
+/// Measures every circuit for the bench-regression gate: the exact Table 1
+/// workload of [`measure_suite`] plus, per circuit, one lookahead-scheduled
+/// and one wear-budget-allocated compilation of the same rewritten graph.
+/// Row contents are identical to [`measure_suite`]'s; the extra jobs feed
+/// the `lookahead_rams` and `wear_max_writes` columns of the records.
+pub fn bench_suite(circuits: &[Circuit], effort: usize, parallelism: Parallelism) -> BenchRun {
+    let specs: Vec<JobSpec> = (0..circuits.len())
+        .flat_map(|circuit| bench_specs(circuit, effort))
+        .collect();
+    let report = run_batch(circuits, &specs, parallelism);
+    let mut rows = Vec::with_capacity(circuits.len());
+    let mut records = Vec::with_capacity(circuits.len());
+    for (index, circuit) in circuits.iter().enumerate() {
+        let jobs = &report.jobs[index * 5..index * 5 + 5];
+        rows.push(MeasuredRow {
+            name: circuit.name.clone(),
+            pi: circuit.mig.num_inputs(),
+            po: circuit.mig.num_outputs(),
+            naive: Point::from(&jobs[0].compiled),
+            rewritten: Point::from(&jobs[1].compiled),
+            compiled: Point::from(&jobs[2].compiled),
+        });
+        let smart = &jobs[2].compiled;
+        let rewrite_ms = report
+            .rewrites
+            .iter()
+            .filter(|pass| pass.circuit == index)
+            .map(|pass| pass.time.as_secs_f64() * 1e3)
+            .sum();
+        let compile_ms = jobs
+            .iter()
+            .map(|job| job.compile_time.as_secs_f64() * 1e3)
+            .sum();
+        records.push(BenchRecord {
+            circuit: circuit.name.clone(),
+            instructions: smart.stats.instructions as u64,
+            rams: u64::from(smart.stats.rams),
+            max_writes: smart.stats.max_cell_writes,
+            lookahead_rams: u64::from(jobs[3].compiled.stats.rams),
+            wear_max_writes: jobs[4].compiled.stats.max_cell_writes,
+            rewrite_ms,
+            compile_ms,
+        });
+    }
+    BenchRun {
+        rows,
+        records,
+        report,
+    }
+}
+
 /// Accumulates the Σ row over measured rows.
 pub fn totals(rows: &[MeasuredRow]) -> MeasuredRow {
     let zero = Point {
@@ -608,6 +718,29 @@ mod tests {
         let report = run_batch(&circuits, &specs, Parallelism::Serial);
         assert!(report.rewrites.is_empty());
         assert_eq!(report.rewrite_cache_hits, 0);
+    }
+
+    #[test]
+    fn bench_suite_rows_match_measure_and_records_are_consistent() {
+        let circuits = [circuit("ctrl"), circuit("router")];
+        let run = bench_suite(&circuits, 2, Parallelism::Auto);
+        assert_eq!(run.rows.len(), 2);
+        assert_eq!(run.records.len(), 2);
+        for (c, (row, record)) in circuits.iter().zip(run.rows.iter().zip(&run.records)) {
+            let serial = measure(&c.name, &c.mig, 2);
+            assert_eq!(format_row(&serial), format_row(row), "{}", c.name);
+            assert_eq!(record.circuit, c.name);
+            assert_eq!(record.instructions, row.compiled.instructions as u64);
+            assert_eq!(record.rams, row.compiled.rams as u64);
+            assert!(record.max_writes > 0);
+            assert!(record.lookahead_rams > 0);
+            assert!(record.wear_max_writes > 0);
+            assert!(record.rewrite_ms >= 0.0 && record.compile_ms > 0.0);
+        }
+        assert!(run.row_time(0) > Duration::ZERO);
+        // Five jobs per circuit, one shared rewrite pass each.
+        assert_eq!(run.report.jobs.len(), 10);
+        assert_eq!(run.report.rewrites.len(), 2);
     }
 
     #[test]

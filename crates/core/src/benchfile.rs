@@ -1,0 +1,437 @@
+//! The `BENCH.json` artifact and the bench-regression gate.
+//!
+//! Every quality and speed number the compiler cares about becomes a
+//! machine-checked artifact: `plimc bench --json` (and the `pipeline` bench
+//! harness) emit one [`BenchRecord`] per suite circuit, CI diffs the fresh
+//! run against the committed `benchmarks/baseline.json` with [`gate`], and
+//! the job fails when `#I` or `#R` regress or the pipeline slows down past
+//! the tolerance. The JSON reader/writer is hand-rolled for exactly this
+//! flat schema so the workspace stays dependency-free and offline.
+//!
+//! A record carries, per circuit:
+//!
+//! * `instructions` / `rams` / `max_writes` — `#I`, `#R` and the
+//!   endurance-limiting cell's write count of the **default** compiler
+//!   (priority scheduling, smart translation, FIFO allocation) on the
+//!   rewritten MIG; deterministic, diffed exactly;
+//! * `lookahead_rams` / `wear_max_writes` — the same circuit under the
+//!   lookahead scheduler and under the wear-budget allocator, recording
+//!   what the lifetime-driven extensions buy;
+//! * `rewrite_ms` / `compile_ms` — wall-clock of the rewrite pass and of
+//!   the circuit's compile jobs; gated only in aggregate, with a generous
+//!   tolerance, because timings are machine-dependent.
+
+use std::fmt::Write as _;
+
+/// One circuit's row of a `BENCH.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name.
+    pub circuit: String,
+    /// `#I` of the default compiler on the rewritten MIG.
+    pub instructions: u64,
+    /// `#R` of the default compiler on the rewritten MIG.
+    pub rams: u64,
+    /// Highest per-cell write count under the default compiler.
+    pub max_writes: u64,
+    /// `#R` under lookahead scheduling (lifetime-driven extension).
+    pub lookahead_rams: u64,
+    /// Highest per-cell write count under the wear-budget allocator.
+    pub wear_max_writes: u64,
+    /// Wall-clock of the circuit's rewrite pass, in milliseconds.
+    pub rewrite_ms: f64,
+    /// Wall-clock of the circuit's compile jobs, in milliseconds.
+    pub compile_ms: f64,
+}
+
+/// Serializes records as a stable, human-reviewable JSON document.
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (index, r) in records.iter().enumerate() {
+        let comma = if index + 1 == records.len() { "" } else { "," };
+        writeln!(
+            out,
+            "  {{\"circuit\": \"{}\", \"instructions\": {}, \"rams\": {}, \"max_writes\": {}, \
+             \"lookahead_rams\": {}, \"wear_max_writes\": {}, \"rewrite_ms\": {:.3}, \
+             \"compile_ms\": {:.3}}}{comma}",
+            escape(&r.circuit),
+            r.instructions,
+            r.rams,
+            r.max_writes,
+            r.lookahead_rams,
+            r.wear_max_writes,
+            r.rewrite_ms,
+            r.compile_ms,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses a `BENCH.json` document produced by [`to_json`] (or edited by
+/// hand: unknown keys are ignored, field order is free).
+///
+/// # Errors
+///
+/// Returns a one-line description of the first syntax error, missing
+/// required field, or type mismatch.
+pub fn from_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut records = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            records.push(p.parse_record()?);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => p.skip_ws(),
+                Some(b']') => break,
+                _ => return Err(p.err("expected `,` or `]` after a record")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after the record array"));
+    }
+    Ok(records)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> String {
+        format!("BENCH.json: {message} (byte {})", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.next() == Some(byte) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.next() {
+                Some(b'"') => {
+                    // Collect raw bytes and decode once: pushing `byte as
+                    // char` would re-encode each UTF-8 continuation byte as
+                    // its own Latin-1 character and mangle non-ASCII names.
+                    return String::from_utf8(out)
+                        .map_err(|_| self.err("string is not valid UTF-8"));
+                }
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    _ => return Err(self.err("unsupported escape in string")),
+                },
+                Some(b) => out.push(b),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))
+    }
+
+    fn parse_record(&mut self) -> Result<BenchRecord, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut circuit: Option<String> = None;
+        let mut fields: [(&str, Option<f64>); 7] = [
+            ("instructions", None),
+            ("rams", None),
+            ("max_writes", None),
+            ("lookahead_rams", None),
+            ("wear_max_writes", None),
+            ("rewrite_ms", None),
+            ("compile_ms", None),
+        ];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                break;
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            if key == "circuit" {
+                circuit = Some(self.parse_string()?);
+            } else if self.peek() == Some(b'"') {
+                self.parse_string()?; // unknown string field: ignore
+            } else {
+                let value = self.parse_number()?;
+                if let Some(slot) = fields.iter_mut().find(|(name, _)| *name == key) {
+                    slot.1 = Some(value);
+                }
+                // unknown numeric fields are ignored
+            }
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(self.err("expected `,` or `}` in a record")),
+            }
+        }
+        let circuit = circuit.ok_or_else(|| self.err("record is missing `circuit`"))?;
+        let get = |name: &str| -> Result<f64, String> {
+            fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .and_then(|(_, v)| *v)
+                .ok_or(format!("BENCH.json: `{circuit}` is missing `{name}`"))
+        };
+        Ok(BenchRecord {
+            instructions: get("instructions")? as u64,
+            rams: get("rams")? as u64,
+            max_writes: get("max_writes")? as u64,
+            lookahead_rams: get("lookahead_rams")? as u64,
+            wear_max_writes: get("wear_max_writes")? as u64,
+            rewrite_ms: get("rewrite_ms")?,
+            compile_ms: get("compile_ms")?,
+            circuit,
+        })
+    }
+}
+
+/// Outcome of diffing a fresh run against the committed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Human-readable per-circuit notes (improvements, informational
+    /// changes, the timing summary).
+    pub notes: Vec<String>,
+    /// Hard failures: `#I`/`#R` regressions, missing circuits, or a
+    /// wall-clock slowdown beyond the tolerance. Empty means the gate is
+    /// green.
+    pub regressions: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when no regression was detected.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diffs `current` against `baseline`.
+///
+/// Deterministic program-quality metrics gate hard: any increase of
+/// `instructions` or `rams` (on the default compiler) for a baseline
+/// circuit, or a circuit disappearing from the run, is a regression.
+/// Wall-clock gates softly: only the **total** `rewrite_ms + compile_ms`
+/// over circuits present in both runs is compared, and only a slowdown
+/// beyond `time_tolerance` (e.g. `0.25` for +25 %) fails. The endurance
+/// and extension columns (`max_writes`, `lookahead_rams`,
+/// `wear_max_writes`) are reported as notes so intentional trade-offs do
+/// not need a baseline refresh ceremony.
+pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let mut base_time = 0.0f64;
+    let mut curr_time = 0.0f64;
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.circuit == b.circuit) else {
+            report
+                .regressions
+                .push(format!("{}: missing from the current run", b.circuit));
+            continue;
+        };
+        base_time += b.rewrite_ms + b.compile_ms;
+        curr_time += c.rewrite_ms + c.compile_ms;
+        for (metric, old, new) in [
+            ("#I", b.instructions, c.instructions),
+            ("#R", b.rams, c.rams),
+        ] {
+            if new > old {
+                report
+                    .regressions
+                    .push(format!("{}: {metric} regressed {old} → {new}", b.circuit));
+            } else if new < old {
+                report
+                    .notes
+                    .push(format!("{}: {metric} improved {old} → {new}", b.circuit));
+            }
+        }
+        for (metric, old, new) in [
+            ("max_writes", b.max_writes, c.max_writes),
+            ("lookahead_rams", b.lookahead_rams, c.lookahead_rams),
+            ("wear_max_writes", b.wear_max_writes, c.wear_max_writes),
+        ] {
+            if new != old {
+                report
+                    .notes
+                    .push(format!("{}: {metric} changed {old} → {new}", b.circuit));
+            }
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.circuit == c.circuit) {
+            report
+                .notes
+                .push(format!("{}: new circuit (not in the baseline)", c.circuit));
+        }
+    }
+    if base_time > 0.0 {
+        let ratio = curr_time / base_time;
+        let line = format!(
+            "wall-clock: {base_time:.1} ms baseline vs {curr_time:.1} ms current ({:+.1} %)",
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > 1.0 + time_tolerance {
+            report.regressions.push(format!(
+                "{line} exceeds the +{:.0} % tolerance",
+                time_tolerance * 100.0
+            ));
+        } else {
+            report.notes.push(line);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(circuit: &str, instructions: u64, rams: u64) -> BenchRecord {
+        BenchRecord {
+            circuit: circuit.to_string(),
+            instructions,
+            rams,
+            max_writes: 9,
+            lookahead_rams: rams,
+            wear_max_writes: 5,
+            rewrite_ms: 1.5,
+            compile_ms: 0.5,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        // Quotes, backslashes, and non-ASCII UTF-8 must all survive.
+        let records = vec![
+            record("adder", 120, 12),
+            record("log2\"odd\\", 7, 3),
+            record("Σ-µbench", 9, 2),
+        ];
+        let parsed = from_json(&to_json(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parser_ignores_unknown_fields_and_order() {
+        let text = r#"[{"rams": 3, "note": "hi", "circuit": "x", "instructions": 9,
+            "max_writes": 1, "lookahead_rams": 3, "wear_max_writes": 1,
+            "compile_ms": 0.25, "rewrite_ms": 1.25, "extra": 42}]"#;
+        let parsed = from_json(text).unwrap();
+        assert_eq!(parsed[0].circuit, "x");
+        assert_eq!(parsed[0].instructions, 9);
+        assert_eq!(parsed[0].rewrite_ms, 1.25);
+    }
+
+    #[test]
+    fn parser_reports_missing_fields_and_syntax_errors() {
+        let err = from_json(r#"[{"circuit": "x"}]"#).unwrap_err();
+        assert!(err.contains("missing `instructions`"), "{err}");
+        assert!(from_json("[").is_err());
+        assert!(from_json("[]extra").is_err());
+        assert!(from_json(r#"[{"instructions": 1}]"#).is_err());
+        assert_eq!(from_json("[]").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let records = vec![record("adder", 120, 12)];
+        let report = gate(&records, &records, 0.25);
+        assert!(report.passed(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn instruction_regression_fails_the_gate() {
+        let baseline = vec![record("adder", 120, 12)];
+        let current = vec![record("adder", 121, 12)];
+        let report = gate(&baseline, &current, 0.25);
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("#I regressed 120 → 121"));
+    }
+
+    #[test]
+    fn ram_regression_and_missing_circuit_fail_the_gate() {
+        let baseline = vec![record("adder", 120, 12), record("bar", 50, 6)];
+        let current = vec![record("adder", 120, 13)];
+        let report = gate(&baseline, &current, 0.25);
+        assert_eq!(report.regressions.len(), 2);
+        assert!(report.regressions.iter().any(|r| r.contains("#R")));
+        assert!(report.regressions.iter().any(|r| r.contains("missing")));
+    }
+
+    #[test]
+    fn improvements_and_endurance_changes_are_notes() {
+        let baseline = vec![record("adder", 120, 12)];
+        let mut improved = record("adder", 118, 12);
+        improved.wear_max_writes = 4;
+        let report = gate(&baseline, &[improved], 0.25);
+        assert!(report.passed());
+        assert!(report.notes.iter().any(|n| n.contains("#I improved")));
+        assert!(report.notes.iter().any(|n| n.contains("wear_max_writes")));
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_fails_within_passes() {
+        let baseline = vec![record("adder", 120, 12)];
+        let mut slow = record("adder", 120, 12);
+        slow.compile_ms = 10.0;
+        let report = gate(&baseline, &[slow.clone()], 0.25);
+        assert!(!report.passed());
+        assert!(report.regressions[0].contains("tolerance"));
+        // A generous tolerance lets the same run through.
+        assert!(gate(&baseline, &[slow], 10.0).passed());
+    }
+}

@@ -11,6 +11,10 @@
 //!   --effort N           rewrite effort, 0 disables rewriting (default 4)
 //!   --extended           use rewrite+majority-resynthesis (stronger)
 //!   --naive              disable candidate selection (Table 1 baseline)
+//!   --schedule index|priority|lookahead
+//!                        node scheduling order (default: priority)
+//!   --alloc fifo|lifo|fresh|wear|binned
+//!                        work-RRAM allocation strategy (default: fifo)
 //!   --limit R            fail unless the program fits R work RRAMs
 //!   --emit asm|listing|stats|dot|mig
 //!                        artifact to print (default: listing)
@@ -22,6 +26,15 @@
 //!   --effort N           rewrite effort (default 4)
 //!   --jobs N             cap worker threads (default: all cores)
 //!   --serial             compile on one thread
+//!   --json PATH          write the BENCH.json bench-gate artifact
+//!
+//! plimc bench-diff BASELINE CURRENT [--time-tolerance PCT | --no-time-gate]
+//!                             diff two BENCH.json files; exit 1 on a
+//!                             #I/#R regression, a missing circuit, or a
+//!                             wall-clock slowdown beyond PCT % (default 25;
+//!                             --no-time-gate reports timing as a note only,
+//!                             for runs on a different machine than the
+//!                             baseline's)
 //! ```
 
 use std::io::Read as _;
@@ -29,7 +42,7 @@ use std::process::ExitCode;
 
 use mig::Mig;
 use plim_compiler::report::CostReport;
-use plim_compiler::{compile, verify::verify, CompilerOptions};
+use plim_compiler::{compile, verify::verify, AllocatorStrategy, CompilerOptions, ScheduleOrder};
 
 struct Args {
     file: String,
@@ -37,6 +50,8 @@ struct Args {
     effort: usize,
     extended: bool,
     naive: bool,
+    schedule: Option<ScheduleOrder>,
+    alloc: Option<AllocatorStrategy>,
     limit: Option<u32>,
     emit: String,
     verify: bool,
@@ -49,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         effort: 4,
         extended: false,
         naive: false,
+        schedule: None,
+        alloc: None,
         limit: None,
         emit: "listing".to_string(),
         verify: true,
@@ -68,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--extended" => args.extended = true,
             "--naive" => args.naive = true,
+            "--schedule" => args.schedule = Some(ScheduleOrder::parse(&value("--schedule")?)?),
+            "--alloc" => args.alloc = Some(AllocatorStrategy::parse(&value("--alloc")?)?),
             "--limit" => {
                 args.limit = Some(
                     value("--limit")?
@@ -81,11 +100,22 @@ fn parse_args() -> Result<Args, String> {
             _ if arg.starts_with('-') && arg != "-" => {
                 return Err(format!("unknown option `{arg}`"))
             }
+            _ if !args.file.is_empty() => {
+                return Err(format!(
+                    "multiple input files (`{}` and `{arg}`)",
+                    args.file
+                ))
+            }
             _ => args.file = arg,
         }
     }
     if args.file.is_empty() {
         return Err("no input file (use `-` for stdin)".to_string());
+    }
+    if args.limit.is_some() && (args.schedule.is_some() || args.alloc.is_some()) {
+        return Err(
+            "--limit explores schedules/allocators itself; drop --schedule/--alloc".to_string(),
+        );
     }
     Ok(args)
 }
@@ -166,11 +196,17 @@ fn run() -> Result<(), String> {
         Some(limit) => plim_compiler::constrained::compile_with_ram_limit(&optimized, limit)
             .map_err(|e| e.to_string())?,
         None => {
-            let options = if args.naive {
+            let mut options = if args.naive {
                 CompilerOptions::naive()
             } else {
                 CompilerOptions::new()
             };
+            if let Some(schedule) = args.schedule {
+                options = options.schedule(schedule);
+            }
+            if let Some(alloc) = args.alloc {
+                options = options.allocator(alloc);
+            }
             compile(&optimized, options)
         }
     };
@@ -191,7 +227,8 @@ fn run() -> Result<(), String> {
 }
 
 /// The `plimc bench` subcommand: regenerates Table 1 through the parallel
-/// batch-compilation pipeline.
+/// batch-compilation pipeline, optionally emitting the `BENCH.json`
+/// bench-gate artifact.
 #[cfg(feature = "suite")]
 fn run_bench(args: &[String]) -> Result<(), String> {
     use plim_compiler::batch::{self, Circuit};
@@ -200,6 +237,7 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     let mut reduced = false;
     let mut effort = 4usize;
     let mut parallelism = Parallelism::Auto;
+    let mut json: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
@@ -221,6 +259,7 @@ fn run_bench(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "--jobs needs a number".to_string())?,
                 ))
             }
+            "--json" => json = Some(value("--json")?.clone()),
             other => return Err(format!("unknown bench option `{other}`")),
         }
     }
@@ -237,7 +276,7 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         if reduced { "reduced" } else { "full" }
     );
     println!("{}", batch::table_header());
-    let run = batch::measure_suite(&circuits, effort, parallelism);
+    let run = batch::bench_suite(&circuits, effort, parallelism);
     for (index, row) in run.rows.iter().enumerate() {
         println!("{}   [{:.1?}]", batch::format_row(row), run.row_time(index));
     }
@@ -245,6 +284,11 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     println!("{}", batch::format_row(&batch::totals(&run.rows)));
     println!();
     println!("batch: {}", run.report.summary());
+    if let Some(path) = json {
+        let document = plim_compiler::benchfile::to_json(&run.records);
+        std::fs::write(&path, document).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("bench records written to {path}");
+    }
     Ok(())
 }
 
@@ -253,21 +297,84 @@ fn run_bench(_args: &[String]) -> Result<(), String> {
     Err("`plimc bench` requires the `suite` feature (enabled by default)".to_string())
 }
 
+/// The `plimc bench-diff` subcommand: the bench-regression gate. Exits
+/// nonzero when the current run regresses `#I`/`#R`, loses a circuit, or
+/// slows down beyond the tolerance.
+fn run_bench_diff(args: &[String]) -> Result<(), String> {
+    use plim_compiler::benchfile;
+
+    let mut files: Vec<&String> = Vec::new();
+    let mut tolerance = 25.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--time-tolerance" => {
+                tolerance = iter
+                    .next()
+                    .ok_or("--time-tolerance requires a value")?
+                    .parse()
+                    .map_err(|_| "--time-tolerance needs a number (percent)".to_string())?
+            }
+            // Timing becomes a note: the right mode when the current run's
+            // machine differs from the baseline's (e.g. hosted CI runners
+            // diffing a dev-machine baseline), where even a wide tolerance
+            // flakes on millisecond-scale totals.
+            "--no-time-gate" => tolerance = f64::INFINITY,
+            _ if arg.starts_with('-') => return Err(format!("unknown bench-diff option `{arg}`")),
+            _ => files.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return Err("bench-diff needs exactly two files: BASELINE CURRENT".to_string());
+    };
+    let read = |path: &String| -> Result<Vec<benchfile::BenchRecord>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        benchfile::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let current = read(current_path)?;
+    let report = benchfile::gate(&baseline, &current, tolerance / 100.0);
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for regression in &report.regressions {
+        println!("REGRESSION: {regression}");
+    }
+    if report.passed() {
+        let time_rule = if tolerance.is_finite() {
+            format!("time tolerance +{tolerance:.0} %")
+        } else {
+            "time gate off".to_string()
+        };
+        println!("bench gate: OK ({} circuits, {time_rule})", baseline.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "bench gate failed with {} regression(s) against {baseline_path}",
+            report.regressions.len()
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = if args.first().map(String::as_str) == Some("bench") {
-        run_bench(&args[1..])
-    } else {
-        run()
+    let result = match args.first().map(String::as_str) {
+        Some("bench") => run_bench(&args[1..]),
+        Some("bench-diff") => run_bench_diff(&args[1..]),
+        _ => run(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) if message == "help" => {
             eprintln!("usage: plimc [--format mig|aag] [--effort N] [--extended] [--naive]");
+            eprintln!("             [--schedule index|priority|lookahead] [--alloc fifo|lifo|fresh|wear|binned]");
             eprintln!(
                 "             [--limit R] [--emit asm|listing|stats|dot|mig] [--no-verify] FILE"
             );
-            eprintln!("       plimc bench [--reduced] [--effort N] [--jobs N] [--serial]");
+            eprintln!(
+                "       plimc bench [--reduced] [--effort N] [--jobs N] [--serial] [--json PATH]"
+            );
+            eprintln!("       plimc bench-diff BASELINE CURRENT [--time-tolerance PCT]");
             ExitCode::SUCCESS
         }
         Err(message) => {

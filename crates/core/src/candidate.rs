@@ -26,6 +26,8 @@ use std::collections::BinaryHeap;
 
 use mig::{Mig, MigNode, NodeId};
 
+use crate::lifetime::Lifetimes;
+
 /// Priority information of one candidate node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Candidate {
@@ -71,8 +73,15 @@ pub struct Priorities {
 }
 
 impl Priorities {
-    /// Computes priorities from static fanout counts and levels.
+    /// Computes priorities from static fanout counts and levels, running
+    /// a fresh lifetime analysis for the post-order component.
     pub fn compute(mig: &Mig) -> Self {
+        Priorities::from_lifetimes(mig, &Lifetimes::compute(mig))
+    }
+
+    /// Computes priorities on top of an already-run lifetime analysis
+    /// (whose post-order supplies the Sethi–Ullman scheduling component).
+    pub fn from_lifetimes(mig: &Mig, lifetimes: &Lifetimes) -> Self {
         let fanout = mig.fanout_counts();
         let levels = mig.levels();
         let mut releasing = vec![0u32; mig.len()];
@@ -94,47 +103,17 @@ impl Priorities {
                 releasing[id.index()] = count;
             }
         }
-        // Depth-first post-order over the output cones, visiting the
-        // deepest child of each node first (Sethi–Ullman order): shallow
-        // operands are then computed right before their consumer instead of
-        // staying live across a deep sibling subtree.
-        let mut postorder = vec![u32::MAX; mig.len()];
-        let mut next = 0u32;
-        let mut stack: Vec<(NodeId, bool)> = mig
-            .outputs()
-            .iter()
-            .rev()
-            .map(|(_, s)| (s.node(), false))
-            .collect();
-        while let Some((id, expanded)) = stack.pop() {
-            if postorder[id.index()] != u32::MAX {
-                continue;
-            }
-            if expanded {
-                postorder[id.index()] = next;
-                next += 1;
-                continue;
-            }
-            if let MigNode::Majority(children) = mig.node(id) {
-                stack.push((id, true));
-                // Deepest child last on the stack ⇒ visited first.
-                let mut kids: Vec<NodeId> = children.iter().map(|c| c.node()).collect();
-                kids.sort_by_key(|n| levels[n.index()]);
-                for n in kids {
-                    if postorder[n.index()] == u32::MAX {
-                        stack.push((n, false));
-                    }
-                }
-            } else {
-                postorder[id.index()] = next;
-                next += 1;
-            }
-        }
+        let postorder = mig.node_ids().map(|id| lifetimes.postorder(id)).collect();
         Priorities {
             postorder,
             releasing,
             max_parent_level,
         }
+    }
+
+    /// The static releasing-children count of a node.
+    pub fn releasing(&self, id: NodeId) -> u32 {
+        self.releasing[id.index()]
     }
 
     /// The candidate record for `id` (sequence number assigned on enqueue).
@@ -178,6 +157,47 @@ impl CandidateQueue {
     /// Removes and returns the best candidate.
     pub fn pop(&mut self) -> Option<Candidate> {
         self.heap.pop()
+    }
+
+    /// Lookahead pop: examines up to `window` heap-best candidates, scores
+    /// each with `score` (higher wins; the heap order breaks ties), removes
+    /// and returns the winner and pushes the rest back.
+    ///
+    /// The scoring closure sees live translation state, so this is where
+    /// dynamic knowledge — "how many RRAMs does scheduling this node free
+    /// *now* vs. one step later" — enters the schedule without rebuilding
+    /// the heap on every release.
+    pub fn pop_scored(
+        &mut self,
+        window: usize,
+        mut score: impl FnMut(&Candidate) -> i64,
+    ) -> Option<Candidate> {
+        let mut drawn: Vec<Candidate> = Vec::with_capacity(window.max(1));
+        while drawn.len() < window.max(1) {
+            match self.heap.pop() {
+                Some(candidate) => drawn.push(candidate),
+                None => break,
+            }
+        }
+        if drawn.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        let mut best_score = score(&drawn[0]);
+        for (index, candidate) in drawn.iter().enumerate().skip(1) {
+            let s = score(candidate);
+            // Strictly-greater keeps the heap order as the tiebreak: drawn
+            // candidates come out of the heap best-first.
+            if s > best_score {
+                best = index;
+                best_score = s;
+            }
+        }
+        let winner = drawn.swap_remove(best);
+        for candidate in drawn {
+            self.heap.push(candidate);
+        }
+        Some(winner)
     }
 
     /// Number of queued candidates.
@@ -234,6 +254,32 @@ mod tests {
         assert_eq!(q.pop().unwrap().id, NodeId::from_index(4));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn pop_scored_overrides_heap_order_within_the_window() {
+        let mut q = CandidateQueue::new();
+        q.enqueue(cand(3, 0, 1)); // heap-best
+        q.enqueue(cand(2, 0, 2));
+        q.enqueue(cand(1, 0, 3)); // scorer's favourite
+        let popped = q
+            .pop_scored(3, |c| if c.id == NodeId::from_index(3) { 10 } else { 0 })
+            .unwrap();
+        assert_eq!(popped.id, NodeId::from_index(3));
+        // The losers go back; heap order resumes.
+        assert_eq!(q.pop().unwrap().id, NodeId::from_index(1));
+        assert_eq!(q.pop().unwrap().id, NodeId::from_index(2));
+        assert!(q.pop_scored(4, |_| 0).is_none());
+    }
+
+    #[test]
+    fn pop_scored_ties_keep_heap_order() {
+        let mut q = CandidateQueue::new();
+        q.enqueue(cand(5, 0, 1));
+        q.enqueue(cand(4, 0, 2));
+        let popped = q.pop_scored(2, |_| 7).unwrap();
+        assert_eq!(popped.id, NodeId::from_index(1));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -13,14 +13,25 @@
 //! latency) and the number of work RRAM cells (`#R`, space). The compiler
 //! minimizes both through
 //!
+//! * **lifetime analysis** ([`lifetime`]): one up-front pass computes every
+//!   node's reference schedule position, last-use point, and lifetime
+//!   class; the scheduler and the allocator both consume it;
 //! * **candidate selection** ([`candidate`]): a priority queue schedules
 //!   computable nodes so RRAMs are released early and allocated late;
+//!   [`ScheduleOrder::Lookahead`] adds a windowed lookahead that weighs the
+//!   cells a candidate frees now against those it must newly allocate;
 //! * **smart node translation** ([`compile`]): a case analysis picks which
 //!   child feeds the natively-inverted operand `B`, which child's RRAM is
 //!   overwritten as destination `Z`, and how operand `A` is read, caching
 //!   materialized complements for reuse;
-//! * **RRAM allocation** ([`alloc`]): a FIFO free list reuses released
-//!   cells while spreading writes for endurance.
+//! * **RRAM allocation** ([`alloc`]): a pluggable free-cell pool reuses
+//!   released cells — FIFO rotation (the paper's default), LIFO,
+//!   wear-budget (least-written first, driven by per-cell write counters),
+//!   or lifetime-binned placement.
+//!
+//! Program quality and speed are tracked as machine-checked artifacts: the
+//! [`benchfile`] module defines the `BENCH.json` schema and the regression
+//! gate that CI diffs against `benchmarks/baseline.json`.
 //!
 //! Pair it with [`mig::rewrite`] (the paper's Algorithm 1) to optimize the
 //! graph before compilation, and with [`batch`] to compile whole benchmark
@@ -54,9 +65,11 @@
 
 pub mod alloc;
 pub mod batch;
+pub mod benchfile;
 pub mod candidate;
 mod compile;
 pub mod constrained;
+pub mod lifetime;
 mod options;
 mod program;
 pub mod report;
@@ -64,5 +77,6 @@ mod translate;
 pub mod verify;
 
 pub use compile::compile;
+pub use lifetime::{LifetimeClass, Lifetimes};
 pub use options::{AllocatorStrategy, CompilerOptions, OperandSelection, ScheduleOrder};
 pub use program::{CompileStats, CompiledProgram};

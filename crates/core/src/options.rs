@@ -1,6 +1,11 @@
 //! Compiler configuration.
 
-/// Strategy of the work-RRAM allocator (§4.2.3 of the paper).
+/// Strategy of the work-RRAM allocator (§4.2.3 of the paper, extended).
+///
+/// Every strategy is a policy over the same free-cell pool maintained by
+/// [`crate::alloc::RramAllocator`]; adding one means adding a variant here
+/// and a matching arm to the allocator's pool (the compiler, CLI, ablation
+/// harness and bench gate pick it up through [`AllocatorStrategy::ALL`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AllocatorStrategy {
     /// Free list served oldest-released-first. This is the paper's choice:
@@ -15,6 +20,52 @@ pub enum AllocatorStrategy {
     /// Never reuse released cells. Every request allocates a fresh RRAM —
     /// the upper bound on `#R`.
     Fresh,
+    /// Wear-budget reuse: serve the free cell with the fewest recorded
+    /// writes (ties to the lowest address). Uses the allocator's per-cell
+    /// write counters to level wear harder than FIFO rotation.
+    WearLeveled,
+    /// Lifetime-binned reuse: cells that last held a long-lived value are
+    /// kept apart from short-lived churn, so the hottest slots rotate
+    /// within their own pool (requests carry a
+    /// [`crate::lifetime::LifetimeClass`] hint).
+    LifetimeBinned,
+}
+
+impl AllocatorStrategy {
+    /// Every strategy, in a stable sweep order.
+    pub const ALL: [AllocatorStrategy; 5] = [
+        AllocatorStrategy::Fifo,
+        AllocatorStrategy::Lifo,
+        AllocatorStrategy::Fresh,
+        AllocatorStrategy::WearLeveled,
+        AllocatorStrategy::LifetimeBinned,
+    ];
+
+    /// The command-line name of the strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorStrategy::Fifo => "fifo",
+            AllocatorStrategy::Lifo => "lifo",
+            AllocatorStrategy::Fresh => "fresh",
+            AllocatorStrategy::WearLeveled => "wear",
+            AllocatorStrategy::LifetimeBinned => "binned",
+        }
+    }
+
+    /// Parses a command-line name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the valid strategies when `name`
+    /// is not one of them.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        AllocatorStrategy::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| {
+                format!("unknown allocator `{name}` (expected fifo|lifo|fresh|wear|binned)")
+            })
+    }
 }
 
 /// Order in which computable MIG nodes are translated.
@@ -27,6 +78,42 @@ pub enum ScheduleOrder {
     /// children, then candidates whose parents sit on lower levels.
     #[default]
     Priority,
+    /// Lifetime-driven lookahead on top of the priority queue: among the
+    /// heap-best candidates, pick the one with the best *net* RRAM effect —
+    /// cells freed right now, minus cells the translation must newly
+    /// allocate, plus the best release unlocked one step later.
+    Lookahead,
+}
+
+impl ScheduleOrder {
+    /// Every schedule, in a stable sweep order.
+    pub const ALL: [ScheduleOrder; 3] = [
+        ScheduleOrder::Index,
+        ScheduleOrder::Priority,
+        ScheduleOrder::Lookahead,
+    ];
+
+    /// The command-line name of the schedule.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleOrder::Index => "index",
+            ScheduleOrder::Priority => "priority",
+            ScheduleOrder::Lookahead => "lookahead",
+        }
+    }
+
+    /// Parses a command-line name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the valid schedules when `name`
+    /// is not one of them.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        ScheduleOrder::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| format!("unknown schedule `{name}` (expected index|priority|lookahead)"))
+    }
 }
 
 /// How RM3 operands and the destination are chosen for each node.
@@ -44,7 +131,10 @@ pub enum OperandSelection {
 /// Options controlling the MIG → PLiM translation.
 ///
 /// The defaults correspond to the paper's full proposed compiler; use
-/// [`CompilerOptions::naive`] for the Table 1 baseline.
+/// [`CompilerOptions::naive`] for the Table 1 baseline. The lifetime-driven
+/// extensions (lookahead scheduling, wear-budget and lifetime-binned
+/// allocation) are opt-in so the default output stays byte-identical to the
+/// paper reproduction.
 ///
 /// # Examples
 ///
@@ -132,5 +222,23 @@ mod tests {
             .allocator(AllocatorStrategy::Fresh);
         assert_eq!(opts.allocator, AllocatorStrategy::Fresh);
         assert_eq!(opts.schedule, ScheduleOrder::Index);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for strategy in AllocatorStrategy::ALL {
+            assert_eq!(AllocatorStrategy::parse(strategy.name()), Ok(strategy));
+        }
+        for schedule in ScheduleOrder::ALL {
+            assert_eq!(ScheduleOrder::parse(schedule.name()), Ok(schedule));
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_valid_ones() {
+        let err = AllocatorStrategy::parse("zigzag").unwrap_err();
+        assert!(err.contains("zigzag") && err.contains("wear"), "{err}");
+        let err = ScheduleOrder::parse("random").unwrap_err();
+        assert!(err.contains("random") && err.contains("lookahead"), "{err}");
     }
 }

@@ -16,14 +16,19 @@ pub struct CompileStats {
     pub mig_nodes: usize,
     /// Peak number of simultaneously live work RRAMs during translation.
     pub peak_live: usize,
+    /// Highest per-cell write count of one execution (the wear of the
+    /// endurance-limiting cell), recorded by the allocator's write counters
+    /// and always equal to [`CompiledProgram::static_endurance`]'s
+    /// `max_writes`.
+    pub max_cell_writes: u64,
 }
 
 impl fmt::Display for CompileStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "#N={} #I={} #R={} peak={}",
-            self.mig_nodes, self.instructions, self.rams, self.peak_live
+            "#N={} #I={} #R={} peak={} maxw={}",
+            self.mig_nodes, self.instructions, self.rams, self.peak_live, self.max_cell_writes
         )
     }
 }
@@ -92,9 +97,11 @@ mod tests {
             rams: 3,
             mig_nodes: 4,
             peak_live: 2,
+            max_cell_writes: 7,
         };
         let text = stats.to_string();
         assert!(text.contains("#I=10"));
         assert!(text.contains("#R=3"));
+        assert!(text.contains("maxw=7"));
     }
 }

@@ -146,6 +146,15 @@ mod tests {
     }
 
     #[test]
+    fn endurance_report_agrees_with_allocator_counters() {
+        // The allocator records every destination write during translation;
+        // the endurance section of the report must see the same wear.
+        let compiled = compiled_sample();
+        let report = CostReport::analyze(&compiled);
+        assert_eq!(report.endurance.max_writes, compiled.stats.max_cell_writes);
+    }
+
+    #[test]
     fn display_has_all_sections() {
         let text = CostReport::analyze(&compiled_sample()).to_string();
         assert!(text.contains("instructions:"));

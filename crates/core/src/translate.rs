@@ -21,6 +21,7 @@ use mig::{Mig, MigNode, NodeId, Signal};
 use plim::{Instruction, Operand, OutputLoc, Program, RamAddr};
 
 use crate::alloc::RramAllocator;
+use crate::lifetime::{LifetimeClass, Lifetimes};
 use crate::options::{CompilerOptions, OperandSelection};
 
 /// Where a node's value currently resides during translation.
@@ -39,6 +40,9 @@ enum Loc {
 pub(crate) struct Translator<'a> {
     mig: &'a Mig,
     opts: CompilerOptions,
+    /// Lifetime analysis shared with the scheduler; supplies the
+    /// allocation hints of the lifetime-aware strategies.
+    lifetimes: &'a Lifetimes,
     pub(crate) program: Program,
     pub(crate) alloc: RramAllocator,
     /// Current location of each node's value (indexed by node).
@@ -52,7 +56,7 @@ pub(crate) struct Translator<'a> {
 }
 
 impl<'a> Translator<'a> {
-    pub(crate) fn new(mig: &'a Mig, opts: CompilerOptions) -> Self {
+    pub(crate) fn new(mig: &'a Mig, opts: CompilerOptions, lifetimes: &'a Lifetimes) -> Self {
         let mut loc = vec![None; mig.len()];
         loc[NodeId::CONSTANT.index()] = Some(Loc::Const);
         for (index, &id) in mig.inputs().iter().enumerate() {
@@ -61,6 +65,7 @@ impl<'a> Translator<'a> {
         Translator {
             mig,
             opts,
+            lifetimes,
             program: Program::new(mig.num_inputs()),
             alloc: RramAllocator::new(opts.allocator),
             loc,
@@ -93,38 +98,53 @@ impl<'a> Translator<'a> {
         }
     }
 
-    fn emit(&mut self, a: Operand, b: Operand, z: RamAddr, comment: String) {
-        self.program
-            .push_commented(Instruction::new(a, b, z), comment);
+    /// The single funnel for program construction: every instruction's
+    /// destination write is recorded on the allocator's per-cell counters,
+    /// keeping them exactly in sync with the emitted program (and feeding
+    /// the wear-budget reuse strategy mid-compilation).
+    fn push_instruction(&mut self, instruction: Instruction, comment: String) {
+        self.alloc.note_write(instruction.z);
+        self.program.push_commented(instruction, comment);
     }
 
-    fn request(&mut self) -> RamAddr {
-        let addr = self.alloc.request();
+    fn emit(&mut self, a: Operand, b: Operand, z: RamAddr, comment: String) {
+        self.push_instruction(Instruction::new(a, b, z), comment);
+    }
+
+    /// The expected-lifetime class of a node's value (allocation hint).
+    fn class_of(&self, node: NodeId) -> LifetimeClass {
+        self.lifetimes.class(node)
+    }
+
+    fn request(&mut self, hint: LifetimeClass) -> RamAddr {
+        let addr = self.alloc.request_with_hint(hint);
         self.peak_live = self.peak_live.max(self.alloc.num_live());
         addr
     }
 
-    /// Allocates an RRAM initialized to a constant (1 instruction).
-    fn fresh_const(&mut self, value: bool) -> RamAddr {
-        let addr = self.request();
+    /// Allocates an RRAM initialized to a constant (1 instruction). `hint`
+    /// describes the lifetime of the value the cell will ultimately hold.
+    fn fresh_const(&mut self, value: bool, hint: LifetimeClass) -> RamAddr {
+        let addr = self.request(hint);
         let instruction = if value {
             Instruction::set(addr)
         } else {
             Instruction::reset(addr)
         };
-        self.program
-            .push_commented(instruction, format!("X{} ← {}", addr.0 + 1, value as u8));
+        self.push_instruction(instruction, format!("X{} ← {}", addr.0 + 1, value as u8));
         addr
     }
 
     /// Allocates an RRAM loaded with the *complement* of a node's value
     /// (2 instructions: reset, then `⟨1 v̄ 0⟩ = v̄`). When `cache` is set the
-    /// RRAM is remembered as the node's complement for future use.
-    fn fresh_complement_of(&mut self, node: NodeId, cache: bool) -> RamAddr {
-        let addr = self.request();
+    /// RRAM is remembered as the node's complement for future use. `hint`
+    /// describes the lifetime of the value the cell will ultimately hold —
+    /// the complemented child's when the cell serves as an operand, the
+    /// consuming node's when it serves as the destination.
+    fn fresh_complement_of(&mut self, node: NodeId, cache: bool, hint: LifetimeClass) -> RamAddr {
+        let addr = self.request(hint);
         let src = self.read_operand(node);
-        self.program
-            .push_commented(Instruction::reset(addr), format!("X{} ← 0", addr.0 + 1));
+        self.push_instruction(Instruction::reset(addr), format!("X{} ← 0", addr.0 + 1));
         let name = self.describe(Signal::new(node, true));
         self.emit(
             Operand::Const(true),
@@ -139,12 +159,12 @@ impl<'a> Translator<'a> {
     }
 
     /// Allocates an RRAM loaded with a *copy* of a node's value
-    /// (2 instructions: set, then `⟨v 0 1⟩ = v`).
-    fn fresh_copy_of(&mut self, node: NodeId) -> RamAddr {
-        let addr = self.request();
+    /// (2 instructions: set, then `⟨v 0 1⟩ = v`). `hint` describes the
+    /// lifetime of the value the cell will ultimately hold.
+    fn fresh_copy_of(&mut self, node: NodeId, hint: LifetimeClass) -> RamAddr {
+        let addr = self.request(hint);
         let src = self.read_operand(node);
-        self.program
-            .push_commented(Instruction::set(addr), format!("X{} ← 1", addr.0 + 1));
+        self.push_instruction(Instruction::set(addr), format!("X{} ← 1", addr.0 + 1));
         let name = self.describe(Signal::new(node, false));
         self.emit(
             src,
@@ -185,6 +205,52 @@ impl<'a> Translator<'a> {
             .iter()
             .filter(|c| self.mig.node(c.node()).is_majority() && self.remaining_of(**c) == 1)
             .count() as u32
+    }
+
+    /// Number of RRAM cells that would actually return to the free pool if
+    /// this node were translated next: for every distinct child whose
+    /// remaining references are all consumed by this node, its value cell
+    /// (if held in work RRAM) plus its cached complement cell. Unlike
+    /// [`Translator::releasing_now`] this counts *cells*, not children, so
+    /// it is the quantity the lookahead scheduler optimizes.
+    pub(crate) fn released_cells_now(&self, id: NodeId) -> i64 {
+        let Some(children) = self.mig.node(id).children() else {
+            return 0;
+        };
+        let mut total = 0i64;
+        for (index, child) in children.iter().enumerate() {
+            let node = child.node();
+            if children[..index].iter().any(|c| c.node() == node) {
+                continue; // count each distinct child node once
+            }
+            let occurrences = children.iter().filter(|c| c.node() == node).count() as u32;
+            if self.remaining_of(*child) != occurrences {
+                continue; // survives this node
+            }
+            if matches!(self.loc[node.index()], Some(Loc::Ram(_))) {
+                total += 1;
+            }
+            if self.compl[node.index()].is_some() {
+                total += 1;
+            }
+        }
+        total
+    }
+
+    /// Whether translating this node now can overwrite one of its children's
+    /// cells as the destination `Z` (no new allocation), mirroring the
+    /// destination cases (a) and (b) of the smart selection. When `false`,
+    /// translating the node costs at least one fresh-or-reused cell.
+    pub(crate) fn has_in_place_destination(&self, id: NodeId) -> bool {
+        let Some(children) = self.mig.node(id).children() else {
+            return false;
+        };
+        children.iter().any(|c| {
+            (self.is_complemented_child(*c)
+                && self.remaining_of(*c) == 1
+                && self.compl[c.node().index()].is_some())
+                || (!c.is_complemented() && self.overwritable(*c))
+        })
     }
 
     /// Translates one majority node into RM3 instructions.
@@ -244,21 +310,24 @@ impl<'a> Translator<'a> {
         } else if c1.is_complemented() {
             self.read_operand(c1.node())
         } else {
-            Operand::Ram(self.fresh_complement_of(c1.node(), false))
+            let hint = self.class_of(c1.node());
+            Operand::Ram(self.fresh_complement_of(c1.node(), false, hint))
         };
 
-        // Destination Z must hold the third child's value.
+        // Destination Z must hold the third child's value; its cell ends up
+        // holding this node's result, hence the `id` lifetime hint.
+        let z_hint = self.class_of(id);
         let z = if let Some(value) = c2.constant_value() {
-            self.fresh_const(value)
+            self.fresh_const(value, z_hint)
         } else if !c2.is_complemented() && self.overwritable(c2) {
             match self.loc[c2.node().index()].take() {
                 Some(Loc::Ram(addr)) => addr,
                 _ => unreachable!("overwritable implies a RAM location"),
             }
         } else if c2.is_complemented() {
-            self.fresh_complement_of(c2.node(), false)
+            self.fresh_complement_of(c2.node(), false, z_hint)
         } else {
-            self.fresh_copy_of(c2.node())
+            self.fresh_copy_of(c2.node(), z_hint)
         };
 
         // Operand A is read plain.
@@ -267,7 +336,8 @@ impl<'a> Translator<'a> {
         } else if !c0.is_complemented() {
             self.read_operand(c0.node())
         } else {
-            Operand::Ram(self.fresh_complement_of(c0.node(), false))
+            let hint = self.class_of(c0.node());
+            Operand::Ram(self.fresh_complement_of(c0.node(), false, hint))
         };
 
         self.finish_node(id, a, b, z);
@@ -277,7 +347,7 @@ impl<'a> Translator<'a> {
     fn translate_smart(&mut self, id: NodeId, children: [Signal; 3]) {
         let (b, b_index) = self.select_operand_b(&children);
         let rest: Vec<usize> = (0..3).filter(|&k| k != b_index).collect();
-        let (z, z_index) = self.select_destination_z(&children, [rest[0], rest[1]]);
+        let (z, z_index) = self.select_destination_z(id, &children, [rest[0], rest[1]]);
         let a_index = rest.into_iter().find(|&k| k != z_index).expect("one left");
         let a = self.select_operand_a(children[a_index]);
         self.finish_node(id, a, b, z);
@@ -329,7 +399,8 @@ impl<'a> Translator<'a> {
                     let k = (0..3)
                         .find(|&k| self.remaining_of(children[k]) > 1)
                         .unwrap_or(0);
-                    let addr = self.fresh_complement_of(children[k].node(), true);
+                    let hint = self.class_of(children[k].node());
+                    let addr = self.fresh_complement_of(children[k].node(), true, hint);
                     (Operand::Ram(addr), k)
                 }
             }
@@ -338,9 +409,12 @@ impl<'a> Translator<'a> {
 
     /// Destination-Z selection, Fig. 6 cases (a)–(e), over the two children
     /// not consumed by operand B. Returns the destination RRAM and the index
-    /// of the child it covers.
+    /// of the child it covers. `id` is the node being translated — the
+    /// destination cell ends up holding its result, so fresh allocations
+    /// here carry its lifetime hint.
     fn select_destination_z(
         &mut self,
+        id: NodeId,
         children: &[Signal; 3],
         rest: [usize; 2],
     ) -> (RamAddr, usize) {
@@ -366,22 +440,23 @@ impl<'a> Translator<'a> {
                 }
             }
         }
+        let hint = self.class_of(id);
         // (c) constant child: allocate and initialize (1 instruction).
         for &k in &rest {
             if let Some(value) = children[k].constant_value() {
-                return (self.fresh_const(value), k);
+                return (self.fresh_const(value, hint), k);
             }
         }
         // (d) complemented child: materialize its complement (2 instructions).
         for &k in &rest {
             let c = children[k];
             if self.is_complemented_child(c) {
-                return (self.fresh_complement_of(c.node(), false), k);
+                return (self.fresh_complement_of(c.node(), false, hint), k);
             }
         }
         // (e) plain child with other uses (or a primary input): copy it.
         let k = rest[0];
-        (self.fresh_copy_of(children[k].node()), k)
+        (self.fresh_copy_of(children[k].node(), hint), k)
     }
 
     /// Operand-A selection, §4.2.2 cases (a)–(d), for the remaining child.
@@ -397,7 +472,8 @@ impl<'a> Translator<'a> {
             Operand::Ram(addr)
         } else {
             // (d) materialize (and cache) the complement.
-            Operand::Ram(self.fresh_complement_of(child.node(), true))
+            let hint = self.class_of(child.node());
+            Operand::Ram(self.fresh_complement_of(child.node(), true, hint))
         }
     }
 
@@ -409,8 +485,9 @@ impl<'a> Translator<'a> {
 
     /// Resolves primary outputs, materializing complemented internal results
     /// so that every output is readable from the array, and finishes the
-    /// program.
-    pub(crate) fn finalize(mut self) -> (Program, usize) {
+    /// program. Returns the program, the peak number of simultaneously live
+    /// cells, and the maximum per-cell write count.
+    pub(crate) fn finalize(mut self) -> (Program, usize, u64) {
         let outputs: Vec<(String, Signal)> = self
             .mig
             .outputs()
@@ -429,7 +506,8 @@ impl<'a> Translator<'a> {
                     if signal.is_complemented() {
                         let addr = match self.compl[node.index()] {
                             Some(addr) => addr,
-                            None => self.fresh_complement_of(node, true),
+                            // Output cells stay live to the end of the run.
+                            None => self.fresh_complement_of(node, true, LifetimeClass::Long),
                         };
                         OutputLoc::Ram(addr)
                     } else {
@@ -442,6 +520,7 @@ impl<'a> Translator<'a> {
             };
             self.program.add_output(name, loc);
         }
-        (self.program, self.peak_live)
+        let max_cell_writes = self.alloc.max_writes();
+        (self.program, self.peak_live, max_cell_writes)
     }
 }

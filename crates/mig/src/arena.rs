@@ -10,7 +10,7 @@
 //!
 //! The arena supports the four ingredients in-place rewriting needs:
 //!
-//! * **Incremental re-strashing** — [`RewriteArena::set_children`] rewrites
+//! * **Incremental re-strashing** — the internal `set_children` step rewrites
 //!   one node's child triple, re-sorts it, re-applies the Ω.M creation-time
 //!   simplification, and moves the node's structural-hash entry, merging the
 //!   node into a structural duplicate when one exists.

@@ -1,0 +1,184 @@
+//! Property-based invariants of the pluggable RRAM allocator layer: no
+//! strategy may ever double-book a live cell, `#R` accounting must count
+//! exactly the fresh hand-outs, release/request must round-trip for every
+//! reusing strategy, and compiled programs must verify under every
+//! scheduling × allocation combination on random MIGs.
+
+use proptest::prelude::*;
+
+use plim_benchmarks::random::{random_logic, RandomLogicSpec};
+use plim_compiler::alloc::RramAllocator;
+use plim_compiler::{
+    compile, verify::verify, AllocatorStrategy, CompilerOptions, LifetimeClass, ScheduleOrder,
+};
+
+fn spec_strategy() -> impl Strategy<Value = RandomLogicSpec> {
+    (2usize..8, 1usize..6, 10usize..90, any::<u64>()).prop_map(|(inputs, outputs, nodes, seed)| {
+        RandomLogicSpec::new(inputs, outputs, nodes, seed)
+    })
+}
+
+/// Replays a request/release/write trace against one strategy, checking the
+/// shared invariants at every step. `ops` drives the choice: `true` requests
+/// a cell, `false` releases one (requesting instead when nothing is live).
+fn replay_trace(strategy: AllocatorStrategy, ops: &[(bool, bool, u8)]) {
+    let mut alloc = RramAllocator::new(strategy);
+    let mut live = Vec::new();
+    let mut fresh_seen = 0u32;
+    for &(request, long_hint, noise) in ops {
+        if request || live.is_empty() {
+            let hint = if long_hint {
+                LifetimeClass::Long
+            } else {
+                LifetimeClass::Short
+            };
+            let addr = alloc.request_with_hint(hint);
+            prop_assert!(!live.contains(&addr), "{strategy:?} double-booked {addr}");
+            if addr.index() as u32 >= fresh_seen {
+                prop_assert_eq!(
+                    addr.index() as u32,
+                    fresh_seen,
+                    "fresh cells must be handed out densely"
+                );
+                fresh_seen += 1;
+            }
+            // Exercise the write counters so the wear-leveled pool has
+            // something to rank cells by.
+            for _ in 0..noise % 4 {
+                alloc.note_write(addr);
+            }
+            live.push(addr);
+        } else {
+            let addr = live.swap_remove(noise as usize % live.len());
+            alloc.release(addr);
+        }
+        prop_assert_eq!(alloc.num_live(), live.len());
+        prop_assert_eq!(alloc.num_allocated(), fresh_seen);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn no_strategy_double_books_and_fresh_handouts_equal_num_allocated(
+        ops in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<u8>()), 1..250),
+    ) {
+        for strategy in AllocatorStrategy::ALL {
+            replay_trace(strategy, &ops);
+        }
+    }
+
+    #[test]
+    fn release_then_request_round_trips_without_fresh_cells(
+        count in 1usize..40,
+        long_hint: bool,
+    ) {
+        let hint = if long_hint { LifetimeClass::Long } else { LifetimeClass::Short };
+        for strategy in AllocatorStrategy::ALL {
+            let mut alloc = RramAllocator::new(strategy);
+            let cells: Vec<_> = (0..count).map(|_| alloc.request_with_hint(hint)).collect();
+            prop_assert_eq!(alloc.num_allocated() as usize, count);
+            for &cell in &cells {
+                alloc.release(cell);
+            }
+            prop_assert_eq!(alloc.num_live(), 0);
+            let again: Vec<_> = (0..count).map(|_| alloc.request_with_hint(hint)).collect();
+            if strategy == AllocatorStrategy::Fresh {
+                // The no-reuse upper bound allocates a fresh cell per request.
+                prop_assert_eq!(alloc.num_allocated() as usize, 2 * count);
+            } else {
+                // Every reusing strategy serves the round trip from the pool…
+                prop_assert_eq!(alloc.num_allocated() as usize, count, "{strategy:?}");
+                // …with exactly the released cells, in some order.
+                let mut sorted = again.clone();
+                sorted.sort();
+                let mut original = cells.clone();
+                original.sort();
+                prop_assert_eq!(sorted, original, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wear_leveled_always_serves_a_minimally_written_free_cell(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..200),
+    ) {
+        let mut alloc = RramAllocator::new(AllocatorStrategy::WearLeveled);
+        let mut live = Vec::new();
+        let mut free = Vec::new();
+        for (request, noise) in ops {
+            if request || live.is_empty() {
+                let served = alloc.request();
+                if let Some(position) = free.iter().position(|f| *f == served) {
+                    // Reuse: nothing on the free pool may have fewer writes.
+                    let counts = alloc.write_counts();
+                    let min = free
+                        .iter()
+                        .map(|f: &plim::RamAddr| counts[f.index()])
+                        .min()
+                        .expect("pool nonempty");
+                    prop_assert_eq!(counts[served.index()], min);
+                    free.swap_remove(position);
+                } else {
+                    prop_assert!(free.is_empty(), "fresh cell while the pool had cells");
+                }
+                for _ in 0..noise % 5 {
+                    alloc.note_write(served);
+                }
+                live.push(served);
+            } else {
+                let addr = live.swap_remove(noise as usize % live.len());
+                alloc.release(addr);
+                free.push(addr);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_programs_verify_under_every_schedule_and_strategy(
+        spec in spec_strategy(),
+    ) {
+        let mig = random_logic(&spec);
+        for schedule in ScheduleOrder::ALL {
+            for strategy in AllocatorStrategy::ALL {
+                let opts = CompilerOptions::new().schedule(schedule).allocator(strategy);
+                let compiled = compile(&mig, opts);
+                prop_assert!(
+                    verify(&mig, &compiled, 2, spec.seed).is_ok(),
+                    "{schedule:?} × {strategy:?} miscompiled"
+                );
+                // The allocator's write counters must agree with the program.
+                prop_assert_eq!(
+                    compiled.stats.max_cell_writes,
+                    compiled.static_endurance().max_writes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reusing_strategies_tie_on_rams_and_fresh_upper_bounds_them(
+        spec in spec_strategy(),
+    ) {
+        let mig = random_logic(&spec);
+        let fifo = compile(&mig, CompilerOptions::new());
+        let fresh = compile(
+            &mig,
+            CompilerOptions::new().allocator(AllocatorStrategy::Fresh),
+        );
+        for strategy in [
+            AllocatorStrategy::Lifo,
+            AllocatorStrategy::WearLeveled,
+            AllocatorStrategy::LifetimeBinned,
+        ] {
+            let other = compile(&mig, CompilerOptions::new().allocator(strategy));
+            // A greedy reuse policy only changes *which* free cell is
+            // served, never whether one is served: #R and #I must match
+            // FIFO exactly.
+            prop_assert_eq!(other.stats.rams, fifo.stats.rams, "{:?}", strategy);
+            prop_assert_eq!(other.stats.instructions, fifo.stats.instructions, "{:?}", strategy);
+        }
+        prop_assert!(fifo.stats.rams <= fresh.stats.rams);
+    }
+}

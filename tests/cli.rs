@@ -1,11 +1,47 @@
-//! Command-line driver regressions: format sniffing and diagnostics that
-//! only manifest through the `plimc` binary itself.
+//! Command-line driver regressions: format sniffing, diagnostics, and the
+//! exit-code/stderr conventions that only manifest through the `plimc`
+//! binary itself. Every user error must exit 1 with a one-line `plimc: …`
+//! message on stderr — never a panic.
 
 use std::io::Write as _;
-use std::process::{Command, Stdio};
+use std::process::{Command, Output, Stdio};
 
 fn plimc() -> Command {
     Command::new(env!("CARGO_BIN_EXE_plimc"))
+}
+
+/// Runs `plimc` with the given arguments and asserts the user-error
+/// convention: exit code 1 and exactly one stderr line containing
+/// `expected`. Returns the stderr line for further checks.
+fn assert_user_error(args: &[&str], expected: &str) -> String {
+    let output = plimc().args(args).output().unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert_eq!(output.status.code(), Some(1), "args {args:?}: {stderr}");
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "expected a one-line diagnostic for {args:?}: {stderr}"
+    );
+    assert!(
+        stderr.starts_with("plimc: ") && stderr.contains(expected),
+        "args {args:?}: unexpected diagnostic: {stderr}"
+    );
+    stderr
+}
+
+/// A tiny valid MIG document (f = a AND b) for end-to-end CLI runs.
+const AND_MIG: &[u8] = b"inputs a b\nn = maj(0, a, b)\noutput f = n\n";
+
+fn run_with_stdin(args: &[&str], stdin: &[u8]) -> Output {
+    let mut child = plimc()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(stdin).unwrap();
+    child.wait_with_output().unwrap()
 }
 
 /// A tiny binary AIGER document: the `aig` header followed by the
@@ -115,6 +151,168 @@ fn ascii_aiger_still_compiles_end_to_end() {
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("instructions"), "stats missing: {stdout}");
+}
+
+#[test]
+fn user_errors_exit_one_with_a_one_line_diagnostic() {
+    assert_user_error(&["--effort", "four", "-"], "--effort needs a number");
+    assert_user_error(&["--effort"], "--effort requires a value");
+    assert_user_error(&["--alloc", "zigzag", "-"], "unknown allocator `zigzag`");
+    assert_user_error(&["--schedule", "random", "-"], "unknown schedule `random`");
+    assert_user_error(&["--frobnicate", "-"], "unknown option `--frobnicate`");
+    assert_user_error(&["a.mig", "b.mig"], "multiple input files");
+    assert_user_error(&[], "no input file");
+    assert_user_error(
+        &["/nonexistent/plimc-test-input.mig"],
+        "reading /nonexistent/plimc-test-input.mig",
+    );
+    assert_user_error(
+        &["--limit", "4", "--alloc", "lifo", "a.mig"],
+        "--limit explores schedules/allocators itself",
+    );
+    assert_user_error(&["bench", "--frobnicate"], "unknown bench option");
+    assert_user_error(&["bench-diff", "only-one.json"], "exactly two files");
+    assert_user_error(
+        &["bench-diff", "/nonexistent/a.json", "/nonexistent/b.json"],
+        "reading /nonexistent/a.json",
+    );
+}
+
+#[test]
+fn unknown_emit_exits_one_after_compilation() {
+    let output = run_with_stdin(&["--emit", "png", "--no-verify", "-"], AND_MIG);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(output.status.code(), Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("unknown --emit `png`"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+}
+
+#[test]
+fn new_schedule_and_allocator_options_compile_end_to_end() {
+    for args in [
+        ["--schedule", "lookahead", "--emit", "stats"],
+        ["--alloc", "wear", "--emit", "stats"],
+        ["--alloc", "binned", "--emit", "stats"],
+    ] {
+        let mut full = args.to_vec();
+        full.push("-");
+        let output = run_with_stdin(&full, AND_MIG);
+        assert!(
+            output.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains("instructions"), "{args:?}: {stdout}");
+    }
+}
+
+/// A BENCH.json document with one record, parameterized on `#I`.
+fn bench_json(instructions: u64) -> String {
+    format!(
+        "[{{\"circuit\": \"adder\", \"instructions\": {instructions}, \"rams\": 11, \
+         \"max_writes\": 22, \"lookahead_rams\": 11, \"wear_max_writes\": 22, \
+         \"rewrite_ms\": 1.0, \"compile_ms\": 2.0}}]\n"
+    )
+}
+
+#[test]
+fn bench_diff_gates_on_injected_instruction_regression() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let baseline = dir.join(format!("plimc_cli_baseline_{pid}.json"));
+    let same = dir.join(format!("plimc_cli_same_{pid}.json"));
+    let regressed = dir.join(format!("plimc_cli_regressed_{pid}.json"));
+    std::fs::write(&baseline, bench_json(98)).unwrap();
+    std::fs::write(&same, bench_json(98)).unwrap();
+    std::fs::write(&regressed, bench_json(99)).unwrap();
+
+    // Identical metrics: the gate is green and exits 0.
+    let ok = plimc()
+        .args([
+            "bench-diff",
+            baseline.to_str().unwrap(),
+            same.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("bench gate: OK"));
+
+    // One extra instruction: the gate fails with exit 1 and names the
+    // regression on stdout plus a one-line summary on stderr.
+    let bad = plimc()
+        .args([
+            "bench-diff",
+            baseline.to_str().unwrap(),
+            regressed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert_eq!(bad.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("REGRESSION: adder: #I regressed 98 → 99"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("bench gate failed"), "{stderr}");
+
+    for path in [&baseline, &same, &regressed] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn bench_diff_time_gate_can_be_disabled_for_cross_machine_runs() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let baseline = dir.join(format!("plimc_cli_time_baseline_{pid}.json"));
+    let slow = dir.join(format!("plimc_cli_time_slow_{pid}.json"));
+    std::fs::write(&baseline, bench_json(98)).unwrap();
+    // Same quality metrics, 100× the wall-clock.
+    std::fs::write(
+        &slow,
+        bench_json(98).replace("\"compile_ms\": 2.0", "\"compile_ms\": 200.0"),
+    )
+    .unwrap();
+
+    // The default 25 % time tolerance rejects the slowdown…
+    let gated = plimc()
+        .args([
+            "bench-diff",
+            baseline.to_str().unwrap(),
+            slow.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&gated.stdout);
+    assert_eq!(gated.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("tolerance"), "{stdout}");
+
+    // …while --no-time-gate reports it as a note only (CI's cross-machine
+    // mode) and still exits 0.
+    let noted = plimc()
+        .args([
+            "bench-diff",
+            baseline.to_str().unwrap(),
+            slow.to_str().unwrap(),
+            "--no-time-gate",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&noted.stdout);
+    assert!(noted.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("note: wall-clock"), "{stdout}");
+    assert!(stdout.contains("time gate off"), "{stdout}");
+
+    for path in [&baseline, &slow] {
+        std::fs::remove_file(path).ok();
+    }
 }
 
 #[test]

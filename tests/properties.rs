@@ -66,19 +66,15 @@ proptest! {
     #[test]
     fn compilation_is_correct_under_all_options(
         spec in spec_strategy(),
-        schedule_priority: bool,
+        schedule in 0usize..ScheduleOrder::ALL.len(),
         smart_operands: bool,
-        allocator in 0u8..3,
+        allocator in 0usize..AllocatorStrategy::ALL.len(),
     ) {
         let mig = random_logic(&spec);
         let opts = CompilerOptions::new()
-            .schedule(if schedule_priority { ScheduleOrder::Priority } else { ScheduleOrder::Index })
+            .schedule(ScheduleOrder::ALL[schedule])
             .operands(if smart_operands { OperandSelection::Smart } else { OperandSelection::ChildOrder })
-            .allocator(match allocator {
-                0 => AllocatorStrategy::Fifo,
-                1 => AllocatorStrategy::Lifo,
-                _ => AllocatorStrategy::Fresh,
-            });
+            .allocator(AllocatorStrategy::ALL[allocator]);
         let compiled = compile(&mig, opts);
         prop_assert!(verify(&mig, &compiled, 2, spec.seed).is_ok());
     }
