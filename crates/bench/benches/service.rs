@@ -1,0 +1,157 @@
+//! Throughput bench for the `plimd` compile service: cold vs warm
+//! round-trips over the benchmark suite.
+//!
+//! An in-process server is started on a loopback port; every suite circuit
+//! is submitted twice over one persistent connection. The cold pass pays
+//! parse + rewrite + compile + verify per circuit; the warm pass is served
+//! from the content-addressed cache and pays only parse + digest +
+//! round-trip. The headline number is the warm-vs-cold speedup, expected
+//! to be ≥ 5× on the reduced suite (it is typically far higher, since the
+//! effort-4 rewrite dominates the cold path).
+//!
+//! Run with `cargo bench -p plim-bench --bench service [-- --full]`;
+//! `-- --smoke` runs a three-circuit configuration as a CI smoke check
+//! (assertions only, no expectations on timing).
+
+use std::time::{Duration, Instant};
+
+use plim_benchmarks::suite::{self, Scale};
+use plim_service::client::{self, Connection};
+use plim_service::pipeline::{CompileSpec, InputFormat};
+use plim_service::protocol::{CompileRequest, Request, Response};
+use plim_service::server::{Server, ServerConfig};
+
+fn compile_request(source: &str) -> Request {
+    Request::Compile(CompileRequest {
+        format: InputFormat::Mig,
+        source: source.to_string(),
+        spec: CompileSpec::default(),
+        emit: "listing".to_string(),
+    })
+}
+
+struct PassResult {
+    elapsed: Duration,
+    outputs: Vec<String>,
+    cached: usize,
+}
+
+/// Sends every request once over one connection, timing the whole pass.
+fn run_pass(connection: &mut Connection, requests: &[Request]) -> PassResult {
+    let clock = Instant::now();
+    let mut outputs = Vec::with_capacity(requests.len());
+    let mut cached = 0;
+    for request in requests {
+        match connection.roundtrip(request) {
+            Ok(Response::Compile(response)) => {
+                cached += usize::from(response.cached);
+                outputs.push(response.output);
+            }
+            Ok(other) => panic!("unexpected response: {other:?}"),
+            Err(error) => panic!("round-trip failed: {error}"),
+        }
+    }
+    PassResult {
+        elapsed: clock.elapsed(),
+        outputs,
+        cached,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let full = args.iter().any(|a| a == "--full") && !smoke;
+    let scale = if full { Scale::Full } else { Scale::Reduced };
+    let names: Vec<&str> = if smoke {
+        vec!["ctrl", "router", "dec"]
+    } else {
+        suite::ALL.to_vec()
+    };
+
+    let sources: Vec<(String, String)> = names
+        .iter()
+        .map(|&name| {
+            let mig = suite::build(name, scale).expect("known benchmark");
+            (name.to_string(), mig::io::write_mig(&mig))
+        })
+        .collect();
+    let requests: Vec<Request> = sources
+        .iter()
+        .map(|(_, source)| compile_request(source))
+        .collect();
+
+    // Pin the worker count: the bench sends sequentially (parallelism is
+    // irrelevant) and the cache budget splits per shard, so on a
+    // many-core host `threads: 0` would shrink shard budgets below the
+    // largest full-scale artifacts and break the all-hits assertion.
+    let workers = plim_parallel::available_threads().min(4);
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: workers,
+        cache_bytes: 256 << 20,
+        log: false,
+    })
+    .expect("bind the bench server");
+    let addr = server.local_addr().expect("resolved address").to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    println!(
+        "── service throughput: cold vs warm round-trips ({} circuits, {} scale, {workers} workers) ──",
+        sources.len(),
+        if full { "full" } else { "reduced" },
+    );
+
+    let mut connection = Connection::connect(&addr).expect("connect to the bench server");
+    let cold = run_pass(&mut connection, &requests);
+    assert_eq!(cold.cached, 0, "cold pass must not hit the cache");
+    let warm = run_pass(&mut connection, &requests);
+    assert_eq!(
+        warm.cached,
+        requests.len(),
+        "warm pass must be served entirely from the cache"
+    );
+    assert_eq!(
+        cold.outputs, warm.outputs,
+        "cached artifacts must be byte-identical to compiled ones"
+    );
+
+    // The hit counters are the ground truth that the warm pass skipped
+    // rewrite+compile entirely.
+    let Ok(Response::Stats(stats)) = client::send(&addr, &Request::Stats) else {
+        panic!("stats request failed");
+    };
+    let totals = stats.totals();
+    assert_eq!(totals.hits as usize, requests.len());
+    assert_eq!(totals.misses as usize, requests.len());
+
+    let per = |d: Duration| d.as_secs_f64() * 1e3 / requests.len() as f64;
+    let speedup = cold.elapsed.as_secs_f64() / warm.elapsed.as_secs_f64().max(f64::EPSILON);
+    let warm_rps = requests.len() as f64 / warm.elapsed.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "cold: {:>10.2?} total  {:>8.3} ms/request",
+        cold.elapsed,
+        per(cold.elapsed)
+    );
+    println!(
+        "warm: {:>10.2?} total  {:>8.3} ms/request  ({warm_rps:.0} requests/s)",
+        warm.elapsed,
+        per(warm.elapsed)
+    );
+    println!(
+        "speedup: {speedup:.1}x  (cache: {} hits, {} misses, {} bytes held)",
+        totals.hits, totals.misses, totals.bytes
+    );
+    if !smoke && speedup < 5.0 {
+        println!("WARNING: expected ≥ 5x warm-vs-cold on the suite");
+    }
+
+    drop(connection);
+    let Ok(Response::Shutdown) = client::send(&addr, &Request::Shutdown) else {
+        panic!("shutdown failed");
+    };
+    daemon
+        .join()
+        .expect("server thread")
+        .expect("clean server exit");
+}

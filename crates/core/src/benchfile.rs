@@ -20,8 +20,15 @@
 //! * `rewrite_ms` / `compile_ms` — wall-clock of the rewrite pass and of
 //!   the circuit's compile jobs; gated only in aggregate, with a generous
 //!   tolerance, because timings are machine-dependent.
+//!
+//! Parsing is built on the shared [`crate::json`] layer, so syntax errors
+//! carry byte positions and schema errors name the missing or mistyped
+//! field and the record it belongs to — `plimc bench-diff` surfaces them
+//! verbatim as one-line diagnostics.
 
 use std::fmt::Write as _;
+
+use crate::json::Value;
 
 /// One circuit's row of a `BENCH.json` artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,10 +58,13 @@ pub fn to_json(records: &[BenchRecord]) -> String {
         let comma = if index + 1 == records.len() { "" } else { "," };
         writeln!(
             out,
-            "  {{\"circuit\": \"{}\", \"instructions\": {}, \"rams\": {}, \"max_writes\": {}, \
+            "  {{\"circuit\": {}, \"instructions\": {}, \"rams\": {}, \"max_writes\": {}, \
              \"lookahead_rams\": {}, \"wear_max_writes\": {}, \"rewrite_ms\": {:.3}, \
              \"compile_ms\": {:.3}}}{comma}",
-            escape(&r.circuit),
+            // The shared JSON writer (full escaping, including control
+            // characters) keeps the round-trip with `from_json` — which
+            // parses through the same layer — airtight.
+            Value::string(r.circuit.clone()).to_json(),
             r.instructions,
             r.rams,
             r.max_writes,
@@ -69,177 +79,79 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     out
 }
 
-fn escape(text: &str) -> String {
-    text.replace('\\', "\\\\").replace('"', "\\\"")
-}
+/// The seven required numeric fields of a record, in schema order.
+const NUMERIC_FIELDS: [&str; 7] = [
+    "instructions",
+    "rams",
+    "max_writes",
+    "lookahead_rams",
+    "wear_max_writes",
+    "rewrite_ms",
+    "compile_ms",
+];
 
 /// Parses a `BENCH.json` document produced by [`to_json`] (or edited by
 /// hand: unknown keys are ignored, field order is free).
 ///
 /// # Errors
 ///
-/// Returns a one-line description of the first syntax error, missing
-/// required field, or type mismatch.
+/// Returns a one-line description of the first problem: syntax errors with
+/// their byte position (truncated input, duplicate keys, trailing
+/// garbage — via [`crate::json`]), a `missing field '<name>'` for an
+/// absent required field, or a type mismatch for a non-numeric count.
 pub fn from_json(text: &str) -> Result<Vec<BenchRecord>, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
+    let document = Value::parse(text).map_err(|e| e.to_string())?;
+    let Some(items) = document.as_array() else {
+        return Err("expected a top-level array of records".to_string());
     };
-    p.skip_ws();
-    p.expect(b'[')?;
-    let mut records = Vec::new();
-    p.skip_ws();
-    if p.peek() == Some(b']') {
-        p.pos += 1;
-    } else {
-        loop {
-            records.push(p.parse_record()?);
-            p.skip_ws();
-            match p.next() {
-                Some(b',') => p.skip_ws(),
-                Some(b']') => break,
-                _ => return Err(p.err("expected `,` or `]` after a record")),
-            }
-        }
-    }
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing content after the record array"));
-    }
-    Ok(records)
+    items
+        .iter()
+        .enumerate()
+        .map(|(index, item)| parse_record(index, item))
+        .collect()
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, message: &str) -> String {
-        format!("BENCH.json: {message} (byte {})", self.pos)
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn next(&mut self) -> Option<u8> {
-        let b = self.peek()?;
-        self.pos += 1;
-        Some(b)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
+fn parse_record(index: usize, item: &Value) -> Result<BenchRecord, String> {
+    let Some(members) = item.as_object() else {
+        return Err(format!("record {}: expected an object", index + 1));
+    };
+    // `circuit` first: every later diagnostic names the record by it.
+    let circuit = match item.get("circuit") {
+        Some(value) => value
+            .as_str()
+            .ok_or(format!(
+                "field 'circuit' must be a string (record {})",
+                index + 1
+            ))?
+            .to_string(),
+        None => return Err(format!("missing field 'circuit' (record {})", index + 1)),
+    };
+    let mut numeric = [None::<f64>; NUMERIC_FIELDS.len()];
+    for (key, value) in members {
+        if let Some(slot) = NUMERIC_FIELDS.iter().position(|n| n == key) {
+            numeric[slot] = Some(value.as_f64().ok_or(format!(
+                "field '{key}' must be a number (circuit \"{circuit}\")"
+            ))?);
         }
+        // Unknown fields (of any type) are ignored for forward compatibility.
     }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.next() == Some(byte) {
-            Ok(())
-        } else {
-            self.pos = self.pos.saturating_sub(1);
-            Err(self.err(&format!("expected `{}`", byte as char)))
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = Vec::new();
-        loop {
-            match self.next() {
-                Some(b'"') => {
-                    // Collect raw bytes and decode once: pushing `byte as
-                    // char` would re-encode each UTF-8 continuation byte as
-                    // its own Latin-1 character and mangle non-ASCII names.
-                    return String::from_utf8(out)
-                        .map_err(|_| self.err("string is not valid UTF-8"));
-                }
-                Some(b'\\') => match self.next() {
-                    Some(b'"') => out.push(b'"'),
-                    Some(b'\\') => out.push(b'\\'),
-                    _ => return Err(self.err("unsupported escape in string")),
-                },
-                Some(b) => out.push(b),
-                None => return Err(self.err("unterminated string")),
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<f64, String> {
-        let start = self.pos;
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>()
-            .map_err(|_| self.err(&format!("invalid number `{text}`")))
-    }
-
-    fn parse_record(&mut self) -> Result<BenchRecord, String> {
-        self.skip_ws();
-        self.expect(b'{')?;
-        let mut circuit: Option<String> = None;
-        let mut fields: [(&str, Option<f64>); 7] = [
-            ("instructions", None),
-            ("rams", None),
-            ("max_writes", None),
-            ("lookahead_rams", None),
-            ("wear_max_writes", None),
-            ("rewrite_ms", None),
-            ("compile_ms", None),
-        ];
-        loop {
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                break;
-            }
-            let key = self.parse_string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            if key == "circuit" {
-                circuit = Some(self.parse_string()?);
-            } else if self.peek() == Some(b'"') {
-                self.parse_string()?; // unknown string field: ignore
-            } else {
-                let value = self.parse_number()?;
-                if let Some(slot) = fields.iter_mut().find(|(name, _)| *name == key) {
-                    slot.1 = Some(value);
-                }
-                // unknown numeric fields are ignored
-            }
-            self.skip_ws();
-            match self.next() {
-                Some(b',') => continue,
-                Some(b'}') => break,
-                _ => return Err(self.err("expected `,` or `}` in a record")),
-            }
-        }
-        let circuit = circuit.ok_or_else(|| self.err("record is missing `circuit`"))?;
-        let get = |name: &str| -> Result<f64, String> {
-            fields
-                .iter()
-                .find(|(n, _)| *n == name)
-                .and_then(|(_, v)| *v)
-                .ok_or(format!("BENCH.json: `{circuit}` is missing `{name}`"))
-        };
-        Ok(BenchRecord {
-            instructions: get("instructions")? as u64,
-            rams: get("rams")? as u64,
-            max_writes: get("max_writes")? as u64,
-            lookahead_rams: get("lookahead_rams")? as u64,
-            wear_max_writes: get("wear_max_writes")? as u64,
-            rewrite_ms: get("rewrite_ms")?,
-            compile_ms: get("compile_ms")?,
-            circuit,
-        })
-    }
+    let get = |name: &str| -> Result<f64, String> {
+        let slot = NUMERIC_FIELDS
+            .iter()
+            .position(|n| *n == name)
+            .expect("known field");
+        numeric[slot].ok_or(format!("missing field '{name}' (circuit \"{circuit}\")"))
+    };
+    Ok(BenchRecord {
+        instructions: get("instructions")? as u64,
+        rams: get("rams")? as u64,
+        max_writes: get("max_writes")? as u64,
+        lookahead_rams: get("lookahead_rams")? as u64,
+        wear_max_writes: get("wear_max_writes")? as u64,
+        rewrite_ms: get("rewrite_ms")?,
+        compile_ms: get("compile_ms")?,
+        circuit,
+    })
 }
 
 /// Outcome of diffing a fresh run against the committed baseline.
@@ -355,11 +267,14 @@ mod tests {
 
     #[test]
     fn json_round_trips() {
-        // Quotes, backslashes, and non-ASCII UTF-8 must all survive.
+        // Quotes, backslashes, non-ASCII UTF-8, and control characters
+        // must all survive (the strict parser rejects raw control bytes,
+        // so the writer must escape them).
         let records = vec![
             record("adder", 120, 12),
             record("log2\"odd\\", 7, 3),
             record("Σ-µbench", 9, 2),
+            record("tab\there\nand newline", 4, 1),
         ];
         let parsed = from_json(&to_json(&records)).unwrap();
         assert_eq!(parsed, records);
@@ -379,11 +294,64 @@ mod tests {
     #[test]
     fn parser_reports_missing_fields_and_syntax_errors() {
         let err = from_json(r#"[{"circuit": "x"}]"#).unwrap_err();
-        assert!(err.contains("missing `instructions`"), "{err}");
+        assert!(err.contains("missing field 'instructions'"), "{err}");
+        assert!(err.contains("circuit \"x\""), "{err}");
         assert!(from_json("[").is_err());
         assert!(from_json("[]extra").is_err());
-        assert!(from_json(r#"[{"instructions": 1}]"#).is_err());
+        let err = from_json(r#"[{"instructions": 1}]"#).unwrap_err();
+        assert!(err.contains("missing field 'circuit'"), "{err}");
         assert_eq!(from_json("[]").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parser_rejects_truncated_documents_with_positions() {
+        // Every prefix of a valid document must fail cleanly, never panic.
+        let full = to_json(&[record("adder", 120, 12)]);
+        for end in 0..full.len() {
+            if let Err(err) = from_json(&full[..end]) {
+                assert!(err.starts_with("byte "), "prefix {end}: {err}");
+            }
+            // Short prefixes that happen to parse (none do for this schema
+            // except the empty-array-less ones) would be caught by the
+            // missing-field checks above.
+        }
+        let err = from_json("[{\"circuit\": \"x\"").unwrap_err();
+        assert!(err.starts_with("byte "), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_duplicate_keys() {
+        let err =
+            from_json(r#"[{"circuit": "x", "instructions": 1, "instructions": 2}]"#).unwrap_err();
+        assert!(err.contains("duplicate key \"instructions\""), "{err}");
+        let err = from_json(r#"[{"circuit": "x", "circuit": "y"}]"#).unwrap_err();
+        assert!(err.contains("duplicate key \"circuit\""), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_non_numeric_counts() {
+        let err = from_json(
+            r#"[{"circuit": "x", "instructions": "lots", "rams": 3, "max_writes": 1,
+                "lookahead_rams": 3, "wear_max_writes": 1, "rewrite_ms": 1.0,
+                "compile_ms": 1.0}]"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("field 'instructions' must be a number"),
+            "{err}"
+        );
+        let err = from_json(r#"[{"circuit": "x", "rams": true}]"#).unwrap_err();
+        assert!(err.contains("field 'rams' must be a number"), "{err}");
+        let err = from_json(r#"[{"circuit": 7}]"#).unwrap_err();
+        assert!(err.contains("field 'circuit' must be a string"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_non_object_records_and_non_array_documents() {
+        let err = from_json("[42]").unwrap_err();
+        assert!(err.contains("record 1: expected an object"), "{err}");
+        let err = from_json(r#"{"circuit": "x"}"#).unwrap_err();
+        assert!(err.contains("top-level array"), "{err}");
     }
 
     #[test]

@@ -31,7 +31,10 @@
 //!
 //! Program quality and speed are tracked as machine-checked artifacts: the
 //! [`benchfile`] module defines the `BENCH.json` schema and the regression
-//! gate that CI diffs against `benchmarks/baseline.json`.
+//! gate that CI diffs against `benchmarks/baseline.json`; both it and the
+//! `plimd` compile-service wire protocol are built on the shared [`json`]
+//! layer, and [`cache`] provides the service's content-addressed,
+//! byte-budgeted result store.
 //!
 //! Pair it with [`mig::rewrite`] (the paper's Algorithm 1) to optimize the
 //! graph before compilation, and with [`batch`] to compile whole benchmark
@@ -66,9 +69,11 @@
 pub mod alloc;
 pub mod batch;
 pub mod benchfile;
+pub mod cache;
 pub mod candidate;
 mod compile;
 pub mod constrained;
+pub mod json;
 pub mod lifetime;
 mod options;
 mod program;

@@ -128,6 +128,32 @@ pub enum OperandSelection {
     Smart,
 }
 
+impl OperandSelection {
+    /// Every policy, in a stable sweep order.
+    pub const ALL: [OperandSelection; 2] = [OperandSelection::ChildOrder, OperandSelection::Smart];
+
+    /// The wire/command-line name of the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperandSelection::ChildOrder => "child-order",
+            OperandSelection::Smart => "smart",
+        }
+    }
+
+    /// Parses a wire/command-line name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the valid policies when `name` is
+    /// not one of them.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        OperandSelection::ALL
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| format!("unknown operand policy `{name}` (expected child-order|smart)"))
+    }
+}
+
 /// Options controlling the MIG → PLiM translation.
 ///
 /// The defaults correspond to the paper's full proposed compiler; use
@@ -192,6 +218,39 @@ impl CompilerOptions {
         self.allocator = allocator;
         self
     }
+
+    /// The canonical wire spelling of this configuration
+    /// (`schedule+operands+allocator`, e.g. `priority+smart+fifo`), used
+    /// by the compile-service protocol and as part of the result-cache
+    /// fingerprint. Round-trips through [`CompilerOptions::parse_spec`].
+    pub fn spec(&self) -> String {
+        format!(
+            "{}+{}+{}",
+            self.schedule.name(),
+            self.operands.name(),
+            self.allocator.name()
+        )
+    }
+
+    /// Parses the [`CompilerOptions::spec`] spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message when the spec is not three `+`-separated
+    /// component names.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split('+').collect();
+        let [schedule, operands, allocator] = parts.as_slice() else {
+            return Err(format!(
+                "bad options spec `{spec}` (expected schedule+operands+allocator)"
+            ));
+        };
+        Ok(CompilerOptions {
+            schedule: ScheduleOrder::parse(schedule)?,
+            operands: OperandSelection::parse(operands)?,
+            allocator: AllocatorStrategy::parse(allocator)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +291,36 @@ mod tests {
         for schedule in ScheduleOrder::ALL {
             assert_eq!(ScheduleOrder::parse(schedule.name()), Ok(schedule));
         }
+        for policy in OperandSelection::ALL {
+            assert_eq!(OperandSelection::parse(policy.name()), Ok(policy));
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_for_every_combination() {
+        for schedule in ScheduleOrder::ALL {
+            for operands in OperandSelection::ALL {
+                for allocator in AllocatorStrategy::ALL {
+                    let options = CompilerOptions {
+                        schedule,
+                        operands,
+                        allocator,
+                    };
+                    assert_eq!(CompilerOptions::parse_spec(&options.spec()), Ok(options));
+                }
+            }
+        }
+        assert_eq!(CompilerOptions::new().spec(), "priority+smart+fifo");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        let err = CompilerOptions::parse_spec("priority+smart").unwrap_err();
+        assert!(err.contains("schedule+operands+allocator"), "{err}");
+        let err = CompilerOptions::parse_spec("priority+smart+zigzag").unwrap_err();
+        assert!(err.contains("zigzag"), "{err}");
+        let err = CompilerOptions::parse_spec("priority+sideways+fifo").unwrap_err();
+        assert!(err.contains("sideways"), "{err}");
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`simulate`] / [`equiv`] — bit-parallel simulation, truth tables, and
 //!   equivalence checking;
 //! * [`analysis`] — structural statistics (complement profile, depth);
+//! * [`canon`] — canonical structural hashing (order-independent,
+//!   Ω.I-normalized), the content-address of the compile-service cache;
 //! * [`io`] / [`dot`] — a textual interchange format and Graphviz export.
 //!
 //! ## Quick example
@@ -48,6 +50,7 @@ pub mod aiger;
 pub mod algebra;
 pub mod analysis;
 pub mod arena;
+pub mod canon;
 pub mod cut;
 pub mod dot;
 pub mod equiv;

@@ -10,6 +10,10 @@
 //! The API is deliberately a subset of rayon's `par_iter().map().collect()`
 //! shape; swapping rayon in later is a one-function change in [`par_map`].
 //!
+//! For long-running services that need persistent workers rather than
+//! one-shot fan-outs, the [`pool`] module provides a shard-addressed
+//! [`pool::WorkerPool`] with graceful shutdown.
+//!
 //! ```
 //! use plim_parallel::{par_map, Parallelism};
 //!
@@ -19,6 +23,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod pool;
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -2,7 +2,9 @@
 //!
 //! Reads a logic network (MIG text format or ASCII AIGER), optimizes it for
 //! the PLiM architecture, compiles it to RM3 instructions, verifies the
-//! program against simulation, and emits the requested artifact.
+//! program against simulation, and emits the requested artifact. The same
+//! pipeline is available as a long-running daemon via `plimc serve` (alias:
+//! the `plimd` binary) and `plimc request`.
 //!
 //! ```text
 //! plimc [OPTIONS] FILE        (FILE of `-` reads stdin)
@@ -19,6 +21,19 @@
 //!   --emit asm|listing|stats|dot|mig
 //!                        artifact to print (default: listing)
 //!   --no-verify          skip the simulation check
+//!
+//! plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]
+//!                             run the compile service (default
+//!                             127.0.0.1:7393; port 0 picks a free port,
+//!                             printed on the listening line)
+//!
+//! plimc request [--addr HOST:PORT] [compile OPTIONS] FILE
+//! plimc request [--addr HOST:PORT] --stats | --shutdown
+//!                             send one request to a running service and
+//!                             print the artifact (or the stats JSON line)
+//!
+//! plimc dump CIRCUIT [--reduced]
+//!                             print a Table 1 suite circuit as MIG text
 //!
 //! plimc bench [OPTIONS]       regenerate Table 1 via the batch pipeline
 //!
@@ -41,8 +56,13 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use mig::Mig;
-use plim_compiler::report::CostReport;
-use plim_compiler::{compile, verify::verify, AllocatorStrategy, CompilerOptions, ScheduleOrder};
+use plim_compiler::{AllocatorStrategy, CompilerOptions, ScheduleOrder};
+use plim_service::pipeline::{self, CompileSpec, InputFormat};
+use plim_service::protocol::{CompileRequest, Request, Response};
+use plim_service::{client, server};
+
+/// Default service address, shared by `serve` and `request`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7393";
 
 struct Args {
     file: String,
@@ -57,7 +77,34 @@ struct Args {
     verify: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+impl Args {
+    /// The compiler options this invocation asks for.
+    fn options(&self) -> CompilerOptions {
+        let mut options = if self.naive {
+            CompilerOptions::naive()
+        } else {
+            CompilerOptions::new()
+        };
+        if let Some(schedule) = self.schedule {
+            options = options.schedule(schedule);
+        }
+        if let Some(alloc) = self.alloc {
+            options = options.allocator(alloc);
+        }
+        options
+    }
+
+    fn spec(&self) -> CompileSpec {
+        CompileSpec {
+            effort: self.effort,
+            extended: self.extended,
+            options: self.options(),
+            verify: self.verify,
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         file: String::new(),
         format: None,
@@ -70,10 +117,11 @@ fn parse_args() -> Result<Args, String> {
         emit: "listing".to_string(),
         verify: true,
     };
-    let mut iter = std::env::args().skip(1);
+    let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
             iter.next()
+                .cloned()
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match arg.as_str() {
@@ -106,7 +154,7 @@ fn parse_args() -> Result<Args, String> {
                     args.file
                 ))
             }
-            _ => args.file = arg,
+            _ => args.file = arg.clone(),
         }
     }
     if args.file.is_empty() {
@@ -120,110 +168,161 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Whether the document starts with the binary-AIGER magic: an `aig`
-/// keyword followed by at least the five numeric header fields
-/// `M I L O A`. Requiring the numeric fields keeps text inputs that merely
-/// begin with the letters `aig` (say, a MIG node named `aig`) from being
-/// misdetected. The binary format delta-encodes its AND section, so it
-/// cannot be fed to any of the text parsers.
-fn is_binary_aiger(bytes: &[u8]) -> bool {
-    let first_line = bytes.split(|&b| b == b'\n').next().unwrap_or(bytes);
-    let mut fields = first_line.split(|&b| b == b' ').filter(|f| !f.is_empty());
-    if fields.next() != Some(b"aig") {
-        return false;
-    }
-    let mut numeric_fields = 0;
-    for field in fields {
-        if !field.iter().all(u8::is_ascii_digit) {
-            return false;
-        }
-        numeric_fields += 1;
-    }
-    numeric_fields >= 5
-}
-
-fn read_input(args: &Args) -> Result<Mig, String> {
-    let bytes = if args.file == "-" {
+/// Reads the raw input (file or stdin), sniffs binary AIGER, and resolves
+/// the input format. Shared by offline compilation and `plimc request`.
+fn read_source(file: &str, format: &Option<String>) -> Result<(InputFormat, String), String> {
+    // Validate the format name before touching the input: a typo like
+    // `--format agg` must be diagnosed as such, not as whatever the
+    // sniff/UTF-8 checks happen to hit first on a binary file.
+    let forced = match format {
+        Some(name) => Some(InputFormat::parse(name)?),
+        None => None,
+    };
+    let bytes = if file == "-" {
         let mut buffer = Vec::new();
         std::io::stdin()
             .read_to_end(&mut buffer)
             .map_err(|e| format!("reading stdin: {e}"))?;
         buffer
     } else {
-        std::fs::read(&args.file).map_err(|e| format!("reading {}: {e}", args.file))?
+        std::fs::read(file).map_err(|e| format!("reading {file}: {e}"))?
     };
-    let format = args.format.clone().unwrap_or_else(|| {
-        if args.file.ends_with(".aag") {
-            "aag".to_string()
-        } else {
-            "mig".to_string()
-        }
-    });
     // Sniff the binary-AIGER magic unless the user explicitly forced a
     // non-AIGER format: the payload is not text, so the AIGER parser (or
     // the MIG parser the extension default falls through to) would produce
     // a baffling first-line error or a UTF-8 failure instead of this
     // diagnosis.
-    let forced_non_aiger = args.format.as_deref().is_some_and(|f| f != "aag");
-    if !forced_non_aiger && is_binary_aiger(&bytes) {
+    let forced_non_aiger = matches!(forced, Some(f) if f != InputFormat::Aag);
+    if !forced_non_aiger && pipeline::is_binary_aiger(&bytes) {
         return Err(
             "binary AIGER is not supported; convert to ASCII with `aigtoaig input.aig output.aag`"
                 .to_string(),
         );
     }
-    let text = String::from_utf8(bytes)
-        .map_err(|_| format!("{}: input is not valid UTF-8 text", args.file))?;
-    match format.as_str() {
-        "aag" => mig::aiger::parse_aiger(&text).map_err(|e| format!("aiger: {e}")),
-        "mig" => mig::io::parse_mig(&text).map_err(|e| format!("mig: {e}")),
-        other => Err(format!("unknown format `{other}`")),
+    let text =
+        String::from_utf8(bytes).map_err(|_| format!("{file}: input is not valid UTF-8 text"))?;
+    Ok((forced.unwrap_or_else(|| InputFormat::from_path(file)), text))
+}
+
+fn read_input(args: &Args) -> Result<Mig, String> {
+    let (format, text) = read_source(&args.file, &args.format)?;
+    pipeline::parse_network(format, &text)
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    let input = read_input(&args)?;
+    let spec = args.spec();
+
+    let (optimized, compiled) = match args.limit {
+        Some(limit) => {
+            let optimized = pipeline::optimize(&input, &spec);
+            let compiled = plim_compiler::constrained::compile_with_ram_limit(&optimized, limit)
+                .map_err(|e| e.to_string())?;
+            if args.verify {
+                plim_compiler::verify::verify(&optimized, &compiled, 4, 0xDAC2016)
+                    .map_err(|e| format!("verification: {e}"))?;
+            }
+            (optimized, compiled)
+        }
+        None => pipeline::execute(&input, &spec)?,
+    };
+
+    let output = pipeline::emit(&args.emit, &optimized, &compiled)?;
+    print!("{output}");
+    Ok(())
+}
+
+/// The `plimc request` subcommand: one round-trip against a running
+/// `plimd`. Compile requests print the artifact exactly as the offline
+/// pipeline would; `--stats` and `--shutdown` print the response JSON.
+fn run_request(argv: &[String]) -> Result<(), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut compile_argv: Vec<String> = Vec::new();
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = iter.next().ok_or("--addr requires a value")?.clone(),
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            _ => compile_argv.push(arg.clone()),
+        }
+    }
+    if stats || shutdown {
+        if !compile_argv.is_empty() {
+            return Err(format!(
+                "--stats/--shutdown take no further arguments (got `{}`)",
+                compile_argv[0]
+            ));
+        }
+        let request = if stats {
+            Request::Stats
+        } else {
+            Request::Shutdown
+        };
+        let response = client::send(&addr, &request)?;
+        return match response {
+            Response::Error(message) => Err(message),
+            other => {
+                println!("{}", other.to_json());
+                Ok(())
+            }
+        };
+    }
+
+    let args = parse_args(&compile_argv)?;
+    if args.limit.is_some() {
+        return Err("--limit is not supported over the service; run plimc offline".to_string());
+    }
+    let (format, source) = read_source(&args.file, &args.format)?;
+    let request = Request::Compile(CompileRequest {
+        format,
+        source,
+        spec: args.spec(),
+        emit: args.emit.clone(),
+    });
+    match client::send(&addr, &request)? {
+        Response::Compile(compile) => {
+            print!("{}", compile.output);
+            Ok(())
+        }
+        Response::Error(message) => Err(message),
+        other => Err(format!("unexpected response: {}", other.to_json())),
     }
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let input = read_input(&args)?;
+/// The `plimc dump` subcommand: prints a benchmark-suite circuit as MIG
+/// text, for feeding the service (and the CI smoke job) real inputs.
+#[cfg(feature = "suite")]
+fn run_dump(argv: &[String]) -> Result<(), String> {
+    use plim_benchmarks::suite::{self, Scale};
 
-    let optimized = if args.effort == 0 {
-        input.cleaned()
-    } else if args.extended {
-        mig::resynth::rewrite_extended(&input, args.effort)
-    } else {
-        mig::rewrite::rewrite(&input, args.effort)
-    };
-
-    let compiled = match args.limit {
-        Some(limit) => plim_compiler::constrained::compile_with_ram_limit(&optimized, limit)
-            .map_err(|e| e.to_string())?,
-        None => {
-            let mut options = if args.naive {
-                CompilerOptions::naive()
-            } else {
-                CompilerOptions::new()
-            };
-            if let Some(schedule) = args.schedule {
-                options = options.schedule(schedule);
-            }
-            if let Some(alloc) = args.alloc {
-                options = options.allocator(alloc);
-            }
-            compile(&optimized, options)
+    let mut name: Option<&String> = None;
+    let mut scale = Scale::Full;
+    for arg in argv {
+        match arg.as_str() {
+            "--reduced" => scale = Scale::Reduced,
+            _ if arg.starts_with('-') => return Err(format!("unknown dump option `{arg}`")),
+            _ if name.is_some() => return Err(format!("multiple circuits (got `{arg}`)")),
+            _ => name = Some(arg),
         }
-    };
-
-    if args.verify {
-        verify(&optimized, &compiled, 4, 0xDAC2016).map_err(|e| format!("verification: {e}"))?;
     }
-
-    match args.emit.as_str() {
-        "listing" => print!("{}", compiled.program),
-        "asm" => print!("{}", plim::asm::write_asm(&compiled.program)),
-        "stats" => println!("{}", CostReport::analyze(&compiled)),
-        "dot" => print!("{}", mig::dot::to_dot(&optimized)),
-        "mig" => print!("{}", mig::io::write_mig(&optimized)),
-        other => return Err(format!("unknown --emit `{other}`")),
-    }
+    let name = name.ok_or("dump needs a circuit name")?;
+    let mig = suite::build(name, scale).ok_or_else(|| {
+        format!(
+            "unknown benchmark `{name}` (expected one of: {})",
+            suite::ALL.join(", ")
+        )
+    })?;
+    print!("{}", mig::io::write_mig(&mig));
     Ok(())
+}
+
+#[cfg(not(feature = "suite"))]
+fn run_dump(_argv: &[String]) -> Result<(), String> {
+    Err("`plimc dump` requires the `suite` feature (enabled by default)".to_string())
 }
 
 /// The `plimc bench` subcommand: regenerates Table 1 through the parallel
@@ -329,6 +428,9 @@ fn run_bench_diff(args: &[String]) -> Result<(), String> {
     };
     let read = |path: &String| -> Result<Vec<benchfile::BenchRecord>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        // benchfile errors are one-liners like `missing field 'rams'
+        // (circuit "adder")`; prefixing the file name makes the final
+        // diagnostic `plimc: BENCH.json: missing field 'rams' …`.
         benchfile::from_json(&text).map_err(|e| format!("{path}: {e}"))
     };
     let baseline = read(baseline_path)?;
@@ -361,7 +463,10 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("bench") => run_bench(&args[1..]),
         Some("bench-diff") => run_bench_diff(&args[1..]),
-        _ => run(),
+        Some("serve") => server::serve_cli(&args[1..]),
+        Some("request") => run_request(&args[1..]),
+        Some("dump") => run_dump(&args[1..]),
+        _ => run(&args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -371,6 +476,12 @@ fn main() -> ExitCode {
             eprintln!(
                 "             [--limit R] [--emit asm|listing|stats|dot|mig] [--no-verify] FILE"
             );
+            eprintln!(
+                "       plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]"
+            );
+            eprintln!("       plimc request [--addr HOST:PORT] [compile options] FILE");
+            eprintln!("       plimc request [--addr HOST:PORT] --stats | --shutdown");
+            eprintln!("       plimc dump CIRCUIT [--reduced]");
             eprintln!(
                 "       plimc bench [--reduced] [--effort N] [--jobs N] [--serial] [--json PATH]"
             );

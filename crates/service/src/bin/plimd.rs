@@ -1,0 +1,21 @@
+//! `plimd` — the standalone compile-service daemon.
+//!
+//! Equivalent to `plimc serve`; provided as its own binary so deployments
+//! can ship the daemon without the full CLI surface.
+//!
+//! ```text
+//! plimd [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match plim_service::server::serve_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("plimd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

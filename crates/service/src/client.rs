@@ -1,0 +1,65 @@
+//! The one-call client used by `plimc request` and the throughput bench.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{Request, Response};
+
+/// A persistent client connection (one TCP stream, many requests).
+///
+/// `plimc request` sends a single request per process, but the throughput
+/// bench reuses one connection for a whole suite — connection setup would
+/// otherwise dominate the warm-path measurement.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message when the connection cannot be opened.
+    pub fn connect(addr: &str) -> Result<Connection, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let write_half = stream
+            .try_clone()
+            .map_err(|e| format!("cloning the connection: {e}"))?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Sends one request and reads its response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on IO failures or malformed responses.
+    /// A server-side failure comes back as `Ok(Response::Error(..))`.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, String> {
+        let mut line = request.to_json();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("sending the request: {e}"))?;
+        let mut response = String::new();
+        match self.reader.read_line(&mut response) {
+            Ok(0) => Err("the server closed the connection".to_string()),
+            Ok(_) => Response::from_json(&response),
+            Err(e) => Err(format!("reading the response: {e}")),
+        }
+    }
+}
+
+/// Opens a connection, performs one round-trip, and closes it.
+///
+/// # Errors
+///
+/// See [`Connection::roundtrip`].
+pub fn send(addr: &str, request: &Request) -> Result<Response, String> {
+    Connection::connect(addr)?.roundtrip(request)
+}

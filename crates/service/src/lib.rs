@@ -1,0 +1,56 @@
+//! # plim-service — the `plimd` compile service and the `plimc` driver
+//!
+//! Every consumer of the MIG → PLiM pipeline used to pay the full
+//! rewrite + compile cost per invocation, even for identical inputs. This
+//! crate turns the pipeline into a long-running daemon, `plimd`: a
+//! std-only TCP service that accepts compile requests as newline-delimited
+//! JSON, shards them across a pinned worker pool
+//! ([`plim_parallel::pool::WorkerPool`]), and serves repeats from a
+//! content-addressed result cache
+//! ([`plim_compiler::cache::LruCache`]) keyed by the canonical structural
+//! digest of the input graph ([`mig::canon::structural_digest`]) plus a
+//! fingerprint of the request options.
+//!
+//! Because the digest is order-independent and Ω.I-normalized,
+//! syntactically different dumps of the same circuit hit the same cache
+//! entry; a warm request skips parsing-onward work entirely (no rewrite,
+//! no compile, no verification) and returns the stored artifact.
+//!
+//! The crate also hosts the `plimc` command-line driver (moved here from
+//! `plim-compiler` so the `serve`/`request` subcommands can link the
+//! service) and splits the driver's compile path into the reusable
+//! [`pipeline`] module — the daemon and the offline CLI run the *same*
+//! functions, which is what makes served output byte-identical to offline
+//! output.
+//!
+//! ## Modules
+//!
+//! * [`pipeline`] — parse / optimize / compile / verify / emit, shared by
+//!   `plimc` offline mode and the daemon;
+//! * [`protocol`] — the wire protocol (requests, responses, stats), built
+//!   on [`plim_compiler::json`];
+//! * [`server`] — the daemon: listener, connection threads, shard
+//!   dispatch, cache;
+//! * [`client`] — the one-call client used by `plimc request`.
+//!
+//! ## Wire protocol
+//!
+//! One JSON object per line, one response line per request; see
+//! [`protocol`] for the exact fields. A session transcript:
+//!
+//! ```text
+//! → {"op":"compile","format":"mig","source":"inputs a b\nn = maj(0, a, b)\noutput f = n\n"}
+//! ← {"ok":true,"op":"compile","cached":false,"key":"…","instructions":2,"rams":1,"output":"01: …"}
+//! → {"op":"stats"}
+//! ← {"ok":true,"op":"stats","hits":0,"misses":1,…}
+//! → {"op":"shutdown"}
+//! ← {"ok":true,"op":"shutdown"}
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod pipeline;
+pub mod protocol;
+pub mod server;

@@ -1,0 +1,204 @@
+//! The compile pipeline shared by offline `plimc` and the `plimd` daemon.
+//!
+//! Both consumers run the same five stages — sniff, parse, optimize,
+//! compile (+ verify), emit — through the functions here, so an artifact
+//! served from the daemon is byte-identical to what `plimc` prints
+//! offline for the same input and options.
+
+use mig::Mig;
+use plim_compiler::report::CostReport;
+use plim_compiler::{compile, verify::verify, CompiledProgram, CompilerOptions};
+
+/// Input format of a compile request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputFormat {
+    /// The MIG text format ([`mig::io`]).
+    #[default]
+    Mig,
+    /// ASCII AIGER ([`mig::aiger`]).
+    Aag,
+}
+
+impl InputFormat {
+    /// The wire/command-line name of the format.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputFormat::Mig => "mig",
+            InputFormat::Aag => "aag",
+        }
+    }
+
+    /// Parses a wire/command-line name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the valid formats.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "mig" => Ok(InputFormat::Mig),
+            "aag" => Ok(InputFormat::Aag),
+            other => Err(format!("unknown format `{other}`")),
+        }
+    }
+
+    /// The format implied by a file name (`.aag` → AIGER, MIG otherwise).
+    pub fn from_path(path: &str) -> Self {
+        if path.ends_with(".aag") {
+            InputFormat::Aag
+        } else {
+            InputFormat::Mig
+        }
+    }
+}
+
+/// Whether the document starts with the binary-AIGER magic: an `aig`
+/// keyword followed by at least the five numeric header fields
+/// `M I L O A`. Requiring the numeric fields keeps text inputs that merely
+/// begin with the letters `aig` (say, a MIG node named `aig`) from being
+/// misdetected. The binary format delta-encodes its AND section, so it
+/// cannot be fed to any of the text parsers.
+pub fn is_binary_aiger(bytes: &[u8]) -> bool {
+    let first_line = bytes.split(|&b| b == b'\n').next().unwrap_or(bytes);
+    let mut fields = first_line.split(|&b| b == b' ').filter(|f| !f.is_empty());
+    if fields.next() != Some(b"aig") {
+        return false;
+    }
+    let mut numeric_fields = 0;
+    for field in fields {
+        if !field.iter().all(u8::is_ascii_digit) {
+            return false;
+        }
+        numeric_fields += 1;
+    }
+    numeric_fields >= 5
+}
+
+/// Parses a logic network from text in the given format.
+///
+/// # Errors
+///
+/// Returns the underlying parser's diagnostic prefixed with the format
+/// name (matching `plimc`'s long-standing messages).
+pub fn parse_network(format: InputFormat, text: &str) -> Result<Mig, String> {
+    match format {
+        InputFormat::Aag => mig::aiger::parse_aiger(text).map_err(|e| format!("aiger: {e}")),
+        InputFormat::Mig => mig::io::parse_mig(text).map_err(|e| format!("mig: {e}")),
+    }
+}
+
+/// Everything that shapes the compiled artifact besides the graph itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileSpec {
+    /// Rewrite effort; 0 disables rewriting (the graph is only cleaned).
+    pub effort: usize,
+    /// Use rewrite + majority resynthesis instead of plain rewriting.
+    pub extended: bool,
+    /// Compiler configuration.
+    pub options: CompilerOptions,
+    /// Check the program against bit-parallel simulation after compiling.
+    pub verify: bool,
+}
+
+impl Default for CompileSpec {
+    fn default() -> Self {
+        CompileSpec {
+            effort: 4,
+            extended: false,
+            options: CompilerOptions::new(),
+            verify: true,
+        }
+    }
+}
+
+/// Runs the optimization stage of the pipeline on `input`.
+pub fn optimize(input: &Mig, spec: &CompileSpec) -> Mig {
+    if spec.effort == 0 {
+        input.cleaned()
+    } else if spec.extended {
+        mig::resynth::rewrite_extended(input, spec.effort)
+    } else {
+        mig::rewrite::rewrite(input, spec.effort)
+    }
+}
+
+/// Optimizes, compiles and (optionally) verifies `input` under `spec`,
+/// returning the optimized graph alongside the program — both are needed
+/// for emitting artifacts.
+///
+/// # Errors
+///
+/// Returns a one-line message when verification fails.
+pub fn execute(input: &Mig, spec: &CompileSpec) -> Result<(Mig, CompiledProgram), String> {
+    let optimized = optimize(input, spec);
+    let compiled = compile(&optimized, spec.options);
+    if spec.verify {
+        verify(&optimized, &compiled, 4, 0xDAC2016).map_err(|e| format!("verification: {e}"))?;
+    }
+    Ok((optimized, compiled))
+}
+
+/// The artifact kinds `--emit` understands, for diagnostics and docs.
+pub const EMIT_KINDS: [&str; 5] = ["listing", "asm", "stats", "dot", "mig"];
+
+/// Renders the requested artifact. The returned string is printed with
+/// `print!` by every consumer (it already ends in a newline), so daemon
+/// and offline output agree byte-for-byte.
+///
+/// # Errors
+///
+/// Returns a one-line message for unknown artifact kinds.
+pub fn emit(kind: &str, optimized: &Mig, compiled: &CompiledProgram) -> Result<String, String> {
+    match kind {
+        "listing" => Ok(compiled.program.to_string()),
+        "asm" => Ok(plim::asm::write_asm(&compiled.program)),
+        "stats" => Ok(format!("{}\n", CostReport::analyze(compiled))),
+        "dot" => Ok(mig::dot::to_dot(optimized)),
+        "mig" => Ok(mig::io::write_mig(optimized)),
+        other => Err(format!("unknown --emit `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AND_MIG: &str = "inputs a b\nn = maj(0, a, b)\noutput f = n\n";
+
+    #[test]
+    fn format_names_round_trip_and_sniff_from_paths() {
+        assert_eq!(InputFormat::parse("mig"), Ok(InputFormat::Mig));
+        assert_eq!(InputFormat::parse("aag"), Ok(InputFormat::Aag));
+        assert!(InputFormat::parse("verilog").is_err());
+        assert_eq!(InputFormat::from_path("x.aag"), InputFormat::Aag);
+        assert_eq!(InputFormat::from_path("x.mig"), InputFormat::Mig);
+        assert_eq!(InputFormat::from_path("-"), InputFormat::Mig);
+    }
+
+    #[test]
+    fn binary_aiger_sniff_requires_numeric_header() {
+        assert!(is_binary_aiger(b"aig 3 2 0 1 1\nrest"));
+        assert!(!is_binary_aiger(b"aag 3 2 0 1 1\n"));
+        assert!(!is_binary_aiger(b"aig = maj(0, 1, 0)\n"));
+        assert!(!is_binary_aiger(b"aig 1 2\n"));
+    }
+
+    #[test]
+    fn execute_compiles_and_verifies() {
+        let input = parse_network(InputFormat::Mig, AND_MIG).unwrap();
+        let (optimized, compiled) = execute(&input, &CompileSpec::default()).unwrap();
+        assert!(compiled.stats.instructions > 0);
+        for kind in EMIT_KINDS {
+            let artifact = emit(kind, &optimized, &compiled).unwrap();
+            assert!(artifact.ends_with('\n'), "{kind} artifact misses newline");
+        }
+        assert!(emit("png", &optimized, &compiled).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_format_prefix() {
+        let err = parse_network(InputFormat::Mig, "garbage").unwrap_err();
+        assert!(err.starts_with("mig: "), "{err}");
+        let err = parse_network(InputFormat::Aag, "garbage").unwrap_err();
+        assert!(err.starts_with("aiger: "), "{err}");
+    }
+}

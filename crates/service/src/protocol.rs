@@ -1,0 +1,511 @@
+//! The `plimd` wire protocol: newline-delimited JSON requests/responses.
+//!
+//! Framing: the client writes one JSON object per line; the server answers
+//! each with one JSON object line. String escaping (via
+//! [`plim_compiler::json`]) guarantees encoded documents never contain a
+//! raw newline, so multi-line circuit sources travel safely inside one
+//! frame.
+//!
+//! Requests (`op` selects the kind):
+//!
+//! ```text
+//! {"op":"compile","format":"mig"|"aag","source":"…",
+//!  "effort":4,"extended":false,"options":"priority+smart+fifo",
+//!  "emit":"listing","verify":true}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Only `source` is required for `compile`; every other field has the
+//! offline `plimc` default. Responses carry `"ok":true` plus op-specific
+//! fields, or `"ok":false` with a one-line `error`.
+
+use plim_compiler::cache::{fnv128, CacheKey, CacheStats};
+use plim_compiler::json::Value;
+use plim_compiler::CompilerOptions;
+
+use crate::pipeline::{CompileSpec, InputFormat};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile a circuit and return the requested artifact.
+    Compile(CompileRequest),
+    /// Report cache and queue statistics.
+    Stats,
+    /// Gracefully stop the daemon.
+    Shutdown,
+}
+
+/// The payload of a `compile` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// Input format of `source`.
+    pub format: InputFormat,
+    /// The circuit text (MIG text format or ASCII AIGER).
+    pub source: String,
+    /// Optimization and compilation options.
+    pub spec: CompileSpec,
+    /// Artifact to return (`listing`, `asm`, `stats`, `dot`, `mig`).
+    pub emit: String,
+}
+
+impl Default for CompileRequest {
+    fn default() -> Self {
+        CompileRequest {
+            format: InputFormat::Mig,
+            source: String::new(),
+            spec: CompileSpec::default(),
+            emit: "listing".to_string(),
+        }
+    }
+}
+
+impl CompileRequest {
+    /// Fingerprint of everything besides the graph that shapes the
+    /// artifact — the options half of the result-cache key. The input
+    /// *format* is deliberately excluded: the graph digest already
+    /// identifies the parsed structure, so the same circuit arriving as
+    /// MIG text or as AIGER shares one cache entry.
+    pub fn fingerprint(&self) -> u64 {
+        let spec = format!(
+            "effort={};extended={};options={};emit={};verify={}",
+            self.spec.effort,
+            self.spec.extended,
+            self.spec.options.spec(),
+            self.emit,
+            self.spec.verify,
+        );
+        // The shared FNV-1a over the canonical spelling, truncated — one
+        // hash implementation across the cache layers.
+        fnv128(spec.as_bytes()) as u64
+    }
+}
+
+impl Request {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Stats => Value::object([("op", Value::string("stats"))]).to_json(),
+            Request::Shutdown => Value::object([("op", Value::string("shutdown"))]).to_json(),
+            Request::Compile(compile) => Value::object([
+                ("op", Value::string("compile")),
+                ("format", Value::string(compile.format.name())),
+                ("source", Value::string(compile.source.clone())),
+                ("effort", Value::number(compile.spec.effort as u64)),
+                ("extended", Value::Bool(compile.spec.extended)),
+                ("options", Value::string(compile.spec.options.spec())),
+                ("emit", Value::string(compile.emit.clone())),
+                ("verify", Value::Bool(compile.spec.verify)),
+            ])
+            .to_json(),
+        }
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for malformed JSON, an unknown `op`, a
+    /// missing `source`, or invalid option values.
+    pub fn from_json(line: &str) -> Result<Request, String> {
+        let value = Value::parse(line.trim()).map_err(|e| format!("bad request JSON: {e}"))?;
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("request is missing field 'op'")?;
+        match op {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "compile" => {
+                let mut request = CompileRequest {
+                    source: value
+                        .get("source")
+                        .and_then(Value::as_str)
+                        .ok_or("compile request is missing field 'source'")?
+                        .to_string(),
+                    ..CompileRequest::default()
+                };
+                if let Some(format) = value.get("format") {
+                    let name = format.as_str().ok_or("field 'format' must be a string")?;
+                    request.format = InputFormat::parse(name)?;
+                }
+                if let Some(effort) = value.get("effort") {
+                    request.spec.effort = effort
+                        .as_u64()
+                        .ok_or("field 'effort' must be a non-negative number")?
+                        as usize;
+                }
+                if let Some(extended) = value.get("extended") {
+                    request.spec.extended = extended
+                        .as_bool()
+                        .ok_or("field 'extended' must be a boolean")?;
+                }
+                if let Some(options) = value.get("options") {
+                    let spec = options.as_str().ok_or("field 'options' must be a string")?;
+                    request.spec.options = CompilerOptions::parse_spec(spec)?;
+                }
+                if let Some(emit) = value.get("emit") {
+                    request.emit = emit
+                        .as_str()
+                        .ok_or("field 'emit' must be a string")?
+                        .to_string();
+                }
+                if let Some(verify) = value.get("verify") {
+                    request.spec.verify =
+                        verify.as_bool().ok_or("field 'verify' must be a boolean")?;
+                }
+                Ok(Request::Compile(request))
+            }
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+/// One shard's view in a stats response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Jobs waiting (not yet started) on the shard's queue.
+    pub queue_depth: usize,
+    /// The shard cache's counters.
+    pub cache: CacheStats,
+}
+
+/// The payload of a `stats` response.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Counters summed over all shards.
+    pub fn totals(&self) -> CacheStats {
+        let mut totals = CacheStats::default();
+        for shard in &self.shards {
+            totals.merge(&shard.cache);
+        }
+        totals
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A compile result.
+    Compile(CompileResponse),
+    /// A statistics snapshot.
+    Stats(ServiceStats),
+    /// Shutdown acknowledged.
+    Shutdown,
+    /// The request failed; the payload is a one-line diagnostic.
+    Error(String),
+}
+
+/// The payload of a successful compile response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileResponse {
+    /// `true` when the artifact came from the result cache.
+    pub cached: bool,
+    /// Hex spelling of the cache key (graph digest + options fingerprint).
+    pub key: String,
+    /// `#I` of the compiled program.
+    pub instructions: u64,
+    /// `#R` of the compiled program.
+    pub rams: u64,
+    /// The requested artifact, exactly as offline `plimc` would print it.
+    pub output: String,
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Error(message) => Value::object([
+                ("ok", Value::Bool(false)),
+                ("error", Value::string(message.clone())),
+            ])
+            .to_json(),
+            Response::Shutdown => {
+                Value::object([("ok", Value::Bool(true)), ("op", Value::string("shutdown"))])
+                    .to_json()
+            }
+            Response::Compile(compile) => Value::object([
+                ("ok", Value::Bool(true)),
+                ("op", Value::string("compile")),
+                ("cached", Value::Bool(compile.cached)),
+                ("key", Value::string(compile.key.clone())),
+                ("instructions", Value::number(compile.instructions)),
+                ("rams", Value::number(compile.rams)),
+                ("output", Value::string(compile.output.clone())),
+            ])
+            .to_json(),
+            Response::Stats(stats) => {
+                let totals = stats.totals();
+                let shards: Vec<Value> = stats
+                    .shards
+                    .iter()
+                    .map(|shard| {
+                        Value::object([
+                            ("queue_depth", Value::number(shard.queue_depth as u64)),
+                            ("hits", Value::number(shard.cache.hits)),
+                            ("misses", Value::number(shard.cache.misses)),
+                            ("evictions", Value::number(shard.cache.evictions)),
+                            ("bytes", Value::number(shard.cache.bytes as u64)),
+                            ("entries", Value::number(shard.cache.entries as u64)),
+                        ])
+                    })
+                    .collect();
+                Value::object([
+                    ("ok", Value::Bool(true)),
+                    ("op", Value::string("stats")),
+                    ("hits", Value::number(totals.hits)),
+                    ("misses", Value::number(totals.misses)),
+                    ("evictions", Value::number(totals.evictions)),
+                    ("cached_bytes", Value::number(totals.bytes as u64)),
+                    ("cached_entries", Value::number(totals.entries as u64)),
+                    ("shards", Value::Array(shards)),
+                ])
+                .to_json()
+            }
+        }
+    }
+
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for malformed JSON or a response shape
+    /// this client does not understand.
+    pub fn from_json(line: &str) -> Result<Response, String> {
+        let value = Value::parse(line.trim()).map_err(|e| format!("bad response JSON: {e}"))?;
+        let ok = value
+            .get("ok")
+            .and_then(Value::as_bool)
+            .ok_or("response is missing field 'ok'")?;
+        if !ok {
+            let message = value
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified server error");
+            return Ok(Response::Error(message.to_string()));
+        }
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("response is missing field 'op'")?;
+        match op {
+            "shutdown" => Ok(Response::Shutdown),
+            "compile" => {
+                let field = |name: &str| {
+                    value
+                        .get(name)
+                        .ok_or(format!("compile response is missing field '{name}'"))
+                };
+                Ok(Response::Compile(CompileResponse {
+                    cached: field("cached")?
+                        .as_bool()
+                        .ok_or("'cached' must be a boolean")?,
+                    key: field("key")?
+                        .as_str()
+                        .ok_or("'key' must be a string")?
+                        .to_string(),
+                    instructions: field("instructions")?
+                        .as_u64()
+                        .ok_or("'instructions' must be a number")?,
+                    rams: field("rams")?.as_u64().ok_or("'rams' must be a number")?,
+                    output: field("output")?
+                        .as_str()
+                        .ok_or("'output' must be a string")?
+                        .to_string(),
+                }))
+            }
+            "stats" => {
+                let shards = value
+                    .get("shards")
+                    .and_then(Value::as_array)
+                    .ok_or("stats response is missing field 'shards'")?;
+                let shard_stats: Result<Vec<ShardStats>, String> = shards
+                    .iter()
+                    .map(|shard| {
+                        let number = |name: &str| {
+                            shard
+                                .get(name)
+                                .and_then(Value::as_u64)
+                                .ok_or(format!("stats shard is missing numeric field '{name}'"))
+                        };
+                        Ok(ShardStats {
+                            queue_depth: number("queue_depth")? as usize,
+                            cache: CacheStats {
+                                hits: number("hits")?,
+                                misses: number("misses")?,
+                                evictions: number("evictions")?,
+                                bytes: number("bytes")? as usize,
+                                entries: number("entries")? as usize,
+                            },
+                        })
+                    })
+                    .collect();
+                Ok(Response::Stats(ServiceStats {
+                    shards: shard_stats?,
+                }))
+            }
+            other => Err(format!("unknown response op `{other}`")),
+        }
+    }
+}
+
+/// Builds the full cache key of a compile request given the graph digest.
+pub fn cache_key(digest: u128, request: &CompileRequest) -> CacheKey {
+    CacheKey::new(digest, request.fingerprint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_request(source: &str) -> CompileRequest {
+        CompileRequest {
+            source: source.to_string(),
+            ..CompileRequest::default()
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Stats,
+            Request::Shutdown,
+            Request::Compile(CompileRequest {
+                format: InputFormat::Aag,
+                source: "aag 1 1 0 1 0\n2\n2\n".to_string(),
+                spec: CompileSpec {
+                    effort: 2,
+                    extended: true,
+                    options: CompilerOptions::new()
+                        .allocator(plim_compiler::AllocatorStrategy::Lifo),
+                    verify: false,
+                },
+                emit: "asm".to_string(),
+            }),
+        ];
+        for request in requests {
+            let line = request.to_json();
+            assert!(!line.contains('\n'), "framing-unsafe request: {line}");
+            assert_eq!(Request::from_json(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn compile_defaults_match_offline_plimc() {
+        let request = Request::from_json(r#"{"op":"compile","source":"x"}"#).unwrap();
+        let Request::Compile(compile) = request else {
+            panic!("wrong kind");
+        };
+        assert_eq!(compile.format, InputFormat::Mig);
+        assert_eq!(compile.spec, CompileSpec::default());
+        assert_eq!(compile.spec.effort, 4);
+        assert!(compile.spec.verify);
+        assert_eq!(compile.emit, "listing");
+    }
+
+    #[test]
+    fn malformed_requests_are_diagnosed() {
+        assert!(Request::from_json("not json")
+            .unwrap_err()
+            .contains("bad request JSON"));
+        assert!(Request::from_json("{}").unwrap_err().contains("'op'"));
+        assert!(Request::from_json(r#"{"op":"frobnicate"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::from_json(r#"{"op":"compile"}"#)
+            .unwrap_err()
+            .contains("'source'"));
+        assert!(Request::from_json(r#"{"op":"compile","source":"x","effort":-1}"#).is_err());
+        assert!(Request::from_json(r#"{"op":"compile","source":"x","options":"bogus"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Shutdown,
+            Response::Error("boom".to_string()),
+            Response::Compile(CompileResponse {
+                cached: true,
+                key: "abc123".to_string(),
+                instructions: 42,
+                rams: 7,
+                output: "01: 0, 1, @X1\n".to_string(),
+            }),
+            Response::Stats(ServiceStats {
+                shards: vec![
+                    ShardStats {
+                        queue_depth: 2,
+                        cache: CacheStats {
+                            hits: 5,
+                            misses: 3,
+                            evictions: 1,
+                            bytes: 100,
+                            entries: 2,
+                        },
+                    },
+                    ShardStats::default(),
+                ],
+            }),
+        ];
+        for response in responses {
+            let line = response.to_json();
+            assert!(!line.contains('\n'), "framing-unsafe response: {line}");
+            assert_eq!(Response::from_json(&line).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn stats_response_exposes_totals() {
+        let stats = ServiceStats {
+            shards: vec![
+                ShardStats {
+                    queue_depth: 0,
+                    cache: CacheStats {
+                        hits: 2,
+                        misses: 1,
+                        evictions: 0,
+                        bytes: 10,
+                        entries: 1,
+                    },
+                },
+                ShardStats {
+                    queue_depth: 1,
+                    cache: CacheStats {
+                        hits: 3,
+                        misses: 4,
+                        evictions: 2,
+                        bytes: 30,
+                        entries: 3,
+                    },
+                },
+            ],
+        };
+        assert_eq!(stats.totals().hits, 5);
+        let line = Response::Stats(stats).to_json();
+        assert!(line.contains("\"hits\":5"), "{line}");
+        assert!(line.contains("\"cached_bytes\":40"), "{line}");
+    }
+
+    #[test]
+    fn fingerprint_separates_option_changes_but_not_format() {
+        let base = compile_request("inputs a\noutput f = a\n");
+        let mut emit = base.clone();
+        emit.emit = "asm".to_string();
+        let mut effort = base.clone();
+        effort.spec.effort = 2;
+        let mut format = base.clone();
+        format.format = InputFormat::Aag;
+        assert_ne!(base.fingerprint(), emit.fingerprint());
+        assert_ne!(base.fingerprint(), effort.fingerprint());
+        assert_eq!(base.fingerprint(), format.fingerprint());
+        let key = cache_key(7, &base);
+        assert_eq!(key.graph, 7);
+        assert_eq!(key.options, base.fingerprint());
+    }
+}

@@ -1,0 +1,546 @@
+//! The `plimd` daemon: TCP listener, shard dispatch, result cache.
+//!
+//! ## Architecture
+//!
+//! One listener thread accepts connections; each connection gets a plain
+//! IO thread that reads newline-delimited requests and writes one response
+//! line per request. Compile work never runs on an IO thread: the request
+//! is parsed and digested there, then dispatched to the shard that owns
+//! its cache key — one of N worker threads of a
+//! [`plim_parallel::pool::WorkerPool`], each paired with its own
+//! [`LruCache`] shard. Pinning a key range to one worker serializes
+//! same-key requests, so a burst of identical submissions compiles once
+//! and the rest are answered from the cache the first one filled.
+//!
+//! ## Cache semantics
+//!
+//! The key is the canonical structural digest of the parsed graph
+//! ([`mig::canon::structural_digest`]) plus the request-options
+//! fingerprint. A hit returns the artifact stored by the first-seen
+//! member of the key's equivalence class: byte-identical for repeats of
+//! the same dump, and functionally equivalent (same logic, possibly a
+//! different but equally valid instruction schedule) for dumps that only
+//! differ in node order or Ω.I complement placement. Entries are evicted
+//! least-recently-used once the configured byte budget is exceeded.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mig::canon::structural_digest;
+use plim_compiler::cache::{fnv128, CacheKey, LruCache};
+use plim_parallel::pool::WorkerPool;
+
+use crate::pipeline::{self, EMIT_KINDS};
+use crate::protocol::{
+    cache_key, CompileRequest, CompileResponse, Request, Response, ServiceStats, ShardStats,
+};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads (= cache shards); 0 means one per hardware thread.
+    pub threads: usize,
+    /// Byte budget of the result cache, split evenly across shards. An
+    /// artifact larger than `cache_bytes / threads` is never cached (the
+    /// daemon logs when that happens) — on many-core hosts serving large
+    /// circuits, raise the budget accordingly.
+    pub cache_bytes: usize,
+    /// Log one line per request to stderr.
+    pub log: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7393".to_string(),
+            threads: 0,
+            cache_bytes: 64 << 20,
+            log: false,
+        }
+    }
+}
+
+/// One cached artifact (a compile response minus its per-request fields).
+#[derive(Debug)]
+struct Artifact {
+    instructions: u64,
+    rams: u64,
+    output: String,
+}
+
+impl Artifact {
+    /// Cache weight: the artifact body plus bookkeeping overhead.
+    fn weight(&self) -> usize {
+        self.output.len() + 64
+    }
+}
+
+struct Shared {
+    pool: WorkerPool,
+    caches: Vec<Mutex<LruCache<Arc<Artifact>>>>,
+    /// First-level index: `(fnv128(source), fnv128(format))` → the
+    /// canonical structural digest of the parsed graph. A hit here skips
+    /// the parser entirely for byte-identical resubmissions — under *any*
+    /// options, since the mapping is option-independent (the full cache
+    /// key is derived by adding the request fingerprint at lookup). The
+    /// format belongs in the key: the same bytes under another format
+    /// would parse differently or not at all. Artifacts themselves live
+    /// in (and are accounted to) the sharded caches above.
+    text_index: Mutex<LruCache<u128>>,
+    shutdown: AtomicBool,
+    log: bool,
+}
+
+impl Shared {
+    fn shards(&self) -> usize {
+        self.caches.len()
+    }
+}
+
+/// A bound (but not yet running) compile service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("shards", &self.shards())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message when the address cannot be bound.
+    pub fn bind(config: &ServerConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        let threads = if config.threads == 0 {
+            plim_parallel::available_threads()
+        } else {
+            config.threads
+        };
+        let shard_budget = config.cache_bytes / threads.max(1);
+        let caches = (0..threads.max(1))
+            .map(|_| Mutex::new(LruCache::new(shard_budget)))
+            .collect();
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                pool: WorkerPool::new(threads),
+                caches,
+                // ~16k text mappings; entries weigh a fixed 64 bytes.
+                text_index: Mutex::new(LruCache::new(1 << 20)),
+                shutdown: AtomicBool::new(false),
+                log: config.log,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message when the socket address is unavailable.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("resolving the listen address: {e}"))
+    }
+
+    /// Serves until a `shutdown` request arrives. Queued compile jobs
+    /// finish before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on listener failures.
+    pub fn run(self) -> Result<(), String> {
+        let addr = self.local_addr()?;
+        let mut connections = Vec::new();
+        let mut consecutive_errors = 0u32;
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    consecutive_errors = 0;
+                    let shared = Arc::clone(&self.shared);
+                    connections.push(std::thread::spawn(move || {
+                        handle_connection(&shared, stream, addr);
+                    }));
+                    // Reap finished IO threads so a long-running daemon
+                    // serving many short-lived connections (one per
+                    // `plimc request`) does not accumulate handles.
+                    connections.retain(|connection| !connection.is_finished());
+                }
+                Err(error) => {
+                    // Per-connection accept failures (ECONNABORTED, a
+                    // transient EMFILE burst) must not kill the daemon;
+                    // only a persistently failing listener is fatal.
+                    consecutive_errors += 1;
+                    if self.shared.log {
+                        eprintln!("plimd: accepting a connection: {error}");
+                    }
+                    if consecutive_errors >= 100 {
+                        return Err(format!(
+                            "accepting a connection failed {consecutive_errors} times in a row: {error}"
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        // Dropping the last `Shared` reference shuts the pool down and
+        // drains any still-queued jobs (their requesters are gone, but the
+        // cache inserts still happen before the drop completes).
+        Ok(())
+    }
+}
+
+/// Upper bound on one request line. `read_line` would otherwise grow its
+/// buffer without limit for a client that streams bytes with no newline,
+/// OOMing the daemon regardless of the artifact cache's byte budget.
+const MAX_REQUEST_BYTES: u64 = 64 << 20;
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, addr: SocketAddr) {
+    // Bound idle connections so shutdown can always join this thread.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let mut buffer = Vec::new();
+    loop {
+        buffer.clear();
+        // Raw bytes, not read_line: a stray non-UTF-8 byte must produce a
+        // diagnosable error response below, not an IO error that silently
+        // drops the connection.
+        match reader
+            .by_ref()
+            .take(MAX_REQUEST_BYTES)
+            .read_until(b'\n', &mut buffer)
+        {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        // After a shutdown ack elsewhere, stop serving this connection
+        // too — otherwise one chatty client (requests every <60s) would
+        // keep the joined daemon alive forever.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if buffer.len() as u64 >= MAX_REQUEST_BYTES && buffer.last() != Some(&b'\n') {
+            // The limit cut the line short; the rest of the stream is
+            // unframed garbage, so answer once and drop the connection.
+            let mut encoded =
+                Response::Error(format!("request exceeds {MAX_REQUEST_BYTES} bytes")).to_json();
+            encoded.push('\n');
+            let _ = writer
+                .write_all(encoded.as_bytes())
+                .and_then(|()| writer.flush());
+            return;
+        }
+        let line = match std::str::from_utf8(&buffer) {
+            Ok(line) => line,
+            Err(_) => {
+                let mut encoded =
+                    Response::Error("request is not valid UTF-8".to_string()).to_json();
+                encoded.push('\n');
+                if writer
+                    .write_all(encoded.as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let clock = Instant::now();
+        // Parse once; the op tag is remembered for logging so a
+        // multi-megabyte compile request is never parsed twice.
+        let parsed = Request::from_json(line);
+        let op = match &parsed {
+            Ok(Request::Compile(_)) => "compile",
+            Ok(Request::Stats) => "stats",
+            Ok(Request::Shutdown) => "shutdown",
+            Err(_) => "invalid",
+        };
+        let response = match parsed {
+            Ok(request) => handle_request(shared, request),
+            Err(message) => Response::Error(message),
+        };
+        if shared.log {
+            log_response(op, &response, clock.elapsed());
+        }
+        let mut encoded = response.to_json();
+        encoded.push('\n');
+        if writer
+            .write_all(encoded.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if matches!(response, Response::Shutdown) {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it observes the flag. A wildcard
+            // bind reports the unspecified address, which is not
+            // connectable everywhere — dial loopback in that case.
+            let mut wake = addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake.ip() {
+                    IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                    IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect(wake);
+            return;
+        }
+    }
+}
+
+fn log_response(op: &str, response: &Response, elapsed: Duration) {
+    match response {
+        Response::Compile(compile) => eprintln!(
+            "plimd: {op} key={}… {} #I={} #R={} ({elapsed:.1?})",
+            &compile.key[..12],
+            if compile.cached { "hit" } else { "miss" },
+            compile.instructions,
+            compile.rams,
+        ),
+        Response::Error(message) => eprintln!("plimd: {op} error: {message} ({elapsed:.1?})"),
+        _ => eprintln!("plimd: {op} ({elapsed:.1?})"),
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
+    match request {
+        Request::Shutdown => Response::Shutdown,
+        Request::Stats => Response::Stats(gather_stats(shared)),
+        Request::Compile(compile) => handle_compile(shared, compile),
+    }
+}
+
+fn gather_stats(shared: &Shared) -> ServiceStats {
+    let shards = (0..shared.shards())
+        .map(|index| ShardStats {
+            queue_depth: shared.pool.queue_depth(index),
+            cache: shared.caches[index]
+                .lock()
+                .expect("cache lock poisoned")
+                .stats(),
+        })
+        .collect();
+    ServiceStats { shards }
+}
+
+fn handle_compile(shared: &Arc<Shared>, request: CompileRequest) -> Response {
+    // Reject unknown artifact kinds before burning a compile on them.
+    if !EMIT_KINDS.contains(&request.emit.as_str()) {
+        return Response::Error(format!("unknown --emit `{}`", request.emit));
+    }
+    // L1: exact-text index. A byte-identical resubmission resolves its
+    // structural digest without re-parsing the source.
+    let text_key = CacheKey::new(
+        fnv128(request.source.as_bytes()),
+        fnv128(request.format.name().as_bytes()) as u64,
+    );
+    let indexed = shared
+        .text_index
+        .lock()
+        .expect("index lock poisoned")
+        .get(&text_key)
+        .copied();
+    let (digest, mig) = match indexed {
+        Some(digest) => (digest, None),
+        None => {
+            let mig = match pipeline::parse_network(request.format, &request.source) {
+                Ok(mig) => mig,
+                Err(message) => return Response::Error(message),
+            };
+            let digest = structural_digest(&mig);
+            shared
+                .text_index
+                .lock()
+                .expect("index lock poisoned")
+                .insert(text_key, digest, 64);
+            (digest, Some(mig))
+        }
+    };
+    let key = cache_key(digest, &request);
+    let shard = key.shard(shared.shards());
+
+    // Fast path on the IO thread: a warm request never queues. Only the
+    // Arc is cloned under the lock; the response (which copies the
+    // artifact body) is built after it is released, so concurrent warm
+    // requests on one shard do not serialize on a multi-MB memcpy.
+    let hit = {
+        let mut cache = shared.caches[shard].lock().expect("cache lock poisoned");
+        cache.get(&key).cloned()
+    };
+    if let Some(artifact) = hit {
+        return compile_response(&key.hex(), true, &artifact);
+    }
+    // The artifact was evicted (or never compiled) — the graph is needed
+    // after all.
+    let mig = match mig {
+        Some(mig) => mig,
+        None => match pipeline::parse_network(request.format, &request.source) {
+            Ok(mig) => mig,
+            Err(message) => return Response::Error(message),
+        },
+    };
+
+    let (sender, receiver) = mpsc::channel();
+    let worker_shared = Arc::clone(shared);
+    let submitted = shared.pool.submit(shard, move || {
+        let response = compile_on_shard(&worker_shared, shard, &request, &mig, &key.hex(), key);
+        let _ = sender.send(response);
+    });
+    if !submitted {
+        return Response::Error("service is shutting down".to_string());
+    }
+    receiver
+        .recv()
+        .unwrap_or_else(|_| Response::Error("compile worker disappeared".to_string()))
+}
+
+fn compile_on_shard(
+    shared: &Shared,
+    shard: usize,
+    request: &CompileRequest,
+    mig: &mig::Mig,
+    key_hex: &str,
+    key: plim_compiler::cache::CacheKey,
+) -> Response {
+    // Same-shard requests are serialized by the pinned worker, so an
+    // identical request queued behind the one that compiles lands here
+    // after the insert: re-check before doing the work. The IO thread
+    // already counted this lookup as a miss, so peek first and only count
+    // a hit when the dedup actually pays off. As on the fast path, only
+    // the Arc clone happens under the lock.
+    let deduped = {
+        let mut cache = shared.caches[shard].lock().expect("cache lock poisoned");
+        if cache.peek(&key).is_some() {
+            Some(cache.get(&key).cloned().expect("peeked entry is live"))
+        } else {
+            None
+        }
+    };
+    if let Some(artifact) = deduped {
+        return compile_response(key_hex, true, &artifact);
+    }
+    let (optimized, compiled) = match pipeline::execute(mig, &request.spec) {
+        Ok(result) => result,
+        Err(message) => return Response::Error(message),
+    };
+    let output = match pipeline::emit(&request.emit, &optimized, &compiled) {
+        Ok(output) => output,
+        Err(message) => return Response::Error(message),
+    };
+    let artifact = Arc::new(Artifact {
+        instructions: compiled.stats.instructions as u64,
+        rams: u64::from(compiled.stats.rams),
+        output,
+    });
+    let weight = artifact.weight();
+    {
+        let mut cache = shared.caches[shard].lock().expect("cache lock poisoned");
+        if weight > cache.budget() {
+            // The per-shard budget is cache_bytes / workers, so on a
+            // many-core host a large listing can exceed it. insert()
+            // would silently skip it; make the lost warm path visible.
+            if shared.log {
+                eprintln!(
+                    "plimd: artifact of {weight} bytes exceeds the {}-byte shard budget; \
+                     not cached (raise --cache-bytes)",
+                    cache.budget()
+                );
+            }
+        }
+        cache.insert(key, Arc::clone(&artifact), weight);
+    }
+    compile_response(key_hex, false, &artifact)
+}
+
+fn compile_response(key_hex: &str, cached: bool, artifact: &Arc<Artifact>) -> Response {
+    Response::Compile(CompileResponse {
+        cached,
+        key: key_hex.to_string(),
+        instructions: artifact.instructions,
+        rams: artifact.rams,
+        output: artifact.output.clone(),
+    })
+}
+
+/// Runs `plimc serve` / `plimd`: parses the serve flags, binds, prints the
+/// listening line, and serves until shutdown.
+///
+/// # Errors
+///
+/// Returns a one-line user diagnostic (bad flag, unbindable address).
+pub fn serve_cli(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig {
+        log: true,
+        ..ServerConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?
+            }
+            "--cache-bytes" => {
+                config.cache_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|_| "--cache-bytes needs a number".to_string())?
+            }
+            "--quiet" => config.log = false,
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    let server = Server::bind(&config)?;
+    let addr = server.local_addr()?;
+    let workers = server.shared.shards();
+    // Stdout is line-buffered, so this line is visible to a supervising
+    // process (CI greps it for the port) as soon as the daemon is ready.
+    println!(
+        "plimd: listening on {addr} ({workers} workers, {} cache bytes)",
+        {
+            let per_shard = server.shared.caches[0]
+                .lock()
+                .expect("cache lock poisoned")
+                .budget();
+            per_shard * workers
+        }
+    );
+    server.run()
+}

@@ -156,6 +156,9 @@ fn ascii_aiger_still_compiles_end_to_end() {
 #[test]
 fn user_errors_exit_one_with_a_one_line_diagnostic() {
     assert_user_error(&["--effort", "four", "-"], "--effort needs a number");
+    // A format typo is diagnosed as such even for unreadable/binary
+    // inputs (the name is validated before the file is touched).
+    assert_user_error(&["--format", "agg", "x.aig"], "unknown format `agg`");
     assert_user_error(&["--effort"], "--effort requires a value");
     assert_user_error(&["--alloc", "zigzag", "-"], "unknown allocator `zigzag`");
     assert_user_error(&["--schedule", "random", "-"], "unknown schedule `random`");
@@ -313,6 +316,152 @@ fn bench_diff_time_gate_can_be_disabled_for_cross_machine_runs() {
     for path in [&baseline, &slow] {
         std::fs::remove_file(path).ok();
     }
+}
+
+#[test]
+fn bench_diff_names_the_missing_field_in_one_line() {
+    // A baseline that is valid JSON but lacks a required field used to
+    // surface as a bare parse error; now it must be a one-line
+    // `plimc: <file>: missing field '<name>'` diagnostic.
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let incomplete = dir.join(format!("plimc_cli_incomplete_{pid}.json"));
+    let complete = dir.join(format!("plimc_cli_complete_{pid}.json"));
+    std::fs::write(
+        &incomplete,
+        "[{\"circuit\": \"adder\", \"instructions\": 98}]\n",
+    )
+    .unwrap();
+    std::fs::write(&complete, bench_json(98)).unwrap();
+
+    let stderr = assert_user_error(
+        &[
+            "bench-diff",
+            incomplete.to_str().unwrap(),
+            complete.to_str().unwrap(),
+        ],
+        "missing field 'rams'",
+    );
+    let prefix = format!("plimc: {}: missing field 'rams'", incomplete.display());
+    assert!(stderr.starts_with(&prefix), "diagnostic shape: {stderr}");
+
+    for path in [&incomplete, &complete] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn dump_prints_suite_circuits_as_parseable_mig_text() {
+    let output = plimc()
+        .args(["dump", "ctrl", "--reduced"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.starts_with("# MIG"), "unexpected dump: {text}");
+    // The dump round-trips through the compiler end to end.
+    let compiled = run_with_stdin(&["--emit", "stats", "-"], text.as_bytes());
+    assert!(
+        compiled.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&compiled.stderr)
+    );
+
+    assert_user_error(&["dump", "bogus", "--reduced"], "unknown benchmark `bogus`");
+    assert_user_error(&["dump"], "dump needs a circuit name");
+    assert_user_error(&["dump", "ctrl", "voter"], "multiple circuits");
+}
+
+/// Full daemon round-trip through the real binaries: start `plimc serve`
+/// on a free port, compare served output against offline output, check
+/// the warm pass hits the cache, and shut the daemon down.
+#[test]
+fn serve_and_request_round_trip_byte_identically() {
+    use std::io::BufRead as _;
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let circuit = dir.join(format!("plimc_cli_serve_{pid}.mig"));
+    std::fs::write(
+        &circuit,
+        b"inputs a b c\nn1 = maj(0, a, b)\nn2 = maj(n1, c, 1)\noutput f = !n2\n",
+    )
+    .unwrap();
+    let circuit_path = circuit.to_str().unwrap();
+
+    let mut daemon = plimc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--quiet"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The listening line is printed as soon as the daemon is ready and
+    // names the actual port (we asked for port 0).
+    let mut stdout = std::io::BufReader::new(daemon.stdout.take().unwrap());
+    let mut listening = String::new();
+    stdout.read_line(&mut listening).unwrap();
+    let addr = listening
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in: {listening}"))
+        .to_string();
+
+    let offline = plimc().arg(circuit_path).output().unwrap();
+    assert!(offline.status.success());
+
+    for pass in ["cold", "warm"] {
+        let served = plimc()
+            .args(["request", "--addr", &addr, circuit_path])
+            .output()
+            .unwrap();
+        assert!(
+            served.status.success(),
+            "{pass}: {}",
+            String::from_utf8_lossy(&served.stderr)
+        );
+        assert_eq!(
+            served.stdout, offline.stdout,
+            "{pass} pass must be byte-identical to offline output"
+        );
+    }
+
+    let stats = plimc()
+        .args(["request", "--addr", &addr, "--stats"])
+        .output()
+        .unwrap();
+    let stats_line = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats.status.success(), "{stats_line}");
+    assert!(
+        stats_line.contains("\"hits\":1") && stats_line.contains("\"misses\":1"),
+        "warm pass must be a cache hit: {stats_line}"
+    );
+
+    let shutdown = plimc()
+        .args(["request", "--addr", &addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert!(shutdown.status.success());
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon must exit cleanly on shutdown");
+    std::fs::remove_file(&circuit).ok();
+}
+
+#[test]
+fn request_against_a_dead_service_is_a_user_error() {
+    // Port 1 on loopback is essentially never listening.
+    assert_user_error(
+        &["request", "--addr", "127.0.0.1:1", "--stats"],
+        "connecting to 127.0.0.1:1",
+    );
+    assert_user_error(
+        &["request", "--stats", "--shutdown", "extra"],
+        "take no further arguments",
+    );
 }
 
 #[test]

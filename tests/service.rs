@@ -1,0 +1,343 @@
+//! End-to-end tests of the `plimd` compile service: byte-identical
+//! served-vs-offline output, cache hits across syntactically different
+//! dumps, stats accounting, LRU eviction under a byte budget, error
+//! paths, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+
+use plim_service::client::{self, Connection};
+use plim_service::pipeline::{self, CompileSpec, InputFormat};
+use plim_service::protocol::{CompileRequest, Request, Response};
+use plim_service::server::{Server, ServerConfig};
+
+fn start_server(threads: usize, cache_bytes: usize) -> (String, JoinHandle<Result<(), String>>) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        cache_bytes,
+        log: false,
+    };
+    let server = Server::bind(&config).expect("bind on a free port");
+    let addr = server.local_addr().expect("resolved address").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shut_down(addr: &str, handle: JoinHandle<Result<(), String>>) {
+    let response = client::send(addr, &Request::Shutdown).expect("shutdown round-trip");
+    assert_eq!(response, Response::Shutdown);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+fn compile_request(source: &str) -> Request {
+    Request::Compile(CompileRequest {
+        format: InputFormat::Mig,
+        source: source.to_string(),
+        spec: CompileSpec::default(),
+        emit: "listing".to_string(),
+    })
+}
+
+/// What offline `plimc` would print for the same source and options.
+fn offline_listing(source: &str) -> String {
+    let mig = pipeline::parse_network(InputFormat::Mig, source).unwrap();
+    let (optimized, compiled) = pipeline::execute(&mig, &CompileSpec::default()).unwrap();
+    pipeline::emit("listing", &optimized, &compiled).unwrap()
+}
+
+fn suite_source(name: &str) -> String {
+    let mig = plim_benchmarks::suite::build(name, plim_benchmarks::suite::Scale::Reduced)
+        .expect("known benchmark");
+    mig::io::write_mig(&mig)
+}
+
+fn stats(addr: &str) -> plim_service::protocol::ServiceStats {
+    match client::send(addr, &Request::Stats).expect("stats round-trip") {
+        Response::Stats(stats) => stats,
+        other => panic!("unexpected stats response: {other:?}"),
+    }
+}
+
+#[test]
+fn served_output_is_byte_identical_and_repeats_hit_the_cache() {
+    let (addr, handle) = start_server(2, 1 << 20);
+    for name in ["ctrl", "router"] {
+        let source = suite_source(name);
+        let expected = offline_listing(&source);
+
+        let Response::Compile(cold) = client::send(&addr, &compile_request(&source)).unwrap()
+        else {
+            panic!("cold request failed");
+        };
+        assert!(!cold.cached, "{name}: first request cannot be cached");
+        assert_eq!(cold.output, expected, "{name}: served != offline");
+
+        let Response::Compile(warm) = client::send(&addr, &compile_request(&source)).unwrap()
+        else {
+            panic!("warm request failed");
+        };
+        assert!(warm.cached, "{name}: repeat must hit the cache");
+        assert_eq!(warm.output, expected);
+        assert_eq!(warm.key, cold.key, "cache key must be stable");
+    }
+    let totals = stats(&addr).totals();
+    assert_eq!(totals.hits, 2, "one warm hit per circuit");
+    assert_eq!(totals.misses, 2, "one cold miss per circuit");
+    assert_eq!(totals.entries, 2);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn canonicalization_makes_permuted_dumps_share_an_entry() {
+    let (addr, handle) = start_server(1, 1 << 20);
+    // The same structure written three ways: reference, definitions
+    // permuted (different arena order and node names), and with the Ω.I
+    // identity moving complements across a node boundary.
+    let reference = "inputs a b c d\n\
+                     n1 = maj(0, a, b)\n\
+                     n2 = maj(1, c, d)\n\
+                     n3 = maj(n1, n2, d)\n\
+                     output f = !n3\n";
+    let permuted = "inputs a b c d\n\
+                    or_cd = maj(1, c, d)\n\
+                    and_ab = maj(0, a, b)\n\
+                    top = maj(and_ab, or_cd, d)\n\
+                    output f = !top\n";
+    let inverted = "inputs a b c d\n\
+                    n1 = maj(0, a, b)\n\
+                    n2 = maj(1, c, d)\n\
+                    n3 = maj(!n1, !n2, !d)\n\
+                    output f = n3\n";
+
+    let Response::Compile(first) = client::send(&addr, &compile_request(reference)).unwrap() else {
+        panic!("reference request failed");
+    };
+    assert!(!first.cached);
+    for variant in [permuted, inverted] {
+        let Response::Compile(hit) = client::send(&addr, &compile_request(variant)).unwrap() else {
+            panic!("variant request failed");
+        };
+        assert!(hit.cached, "structurally identical dump must hit");
+        assert_eq!(hit.key, first.key);
+        assert_eq!(hit.output, first.output);
+    }
+    // A structurally different dump (one complement moved) must miss.
+    let different = reference.replace("maj(0, a, b)", "maj(0, !a, b)");
+    let Response::Compile(miss) = client::send(&addr, &compile_request(&different)).unwrap() else {
+        panic!("different request failed");
+    };
+    assert!(!miss.cached);
+    assert_ne!(miss.key, first.key);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn option_changes_do_not_share_cache_entries() {
+    let (addr, handle) = start_server(1, 1 << 20);
+    let source = suite_source("int2float");
+    let mut no_verify = compile_request(&source);
+    let Request::Compile(request) = &mut no_verify else {
+        unreachable!()
+    };
+    request.spec.verify = false;
+    let Response::Compile(cold) = client::send(&addr, &no_verify).unwrap() else {
+        panic!("cold request failed");
+    };
+    let Response::Compile(other_options) = client::send(&addr, &compile_request(&source)).unwrap()
+    else {
+        panic!("differing-options request failed");
+    };
+    assert!(
+        !other_options.cached,
+        "option changes must not share entries"
+    );
+    assert_ne!(cold.key, other_options.key);
+    // Emit variants of the same circuit each cache their own artifact.
+    let mut asm = compile_request(&source);
+    let Request::Compile(request) = &mut asm else {
+        unreachable!()
+    };
+    request.emit = "asm".to_string();
+    let Response::Compile(asm_cold) = client::send(&addr, &asm).unwrap() else {
+        panic!("asm request failed");
+    };
+    assert!(!asm_cold.cached);
+    assert!(asm_cold.output.starts_with(".inputs"));
+    let Response::Compile(asm_warm) = client::send(&addr, &asm).unwrap() else {
+        panic!("asm repeat failed");
+    };
+    assert!(asm_warm.cached);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn byte_budget_evicts_least_recently_used_artifacts() {
+    let a = suite_source("ctrl");
+    let b = suite_source("router");
+    let a_len = offline_listing(&a).len();
+    let b_len = offline_listing(&b).len();
+    // Budget: either artifact alone fits (plus the 64-byte overhead), both
+    // together do not — inserting B evicts A.
+    let budget = a_len.max(b_len) + 64 + 32;
+    assert!(
+        budget < a_len + b_len + 128,
+        "artifacts too small for the test"
+    );
+
+    let (addr, handle) = start_server(1, budget);
+    for _ in 0..2 {
+        // A (miss, insert), B (miss, insert, evicts A), A again (miss).
+        for source in [&a, &b] {
+            let Response::Compile(response) =
+                client::send(&addr, &compile_request(source)).unwrap()
+            else {
+                panic!("compile failed");
+            };
+            assert!(!response.cached, "budget must force an eviction cycle");
+        }
+    }
+    let totals = stats(&addr).totals();
+    assert!(totals.evictions >= 2, "evictions: {}", totals.evictions);
+    assert_eq!(totals.hits, 0);
+    assert_eq!(totals.entries, 1);
+    assert!(totals.bytes <= budget);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn one_connection_can_carry_many_requests() {
+    let (addr, handle) = start_server(2, 1 << 20);
+    let mut connection = Connection::connect(&addr).unwrap();
+    let source = suite_source("dec");
+    let expected = offline_listing(&source);
+    for round in 0..3 {
+        let Response::Compile(response) = connection.roundtrip(&compile_request(&source)).unwrap()
+        else {
+            panic!("round {round} failed");
+        };
+        assert_eq!(response.cached, round > 0, "round {round}");
+        assert_eq!(response.output, expected);
+    }
+    drop(connection);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn concurrent_clients_agree_and_the_cache_dedups() {
+    let (addr, handle) = start_server(4, 1 << 20);
+    let source = suite_source("i2c");
+    let expected = offline_listing(&source);
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let source = source.clone();
+            std::thread::spawn(move || {
+                match client::send(&addr, &compile_request(&source)).unwrap() {
+                    Response::Compile(response) => response,
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let responses: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    for response in &responses {
+        assert_eq!(response.output, expected);
+    }
+    // All requests carry one key, whose pinned shard worker serializes
+    // them: exactly one compile happened, everyone else was served from
+    // the cache the first one filled.
+    assert_eq!(
+        responses.iter().filter(|r| !r.cached).count(),
+        1,
+        "exactly one compile per key"
+    );
+    let totals = stats(&addr).totals();
+    assert_eq!(totals.entries, 1);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn malformed_requests_get_error_responses_not_hangups() {
+    let (addr, handle) = start_server(1, 1 << 20);
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut expect_error = |line: &str, needle: &str| {
+        writeln!(stream, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains("\"ok\":false"), "{line} → {response}");
+        assert!(response.contains(needle), "{line} → {response}");
+    };
+    expect_error("this is not json", "bad request JSON");
+    expect_error(r#"{"op":"frobnicate"}"#, "unknown op");
+    expect_error(r#"{"op":"compile"}"#, "source");
+    expect_error(r#"{"op":"compile","source":"garbage"}"#, "mig: line 1");
+    expect_error(
+        r#"{"op":"compile","source":"inputs a\noutput f = a\n","emit":"png"}"#,
+        "unknown --emit",
+    );
+    expect_error(
+        r#"{"op":"compile","source":"inputs a\noutput f = a\n","options":"bogus"}"#,
+        "bad options spec",
+    );
+    // Invalid UTF-8 must get a diagnosis, not a silent hangup.
+    stream.write_all(b"\xff\xfe garbage \xff\n").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.contains("not valid UTF-8"), "{response}");
+    // Deeply nested JSON is an error response, not a stack overflow.
+    let mut deep = "[".repeat(100_000);
+    deep.push('\n');
+    stream.write_all(deep.as_bytes()).unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.contains("nesting deeper"), "{response}");
+    // Drop BOTH halves: the socket only closes (and the server's
+    // connection thread only exits) once reader and writer are gone.
+    drop(stream);
+    drop(reader);
+    // The server survives all of it.
+    let source = suite_source("ctrl");
+    assert!(matches!(
+        client::send(&addr, &compile_request(&source)).unwrap(),
+        Response::Compile(_)
+    ));
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn same_bytes_under_another_format_do_not_hit_the_text_index() {
+    let (addr, handle) = start_server(1, 1 << 20);
+    let source = "inputs a b\nn = maj(0, a, b)\noutput f = n\n";
+    // Compiles as MIG text…
+    assert!(matches!(
+        client::send(&addr, &compile_request(source)).unwrap(),
+        Response::Compile(_)
+    ));
+    // …but the same bytes declared as AIGER must be a parse error, not a
+    // cache hit served from the MIG entry.
+    let mut as_aiger = compile_request(source);
+    let Request::Compile(request) = &mut as_aiger else {
+        unreachable!()
+    };
+    request.format = InputFormat::Aag;
+    match client::send(&addr, &as_aiger).unwrap() {
+        Response::Error(message) => assert!(message.starts_with("aiger: "), "{message}"),
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn stats_report_one_shard_per_worker() {
+    let (addr, handle) = start_server(3, 1 << 20);
+    let snapshot = stats(&addr);
+    assert_eq!(snapshot.shards.len(), 3);
+    for shard in &snapshot.shards {
+        assert_eq!(shard.queue_depth, 0);
+        assert_eq!(shard.cache.entries, 0);
+    }
+    shut_down(&addr, handle);
+}
