@@ -52,7 +52,9 @@ use mig::Mig;
 use plim_parallel::{par_map, Parallelism};
 
 use crate::benchfile::BenchRecord;
-use crate::{compile, AllocatorStrategy, CompiledProgram, CompilerOptions, ScheduleOrder};
+use crate::{
+    compile, AllocatorStrategy, CompiledProgram, CompilerOptions, OptLevel, ScheduleOrder,
+};
 
 /// Rewrite effort used throughout the evaluation (the paper fixes 4).
 pub const PAPER_EFFORT: usize = 4;
@@ -434,11 +436,12 @@ pub fn measure_suite(circuits: &[Circuit], effort: usize, parallelism: Paralleli
     SuiteRun { rows, report }
 }
 
-/// The five job specs behind one `BENCH.json` row, in order: the three
-/// Table 1 jobs of [`measure_specs`], then the lookahead-scheduling probe
-/// and the wear-budget-allocator probe on the same rewritten graph (all
-/// four rewritten jobs share one memoized rewrite pass).
-fn bench_specs(circuit: usize, effort: usize) -> [JobSpec; 5] {
+/// The seven job specs behind one `BENCH.json` row, in order: the three
+/// Table 1 jobs of [`measure_specs`], then the lookahead-scheduling probe,
+/// the wear-budget-allocator probe, and the `-O1`/`-O2` pass-pipeline
+/// probes on the same rewritten graph (all six rewritten jobs share one
+/// memoized rewrite pass).
+fn bench_specs(circuit: usize, effort: usize) -> [JobSpec; 7] {
     let [a, b, c] = measure_specs(circuit, effort);
     let rewritten = RewriteEffort::Effort(effort);
     [
@@ -455,6 +458,8 @@ fn bench_specs(circuit: usize, effort: usize) -> [JobSpec; 5] {
             rewritten,
             CompilerOptions::new().allocator(AllocatorStrategy::WearLeveled),
         ),
+        JobSpec::new(circuit, rewritten, CompilerOptions::new().opt(OptLevel::O1)),
+        JobSpec::new(circuit, rewritten, CompilerOptions::new().opt(OptLevel::O2)),
     ]
 }
 
@@ -466,13 +471,13 @@ pub struct BenchRun {
     pub rows: Vec<MeasuredRow>,
     /// One bench-gate record per circuit, in circuit order.
     pub records: Vec<BenchRecord>,
-    /// The batch that produced the rows (five jobs per circuit).
+    /// The batch that produced the rows (seven jobs per circuit).
     pub report: BatchReport,
 }
 
 impl BenchRun {
     /// Wall-clock work attributable to one circuit: its rewrite pass plus
-    /// its five compile jobs.
+    /// its seven compile jobs.
     pub fn row_time(&self, circuit: usize) -> Duration {
         let rewrite: Duration = self
             .report
@@ -494,9 +499,11 @@ impl BenchRun {
 
 /// Measures every circuit for the bench-regression gate: the exact Table 1
 /// workload of [`measure_suite`] plus, per circuit, one lookahead-scheduled
-/// and one wear-budget-allocated compilation of the same rewritten graph.
-/// Row contents are identical to [`measure_suite`]'s; the extra jobs feed
-/// the `lookahead_rams` and `wear_max_writes` columns of the records.
+/// and one wear-budget-allocated compilation, and the `-O1`/`-O2`
+/// pass-pipeline sweeps, all of the same rewritten graph. Row contents are
+/// identical to [`measure_suite`]'s; the extra jobs feed the
+/// `lookahead_rams`, `wear_max_writes` and `o1_*`/`o2_*` columns of the
+/// records.
 pub fn bench_suite(circuits: &[Circuit], effort: usize, parallelism: Parallelism) -> BenchRun {
     let specs: Vec<JobSpec> = (0..circuits.len())
         .flat_map(|circuit| bench_specs(circuit, effort))
@@ -505,7 +512,7 @@ pub fn bench_suite(circuits: &[Circuit], effort: usize, parallelism: Parallelism
     let mut rows = Vec::with_capacity(circuits.len());
     let mut records = Vec::with_capacity(circuits.len());
     for (index, circuit) in circuits.iter().enumerate() {
-        let jobs = &report.jobs[index * 5..index * 5 + 5];
+        let jobs = &report.jobs[index * 7..index * 7 + 7];
         rows.push(MeasuredRow {
             name: circuit.name.clone(),
             pi: circuit.mig.num_inputs(),
@@ -532,6 +539,11 @@ pub fn bench_suite(circuits: &[Circuit], effort: usize, parallelism: Parallelism
             max_writes: smart.stats.max_cell_writes,
             lookahead_rams: u64::from(jobs[3].compiled.stats.rams),
             wear_max_writes: jobs[4].compiled.stats.max_cell_writes,
+            o1_instructions: jobs[5].compiled.stats.instructions as u64,
+            o1_rams: u64::from(jobs[5].compiled.stats.rams),
+            o2_instructions: jobs[6].compiled.stats.instructions as u64,
+            o2_rams: u64::from(jobs[6].compiled.stats.rams),
+            o2_max_writes: jobs[6].compiled.stats.max_cell_writes,
             rewrite_ms,
             compile_ms,
         });
@@ -735,11 +747,16 @@ mod tests {
             assert!(record.max_writes > 0);
             assert!(record.lookahead_rams > 0);
             assert!(record.wear_max_writes > 0);
+            // Opt-level monotonicity: exactly what the bench gate enforces.
+            assert!(record.o1_instructions <= record.instructions);
+            assert!(record.o2_instructions <= record.instructions);
+            assert!(record.o2_rams <= record.rams);
+            assert!(record.o2_max_writes <= record.max_writes);
             assert!(record.rewrite_ms >= 0.0 && record.compile_ms > 0.0);
         }
         assert!(run.row_time(0) > Duration::ZERO);
-        // Five jobs per circuit, one shared rewrite pass each.
-        assert_eq!(run.report.jobs.len(), 10);
+        // Seven jobs per circuit, one shared rewrite pass each.
+        assert_eq!(run.report.jobs.len(), 14);
         assert_eq!(run.report.rewrites.len(), 2);
     }
 

@@ -12,11 +12,16 @@
 //!
 //! * `instructions` / `rams` / `max_writes` — `#I`, `#R` and the
 //!   endurance-limiting cell's write count of the **default** compiler
-//!   (priority scheduling, smart translation, FIFO allocation) on the
-//!   rewritten MIG; deterministic, diffed exactly;
+//!   (priority scheduling, smart translation, FIFO allocation, `-O0`) on
+//!   the rewritten MIG; deterministic, diffed exactly;
 //! * `lookahead_rams` / `wear_max_writes` — the same circuit under the
 //!   lookahead scheduler and under the wear-budget allocator, recording
 //!   what the lifetime-driven extensions buy;
+//! * `o1_instructions` / `o1_rams` and `o2_instructions` / `o2_rams` /
+//!   `o2_max_writes` — the default compiler with the IR pass pipeline at
+//!   `-O1` and `-O2`. [`gate`] enforces that a higher level never costs
+//!   instructions, cells, or endurance relative to `-O0` — on the current
+//!   run itself, baseline or not;
 //! * `rewrite_ms` / `compile_ms` — wall-clock of the rewrite pass and of
 //!   the circuit's compile jobs; gated only in aggregate, with a generous
 //!   tolerance, because timings are machine-dependent.
@@ -45,6 +50,16 @@ pub struct BenchRecord {
     pub lookahead_rams: u64,
     /// Highest per-cell write count under the wear-budget allocator.
     pub wear_max_writes: u64,
+    /// `#I` of the default compiler at `-O1`.
+    pub o1_instructions: u64,
+    /// `#R` of the default compiler at `-O1`.
+    pub o1_rams: u64,
+    /// `#I` of the default compiler at `-O2`.
+    pub o2_instructions: u64,
+    /// `#R` of the default compiler at `-O2`.
+    pub o2_rams: u64,
+    /// Highest per-cell write count of the default compiler at `-O2`.
+    pub o2_max_writes: u64,
     /// Wall-clock of the circuit's rewrite pass, in milliseconds.
     pub rewrite_ms: f64,
     /// Wall-clock of the circuit's compile jobs, in milliseconds.
@@ -59,8 +74,9 @@ pub fn to_json(records: &[BenchRecord]) -> String {
         writeln!(
             out,
             "  {{\"circuit\": {}, \"instructions\": {}, \"rams\": {}, \"max_writes\": {}, \
-             \"lookahead_rams\": {}, \"wear_max_writes\": {}, \"rewrite_ms\": {:.3}, \
-             \"compile_ms\": {:.3}}}{comma}",
+             \"lookahead_rams\": {}, \"wear_max_writes\": {}, \"o1_instructions\": {}, \
+             \"o1_rams\": {}, \"o2_instructions\": {}, \"o2_rams\": {}, \"o2_max_writes\": {}, \
+             \"rewrite_ms\": {:.3}, \"compile_ms\": {:.3}}}{comma}",
             // The shared JSON writer (full escaping, including control
             // characters) keeps the round-trip with `from_json` — which
             // parses through the same layer — airtight.
@@ -70,6 +86,11 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             r.max_writes,
             r.lookahead_rams,
             r.wear_max_writes,
+            r.o1_instructions,
+            r.o1_rams,
+            r.o2_instructions,
+            r.o2_rams,
+            r.o2_max_writes,
             r.rewrite_ms,
             r.compile_ms,
         )
@@ -79,13 +100,18 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     out
 }
 
-/// The seven required numeric fields of a record, in schema order.
-const NUMERIC_FIELDS: [&str; 7] = [
+/// The twelve required numeric fields of a record, in schema order.
+const NUMERIC_FIELDS: [&str; 12] = [
     "instructions",
     "rams",
     "max_writes",
     "lookahead_rams",
     "wear_max_writes",
+    "o1_instructions",
+    "o1_rams",
+    "o2_instructions",
+    "o2_rams",
+    "o2_max_writes",
     "rewrite_ms",
     "compile_ms",
 ];
@@ -148,6 +174,11 @@ fn parse_record(index: usize, item: &Value) -> Result<BenchRecord, String> {
         max_writes: get("max_writes")? as u64,
         lookahead_rams: get("lookahead_rams")? as u64,
         wear_max_writes: get("wear_max_writes")? as u64,
+        o1_instructions: get("o1_instructions")? as u64,
+        o1_rams: get("o1_rams")? as u64,
+        o2_instructions: get("o2_instructions")? as u64,
+        o2_rams: get("o2_rams")? as u64,
+        o2_max_writes: get("o2_max_writes")? as u64,
         rewrite_ms: get("rewrite_ms")?,
         compile_ms: get("compile_ms")?,
         circuit,
@@ -176,18 +207,49 @@ impl GateReport {
 /// Diffs `current` against `baseline`.
 ///
 /// Deterministic program-quality metrics gate hard: any increase of
-/// `instructions` or `rams` (on the default compiler) for a baseline
-/// circuit, or a circuit disappearing from the run, is a regression.
+/// `instructions`, `rams` or `o2_instructions` (on the default compiler)
+/// for a baseline circuit, or a circuit disappearing from the run, is a
+/// regression. Independently of the baseline, every *current* record must
+/// satisfy opt-level monotonicity — a higher `-O` may never produce more
+/// instructions than `-O0`, nor cost cells or endurance at `-O2` — so a
+/// pass regression fails CI even right after a baseline refresh.
 /// Wall-clock gates softly: only the **total** `rewrite_ms + compile_ms`
 /// over circuits present in both runs is compared, and only a slowdown
 /// beyond `time_tolerance` (e.g. `0.25` for +25 %) fails. The endurance
 /// and extension columns (`max_writes`, `lookahead_rams`,
-/// `wear_max_writes`) are reported as notes so intentional trade-offs do
-/// not need a baseline refresh ceremony.
+/// `wear_max_writes`, the remaining `o1`/`o2` columns) are reported as
+/// notes so intentional trade-offs do not need a baseline refresh
+/// ceremony.
 pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f64) -> GateReport {
     let mut report = GateReport::default();
     let mut base_time = 0.0f64;
     let mut curr_time = 0.0f64;
+    for c in current {
+        for (rule, high, low) in [
+            (
+                "-O1 produces more instructions than -O0",
+                c.o1_instructions,
+                c.instructions,
+            ),
+            (
+                "-O2 produces more instructions than -O0",
+                c.o2_instructions,
+                c.instructions,
+            ),
+            ("-O2 uses more RRAMs than -O0", c.o2_rams, c.rams),
+            (
+                "-O2 wears cells harder than -O0",
+                c.o2_max_writes,
+                c.max_writes,
+            ),
+        ] {
+            if high > low {
+                report
+                    .regressions
+                    .push(format!("{}: {rule} ({low} → {high})", c.circuit));
+            }
+        }
+    }
     for b in baseline {
         let Some(c) = current.iter().find(|c| c.circuit == b.circuit) else {
             report
@@ -200,6 +262,7 @@ pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f
         for (metric, old, new) in [
             ("#I", b.instructions, c.instructions),
             ("#R", b.rams, c.rams),
+            ("-O2 #I", b.o2_instructions, c.o2_instructions),
         ] {
             if new > old {
                 report
@@ -215,6 +278,10 @@ pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f
             ("max_writes", b.max_writes, c.max_writes),
             ("lookahead_rams", b.lookahead_rams, c.lookahead_rams),
             ("wear_max_writes", b.wear_max_writes, c.wear_max_writes),
+            ("o1_instructions", b.o1_instructions, c.o1_instructions),
+            ("o1_rams", b.o1_rams, c.o1_rams),
+            ("o2_rams", b.o2_rams, c.o2_rams),
+            ("o2_max_writes", b.o2_max_writes, c.o2_max_writes),
         ] {
             if new != old {
                 report
@@ -260,6 +327,11 @@ mod tests {
             max_writes: 9,
             lookahead_rams: rams,
             wear_max_writes: 5,
+            o1_instructions: instructions,
+            o1_rams: rams,
+            o2_instructions: instructions.saturating_sub(2),
+            o2_rams: rams,
+            o2_max_writes: 9,
             rewrite_ms: 1.5,
             compile_ms: 0.5,
         }
@@ -284,11 +356,52 @@ mod tests {
     fn parser_ignores_unknown_fields_and_order() {
         let text = r#"[{"rams": 3, "note": "hi", "circuit": "x", "instructions": 9,
             "max_writes": 1, "lookahead_rams": 3, "wear_max_writes": 1,
+            "o2_instructions": 8, "o2_rams": 3, "o2_max_writes": 1,
+            "o1_instructions": 9, "o1_rams": 3,
             "compile_ms": 0.25, "rewrite_ms": 1.25, "extra": 42}]"#;
         let parsed = from_json(text).unwrap();
         assert_eq!(parsed[0].circuit, "x");
         assert_eq!(parsed[0].instructions, 9);
+        assert_eq!(parsed[0].o2_instructions, 8);
         assert_eq!(parsed[0].rewrite_ms, 1.25);
+    }
+
+    #[test]
+    fn opt_level_monotonicity_gates_the_current_run() {
+        let baseline = vec![record("adder", 120, 12)];
+        // A record whose -O2 column exceeds -O0 fails even when it matches
+        // the baseline exactly.
+        let mut broken = record("adder", 120, 12);
+        broken.o2_instructions = 121;
+        let report = gate(&baseline, &[broken.clone()], 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.regressions[0].contains("-O2 produces more instructions"),
+            "{:?}",
+            report.regressions
+        );
+        let report = gate(&[broken.clone()], &[broken], 0.25);
+        assert!(!report.passed(), "monotonicity must not need a baseline");
+        let mut wear = record("adder", 120, 12);
+        wear.o2_max_writes = wear.max_writes + 1;
+        assert!(!gate(&baseline, &[wear], 0.25).passed());
+        let mut rams = record("adder", 120, 12);
+        rams.o2_rams = rams.rams + 1;
+        assert!(!gate(&baseline, &[rams], 0.25).passed());
+    }
+
+    #[test]
+    fn optimized_instruction_regression_fails_the_gate() {
+        let baseline = vec![record("adder", 120, 12)];
+        let mut current = record("adder", 120, 12);
+        current.o2_instructions += 1; // 119 → still ≤ 120, monotone
+        let report = gate(&baseline, &[current], 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.regressions[0].contains("-O2 #I regressed"),
+            "{:?}",
+            report.regressions
+        );
     }
 
     #[test]

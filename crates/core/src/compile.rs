@@ -1,17 +1,13 @@
-//! The compilation driver (Algorithm 2 of the paper).
+//! The compilation driver: lower → optimize → emit.
+//!
+//! Algorithm 2 of the paper lives in the [`crate::ir::lower`] phase; this
+//! module only sequences the three phases and packages the result.
 
-use mig::{Mig, MigNode, NodeId};
+use mig::Mig;
 
-use crate::candidate::{CandidateQueue, Priorities};
-use crate::lifetime::Lifetimes;
-use crate::options::{CompilerOptions, ScheduleOrder};
-use crate::program::{CompileStats, CompiledProgram};
-use crate::translate::Translator;
-
-/// How many heap-best candidates the lookahead schedule examines per step.
-/// Small enough to keep scheduling near-linear, large enough to let the
-/// net-release score overrule a stale or myopic heap key.
-const LOOKAHEAD_WINDOW: usize = 8;
+use crate::ir::{self, passes::PassManager, IrProgram};
+use crate::options::CompilerOptions;
+use crate::program::CompiledProgram;
 
 /// Compiles an MIG into a PLiM program.
 ///
@@ -19,7 +15,11 @@ const LOOKAHEAD_WINDOW: usize = 8;
 /// candidates are scheduled through the priority queue of §4.2.1 and each
 /// node is translated with the smart operand selection of §4.2.2, reusing
 /// RRAMs through a FIFO free list. [`CompilerOptions::naive`] reproduces the
-/// Table 1 baseline instead.
+/// Table 1 baseline instead. Compilation runs in three phases — lowering to
+/// the [`crate::ir`], the [`crate::OptLevel`]-selected pass pipeline, and
+/// event-stream replay back to a physical program — with `-O0` (the
+/// default) running no passes and reproducing the historical single-step
+/// translator byte for byte.
 ///
 /// Dangling nodes (unreachable from every primary output) are not
 /// translated.
@@ -46,175 +46,32 @@ const LOOKAHEAD_WINDOW: usize = 8;
 /// assert_eq!(out, vec![false]); // ⟨1 0 0⟩ = 0
 /// ```
 pub fn compile(mig: &Mig, options: CompilerOptions) -> CompiledProgram {
-    let reachable = reachable_majority(mig);
-    let lifetimes = Lifetimes::compute(mig);
-    let mut translator = Translator::new(mig, options, &lifetimes);
-    let mut translated = 0usize;
-
-    match options.schedule {
-        ScheduleOrder::Index => {
-            for id in mig.majority_ids() {
-                if reachable[id.index()] {
-                    translator.translate_node(id);
-                    translated += 1;
-                }
-            }
-        }
-        ScheduleOrder::Priority => {
-            translated = run_priority_schedule(mig, &lifetimes, &reachable, &mut translator);
-        }
-        ScheduleOrder::Lookahead => {
-            translated = run_lookahead_schedule(mig, &lifetimes, &reachable, &mut translator);
-        }
-    }
-
-    let (program, peak_live, max_cell_writes) = translator.finalize();
-    let stats = CompileStats {
-        instructions: program.len(),
-        rams: program.num_rams(),
-        mig_nodes: translated,
-        peak_live,
-        max_cell_writes,
-    };
-    CompiledProgram { program, stats }
+    compile_full(mig, options).compiled
 }
 
-/// Seeds the candidate queue and the pending-children counters with every
-/// reachable majority node whose children are all computed.
-fn seed_candidates(
-    mig: &Mig,
-    priorities: &Priorities,
-    reachable: &[bool],
-    queue: &mut CandidateQueue,
-) -> Vec<u32> {
-    let mut uncomputed_children = vec![0u32; mig.len()];
-    for id in mig.node_ids() {
-        if !reachable[id.index()] {
-            continue;
-        }
-        if let MigNode::Majority(children) = mig.node(id) {
-            let pending = children
-                .iter()
-                .filter(|c| mig.node(c.node()).is_majority())
-                .count() as u32;
-            uncomputed_children[id.index()] = pending;
-            if pending == 0 {
-                queue.enqueue(priorities.candidate(id));
-            }
-        }
-    }
-    uncomputed_children
+/// Everything one compilation produced: the program, the (optimized) IR it
+/// was emitted from, and the pass pipeline's accounting.
+#[derive(Debug, Clone)]
+pub struct Compilation {
+    /// The executable program with its cost metrics.
+    pub compiled: CompiledProgram,
+    /// The IR after optimization — what `plimc --emit ir` prints.
+    pub ir: IrProgram,
+    /// Per-pass `#I` accounting of the pipeline run.
+    pub report: ir::passes::PassReport,
 }
 
-/// Algorithm 2: maintain a priority queue of candidates (nodes whose
-/// children are all computed); repeatedly pop the best candidate, translate
-/// it, and enqueue parents that become computable.
-fn run_priority_schedule(
-    mig: &Mig,
-    lifetimes: &Lifetimes,
-    reachable: &[bool],
-    translator: &mut Translator<'_>,
-) -> usize {
-    let priorities = Priorities::from_lifetimes(mig, lifetimes);
-    let fanouts = mig.fanouts();
-    let mut queue = CandidateQueue::new();
-    let mut uncomputed_children = seed_candidates(mig, &priorities, reachable, &mut queue);
-
-    let mut translated = 0usize;
-    while let Some(mut candidate) = queue.pop() {
-        // Lazy dynamic-priority update: the releasing-children count grows
-        // as parents are computed, so a stale entry may understate its
-        // priority. Refresh and requeue instead of translating.
-        let current = translator.releasing_now(candidate.id);
-        if current > candidate.releasing_children {
-            candidate.releasing_children = current;
-            queue.requeue(candidate);
-            continue;
-        }
-        translator.translate_node(candidate.id);
-        translated += 1;
-        for &parent in &fanouts[candidate.id.index()] {
-            if !reachable[parent.index()] {
-                continue;
-            }
-            let pending = &mut uncomputed_children[parent.index()];
-            debug_assert!(*pending > 0, "parent counted twice");
-            *pending -= 1;
-            if *pending == 0 {
-                queue.enqueue(priorities.candidate(parent));
-            }
-        }
+/// Like [`compile`], but keeps the post-optimization IR and the per-pass
+/// report alongside the program.
+pub fn compile_full(mig: &Mig, options: CompilerOptions) -> Compilation {
+    let mut ir = ir::lower(mig, options);
+    let report = PassManager::for_level(options.opt).run(&mut ir, mig);
+    let compiled = ir::emit(&ir);
+    Compilation {
+        compiled,
+        ir,
+        report,
     }
-    translated
-}
-
-/// The lifetime-driven lookahead schedule: like the priority schedule, but
-/// each step examines a window of heap-best candidates and picks the one
-/// with the best *net* RRAM effect right now — cells actually freed by
-/// translating it (value cells and cached complements of dying children),
-/// minus a cell when no child can be overwritten in place — breaking ties
-/// toward the candidate that unlocks the biggest release one step later.
-fn run_lookahead_schedule(
-    mig: &Mig,
-    lifetimes: &Lifetimes,
-    reachable: &[bool],
-    translator: &mut Translator<'_>,
-) -> usize {
-    let priorities = Priorities::from_lifetimes(mig, lifetimes);
-    let fanouts = mig.fanouts();
-    let mut queue = CandidateQueue::new();
-    let mut uncomputed_children = seed_candidates(mig, &priorities, reachable, &mut queue);
-
-    let mut translated = 0usize;
-    loop {
-        let popped = queue.pop_scored(LOOKAHEAD_WINDOW, |candidate| {
-            let freed = translator.released_cells_now(candidate.id);
-            let allocates = i64::from(!translator.has_in_place_destination(candidate.id));
-            // One step later: the best static release among parents this
-            // translation would make computable.
-            let unlocked = fanouts[candidate.id.index()]
-                .iter()
-                .filter(|p| reachable[p.index()] && uncomputed_children[p.index()] == 1)
-                .map(|p| i64::from(priorities.releasing(*p)))
-                .max()
-                .unwrap_or(0);
-            // The immediate net effect dominates; the unlocked release only
-            // breaks ties (it is at most 3).
-            8 * (freed - allocates) + unlocked
-        });
-        let Some(candidate) = popped else {
-            break;
-        };
-        translator.translate_node(candidate.id);
-        translated += 1;
-        for &parent in &fanouts[candidate.id.index()] {
-            if !reachable[parent.index()] {
-                continue;
-            }
-            let pending = &mut uncomputed_children[parent.index()];
-            debug_assert!(*pending > 0, "parent counted twice");
-            *pending -= 1;
-            if *pending == 0 {
-                queue.enqueue(priorities.candidate(parent));
-            }
-        }
-    }
-    translated
-}
-
-fn reachable_majority(mig: &Mig) -> Vec<bool> {
-    let mut reachable = vec![false; mig.len()];
-    let mut stack: Vec<NodeId> = mig.outputs().iter().map(|(_, s)| s.node()).collect();
-    while let Some(id) = stack.pop() {
-        if reachable[id.index()] {
-            continue;
-        }
-        reachable[id.index()] = true;
-        if let MigNode::Majority(children) = mig.node(id) {
-            stack.extend(children.iter().map(|c| c.node()));
-        }
-    }
-    reachable
 }
 
 #[cfg(test)]

@@ -11,8 +11,10 @@ use std::fmt;
 
 use mig::Mig;
 
-use crate::compile::compile;
-use crate::options::{AllocatorStrategy, CompilerOptions, OperandSelection, ScheduleOrder};
+use crate::compile::{compile_full, Compilation};
+use crate::options::{
+    AllocatorStrategy, CompilerOptions, OperandSelection, OptLevel, ScheduleOrder,
+};
 use crate::program::CompiledProgram;
 
 /// Error returned when no explored configuration fits the budget.
@@ -68,36 +70,60 @@ impl std::error::Error for RamLimitError {}
 // callers can inspect how far from the budget they landed.
 #[allow(clippy::result_large_err)]
 pub fn compile_with_ram_limit(mig: &Mig, limit: u32) -> Result<CompiledProgram, RamLimitError> {
+    compile_with_ram_limit_at(mig, limit, OptLevel::O0).map(|c| c.compiled)
+}
+
+/// Like [`compile_with_ram_limit`], running the IR pass pipeline at `opt`
+/// on every explored configuration — forwarding merges cell lifetimes, so
+/// higher levels can fit budgets the unoptimized stream misses. Returns the
+/// full [`Compilation`] so callers can emit IR artifacts of the winner.
+///
+/// # Errors
+///
+/// Returns [`RamLimitError`] with the most frugal program found when the
+/// budget cannot be met.
+#[allow(clippy::result_large_err)]
+pub fn compile_with_ram_limit_at(
+    mig: &Mig,
+    limit: u32,
+    opt: OptLevel,
+) -> Result<Compilation, RamLimitError> {
     let configurations = [
-        CompilerOptions::new(),
-        CompilerOptions::new().schedule(ScheduleOrder::Index),
+        CompilerOptions::new().opt(opt),
         CompilerOptions::new()
             .schedule(ScheduleOrder::Index)
-            .operands(OperandSelection::ChildOrder),
+            .opt(opt),
+        CompilerOptions::new()
+            .schedule(ScheduleOrder::Index)
+            .operands(OperandSelection::ChildOrder)
+            .opt(opt),
     ];
-    let mut best: Option<CompiledProgram> = None;
+    let mut best: Option<Compilation> = None;
     for options in configurations {
         debug_assert_eq!(options.allocator, AllocatorStrategy::Fifo);
-        let compiled = compile(mig, options);
-        if compiled.stats.rams <= limit {
-            return Ok(compiled);
+        let compilation = compile_full(mig, options);
+        if compilation.compiled.stats.rams <= limit {
+            return Ok(compilation);
         }
         if best
             .as_ref()
-            .is_none_or(|b| compiled.stats.rams < b.stats.rams)
+            .is_none_or(|b| compilation.compiled.stats.rams < b.compiled.stats.rams)
         {
-            best = Some(compiled);
+            best = Some(compilation);
         }
     }
     Err(RamLimitError {
         limit,
-        best: best.expect("at least one configuration was compiled"),
+        best: best
+            .expect("at least one configuration was compiled")
+            .compiled,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile;
 
     fn sample() -> Mig {
         let mut mig = Mig::new();

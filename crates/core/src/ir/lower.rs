@@ -1,4 +1,12 @@
-//! Node translation (§4.2.2 of the paper).
+//! Lowering: MIG → IR (scheduling + node translation, §4.2 of the paper).
+//!
+//! This phase owns everything the original single-step translator did —
+//! candidate scheduling (§4.2.1), the smart per-node operand selection of
+//! §4.2.2 with its complement cache, and RRAM allocation (§4.2.3) — but
+//! records the result as an [`IrProgram`]: every allocator request mints a
+//! fresh virtual cell, every instruction becomes an [`IrOp`] over virtual
+//! cells, and the interleaved request/op/release stream is kept verbatim so
+//! emission can replay it.
 //!
 //! Each majority node `⟨c₀ c₁ c₂⟩` is translated into at least one RM3
 //! instruction `Z ← ⟨A B̄ Z⟩`:
@@ -18,11 +26,191 @@
 //! value has been materialized in an RRAM, it is remembered for future use.
 
 use mig::{Mig, MigNode, NodeId, Signal};
-use plim::{Instruction, Operand, OutputLoc, Program, RamAddr};
+use plim::{Instruction, Operand, RamAddr};
 
 use crate::alloc::RramAllocator;
+use crate::candidate::{CandidateQueue, Priorities};
 use crate::lifetime::{LifetimeClass, Lifetimes};
-use crate::options::{CompilerOptions, OperandSelection};
+use crate::options::{CompilerOptions, OperandSelection, ScheduleOrder};
+
+use super::{CellId, Event, IrCell, IrOp, IrOutput, IrProgram, Value};
+
+/// How many heap-best candidates the lookahead schedule examines per step.
+/// Small enough to keep scheduling near-linear, large enough to let the
+/// net-release score overrule a stale or myopic heap key.
+const LOOKAHEAD_WINDOW: usize = 8;
+
+/// Lowers an MIG into the PLiM IR under the given options (the
+/// [`crate::OptLevel`] is ignored here — it selects the passes that run
+/// *after* lowering).
+///
+/// Dangling nodes (unreachable from every primary output) are not
+/// translated.
+pub fn lower(mig: &Mig, options: CompilerOptions) -> IrProgram {
+    let reachable = reachable_majority(mig);
+    let lifetimes = Lifetimes::compute(mig);
+    let mut translator = Translator::new(mig, options, &lifetimes);
+    let mut translated = 0usize;
+
+    match options.schedule {
+        ScheduleOrder::Index => {
+            for id in mig.majority_ids() {
+                if reachable[id.index()] {
+                    translator.translate_node(id);
+                    translated += 1;
+                }
+            }
+        }
+        ScheduleOrder::Priority => {
+            translated = run_priority_schedule(mig, &lifetimes, &reachable, &mut translator);
+        }
+        ScheduleOrder::Lookahead => {
+            translated = run_lookahead_schedule(mig, &lifetimes, &reachable, &mut translator);
+        }
+    }
+
+    let mut ir = translator.finalize();
+    ir.mig_nodes = translated;
+    ir
+}
+
+/// Seeds the candidate queue and the pending-children counters with every
+/// reachable majority node whose children are all computed.
+fn seed_candidates(
+    mig: &Mig,
+    priorities: &Priorities,
+    reachable: &[bool],
+    queue: &mut CandidateQueue,
+) -> Vec<u32> {
+    let mut uncomputed_children = vec![0u32; mig.len()];
+    for id in mig.node_ids() {
+        if !reachable[id.index()] {
+            continue;
+        }
+        if let MigNode::Majority(children) = mig.node(id) {
+            let pending = children
+                .iter()
+                .filter(|c| mig.node(c.node()).is_majority())
+                .count() as u32;
+            uncomputed_children[id.index()] = pending;
+            if pending == 0 {
+                queue.enqueue(priorities.candidate(id));
+            }
+        }
+    }
+    uncomputed_children
+}
+
+/// Algorithm 2: maintain a priority queue of candidates (nodes whose
+/// children are all computed); repeatedly pop the best candidate, translate
+/// it, and enqueue parents that become computable.
+fn run_priority_schedule(
+    mig: &Mig,
+    lifetimes: &Lifetimes,
+    reachable: &[bool],
+    translator: &mut Translator<'_>,
+) -> usize {
+    let priorities = Priorities::from_lifetimes(mig, lifetimes);
+    let fanouts = mig.fanouts();
+    let mut queue = CandidateQueue::new();
+    let mut uncomputed_children = seed_candidates(mig, &priorities, reachable, &mut queue);
+
+    let mut translated = 0usize;
+    while let Some(mut candidate) = queue.pop() {
+        // Lazy dynamic-priority update: the releasing-children count grows
+        // as parents are computed, so a stale entry may understate its
+        // priority. Refresh and requeue instead of translating.
+        let current = translator.releasing_now(candidate.id);
+        if current > candidate.releasing_children {
+            candidate.releasing_children = current;
+            queue.requeue(candidate);
+            continue;
+        }
+        translator.translate_node(candidate.id);
+        translated += 1;
+        for &parent in &fanouts[candidate.id.index()] {
+            if !reachable[parent.index()] {
+                continue;
+            }
+            let pending = &mut uncomputed_children[parent.index()];
+            debug_assert!(*pending > 0, "parent counted twice");
+            *pending -= 1;
+            if *pending == 0 {
+                queue.enqueue(priorities.candidate(parent));
+            }
+        }
+    }
+    translated
+}
+
+/// The lifetime-driven lookahead schedule: like the priority schedule, but
+/// each step examines a window of heap-best candidates and picks the one
+/// with the best *net* RRAM effect right now — cells actually freed by
+/// translating it (value cells and cached complements of dying children),
+/// minus a cell when no child can be overwritten in place — breaking ties
+/// toward the candidate that unlocks the biggest release one step later.
+fn run_lookahead_schedule(
+    mig: &Mig,
+    lifetimes: &Lifetimes,
+    reachable: &[bool],
+    translator: &mut Translator<'_>,
+) -> usize {
+    let priorities = Priorities::from_lifetimes(mig, lifetimes);
+    let fanouts = mig.fanouts();
+    let mut queue = CandidateQueue::new();
+    let mut uncomputed_children = seed_candidates(mig, &priorities, reachable, &mut queue);
+
+    let mut translated = 0usize;
+    loop {
+        let popped = queue.pop_scored(LOOKAHEAD_WINDOW, |candidate| {
+            let freed = translator.released_cells_now(candidate.id);
+            let allocates = i64::from(!translator.has_in_place_destination(candidate.id));
+            // One step later: the best static release among parents this
+            // translation would make computable.
+            let unlocked = fanouts[candidate.id.index()]
+                .iter()
+                .filter(|p| reachable[p.index()] && uncomputed_children[p.index()] == 1)
+                .map(|p| i64::from(priorities.releasing(*p)))
+                .max()
+                .unwrap_or(0);
+            // The immediate net effect dominates; the unlocked release only
+            // breaks ties (it is at most 3).
+            8 * (freed - allocates) + unlocked
+        });
+        let Some(candidate) = popped else {
+            break;
+        };
+        translator.translate_node(candidate.id);
+        translated += 1;
+        for &parent in &fanouts[candidate.id.index()] {
+            if !reachable[parent.index()] {
+                continue;
+            }
+            let pending = &mut uncomputed_children[parent.index()];
+            debug_assert!(*pending > 0, "parent counted twice");
+            *pending -= 1;
+            if *pending == 0 {
+                queue.enqueue(priorities.candidate(parent));
+            }
+        }
+    }
+    translated
+}
+
+fn reachable_majority(mig: &Mig) -> Vec<bool> {
+    let mut reachable = vec![false; mig.len()];
+    let mut stack: Vec<NodeId> = mig.outputs().iter().map(|(_, s)| s.node()).collect();
+    while let Some(id) = stack.pop() {
+        if reachable[id.index()] {
+            continue;
+        }
+        reachable[id.index()] = true;
+        if let MigNode::Majority(children) = mig.node(id) {
+            stack.extend(children.iter().map(|c| c.node()));
+        }
+    }
+    reachable
+}
 
 /// Where a node's value currently resides during translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +223,7 @@ enum Loc {
     Ram(RamAddr),
 }
 
-/// Incremental translation state shared by the naive and smart compilers.
+/// Incremental translation state shared by the naive and smart lowerings.
 #[derive(Debug)]
 pub(crate) struct Translator<'a> {
     mig: &'a Mig,
@@ -43,7 +231,6 @@ pub(crate) struct Translator<'a> {
     /// Lifetime analysis shared with the scheduler; supplies the
     /// allocation hints of the lifetime-aware strategies.
     lifetimes: &'a Lifetimes,
-    pub(crate) program: Program,
     pub(crate) alloc: RramAllocator,
     /// Current location of each node's value (indexed by node).
     loc: Vec<Option<Loc>>,
@@ -51,8 +238,12 @@ pub(crate) struct Translator<'a> {
     compl: Vec<Option<RamAddr>>,
     /// References (parent edges + primary outputs) not yet consumed.
     remaining: Vec<u32>,
-    /// Peak number of simultaneously live RRAMs.
-    pub(crate) peak_live: usize,
+    /// The IR under construction.
+    ops: Vec<IrOp>,
+    cells: Vec<IrCell>,
+    events: Vec<Event>,
+    /// The live virtual cell behind each physical address.
+    current: Vec<Option<CellId>>,
 }
 
 impl<'a> Translator<'a> {
@@ -66,12 +257,28 @@ impl<'a> Translator<'a> {
             mig,
             opts,
             lifetimes,
-            program: Program::new(mig.num_inputs()),
             alloc: RramAllocator::new(opts.allocator),
             loc,
             compl: vec![None; mig.len()],
             remaining: mig.fanout_counts(),
-            peak_live: 0,
+            ops: Vec::new(),
+            cells: Vec::new(),
+            events: Vec::new(),
+            current: Vec::new(),
+        }
+    }
+
+    /// The virtual cell currently bound to a physical address.
+    fn cell_at(&self, addr: RamAddr) -> CellId {
+        self.current[addr.index()].expect("physical cell has no live virtual cell")
+    }
+
+    /// Translates a physical operand into an IR value.
+    fn value_of(&self, operand: Operand) -> Value {
+        match operand {
+            Operand::Const(v) => Value::Const(v),
+            Operand::Input(i) => Value::Input(i),
+            Operand::Ram(addr) => Value::Cell(self.cell_at(addr)),
         }
     }
 
@@ -98,17 +305,27 @@ impl<'a> Translator<'a> {
         }
     }
 
-    /// The single funnel for program construction: every instruction's
+    /// The single funnel for IR construction: every instruction's
     /// destination write is recorded on the allocator's per-cell counters,
-    /// keeping them exactly in sync with the emitted program (and feeding
-    /// the wear-budget reuse strategy mid-compilation).
-    fn push_instruction(&mut self, instruction: Instruction, comment: String) {
+    /// keeping them exactly in sync with the lowered stream (and feeding
+    /// the wear-budget reuse strategy mid-lowering). `rhs` is the listing
+    /// comment's right-hand side, `node` the op's source-MIG provenance.
+    fn push_instruction(&mut self, instruction: Instruction, rhs: String, node: Option<NodeId>) {
         self.alloc.note_write(instruction.z);
-        self.program.push_commented(instruction, comment);
+        let op = IrOp {
+            a: self.value_of(instruction.a),
+            b: self.value_of(instruction.b),
+            z: self.cell_at(instruction.z),
+            rhs,
+            node,
+        };
+        let index = self.ops.len() as u32;
+        self.ops.push(op);
+        self.events.push(Event::Op(index));
     }
 
-    fn emit(&mut self, a: Operand, b: Operand, z: RamAddr, comment: String) {
-        self.push_instruction(Instruction::new(a, b, z), comment);
+    fn emit(&mut self, a: Operand, b: Operand, z: RamAddr, rhs: String, node: Option<NodeId>) {
+        self.push_instruction(Instruction::new(a, b, z), rhs, node);
     }
 
     /// The expected-lifetime class of a node's value (allocation hint).
@@ -116,22 +333,40 @@ impl<'a> Translator<'a> {
         self.lifetimes.class(node)
     }
 
+    /// Requests a physical cell and mints the virtual cell spanning its
+    /// lifetime.
     fn request(&mut self, hint: LifetimeClass) -> RamAddr {
         let addr = self.alloc.request_with_hint(hint);
-        self.peak_live = self.peak_live.max(self.alloc.num_live());
+        let cell = CellId(self.cells.len() as u32);
+        self.cells.push(IrCell { pinned: addr, hint });
+        if self.current.len() <= addr.index() {
+            self.current.resize(addr.index() + 1, None);
+        }
+        debug_assert!(self.current[addr.index()].is_none(), "cell double-booked");
+        self.current[addr.index()] = Some(cell);
+        self.events.push(Event::Request(cell));
         addr
     }
 
+    /// Releases a physical cell, ending its virtual cell's lifetime.
+    fn release(&mut self, addr: RamAddr) {
+        let cell = self.cell_at(addr);
+        self.current[addr.index()] = None;
+        self.events.push(Event::Release(cell));
+        self.alloc.release(addr);
+    }
+
     /// Allocates an RRAM initialized to a constant (1 instruction). `hint`
-    /// describes the lifetime of the value the cell will ultimately hold.
-    fn fresh_const(&mut self, value: bool, hint: LifetimeClass) -> RamAddr {
+    /// describes the lifetime of the value the cell will ultimately hold —
+    /// that of the consuming node `node`.
+    fn fresh_const(&mut self, value: bool, hint: LifetimeClass, node: NodeId) -> RamAddr {
         let addr = self.request(hint);
         let instruction = if value {
             Instruction::set(addr)
         } else {
             Instruction::reset(addr)
         };
-        self.push_instruction(instruction, format!("X{} ← {}", addr.0 + 1, value as u8));
+        self.push_instruction(instruction, format!("{}", value as u8), Some(node));
         addr
     }
 
@@ -144,14 +379,9 @@ impl<'a> Translator<'a> {
     fn fresh_complement_of(&mut self, node: NodeId, cache: bool, hint: LifetimeClass) -> RamAddr {
         let addr = self.request(hint);
         let src = self.read_operand(node);
-        self.push_instruction(Instruction::reset(addr), format!("X{} ← 0", addr.0 + 1));
+        self.push_instruction(Instruction::reset(addr), "0".to_string(), Some(node));
         let name = self.describe(Signal::new(node, true));
-        self.emit(
-            Operand::Const(true),
-            src,
-            addr,
-            format!("X{} ← {}", addr.0 + 1, name),
-        );
+        self.emit(Operand::Const(true), src, addr, name, Some(node));
         if cache {
             self.compl[node.index()] = Some(addr);
         }
@@ -164,14 +394,9 @@ impl<'a> Translator<'a> {
     fn fresh_copy_of(&mut self, node: NodeId, hint: LifetimeClass) -> RamAddr {
         let addr = self.request(hint);
         let src = self.read_operand(node);
-        self.push_instruction(Instruction::set(addr), format!("X{} ← 1", addr.0 + 1));
+        self.push_instruction(Instruction::set(addr), "1".to_string(), Some(node));
         let name = self.describe(Signal::new(node, false));
-        self.emit(
-            src,
-            Operand::Const(true),
-            addr,
-            format!("X{} ← {}", addr.0 + 1, name),
-        );
+        self.emit(src, Operand::Const(true), addr, name, Some(node));
         addr
     }
 
@@ -281,7 +506,7 @@ impl<'a> Translator<'a> {
         *remaining -= 1;
         if *remaining == 0 {
             if let Some(Loc::Ram(addr)) = self.loc[node.index()].take() {
-                self.alloc.release(addr);
+                self.release(addr);
             } else {
                 // Constants and inputs have nothing to release, but their
                 // location must stay valid for later readers… which cannot
@@ -293,7 +518,7 @@ impl<'a> Translator<'a> {
                 };
             }
             if let Some(addr) = self.compl[node.index()].take() {
-                self.alloc.release(addr);
+                self.release(addr);
             }
         }
     }
@@ -318,7 +543,7 @@ impl<'a> Translator<'a> {
         // holding this node's result, hence the `id` lifetime hint.
         let z_hint = self.class_of(id);
         let z = if let Some(value) = c2.constant_value() {
-            self.fresh_const(value, z_hint)
+            self.fresh_const(value, z_hint, id)
         } else if !c2.is_complemented() && self.overwritable(c2) {
             match self.loc[c2.node().index()].take() {
                 Some(Loc::Ram(addr)) => addr,
@@ -444,7 +669,7 @@ impl<'a> Translator<'a> {
         // (c) constant child: allocate and initialize (1 instruction).
         for &k in &rest {
             if let Some(value) = children[k].constant_value() {
-                return (self.fresh_const(value, hint), k);
+                return (self.fresh_const(value, hint, id), k);
             }
         }
         // (d) complemented child: materialize its complement (2 instructions).
@@ -479,26 +704,26 @@ impl<'a> Translator<'a> {
 
     /// Emits the node's main RM3 instruction and records its location.
     fn finish_node(&mut self, id: NodeId, a: Operand, b: Operand, z: RamAddr) {
-        self.emit(a, b, z, format!("X{} ← N{}", z.0 + 1, id.index()));
+        self.emit(a, b, z, format!("N{}", id.index()), Some(id));
         self.loc[id.index()] = Some(Loc::Ram(z));
     }
 
     /// Resolves primary outputs, materializing complemented internal results
     /// so that every output is readable from the array, and finishes the
-    /// program. Returns the program, the peak number of simultaneously live
-    /// cells, and the maximum per-cell write count.
-    pub(crate) fn finalize(mut self) -> (Program, usize, u64) {
+    /// IR program.
+    pub(crate) fn finalize(mut self) -> IrProgram {
         let outputs: Vec<(String, Signal)> = self
             .mig
             .outputs()
             .iter()
             .map(|(n, s)| (n.clone(), *s))
             .collect();
+        let mut ir_outputs = Vec::with_capacity(outputs.len());
         for (name, signal) in outputs {
             let node = signal.node();
             let loc = match self.mig.node(node) {
-                MigNode::Constant => OutputLoc::Const(signal.is_complemented()),
-                MigNode::Input(i) => OutputLoc::Input {
+                MigNode::Constant => IrOutput::Const(signal.is_complemented()),
+                MigNode::Input(i) => IrOutput::Input {
                     index: *i,
                     complemented: signal.is_complemented(),
                 },
@@ -509,18 +734,25 @@ impl<'a> Translator<'a> {
                             // Output cells stay live to the end of the run.
                             None => self.fresh_complement_of(node, true, LifetimeClass::Long),
                         };
-                        OutputLoc::Ram(addr)
+                        IrOutput::Cell(self.cell_at(addr))
                     } else {
                         match self.loc[node.index()] {
-                            Some(Loc::Ram(addr)) => OutputLoc::Ram(addr),
+                            Some(Loc::Ram(addr)) => IrOutput::Cell(self.cell_at(addr)),
                             _ => panic!("primary output `{name}` was never computed"),
                         }
                     }
                 }
             };
-            self.program.add_output(name, loc);
+            ir_outputs.push((name, loc));
         }
-        let max_cell_writes = self.alloc.max_writes();
-        (self.program, self.peak_live, max_cell_writes)
+        IrProgram {
+            num_inputs: self.mig.num_inputs(),
+            ops: self.ops,
+            cells: self.cells,
+            events: self.events,
+            outputs: ir_outputs,
+            mig_nodes: 0, // set by `lower`
+            allocator: self.opts.allocator,
+        }
     }
 }

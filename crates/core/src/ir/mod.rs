@@ -1,0 +1,334 @@
+//! The PLiM intermediate representation: the compiler's middle end.
+//!
+//! Translation is split into three phases. [`lower`] runs the scheduler and
+//! the per-node operand selection exactly as before, but records the result
+//! as an [`IrProgram`] instead of a finished [`plim::Program`]: RM3-shaped
+//! ops over **virtual cells** ([`CellId`]), each spanning one allocator
+//! request/release lifetime, together with the full allocation event stream
+//! and the source-MIG provenance of every op. [`passes::PassManager`] then
+//! rewrites the stream (dead-write elimination, redundant-initialization
+//! removal, in-place-overwrite forwarding, peepholes) under the
+//! [`crate::OptLevel`] selected in [`crate::CompilerOptions`], and [`emit`]
+//! replays the event stream through a fresh [`crate::alloc::RramAllocator`]
+//! to rebuild the physical program — including the exact per-cell write
+//! counters the endurance model depends on.
+//!
+//! At `-O0` no pass runs and the replay reproduces the historical
+//! single-step translator byte for byte (listing and asm); that identity is
+//! pinned by golden files in `tests/ir_passes.rs`.
+//!
+//! The IR exists so that instruction-stream optimizations can see what no
+//! scheduler can: *physical* cell liveness. The lowering's reference counts
+//! overestimate lifetimes — a consumer that reads a cached complement never
+//! touches the value cell itself — and the pass pipeline harvests exactly
+//! that slack.
+
+use std::fmt::Write as _;
+
+use mig::NodeId;
+use plim::RamAddr;
+
+use crate::lifetime::LifetimeClass;
+use crate::options::AllocatorStrategy;
+
+mod emit;
+mod lower;
+pub mod passes;
+
+pub use emit::emit;
+pub use lower::lower;
+
+/// A virtual work cell: one allocator request/release lifetime.
+///
+/// Unlike a physical [`RamAddr`], a virtual cell is never reused — every
+/// allocator request during lowering mints a fresh one — so def/use
+/// reasoning in the passes is free of false physical aliasing. A cell may
+/// still be *written* several times within its lifetime (materialization,
+/// the node's main RM3, in-place overwrites by later nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The raw index into [`IrProgram::cells`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An IR operand: what an RM3 slot reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// A constant 0/1 applied to the array terminal.
+    Const(bool),
+    /// Primary input with the given index.
+    Input(u32),
+    /// A virtual work cell.
+    Cell(CellId),
+}
+
+impl Value {
+    /// The cell this operand reads, if any.
+    #[inline]
+    pub fn cell(self) -> Option<CellId> {
+        match self {
+            Value::Cell(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// One RM3-shaped IR op: `z ← ⟨a b̄ z⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrOp {
+    /// First operand (read plain).
+    pub a: Value,
+    /// Second operand (inverted intrinsically by the write).
+    pub b: Value,
+    /// Destination cell; its old value is the third majority input unless
+    /// the op is [masking](IrOp::masking).
+    pub z: CellId,
+    /// Right-hand side of the listing comment (`N46`, `¬i3`, `1`, …); the
+    /// emitter renders the full `X<addr> ← <rhs>` comment from it, so
+    /// comments stay correct when a pass retargets the destination.
+    pub rhs: String,
+    /// The source-MIG node this op helps compute, when known (main ops
+    /// carry their own node, materializations the node they copy or
+    /// complement).
+    pub node: Option<NodeId>,
+}
+
+impl IrOp {
+    /// `true` when the result is independent of the destination's old value:
+    /// both operands are constants and they differ (the reset/set idioms).
+    #[inline]
+    pub fn masking(&self) -> bool {
+        matches!((self.a, self.b), (Value::Const(x), Value::Const(y)) if x != y)
+    }
+
+    /// The cells this op reads: `a`, `b`, plus `z`'s old value unless the
+    /// op is masking.
+    pub fn reads(&self) -> impl Iterator<Item = CellId> + '_ {
+        let z_old = if self.masking() { None } else { Some(self.z) };
+        self.a.cell().into_iter().chain(self.b.cell()).chain(z_old)
+    }
+}
+
+/// A virtual cell's lowering-time metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrCell {
+    /// The physical address the lowering allocator chose. Informational
+    /// after optimization (the emitter re-derives addresses by replaying
+    /// the event stream), but at `-O0` the replay reproduces it exactly.
+    pub pinned: RamAddr,
+    /// Allocation hint replayed to lifetime-aware strategies.
+    pub hint: LifetimeClass,
+}
+
+/// One entry of the program's ordered event stream.
+///
+/// The stream is the single source of truth for both instruction order and
+/// allocator behavior: emission replays it verbatim, so two IR programs
+/// with equal streams produce byte-identical machine programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Execute [`IrProgram::ops`]`[index]`.
+    Op(u32),
+    /// The cell's lifetime begins: the allocator assigns it a physical
+    /// address here.
+    Request(CellId),
+    /// The cell's lifetime ends: its physical address returns to the free
+    /// pool. Cells still holding values at program end (outputs) have no
+    /// release.
+    Release(CellId),
+}
+
+/// Where a primary output lives at program end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrOutput {
+    /// In a work cell.
+    Cell(CellId),
+    /// Equal to a primary input (possibly complemented).
+    Input {
+        /// Input index.
+        index: u32,
+        /// Whether the output is the input's complement.
+        complemented: bool,
+    },
+    /// A constant.
+    Const(bool),
+}
+
+/// A lowered PLiM program in IR form.
+#[derive(Debug, Clone)]
+pub struct IrProgram {
+    /// Primary inputs the program reads.
+    pub num_inputs: usize,
+    /// Op storage; program order is defined by [`IrProgram::events`], so an
+    /// op a pass deleted simply has no event referencing it.
+    pub ops: Vec<IrOp>,
+    /// Virtual-cell metadata, indexed by [`CellId`].
+    pub cells: Vec<IrCell>,
+    /// The ordered op/request/release stream.
+    pub events: Vec<Event>,
+    /// Primary outputs, in declaration order.
+    pub outputs: Vec<(String, IrOutput)>,
+    /// Number of MIG majority nodes the lowering translated (`#N`).
+    pub mig_nodes: usize,
+    /// Allocation strategy replayed at emission.
+    pub allocator: AllocatorStrategy,
+}
+
+impl IrProgram {
+    /// Number of instructions the program currently emits (`#I`).
+    pub fn num_instructions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Op(_)))
+            .count()
+    }
+
+    /// The op behind an event, if it is an [`Event::Op`].
+    pub(crate) fn op_of(&self, event: Event) -> Option<&IrOp> {
+        match event {
+            Event::Op(i) => Some(&self.ops[i as usize]),
+            _ => None,
+        }
+    }
+
+    /// Structurally verifies the program; run after every pass.
+    ///
+    /// Checks, per cell: exactly one request (before every other touch), at
+    /// most one release (after every other touch), no reads of undefined
+    /// values (the machine's initialization discipline, lifted to virtual
+    /// cells), and that output cells are defined at program end.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first violation.
+    pub fn check(&self) -> Result<(), String> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            Unborn,
+            Requested,
+            Defined,
+            Released,
+        }
+        let mut state = vec![State::Unborn; self.cells.len()];
+        for (pos, &event) in self.events.iter().enumerate() {
+            match event {
+                Event::Request(c) => {
+                    let s = state
+                        .get_mut(c.index())
+                        .ok_or(format!("event {pos}: unknown cell %{}", c.0))?;
+                    if *s != State::Unborn {
+                        return Err(format!("event {pos}: %{} requested twice", c.0));
+                    }
+                    *s = State::Requested;
+                }
+                Event::Release(c) => {
+                    let s = state
+                        .get_mut(c.index())
+                        .ok_or(format!("event {pos}: unknown cell %{}", c.0))?;
+                    if !matches!(*s, State::Requested | State::Defined) {
+                        return Err(format!("event {pos}: %{} released while not live", c.0));
+                    }
+                    *s = State::Released;
+                }
+                Event::Op(i) => {
+                    let op = self
+                        .ops
+                        .get(i as usize)
+                        .ok_or(format!("event {pos}: unknown op {i}"))?;
+                    for c in op.reads() {
+                        match state.get(c.index()) {
+                            Some(State::Defined) => {}
+                            Some(_) => {
+                                return Err(format!(
+                                    "event {pos}: op reads %{} which holds no value",
+                                    c.0
+                                ))
+                            }
+                            None => return Err(format!("event {pos}: unknown cell %{}", c.0)),
+                        }
+                    }
+                    match state.get_mut(op.z.index()) {
+                        Some(s @ (State::Requested | State::Defined)) => *s = State::Defined,
+                        Some(_) => {
+                            return Err(format!(
+                                "event {pos}: op writes %{} outside its lifetime",
+                                op.z.0
+                            ))
+                        }
+                        None => return Err(format!("event {pos}: unknown cell %{}", op.z.0)),
+                    }
+                }
+            }
+        }
+        for (name, output) in &self.outputs {
+            if let IrOutput::Cell(c) = output {
+                match state.get(c.index()) {
+                    Some(State::Defined) => {}
+                    _ => {
+                        return Err(format!(
+                            "output `{name}` reads %{} which is not live at program end",
+                            c.0
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the program in the stable `plimc --emit ir` text form: a
+    /// header, one instruction per line with its def/use annotation and
+    /// provenance comment, and the output directory.
+    ///
+    /// ```text
+    /// .ir v1
+    /// .inputs 3
+    /// .cells 2
+    /// 0001: rm3(1, 0, %0)        def %0          ; 1
+    /// 0002: rm3(i2, 1, %0)       def %0 use %0   ; i2
+    /// .output f = %0
+    /// ```
+    pub fn dump(&self) -> String {
+        let mut out = String::from(".ir v1\n");
+        let _ = writeln!(out, ".inputs {}", self.num_inputs);
+        let _ = writeln!(out, ".cells {}", self.cells.len());
+        let total = self.num_instructions();
+        let width = total.to_string().len().max(2);
+        let value = |v: &Value| match v {
+            Value::Const(x) => format!("{}", *x as u8),
+            Value::Input(i) => format!("i{}", i + 1),
+            Value::Cell(c) => format!("%{}", c.0),
+        };
+        let mut index = 0usize;
+        for &event in &self.events {
+            let Some(op) = self.op_of(event) else {
+                continue;
+            };
+            index += 1;
+            let text = format!("rm3({}, {}, %{})", value(&op.a), value(&op.b), op.z.0);
+            let mut defuse = format!("def %{}", op.z.0);
+            let uses: Vec<String> = op.reads().map(|c| format!("%{}", c.0)).collect();
+            if !uses.is_empty() {
+                let _ = write!(defuse, " use {}", uses.join(" "));
+            }
+            let _ = writeln!(out, "{index:0width$}: {text:<26} {defuse:<24} ; {}", op.rhs);
+        }
+        for (name, output) in &self.outputs {
+            let loc = match output {
+                IrOutput::Cell(c) => format!("%{}", c.0),
+                IrOutput::Input {
+                    index,
+                    complemented,
+                } => format!("{}i{}", if *complemented { "!" } else { "" }, index + 1),
+                IrOutput::Const(v) => format!("{}", *v as u8),
+            };
+            let _ = writeln!(out, ".output {name} = {loc}");
+        }
+        out
+    }
+}

@@ -27,7 +27,14 @@
 //! * **RRAM allocation** ([`alloc`]): a pluggable free-cell pool reuses
 //!   released cells — FIFO rotation (the paper's default), LIFO,
 //!   wear-budget (least-written first, driven by per-cell write counters),
-//!   or lifetime-binned placement.
+//!   or lifetime-binned placement;
+//! * **the IR pass pipeline** ([`ir`]): translation runs as three phases —
+//!   lower (scheduling + node translation into an explicit IR over virtual
+//!   cells), optimize (dead-write elimination, redundant-initialization
+//!   removal, in-place-overwrite forwarding, peepholes, selected by
+//!   [`OptLevel`]), and emit (event-stream replay back to a physical
+//!   program). `-O0` is byte-identical to the paper reproduction; `-O2`
+//!   harvests instruction-level slack no scheduler can see.
 //!
 //! Program quality and speed are tracked as machine-checked artifacts: the
 //! [`benchfile`] module defines the `BENCH.json` schema and the regression
@@ -73,15 +80,15 @@ pub mod cache;
 pub mod candidate;
 mod compile;
 pub mod constrained;
+pub mod ir;
 pub mod json;
 pub mod lifetime;
 mod options;
 mod program;
 pub mod report;
-mod translate;
 pub mod verify;
 
-pub use compile::compile;
+pub use compile::{compile, compile_full, Compilation};
 pub use lifetime::{LifetimeClass, Lifetimes};
-pub use options::{AllocatorStrategy, CompilerOptions, OperandSelection, ScheduleOrder};
+pub use options::{AllocatorStrategy, CompilerOptions, OperandSelection, OptLevel, ScheduleOrder};
 pub use program::{CompileStats, CompiledProgram};

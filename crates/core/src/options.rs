@@ -116,6 +116,55 @@ impl ScheduleOrder {
     }
 }
 
+/// How hard the post-lowering IR pass pipeline works on the instruction
+/// stream (the `-O` levels of `plimc`).
+///
+/// Levels select which [`crate::ir::passes`] run between lowering and
+/// emission. [`OptLevel::O0`] runs none: the emitted program is
+/// byte-identical to the historical single-step translator, which is why it
+/// is the default — reproducing the paper stays the baseline contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum OptLevel {
+    /// No IR passes; byte-identical to the pre-IR translator output.
+    #[default]
+    O0,
+    /// One round of the cheap linear hygiene passes: dead-write
+    /// elimination, redundant-initialization removal, and the same-cell
+    /// peephole. Never reorders instructions.
+    O1,
+    /// Everything in `-O1` plus in-place-overwrite forwarding (which may
+    /// move an instruction later to claim a dying cell), iterated with the
+    /// hygiene passes to a fixpoint.
+    O2,
+}
+
+impl OptLevel {
+    /// Every level, in ascending-aggressiveness order.
+    pub const ALL: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+
+    /// The wire/command-line name of the level (`o0`, `o1`, `o2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "o0",
+            OptLevel::O1 => "o1",
+            OptLevel::O2 => "o2",
+        }
+    }
+
+    /// Parses a wire/command-line name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the valid levels when `name` is
+    /// not one of them.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        OptLevel::ALL
+            .into_iter()
+            .find(|level| level.name() == name)
+            .ok_or_else(|| format!("unknown opt level `{name}` (expected o0|o1|o2)"))
+    }
+}
+
 /// How RM3 operands and the destination are chosen for each node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OperandSelection {
@@ -179,6 +228,8 @@ pub struct CompilerOptions {
     pub operands: OperandSelection,
     /// Work-RRAM allocation strategy.
     pub allocator: AllocatorStrategy,
+    /// IR pass-pipeline level run between lowering and emission.
+    pub opt: OptLevel,
 }
 
 impl CompilerOptions {
@@ -198,6 +249,7 @@ impl CompilerOptions {
             schedule: ScheduleOrder::Index,
             operands: OperandSelection::Smart,
             allocator: AllocatorStrategy::Fifo,
+            opt: OptLevel::O0,
         }
     }
 
@@ -219,36 +271,59 @@ impl CompilerOptions {
         self
     }
 
+    /// Sets the IR pass-pipeline level.
+    pub fn opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self
+    }
+
     /// The canonical wire spelling of this configuration
-    /// (`schedule+operands+allocator`, e.g. `priority+smart+fifo`), used
-    /// by the compile-service protocol and as part of the result-cache
-    /// fingerprint. Round-trips through [`CompilerOptions::parse_spec`].
+    /// (`schedule+operands+allocator+opt`, e.g. `priority+smart+fifo+o0`),
+    /// used by the compile-service protocol and as part of the result-cache
+    /// fingerprint. **Every** field of the options must appear here: the
+    /// service derives its cache key from this spelling, so a field that
+    /// does not reach the spec would let a warm cache hit serve a program
+    /// compiled under different options. Round-trips through
+    /// [`CompilerOptions::parse_spec`].
     pub fn spec(&self) -> String {
         format!(
-            "{}+{}+{}",
+            "{}+{}+{}+{}",
             self.schedule.name(),
             self.operands.name(),
-            self.allocator.name()
+            self.allocator.name(),
+            self.opt.name()
         )
     }
 
     /// Parses the [`CompilerOptions::spec`] spelling.
     ///
+    /// The three-part pre-`OptLevel` spelling
+    /// (`schedule+operands+allocator`) is still accepted and implies `o0`,
+    /// so requests from older clients keep compiling — and keep hitting the
+    /// same cache entries as an explicit `-O0`.
+    ///
     /// # Errors
     ///
-    /// Returns a one-line message when the spec is not three `+`-separated
-    /// component names.
+    /// Returns a one-line message when the spec is not three or four
+    /// `+`-separated component names.
     pub fn parse_spec(spec: &str) -> Result<Self, String> {
         let parts: Vec<&str> = spec.split('+').collect();
-        let [schedule, operands, allocator] = parts.as_slice() else {
-            return Err(format!(
-                "bad options spec `{spec}` (expected schedule+operands+allocator)"
-            ));
+        let (schedule, operands, allocator, opt) = match parts.as_slice() {
+            [schedule, operands, allocator] => (schedule, operands, allocator, OptLevel::O0),
+            [schedule, operands, allocator, opt] => {
+                (schedule, operands, allocator, OptLevel::parse(opt)?)
+            }
+            _ => {
+                return Err(format!(
+                    "bad options spec `{spec}` (expected schedule+operands+allocator[+opt])"
+                ))
+            }
         };
         Ok(CompilerOptions {
             schedule: ScheduleOrder::parse(schedule)?,
             operands: OperandSelection::parse(operands)?,
             allocator: AllocatorStrategy::parse(allocator)?,
+            opt,
         })
     }
 }
@@ -301,16 +376,37 @@ mod tests {
         for schedule in ScheduleOrder::ALL {
             for operands in OperandSelection::ALL {
                 for allocator in AllocatorStrategy::ALL {
-                    let options = CompilerOptions {
-                        schedule,
-                        operands,
-                        allocator,
-                    };
-                    assert_eq!(CompilerOptions::parse_spec(&options.spec()), Ok(options));
+                    for opt in OptLevel::ALL {
+                        let options = CompilerOptions {
+                            schedule,
+                            operands,
+                            allocator,
+                            opt,
+                        };
+                        assert_eq!(CompilerOptions::parse_spec(&options.spec()), Ok(options));
+                    }
                 }
             }
         }
-        assert_eq!(CompilerOptions::new().spec(), "priority+smart+fifo");
+        assert_eq!(CompilerOptions::new().spec(), "priority+smart+fifo+o0");
+    }
+
+    #[test]
+    fn three_part_specs_imply_o0() {
+        let options = CompilerOptions::parse_spec("priority+smart+fifo").unwrap();
+        assert_eq!(options, CompilerOptions::new());
+        assert_eq!(options.opt, OptLevel::O0);
+        let err = CompilerOptions::parse_spec("priority+smart+fifo+o7").unwrap_err();
+        assert!(err.contains("o7") && err.contains("o0|o1|o2"), "{err}");
+    }
+
+    #[test]
+    fn opt_levels_round_trip_and_order() {
+        for level in OptLevel::ALL {
+            assert_eq!(OptLevel::parse(level.name()), Ok(level));
+        }
+        assert!(OptLevel::O0 < OptLevel::O1 && OptLevel::O1 < OptLevel::O2);
+        assert!(OptLevel::parse("3").is_err());
     }
 
     #[test]

@@ -17,9 +17,12 @@
 //!                        node scheduling order (default: priority)
 //!   --alloc fifo|lifo|fresh|wear|binned
 //!                        work-RRAM allocation strategy (default: fifo)
+//!   -O0|-O1|-O2          IR pass-pipeline level (default: -O0, which is
+//!                        byte-identical to the paper reproduction)
 //!   --limit R            fail unless the program fits R work RRAMs
-//!   --emit asm|listing|stats|dot|mig
-//!                        artifact to print (default: listing)
+//!   --emit asm|listing|stats|dot|mig|ir
+//!                        artifact to print (default: listing); `ir` dumps
+//!                        the post-optimization IR with def/use annotations
 //!   --no-verify          skip the simulation check
 //!
 //! plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]
@@ -56,7 +59,7 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use mig::Mig;
-use plim_compiler::{AllocatorStrategy, CompilerOptions, ScheduleOrder};
+use plim_compiler::{AllocatorStrategy, CompilerOptions, OptLevel, ScheduleOrder};
 use plim_service::pipeline::{self, CompileSpec, InputFormat};
 use plim_service::protocol::{CompileRequest, Request, Response};
 use plim_service::{client, server};
@@ -72,6 +75,7 @@ struct Args {
     naive: bool,
     schedule: Option<ScheduleOrder>,
     alloc: Option<AllocatorStrategy>,
+    opt: Option<OptLevel>,
     limit: Option<u32>,
     emit: String,
     verify: bool,
@@ -90,6 +94,9 @@ impl Args {
         }
         if let Some(alloc) = self.alloc {
             options = options.allocator(alloc);
+        }
+        if let Some(opt) = self.opt {
+            options = options.opt(opt);
         }
         options
     }
@@ -113,6 +120,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         naive: false,
         schedule: None,
         alloc: None,
+        opt: None,
         limit: None,
         emit: "listing".to_string(),
         verify: true,
@@ -135,6 +143,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--naive" => args.naive = true,
             "--schedule" => args.schedule = Some(ScheduleOrder::parse(&value("--schedule")?)?),
             "--alloc" => args.alloc = Some(AllocatorStrategy::parse(&value("--alloc")?)?),
+            level if level.starts_with("-O") => {
+                args.opt = Some(OptLevel::parse(&format!("o{}", &level[2..]))?)
+            }
             "--limit" => {
                 args.limit = Some(
                     value("--limit")?
@@ -214,21 +225,28 @@ fn run(argv: &[String]) -> Result<(), String> {
     let input = read_input(&args)?;
     let spec = args.spec();
 
-    let (optimized, compiled) = match args.limit {
+    let artifacts = match args.limit {
         Some(limit) => {
             let optimized = pipeline::optimize(&input, &spec);
-            let compiled = plim_compiler::constrained::compile_with_ram_limit(&optimized, limit)
-                .map_err(|e| e.to_string())?;
+            let compilation = plim_compiler::constrained::compile_with_ram_limit_at(
+                &optimized,
+                limit,
+                spec.options.opt,
+            )
+            .map_err(|e| e.to_string())?;
             if args.verify {
-                plim_compiler::verify::verify(&optimized, &compiled, 4, 0xDAC2016)
+                plim_compiler::verify::verify(&optimized, &compilation.compiled, 4, 0xDAC2016)
                     .map_err(|e| format!("verification: {e}"))?;
             }
-            (optimized, compiled)
+            pipeline::Artifacts {
+                optimized,
+                compilation,
+            }
         }
         None => pipeline::execute(&input, &spec)?,
     };
 
-    let output = pipeline::emit(&args.emit, &optimized, &compiled)?;
+    let output = pipeline::emit(&args.emit, &artifacts)?;
     print!("{output}");
     Ok(())
 }
@@ -474,7 +492,7 @@ fn main() -> ExitCode {
             eprintln!("usage: plimc [--format mig|aag] [--effort N] [--extended] [--naive]");
             eprintln!("             [--schedule index|priority|lookahead] [--alloc fifo|lifo|fresh|wear|binned]");
             eprintln!(
-                "             [--limit R] [--emit asm|listing|stats|dot|mig] [--no-verify] FILE"
+                "             [-O0|-O1|-O2] [--limit R] [--emit asm|listing|stats|dot|mig|ir] [--no-verify] FILE"
             );
             eprintln!(
                 "       plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]"

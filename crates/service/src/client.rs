@@ -21,9 +21,13 @@ impl Connection {
     ///
     /// # Errors
     ///
-    /// Returns a one-line message when the connection cannot be opened.
+    /// Returns the standard one-line `cannot connect to <addr>: <cause>`
+    /// message when the connection cannot be opened (`plimc request`
+    /// against a daemon that is not running prints it verbatim after the
+    /// `plimc: ` prefix, instead of a raw `io::Error`).
     pub fn connect(addr: &str) -> Result<Connection, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
         let write_half = stream
             .try_clone()
             .map_err(|e| format!("cloning the connection: {e}"))?;

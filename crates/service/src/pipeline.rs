@@ -7,7 +7,7 @@
 
 use mig::Mig;
 use plim_compiler::report::CostReport;
-use plim_compiler::{compile, verify::verify, CompiledProgram, CompilerOptions};
+use plim_compiler::{compile_full, verify::verify, Compilation, CompilerOptions};
 
 /// Input format of a compile request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -121,24 +121,38 @@ pub fn optimize(input: &Mig, spec: &CompileSpec) -> Mig {
     }
 }
 
-/// Optimizes, compiles and (optionally) verifies `input` under `spec`,
-/// returning the optimized graph alongside the program — both are needed
-/// for emitting artifacts.
+/// Everything the compile stage produced: the rewritten graph plus the
+/// compilation (program, post-optimization IR, pass report). Emission
+/// renders artifacts from here, so the daemon and offline `plimc` print
+/// byte-identical output for every `--emit` kind.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// The MIG after the rewrite stage (what was compiled).
+    pub optimized: Mig,
+    /// The compilation: program, IR, and per-pass accounting.
+    pub compilation: Compilation,
+}
+
+/// Optimizes, compiles and (optionally) verifies `input` under `spec`.
 ///
 /// # Errors
 ///
 /// Returns a one-line message when verification fails.
-pub fn execute(input: &Mig, spec: &CompileSpec) -> Result<(Mig, CompiledProgram), String> {
+pub fn execute(input: &Mig, spec: &CompileSpec) -> Result<Artifacts, String> {
     let optimized = optimize(input, spec);
-    let compiled = compile(&optimized, spec.options);
+    let compilation = compile_full(&optimized, spec.options);
     if spec.verify {
-        verify(&optimized, &compiled, 4, 0xDAC2016).map_err(|e| format!("verification: {e}"))?;
+        verify(&optimized, &compilation.compiled, 4, 0xDAC2016)
+            .map_err(|e| format!("verification: {e}"))?;
     }
-    Ok((optimized, compiled))
+    Ok(Artifacts {
+        optimized,
+        compilation,
+    })
 }
 
 /// The artifact kinds `--emit` understands, for diagnostics and docs.
-pub const EMIT_KINDS: [&str; 5] = ["listing", "asm", "stats", "dot", "mig"];
+pub const EMIT_KINDS: [&str; 6] = ["listing", "asm", "stats", "dot", "mig", "ir"];
 
 /// Renders the requested artifact. The returned string is printed with
 /// `print!` by every consumer (it already ends in a newline), so daemon
@@ -147,13 +161,15 @@ pub const EMIT_KINDS: [&str; 5] = ["listing", "asm", "stats", "dot", "mig"];
 /// # Errors
 ///
 /// Returns a one-line message for unknown artifact kinds.
-pub fn emit(kind: &str, optimized: &Mig, compiled: &CompiledProgram) -> Result<String, String> {
+pub fn emit(kind: &str, artifacts: &Artifacts) -> Result<String, String> {
+    let compiled = &artifacts.compilation.compiled;
     match kind {
         "listing" => Ok(compiled.program.to_string()),
         "asm" => Ok(plim::asm::write_asm(&compiled.program)),
         "stats" => Ok(format!("{}\n", CostReport::analyze(compiled))),
-        "dot" => Ok(mig::dot::to_dot(optimized)),
-        "mig" => Ok(mig::io::write_mig(optimized)),
+        "dot" => Ok(mig::dot::to_dot(&artifacts.optimized)),
+        "mig" => Ok(mig::io::write_mig(&artifacts.optimized)),
+        "ir" => Ok(artifacts.compilation.ir.dump()),
         other => Err(format!("unknown --emit `{other}`")),
     }
 }
@@ -185,13 +201,13 @@ mod tests {
     #[test]
     fn execute_compiles_and_verifies() {
         let input = parse_network(InputFormat::Mig, AND_MIG).unwrap();
-        let (optimized, compiled) = execute(&input, &CompileSpec::default()).unwrap();
-        assert!(compiled.stats.instructions > 0);
+        let artifacts = execute(&input, &CompileSpec::default()).unwrap();
+        assert!(artifacts.compilation.compiled.stats.instructions > 0);
         for kind in EMIT_KINDS {
-            let artifact = emit(kind, &optimized, &compiled).unwrap();
+            let artifact = emit(kind, &artifacts).unwrap();
             assert!(artifact.ends_with('\n'), "{kind} artifact misses newline");
         }
-        assert!(emit("png", &optimized, &compiled).is_err());
+        assert!(emit("png", &artifacts).is_err());
     }
 
     #[test]

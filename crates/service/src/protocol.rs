@@ -10,14 +10,18 @@
 //!
 //! ```text
 //! {"op":"compile","format":"mig"|"aag","source":"…",
-//!  "effort":4,"extended":false,"options":"priority+smart+fifo",
+//!  "effort":4,"extended":false,"options":"priority+smart+fifo+o0",
 //!  "emit":"listing","verify":true}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Only `source` is required for `compile`; every other field has the
-//! offline `plimc` default. Responses carry `"ok":true` plus op-specific
+//! offline `plimc` default. The `options` spec carries every compiler
+//! option including the `-O` level (older three-part specs without the
+//! level are accepted and mean `o0`); because the cache key is derived
+//! from this exact spelling, two requests differing only in `-O` can never
+//! share a cache entry. Responses carry `"ok":true` plus op-specific
 //! fields, or `"ok":false` with a one-line `error`.
 
 use plim_compiler::cache::{fnv128, CacheKey, CacheStats};
@@ -507,5 +511,53 @@ mod tests {
         let key = cache_key(7, &base);
         assert_eq!(key.graph, 7);
         assert_eq!(key.options, base.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_every_compiler_option_field() {
+        use plim_compiler::{AllocatorStrategy, OperandSelection, OptLevel, ScheduleOrder};
+        // The audit behind the cache key: mutate each CompilerOptions field
+        // (and each CompileSpec field) in isolation and demand a distinct
+        // fingerprint — a field missing from the spec would alias cache
+        // entries across genuinely different programs.
+        let base = compile_request("inputs a\noutput f = a\n");
+        let mut variants: Vec<(&str, CompileRequest)> = Vec::new();
+        let mut opt = base.clone();
+        opt.spec.options = opt.spec.options.opt(OptLevel::O2);
+        variants.push(("opt", opt));
+        let mut schedule = base.clone();
+        schedule.spec.options = schedule.spec.options.schedule(ScheduleOrder::Lookahead);
+        variants.push(("schedule", schedule));
+        let mut operands = base.clone();
+        operands.spec.options = operands.spec.options.operands(OperandSelection::ChildOrder);
+        variants.push(("operands", operands));
+        let mut allocator = base.clone();
+        allocator.spec.options = allocator.spec.options.allocator(AllocatorStrategy::Lifo);
+        variants.push(("allocator", allocator));
+        let mut extended = base.clone();
+        extended.spec.extended = true;
+        variants.push(("extended", extended));
+        let mut verify = base.clone();
+        verify.spec.verify = false;
+        variants.push(("verify", verify));
+        for (field, variant) in &variants {
+            assert_ne!(
+                base.fingerprint(),
+                variant.fingerprint(),
+                "field `{field}` does not reach the cache fingerprint"
+            );
+        }
+        // And the three -O levels are pairwise distinct.
+        let levels: Vec<u64> = OptLevel::ALL
+            .iter()
+            .map(|&level| {
+                let mut request = base.clone();
+                request.spec.options = request.spec.options.opt(level);
+                request.fingerprint()
+            })
+            .collect();
+        assert_ne!(levels[0], levels[1]);
+        assert_ne!(levels[1], levels[2]);
+        assert_ne!(levels[0], levels[2]);
     }
 }

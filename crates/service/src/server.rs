@@ -451,17 +451,18 @@ fn compile_on_shard(
     if let Some(artifact) = deduped {
         return compile_response(key_hex, true, &artifact);
     }
-    let (optimized, compiled) = match pipeline::execute(mig, &request.spec) {
+    let artifacts = match pipeline::execute(mig, &request.spec) {
         Ok(result) => result,
         Err(message) => return Response::Error(message),
     };
-    let output = match pipeline::emit(&request.emit, &optimized, &compiled) {
+    let output = match pipeline::emit(&request.emit, &artifacts) {
         Ok(output) => output,
         Err(message) => return Response::Error(message),
     };
+    let stats = &artifacts.compilation.compiled.stats;
     let artifact = Arc::new(Artifact {
-        instructions: compiled.stats.instructions as u64,
-        rams: u64::from(compiled.stats.rams),
+        instructions: stats.instructions as u64,
+        rams: u64::from(stats.rams),
         output,
     });
     let weight = artifact.weight();

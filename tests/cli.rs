@@ -162,6 +162,8 @@ fn user_errors_exit_one_with_a_one_line_diagnostic() {
     assert_user_error(&["--effort"], "--effort requires a value");
     assert_user_error(&["--alloc", "zigzag", "-"], "unknown allocator `zigzag`");
     assert_user_error(&["--schedule", "random", "-"], "unknown schedule `random`");
+    assert_user_error(&["-O7", "-"], "unknown opt level `o7`");
+    assert_user_error(&["-Ofast", "-"], "unknown opt level `ofast`");
     assert_user_error(&["--frobnicate", "-"], "unknown option `--frobnicate`");
     assert_user_error(&["a.mig", "b.mig"], "multiple input files");
     assert_user_error(&[], "no input file");
@@ -191,6 +193,53 @@ fn unknown_emit_exits_one_after_compilation() {
 }
 
 #[test]
+fn opt_levels_compile_end_to_end_and_o0_is_the_default() {
+    let baseline = run_with_stdin(&["--emit", "listing", "-"], AND_MIG);
+    assert!(baseline.status.success());
+    for level in ["-O0", "-O1", "-O2"] {
+        let output = run_with_stdin(&[level, "--emit", "listing", "-"], AND_MIG);
+        assert!(
+            output.status.success(),
+            "{level}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        if level == "-O0" {
+            assert_eq!(
+                output.stdout, baseline.stdout,
+                "-O0 must be the default level"
+            );
+        }
+    }
+}
+
+/// `plimc --emit ir` prints the post-optimization IR in its stable text
+/// form; golden files over two suite circuits pin the format.
+#[test]
+fn emit_ir_matches_the_golden_dumps() {
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
+    for circuit in ["dec", "router"] {
+        let dump = plimc()
+            .args(["dump", circuit, "--reduced"])
+            .output()
+            .unwrap();
+        assert!(dump.status.success());
+        let output = run_with_stdin(&["-O2", "--emit", "ir", "-"], &dump.stdout);
+        assert!(
+            output.status.success(),
+            "{circuit}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let expected =
+            std::fs::read_to_string(format!("{golden}/{circuit}.O2.ir")).expect("golden dump");
+        assert_eq!(
+            String::from_utf8_lossy(&output.stdout),
+            expected,
+            "{circuit}: --emit ir diverged from the golden dump"
+        );
+    }
+}
+
+#[test]
 fn new_schedule_and_allocator_options_compile_end_to_end() {
     for args in [
         ["--schedule", "lookahead", "--emit", "stats"],
@@ -210,13 +259,41 @@ fn new_schedule_and_allocator_options_compile_end_to_end() {
     }
 }
 
-/// A BENCH.json document with one record, parameterized on `#I`.
+/// A BENCH.json document with one record, parameterized on `#I` (the
+/// optimized columns track it so the opt-monotonicity rule stays green).
 fn bench_json(instructions: u64) -> String {
     format!(
         "[{{\"circuit\": \"adder\", \"instructions\": {instructions}, \"rams\": 11, \
          \"max_writes\": 22, \"lookahead_rams\": 11, \"wear_max_writes\": 22, \
+         \"o1_instructions\": {instructions}, \"o1_rams\": 11, \
+         \"o2_instructions\": {instructions}, \"o2_rams\": 11, \"o2_max_writes\": 22, \
          \"rewrite_ms\": 1.0, \"compile_ms\": 2.0}}]\n"
     )
+}
+
+#[test]
+fn bench_diff_gates_on_opt_level_monotonicity() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let run = dir.join(format!("plimc_cli_optmono_{pid}.json"));
+    // -O2 above -O0 on the *current* records: diffing the file against
+    // itself proves the rule needs no baseline mismatch to fire.
+    std::fs::write(
+        &run,
+        bench_json(98).replace("\"o2_instructions\": 98", "\"o2_instructions\": 99"),
+    )
+    .unwrap();
+    let bad = plimc()
+        .args(["bench-diff", run.to_str().unwrap(), run.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert_eq!(bad.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("-O2 produces more instructions than -O0"),
+        "{stdout}"
+    );
+    std::fs::remove_file(&run).ok();
 }
 
 #[test]
@@ -453,11 +530,31 @@ fn serve_and_request_round_trip_byte_identically() {
 
 #[test]
 fn request_against_a_dead_service_is_a_user_error() {
-    // Port 1 on loopback is essentially never listening.
-    assert_user_error(
+    // Port 1 on loopback is essentially never listening. The diagnostic is
+    // the standard one-liner `plimc: cannot connect to <addr>: <cause>` at
+    // exit 1 — not a raw io::Error.
+    let stderr = assert_user_error(
         &["request", "--addr", "127.0.0.1:1", "--stats"],
-        "connecting to 127.0.0.1:1",
+        "cannot connect to 127.0.0.1:1",
     );
+    assert!(
+        stderr.trim_end().len() > "plimc: cannot connect to 127.0.0.1:1: ".len(),
+        "the cause must follow the address: {stderr}"
+    );
+    // Compile requests hit the same path as --stats.
+    let dir = std::env::temp_dir();
+    let circuit = dir.join(format!("plimc_cli_dead_daemon_{}.mig", std::process::id()));
+    std::fs::write(&circuit, AND_MIG).unwrap();
+    assert_user_error(
+        &[
+            "request",
+            "--addr",
+            "127.0.0.1:1",
+            circuit.to_str().unwrap(),
+        ],
+        "cannot connect to 127.0.0.1:1",
+    );
+    std::fs::remove_file(&circuit).ok();
     assert_user_error(
         &["request", "--stats", "--shutdown", "extra"],
         "take no further arguments",

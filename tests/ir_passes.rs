@@ -1,0 +1,201 @@
+//! Properties of the IR pass pipeline (`-O{0,1,2}`).
+//!
+//! Three invariants pin the lower → optimize → emit refactor:
+//!
+//! * **equivalence** — for random and suite MIGs, the optimized program
+//!   verifies equivalent to the unoptimized one (and to the source MIG on
+//!   the machine simulator) under every `schedule × allocator × opt-level`
+//!   combination;
+//! * **`-O0` byte-identity** — the default level reproduces the
+//!   pre-refactor single-step translator exactly; golden listing/asm files
+//!   captured from the pre-IR `plimc` pin this for two suite circuits, and
+//!   the lowered-stream emit pins it structurally for random MIGs;
+//! * **accounting** — the per-pass `#I` deltas reported by the
+//!   `PassManager` sum to the end-to-end delta, and the emitted program
+//!   matches the final IR instruction count.
+
+use proptest::prelude::*;
+
+use plim_benchmarks::random::{random_logic, RandomLogicSpec};
+use plim_benchmarks::suite::{self, Scale};
+use plim_compiler::ir;
+use plim_compiler::{
+    compile, compile_full, verify::verify, AllocatorStrategy, CompilerOptions, OptLevel,
+    ScheduleOrder,
+};
+
+fn spec_strategy() -> impl Strategy<Value = RandomLogicSpec> {
+    (2usize..10, 1usize..8, 10usize..100, any::<u64>()).prop_map(
+        |(inputs, outputs, nodes, seed)| RandomLogicSpec::new(inputs, outputs, nodes, seed),
+    )
+}
+
+/// Options sweep shared by the random and suite properties.
+fn all_options(opt: OptLevel) -> impl Iterator<Item = CompilerOptions> {
+    ScheduleOrder::ALL.into_iter().flat_map(move |schedule| {
+        AllocatorStrategy::ALL.into_iter().map(move |allocator| {
+            CompilerOptions::new()
+                .schedule(schedule)
+                .allocator(allocator)
+                .opt(opt)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every optimized program is equivalent to the unoptimized one (same
+    /// machine behavior, verified against the source MIG) under every
+    /// schedule × allocator × opt-level combination, never costs
+    /// instructions, and at `-O0` is byte-identical to the bare lowering.
+    #[test]
+    fn optimized_programs_verify_under_every_option_combination(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        for opt in OptLevel::ALL {
+            for options in all_options(opt) {
+                let compiled = compile(&mig, options);
+                prop_assert!(
+                    verify(&mig, &compiled, 2, spec.seed).is_ok(),
+                    "{} fails verification", options.spec()
+                );
+                let baseline = compile(&mig, options.opt(OptLevel::O0));
+                prop_assert!(
+                    compiled.stats.instructions <= baseline.stats.instructions,
+                    "{}: optimization added instructions", options.spec()
+                );
+                prop_assert!(compiled.stats.rams <= baseline.stats.rams);
+                prop_assert!(compiled.stats.max_cell_writes <= baseline.stats.max_cell_writes);
+            }
+        }
+    }
+
+    /// `-O0` is the bare lowering: emitting the lowered IR with no pass
+    /// run reproduces `compile` byte-for-byte (listing, asm, stats).
+    #[test]
+    fn o0_is_byte_identical_to_the_bare_lowering(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        for options in all_options(OptLevel::O0) {
+            let compiled = compile(&mig, options);
+            let lowered = ir::emit(&ir::lower(&mig, options));
+            prop_assert_eq!(compiled.program.to_string(), lowered.program.to_string());
+            prop_assert_eq!(
+                plim::asm::write_asm(&compiled.program),
+                plim::asm::write_asm(&lowered.program)
+            );
+            prop_assert_eq!(compiled.stats, lowered.stats);
+        }
+    }
+
+    /// The `PassManager`'s per-pass `#I` deltas sum to the end-to-end
+    /// delta between the lowered and the emitted program.
+    #[test]
+    fn per_pass_deltas_sum_to_the_end_to_end_delta(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        for opt in OptLevel::ALL {
+            let options = CompilerOptions::new().opt(opt);
+            let lowered = ir::lower(&mig, options).num_instructions();
+            let compilation = compile_full(&mig, options);
+            let removed: usize = compilation.report.runs.iter().map(|run| run.removed()).sum();
+            prop_assert_eq!(
+                lowered - compilation.compiled.stats.instructions,
+                removed,
+                "per-pass deltas disagree with the end-to-end delta at {}",
+                options.spec()
+            );
+            // Chained accounting: each run starts where the previous ended.
+            let mut current = lowered;
+            for run in &compilation.report.runs {
+                prop_assert_eq!(run.instructions_before, current);
+                current = run.instructions_after;
+            }
+            prop_assert_eq!(current, compilation.compiled.stats.instructions);
+            prop_assert_eq!(compilation.report.total_removed(), removed);
+            if opt == OptLevel::O0 {
+                prop_assert!(compilation.report.runs.is_empty());
+            }
+        }
+    }
+}
+
+/// `-O0` output is byte-identical to the pre-refactor `plimc`: the golden
+/// listing and asm files were captured from the single-step translator
+/// immediately before the IR split and are committed under `tests/golden/`.
+#[test]
+fn o0_matches_pre_refactor_goldens() {
+    // This test is homed on the plim-compiler package, so golden paths are
+    // relative to its manifest directory.
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
+    for circuit in ["dec", "int2float"] {
+        let mig = suite::build(circuit, Scale::Reduced).expect("suite circuit");
+        let optimized = mig::rewrite::rewrite(&mig, 4);
+        let compiled = compile(&optimized, CompilerOptions::new());
+        let listing = std::fs::read_to_string(format!("{golden}/{circuit}.O0.listing"))
+            .expect("committed golden listing");
+        assert_eq!(
+            compiled.program.to_string(),
+            listing,
+            "{circuit}: -O0 listing diverged from the pre-refactor compiler"
+        );
+        let asm = std::fs::read_to_string(format!("{golden}/{circuit}.O0.asm"))
+            .expect("committed golden asm");
+        assert_eq!(
+            plim::asm::write_asm(&compiled.program),
+            asm,
+            "{circuit}: -O0 asm diverged from the pre-refactor compiler"
+        );
+    }
+}
+
+/// The reduced suite under `-O2`: verified equivalent everywhere, at least
+/// five circuits strictly below their `-O0` instruction count, and no
+/// circuit worse in `#I`, `#R`, or max-cell-writes — the acceptance bar of
+/// the pass pipeline.
+#[test]
+fn o2_strictly_improves_part_of_the_suite_without_regressions() {
+    let mut strictly_better = 0;
+    for name in suite::ALL {
+        let mig = suite::build(name, Scale::Reduced).expect("suite circuit");
+        let optimized = mig::rewrite::rewrite(&mig, 4);
+        let baseline = compile(&optimized, CompilerOptions::new());
+        let o2 = compile(&optimized, CompilerOptions::new().opt(OptLevel::O2));
+        verify(&optimized, &o2, 2, 0xDAC2016).expect("optimized program verifies");
+        assert!(
+            o2.stats.instructions <= baseline.stats.instructions,
+            "{name}: -O2 added instructions"
+        );
+        assert!(
+            o2.stats.rams <= baseline.stats.rams,
+            "{name}: -O2 added cells"
+        );
+        assert!(
+            o2.stats.max_cell_writes <= baseline.stats.max_cell_writes,
+            "{name}: -O2 wore cells harder"
+        );
+        if o2.stats.instructions < baseline.stats.instructions {
+            strictly_better += 1;
+        }
+    }
+    assert!(
+        strictly_better >= 5,
+        "-O2 strictly lowered #I on only {strictly_better} of {} circuits",
+        suite::ALL.len()
+    );
+}
+
+/// The IR dump is stable, self-consistent, and annotated: one instruction
+/// per line with def/use, matching the emitted instruction count.
+#[test]
+fn ir_dump_lists_every_instruction_with_def_use() {
+    let mig = suite::build("dec", Scale::Reduced).expect("suite circuit");
+    let optimized = mig::rewrite::rewrite(&mig, 4);
+    let compilation = compile_full(&optimized, CompilerOptions::new().opt(OptLevel::O2));
+    let dump = compilation.ir.dump();
+    let instruction_lines = dump
+        .lines()
+        .filter(|line| line.contains("rm3(") && line.contains("def %"))
+        .count();
+    assert_eq!(instruction_lines, compilation.compiled.stats.instructions);
+    assert!(dump.starts_with(".ir v1\n"));
+    assert!(dump.contains(".output"));
+}

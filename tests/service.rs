@@ -42,9 +42,13 @@ fn compile_request(source: &str) -> Request {
 
 /// What offline `plimc` would print for the same source and options.
 fn offline_listing(source: &str) -> String {
+    offline_listing_with(source, &CompileSpec::default())
+}
+
+fn offline_listing_with(source: &str, spec: &CompileSpec) -> String {
     let mig = pipeline::parse_network(InputFormat::Mig, source).unwrap();
-    let (optimized, compiled) = pipeline::execute(&mig, &CompileSpec::default()).unwrap();
-    pipeline::emit("listing", &optimized, &compiled).unwrap()
+    let artifacts = pipeline::execute(&mig, spec).unwrap();
+    pipeline::emit("listing", &artifacts).unwrap()
 }
 
 fn suite_source(name: &str) -> String {
@@ -86,6 +90,63 @@ fn served_output_is_byte_identical_and_repeats_hit_the_cache() {
     assert_eq!(totals.hits, 2, "one warm hit per circuit");
     assert_eq!(totals.misses, 2, "one cold miss per circuit");
     assert_eq!(totals.entries, 2);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn warm_hits_never_serve_a_different_opt_level() {
+    use plim_compiler::OptLevel;
+    // Regression: every CompilerOptions field — the new OptLevel included —
+    // must reach the cache key. A warm hit after a -O0 compile must never
+    // return the -O0 artifact for a -O2 request (or vice versa); `dec` is a
+    // circuit where the levels genuinely differ, so serving a stale entry
+    // would also be byte-visibly wrong.
+    let (addr, handle) = start_server(1, 1 << 20);
+    let source = suite_source("dec");
+    let request_at = |level: OptLevel| {
+        let mut spec = CompileSpec::default();
+        spec.options = spec.options.opt(level);
+        Request::Compile(CompileRequest {
+            format: InputFormat::Mig,
+            source: source.clone(),
+            spec,
+            emit: "listing".to_string(),
+        })
+    };
+
+    let Response::Compile(cold_o0) = client::send(&addr, &request_at(OptLevel::O0)).unwrap() else {
+        panic!("cold -O0 request failed");
+    };
+    assert!(!cold_o0.cached);
+
+    // Same circuit, different level: must be a miss with its own key.
+    let Response::Compile(cold_o2) = client::send(&addr, &request_at(OptLevel::O2)).unwrap() else {
+        panic!("cold -O2 request failed");
+    };
+    assert!(!cold_o2.cached, "a different -O must never warm-hit");
+    assert_ne!(cold_o2.key, cold_o0.key, "cache keys must differ per -O");
+    assert_ne!(
+        cold_o2.output, cold_o0.output,
+        "dec compiles differently at -O2; identical output means a stale entry"
+    );
+    let mut spec_o2 = CompileSpec::default();
+    spec_o2.options = spec_o2.options.opt(OptLevel::O2);
+    assert_eq!(cold_o0.output, offline_listing(&source));
+    assert_eq!(cold_o2.output, offline_listing_with(&source, &spec_o2));
+
+    // Warm repeats of each level hit their own entries and stay distinct.
+    for (level, cold) in [(OptLevel::O0, &cold_o0), (OptLevel::O2, &cold_o2)] {
+        let Response::Compile(warm) = client::send(&addr, &request_at(level)).unwrap() else {
+            panic!("warm request failed");
+        };
+        assert!(warm.cached, "repeat at the same -O must hit");
+        assert_eq!(&warm.key, &cold.key);
+        assert_eq!(&warm.output, &cold.output);
+    }
+    let totals = stats(&addr).totals();
+    assert_eq!(totals.misses, 2, "one miss per level");
+    assert_eq!(totals.hits, 2, "one hit per level");
+    assert_eq!(totals.entries, 2, "one entry per level");
     shut_down(&addr, handle);
 }
 
