@@ -177,7 +177,26 @@ fn bench_suite(scale: Scale, effort: usize, iters: usize) {
 /// run: the Table 1 jobs plus the lookahead/wear probe columns).
 fn emit_bench_json(path: &str, scale: Scale) {
     let circuits = suite_circuits(scale);
-    let run = batch::bench_suite(&circuits, 4, Parallelism::Auto);
+    let mut run = batch::bench_suite(&circuits, 4, Parallelism::Auto);
+    // The fidelity columns are required fields of BENCH.json; measure them
+    // from the run's own artifacts exactly as `plimc bench` does.
+    if let Err(error) = plim_scenario::annotate_bench(
+        &mut run,
+        &circuits,
+        &plim_scenario::FidelityConfig::default(),
+    ) {
+        eprintln!("pipeline: fidelity annotation: {error}");
+        std::process::exit(1);
+    }
+    let verified = run
+        .records
+        .iter()
+        .filter(|record| record.verified_exhaustive)
+        .count();
+    println!(
+        "fidelity: {verified}/{} circuits verified exhaustively",
+        run.records.len()
+    );
     let document = benchfile::to_json(&run.records);
     if let Err(error) = std::fs::write(path, document) {
         eprintln!("pipeline: writing {path}: {error}");

@@ -476,6 +476,15 @@ pub struct BenchRun {
 }
 
 impl BenchRun {
+    /// The seven compile jobs behind circuit `index`'s record, in spec
+    /// order: naive raw, naive rewritten, smart default (`-O0`),
+    /// lookahead, wear-leveled, `-O1`, `-O2`. This is the hook the
+    /// scenario engine uses to annotate records with fidelity columns
+    /// without recompiling.
+    pub fn circuit_jobs(&self, index: usize) -> &[JobResult] {
+        &self.report.jobs[index * 7..index * 7 + 7]
+    }
+
     /// Wall-clock work attributable to one circuit: its rewrite pass plus
     /// its seven compile jobs.
     pub fn row_time(&self, circuit: usize) -> Duration {
@@ -546,6 +555,12 @@ pub fn bench_suite(circuits: &[Circuit], effort: usize, parallelism: Parallelism
             o2_max_writes: jobs[6].compiled.stats.max_cell_writes,
             rewrite_ms,
             compile_ms,
+            // The fidelity axis is measured by the scenario engine
+            // (`plim-scenario::annotate_bench`), which lives above this
+            // crate; until annotated, a record claims no exhaustive proof.
+            verified_exhaustive: false,
+            fault_error_rate: 0.0,
+            lifetime_invocations: 0,
         });
     }
     BenchRun {

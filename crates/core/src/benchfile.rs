@@ -24,7 +24,16 @@
 //!   run itself, baseline or not;
 //! * `rewrite_ms` / `compile_ms` — wall-clock of the rewrite pass and of
 //!   the circuit's compile jobs; gated only in aggregate, with a generous
-//!   tolerance, because timings are machine-dependent.
+//!   tolerance, because timings are machine-dependent;
+//! * `verified_exhaustive` / `fault_error_rate` / `lifetime_invocations`
+//!   — the **fidelity axis**, filled in by the scenario engine
+//!   (`plim-scenario`): whether the circuit's compiled programs were
+//!   proven equal to the source MIG over the *entire* input space at every
+//!   opt level, the measured output-error rate under the reference
+//!   drifted-write fault model, and the simulated invocations until the
+//!   first cell exceeds its endurance budget. [`gate`] fails hard when
+//!   `verified_exhaustive` regresses from `true` to `false`; the two
+//!   measured columns are reported as notes.
 //!
 //! Parsing is built on the shared [`crate::json`] layer, so syntax errors
 //! carry byte positions and schema errors name the missing or mistyped
@@ -64,6 +73,16 @@ pub struct BenchRecord {
     pub rewrite_ms: f64,
     /// Wall-clock of the circuit's compile jobs, in milliseconds.
     pub compile_ms: f64,
+    /// Whether every opt level's compiled program was proven equal to the
+    /// source MIG over the full input space (`false` for circuits beyond
+    /// the exhaustive bound, or when annotation was skipped).
+    pub verified_exhaustive: bool,
+    /// Measured output-error rate (erroneous patterns / patterns) under
+    /// the reference drifted-write fault model.
+    pub fault_error_rate: f64,
+    /// Simulated invocations until the first cell exceeds the reference
+    /// endurance budget (0 when annotation was skipped).
+    pub lifetime_invocations: u64,
 }
 
 /// Serializes records as a stable, human-reviewable JSON document.
@@ -76,7 +95,8 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             "  {{\"circuit\": {}, \"instructions\": {}, \"rams\": {}, \"max_writes\": {}, \
              \"lookahead_rams\": {}, \"wear_max_writes\": {}, \"o1_instructions\": {}, \
              \"o1_rams\": {}, \"o2_instructions\": {}, \"o2_rams\": {}, \"o2_max_writes\": {}, \
-             \"rewrite_ms\": {:.3}, \"compile_ms\": {:.3}}}{comma}",
+             \"rewrite_ms\": {:.3}, \"compile_ms\": {:.3}, \"verified_exhaustive\": {}, \
+             \"fault_error_rate\": {:.6}, \"lifetime_invocations\": {}}}{comma}",
             // The shared JSON writer (full escaping, including control
             // characters) keeps the round-trip with `from_json` — which
             // parses through the same layer — airtight.
@@ -93,6 +113,9 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             r.o2_max_writes,
             r.rewrite_ms,
             r.compile_ms,
+            r.verified_exhaustive,
+            r.fault_error_rate,
+            r.lifetime_invocations,
         )
         .expect("writing to a String cannot fail");
     }
@@ -100,8 +123,9 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     out
 }
 
-/// The twelve required numeric fields of a record, in schema order.
-const NUMERIC_FIELDS: [&str; 12] = [
+/// The fourteen required numeric fields of a record, in schema order
+/// (`circuit` and the boolean `verified_exhaustive` are handled apart).
+const NUMERIC_FIELDS: [&str; 14] = [
     "instructions",
     "rams",
     "max_writes",
@@ -114,6 +138,8 @@ const NUMERIC_FIELDS: [&str; 12] = [
     "o2_max_writes",
     "rewrite_ms",
     "compile_ms",
+    "fault_error_rate",
+    "lifetime_invocations",
 ];
 
 /// Parses a `BENCH.json` document produced by [`to_json`] (or edited by
@@ -168,6 +194,18 @@ fn parse_record(index: usize, item: &Value) -> Result<BenchRecord, String> {
             .expect("known field");
         numeric[slot].ok_or(format!("missing field '{name}' (circuit \"{circuit}\")"))
     };
+    // Checked after the numeric fields so diagnostics keep their
+    // long-standing precedence (type errors, then missing counts).
+    let verified = || -> Result<bool, String> {
+        match item.get("verified_exhaustive") {
+            Some(value) => value.as_bool().ok_or(format!(
+                "field 'verified_exhaustive' must be a boolean (circuit \"{circuit}\")"
+            )),
+            None => Err(format!(
+                "missing field 'verified_exhaustive' (circuit \"{circuit}\")"
+            )),
+        }
+    };
     Ok(BenchRecord {
         instructions: get("instructions")? as u64,
         rams: get("rams")? as u64,
@@ -181,6 +219,9 @@ fn parse_record(index: usize, item: &Value) -> Result<BenchRecord, String> {
         o2_max_writes: get("o2_max_writes")? as u64,
         rewrite_ms: get("rewrite_ms")?,
         compile_ms: get("compile_ms")?,
+        fault_error_rate: get("fault_error_rate")?,
+        lifetime_invocations: get("lifetime_invocations")? as u64,
+        verified_exhaustive: verified()?,
         circuit,
     })
 }
@@ -220,6 +261,13 @@ impl GateReport {
 /// `wear_max_writes`, the remaining `o1`/`o2` columns) are reported as
 /// notes so intentional trade-offs do not need a baseline refresh
 /// ceremony.
+///
+/// The fidelity axis gates asymmetrically: a circuit whose
+/// `verified_exhaustive` flips from `true` to `false` is a regression (a
+/// formerly proven circuit lost its proof), the opposite flip is a note,
+/// and changes of the measured `fault_error_rate` /
+/// `lifetime_invocations` columns are notes (they move with the fault
+/// model, not with compiler correctness).
 pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f64) -> GateReport {
     let mut report = GateReport::default();
     let mut base_time = 0.0f64;
@@ -273,6 +321,28 @@ pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f
                     .notes
                     .push(format!("{}: {metric} improved {old} → {new}", b.circuit));
             }
+        }
+        match (b.verified_exhaustive, c.verified_exhaustive) {
+            (true, false) => report.regressions.push(format!(
+                "{}: verified_exhaustive regressed true → false",
+                b.circuit
+            )),
+            (false, true) => report
+                .notes
+                .push(format!("{}: now verified exhaustively", b.circuit)),
+            _ => {}
+        }
+        if (b.fault_error_rate - c.fault_error_rate).abs() > f64::EPSILON {
+            report.notes.push(format!(
+                "{}: fault_error_rate changed {:.6} → {:.6}",
+                b.circuit, b.fault_error_rate, c.fault_error_rate
+            ));
+        }
+        if b.lifetime_invocations != c.lifetime_invocations {
+            report.notes.push(format!(
+                "{}: lifetime_invocations changed {} → {}",
+                b.circuit, b.lifetime_invocations, c.lifetime_invocations
+            ));
         }
         for (metric, old, new) in [
             ("max_writes", b.max_writes, c.max_writes),
@@ -334,6 +404,9 @@ mod tests {
             o2_max_writes: 9,
             rewrite_ms: 1.5,
             compile_ms: 0.5,
+            verified_exhaustive: true,
+            fault_error_rate: 0.015625,
+            lifetime_invocations: 111_111,
         }
     }
 
@@ -358,12 +431,83 @@ mod tests {
             "max_writes": 1, "lookahead_rams": 3, "wear_max_writes": 1,
             "o2_instructions": 8, "o2_rams": 3, "o2_max_writes": 1,
             "o1_instructions": 9, "o1_rams": 3,
+            "verified_exhaustive": false, "fault_error_rate": 0.25,
+            "lifetime_invocations": 1000,
             "compile_ms": 0.25, "rewrite_ms": 1.25, "extra": 42}]"#;
         let parsed = from_json(text).unwrap();
         assert_eq!(parsed[0].circuit, "x");
         assert_eq!(parsed[0].instructions, 9);
         assert_eq!(parsed[0].o2_instructions, 8);
         assert_eq!(parsed[0].rewrite_ms, 1.25);
+        assert!(!parsed[0].verified_exhaustive);
+        assert_eq!(parsed[0].fault_error_rate, 0.25);
+        assert_eq!(parsed[0].lifetime_invocations, 1000);
+    }
+
+    #[test]
+    fn fidelity_fields_are_required_and_typed() {
+        let mut without = to_json(&[record("adder", 120, 12)]);
+        without = without.replace("\"verified_exhaustive\": true, ", "");
+        let err = from_json(&without).unwrap_err();
+        assert!(err.contains("missing field 'verified_exhaustive'"), "{err}");
+        let mistyped = to_json(&[record("adder", 120, 12)]).replace(
+            "\"verified_exhaustive\": true",
+            "\"verified_exhaustive\": 1",
+        );
+        let err = from_json(&mistyped).unwrap_err();
+        assert!(
+            err.contains("field 'verified_exhaustive' must be a boolean"),
+            "{err}"
+        );
+        let without_rate =
+            to_json(&[record("adder", 120, 12)]).replace("\"fault_error_rate\": 0.015625, ", "");
+        let err = from_json(&without_rate).unwrap_err();
+        assert!(err.contains("missing field 'fault_error_rate'"), "{err}");
+    }
+
+    #[test]
+    fn verified_exhaustive_regression_fails_the_gate() {
+        let baseline = vec![record("adder", 120, 12)];
+        let mut lost = record("adder", 120, 12);
+        lost.verified_exhaustive = false;
+        let report = gate(&baseline, &[lost], 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.regressions[0].contains("verified_exhaustive regressed true → false"),
+            "{:?}",
+            report.regressions
+        );
+        // The opposite direction is a note, not a failure.
+        let mut base_unverified = record("adder", 120, 12);
+        base_unverified.verified_exhaustive = false;
+        let report = gate(&[base_unverified], &[record("adder", 120, 12)], 0.25);
+        assert!(report.passed());
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("now verified exhaustively")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn measured_fidelity_changes_are_notes() {
+        let baseline = vec![record("adder", 120, 12)];
+        let mut moved = record("adder", 120, 12);
+        moved.fault_error_rate = 0.5;
+        moved.lifetime_invocations = 7;
+        let report = gate(&baseline, &[moved], 0.25);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("fault_error_rate changed")));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("lifetime_invocations changed 111111 → 7")));
     }
 
     #[test]

@@ -4,17 +4,28 @@
 //! reproduces the MIG's Boolean function for every primary output. The
 //! checker is exhaustive for small interfaces and falls back to seeded
 //! random patterns for large ones, mirroring [`mig::equiv`].
+//!
+//! Both modes execute on the bit-parallel [`WideMachine`] — 256 input
+//! patterns per instruction step — which pushes the practical exhaustive
+//! bound to [`EXHAUSTIVE_WIDE_LIMIT`] inputs (2²⁰ patterns in 4096 wide
+//! runs) via [`verify_exhaustive`].
 
 use std::fmt;
 
-use mig::simulate::XorShift64;
+use mig::simulate::{variable_word, XorShift64};
 use mig::Mig;
-use plim::{Machine, MachineError, Operand};
+use plim::wide::{LaneWord, WideMachine, W256};
+use plim::{MachineError, Operand, RamAddr};
 
 use crate::program::CompiledProgram;
 
 /// Number of primary inputs up to which [`verify`] is exhaustive.
 pub const EXHAUSTIVE_LIMIT: usize = 12;
+
+/// Number of primary inputs up to which [`verify_exhaustive`] accepts a
+/// circuit: 2²⁰ patterns execute as 4096 runs of the 256-wide machine,
+/// comfortably fast even for the larger reduced-suite circuits.
+pub const EXHAUSTIVE_WIDE_LIMIT: usize = 20;
 
 /// Error raised when a compiled program does not match its source MIG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +46,11 @@ pub enum VerifyError {
         /// 0-based index of the offending instruction.
         pc: usize,
     },
+    /// The circuit has too many inputs for exhaustive enumeration.
+    TooManyInputs {
+        /// The circuit's primary-input count.
+        inputs: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -48,6 +64,10 @@ impl fmt::Display for VerifyError {
             VerifyError::UninitializedRead { pc } => {
                 write!(f, "instruction {} reads an uninitialized cell", pc + 1)
             }
+            VerifyError::TooManyInputs { inputs } => write!(
+                f,
+                "circuit has {inputs} inputs; exhaustive verification supports at most {EXHAUSTIVE_WIDE_LIMIT}"
+            ),
         }
     }
 }
@@ -63,9 +83,11 @@ impl From<MachineError> for VerifyError {
 /// Verifies that the compiled program computes the MIG's function.
 ///
 /// Exhaustive for up to [`EXHAUSTIVE_LIMIT`] inputs; otherwise `rounds × 64`
-/// random patterns seeded by `seed` are checked. The machine is reused
-/// across patterns, which also validates the compiler's write-before-read
-/// initialization discipline.
+/// random patterns seeded by `seed` are checked. Both modes run on the
+/// bit-parallel [`WideMachine`]; the work array is poisoned before the
+/// first run and then reused across runs, which also exercises the
+/// compiler's write-before-read initialization discipline dynamically (on
+/// top of the static [`check_init_discipline`] pass).
 ///
 /// # Errors
 ///
@@ -79,32 +101,92 @@ pub fn verify(
 ) -> Result<(), VerifyError> {
     check_init_discipline(compiled)?;
     let n = mig.num_inputs();
-    let mut machine = Machine::new();
-
-    let check_pattern = |inputs: &[bool], machine: &mut Machine| -> Result<(), VerifyError> {
-        let expected = mig::simulate::evaluate(mig, inputs);
-        let got = machine.run(&compiled.program, inputs)?;
-        for (index, (e, g)) in expected.iter().zip(&got).enumerate() {
+    if n <= EXHAUSTIVE_LIMIT {
+        return exhaustive_wide::<W256>(mig, compiled);
+    }
+    let mut machine = poisoned_machine::<u64>(compiled);
+    let mut rng = XorShift64::new(seed);
+    for _ in 0..rounds.max(1) {
+        let input_words: Vec<u64> = (0..n).map(|_| rng.next_word()).collect();
+        let got = machine.run(&compiled.program, &input_words)?;
+        let expected = mig::simulate::simulate(mig, &input_words);
+        for (index, (&e, &g)) in expected.iter().zip(&got).enumerate() {
             if e != g {
+                let lane = (e ^ g).trailing_zeros() as usize;
                 return Err(VerifyError::Mismatch {
                     output: mig.outputs()[index].0.clone(),
-                    inputs: inputs.to_vec(),
+                    inputs: input_words.iter().map(|w| w.lane(lane)).collect(),
                 });
             }
         }
-        Ok(())
-    };
+    }
+    Ok(())
+}
 
-    if n <= EXHAUSTIVE_LIMIT {
-        for pattern in 0..(1usize << n) {
-            let inputs: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
-            check_pattern(&inputs, &mut machine)?;
-        }
-    } else {
-        let mut rng = XorShift64::new(seed);
-        for _ in 0..rounds.max(1) * 64 {
-            let inputs: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
-            check_pattern(&inputs, &mut machine)?;
+/// Proves the compiled program equal to its source MIG over the **full**
+/// input space, using the 256-wide machine (2ⁿ patterns in `2ⁿ⁻⁸` runs).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::TooManyInputs`] for circuits beyond
+/// [`EXHAUSTIVE_WIDE_LIMIT`] inputs, [`VerifyError::Mismatch`] with the
+/// first counterexample (in pattern order) on failure, or
+/// [`VerifyError::Machine`] / [`VerifyError::UninitializedRead`] if the
+/// program is malformed.
+pub fn verify_exhaustive(mig: &Mig, compiled: &CompiledProgram) -> Result<(), VerifyError> {
+    let n = mig.num_inputs();
+    if n > EXHAUSTIVE_WIDE_LIMIT {
+        return Err(VerifyError::TooManyInputs { inputs: n });
+    }
+    check_init_discipline(compiled)?;
+    exhaustive_wide::<W256>(mig, compiled)
+}
+
+/// A wide machine whose work array is pre-filled with a nonzero pattern,
+/// so a read of a never-written cell cannot masquerade as a correct zero.
+fn poisoned_machine<W: LaneWord>(compiled: &CompiledProgram) -> WideMachine<W> {
+    let mut machine = WideMachine::new();
+    machine.ensure_cells(compiled.program.num_rams() as usize);
+    for addr in 0..compiled.program.num_rams() {
+        machine.write_cell(
+            RamAddr(addr),
+            W::from_blocks(|_| 0xAAAA_AAAA_AAAA_AAAA ^ u64::from(addr)),
+        );
+    }
+    machine
+}
+
+/// Checks every one of the 2ⁿ input patterns, [`LaneWord::LANES`] at a
+/// time, comparing each 64-pattern block against MIG word simulation.
+fn exhaustive_wide<W: LaneWord>(mig: &Mig, compiled: &CompiledProgram) -> Result<(), VerifyError> {
+    let n = mig.num_inputs();
+    let u64_blocks = if n <= 6 { 1 } else { 1usize << (n - 6) };
+    let mut machine = poisoned_machine::<W>(compiled);
+    let mut input_words = vec![0u64; n];
+    for group in 0..u64_blocks.div_ceil(W::WORDS) {
+        let wide_inputs: Vec<W> = (0..n)
+            .map(|var| W::from_blocks(|w| variable_word(var, group * W::WORDS + w)))
+            .collect();
+        let got = machine.run(&compiled.program, &wide_inputs)?;
+        for w in 0..W::WORDS.min(u64_blocks - group * W::WORDS) {
+            let block = group * W::WORDS + w;
+            for (var, word) in input_words.iter_mut().enumerate() {
+                *word = variable_word(var, block);
+            }
+            let expected = mig::simulate::simulate(mig, &input_words);
+            for (index, &e) in expected.iter().enumerate() {
+                let g = got[index].block(w);
+                if e != g {
+                    // Global pattern number = 64·block + lane; bit `i` of
+                    // the pattern is the value of input `i` (the row order
+                    // of `mig::simulate::TruthTable`).
+                    let pattern = (block << 6) | (e ^ g).trailing_zeros() as usize;
+                    return Err(VerifyError::Mismatch {
+                        output: mig.outputs()[index].0.clone(),
+                        inputs: (0..n).map(|i| pattern >> i & 1 != 0).collect(),
+                    });
+                }
+            }
         }
     }
     Ok(())
@@ -181,6 +263,87 @@ mod tests {
         compiled.program = program;
         let err = verify(&mig, &compiled, 4, 1).unwrap_err();
         assert!(matches!(err, VerifyError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn verify_exhaustive_accepts_correct_compilation() {
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 8);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = mig.xor(acc, x);
+        }
+        mig.add_output("parity", acc);
+        let compiled = compile(&mig, CompilerOptions::new());
+        verify_exhaustive(&mig, &compiled).unwrap();
+    }
+
+    #[test]
+    fn verify_exhaustive_rejects_oversized_interface() {
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", EXHAUSTIVE_WIDE_LIMIT + 1);
+        mig.add_output("f", xs[0]);
+        let compiled = compile(&mig, CompilerOptions::new());
+        assert_eq!(
+            verify_exhaustive(&mig, &compiled),
+            Err(VerifyError::TooManyInputs {
+                inputs: EXHAUSTIVE_WIDE_LIMIT + 1
+            })
+        );
+    }
+
+    #[test]
+    fn verify_exhaustive_reports_first_pattern_counterexample() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let f = mig.and(a, b);
+        mig.add_output("f", f);
+        let mut compiled = compile(&mig, CompilerOptions::new());
+        let mut program = Program::new(2);
+        for &i in compiled.program.instructions() {
+            program.push(i);
+        }
+        // Doctor the program: claim the output is constant 1; the first
+        // differing pattern is 00 (AND = 0 there).
+        program.add_output("f", plim::OutputLoc::Const(true));
+        compiled.program = program;
+        assert_eq!(
+            verify_exhaustive(&mig, &compiled),
+            Err(VerifyError::Mismatch {
+                output: "f".into(),
+                inputs: vec![false, false],
+            })
+        );
+    }
+
+    #[test]
+    fn wide_random_path_detects_wrong_program_on_large_interface() {
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", EXHAUSTIVE_LIMIT + 2);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = mig.xor(acc, x);
+        }
+        mig.add_output("f", acc);
+        let mut compiled = compile(&mig, CompilerOptions::new());
+        verify(&mig, &compiled, 4, 1).unwrap();
+        let mut program = Program::new(EXHAUSTIVE_LIMIT + 2);
+        for &i in compiled.program.instructions() {
+            program.push(i);
+        }
+        program.add_output("f", plim::OutputLoc::Const(false));
+        compiled.program = program;
+        let err = verify(&mig, &compiled, 4, 1).unwrap_err();
+        match err {
+            VerifyError::Mismatch { inputs, .. } => {
+                assert_eq!(inputs.len(), EXHAUSTIVE_LIMIT + 2);
+                // Parity of the counterexample must actually be 1 (the
+                // doctored constant says 0).
+                assert!(inputs.iter().filter(|&&b| b).count() % 2 == 1);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -250,6 +250,36 @@ impl TruthTable {
     }
 }
 
+/// The 64-pattern slice of exhaustive-enumeration variable `var` at block
+/// `block`: bit `k` of the returned word is the value of variable `var`
+/// under global input pattern `64·block + k`, matching the row order of
+/// [`TruthTable`].
+///
+/// Feeding `variable_word(v, block)` for every input `v` to [`simulate`]
+/// (and, on the PLiM side, to a wide machine) walks the entire input space
+/// of an `n`-input circuit in `2^n / 64` blocks with identical pattern
+/// numbering on both sides.
+///
+/// # Examples
+///
+/// ```
+/// use mig::simulate::{variable_word, TruthTable};
+///
+/// let tt = TruthTable::variable(8, 7);
+/// for block in 0..tt.blocks().len() {
+///     assert_eq!(variable_word(7, block), tt.blocks()[block]);
+/// }
+/// ```
+pub fn variable_word(var: usize, block: usize) -> u64 {
+    if var < 6 {
+        TruthTable::VAR_PATTERNS[var]
+    } else if block >> (var - 6) & 1 == 1 {
+        !0
+    } else {
+        0
+    }
+}
+
 /// Computes the truth table of every primary output.
 ///
 /// # Panics
@@ -321,6 +351,19 @@ impl XorShift64 {
                 seed
             },
         }
+    }
+
+    /// A generator for substream `stream` of a master seed.
+    ///
+    /// Streams are decorrelated through a SplitMix64 finalizer, so
+    /// parallel workers can each draw reproducible randomness for their
+    /// own block index and the combined sequence is independent of how
+    /// work is divided among threads.
+    pub fn for_stream(seed: u64, stream: u64) -> Self {
+        let mut x = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift64::new(x ^ (x >> 31))
     }
 
     /// The next pseudo-random 64-bit word.
@@ -467,6 +510,33 @@ mod tests {
         }
         let mut r3 = XorShift64::new(8);
         assert_ne!(r1.next_word(), r3.next_word());
+    }
+
+    #[test]
+    fn variable_word_matches_truth_table_rows() {
+        for num_vars in [3usize, 7, 9] {
+            for var in 0..num_vars {
+                let tt = TruthTable::variable(num_vars, var);
+                for (block, &expected) in tt.blocks().iter().enumerate() {
+                    let mut word = variable_word(var, block);
+                    if num_vars < 6 {
+                        word &= (1u64 << (1 << num_vars)) - 1;
+                    }
+                    assert_eq!(word, expected, "var {var} block {block}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_rngs_are_deterministic_and_decorrelated() {
+        let mut a = XorShift64::for_stream(42, 3);
+        let mut b = XorShift64::for_stream(42, 3);
+        assert_eq!(a.next_word(), b.next_word());
+        let mut c = XorShift64::for_stream(42, 4);
+        assert_ne!(a.next_word(), c.next_word());
+        let mut d = XorShift64::for_stream(43, 3);
+        assert_ne!(b.next_word(), d.next_word());
     }
 
     #[test]

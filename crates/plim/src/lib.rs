@@ -15,6 +15,8 @@
 //! * [`Instruction`], [`Operand`], [`Program`] — the RM3 ISA with
 //!   paper-style program listings;
 //! * [`Machine`] — a functional simulator with per-cell write counters;
+//! * [`wide`] — a bit-parallel executor running 64 or 256 input patterns
+//!   per instruction step, with fault-injection hooks;
 //! * [`endurance`] — wear statistics, since RRAM endurance is a first-class
 //!   concern for in-memory computing.
 //!
@@ -31,7 +33,9 @@ pub mod endurance;
 mod error;
 mod isa;
 mod machine;
+pub mod wide;
 
+pub use endurance::EnduranceStats;
 pub use error::MachineError;
 pub use isa::{Instruction, Operand, OutputLoc, Program, RamAddr};
 pub use machine::Machine;

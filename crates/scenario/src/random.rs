@@ -1,0 +1,137 @@
+//! Biased lane-word randomness for fault models.
+//!
+//! Fault injection needs words whose bits are independently 1 with a
+//! small probability `p` (a drifted write flips each lane with
+//! probability `p`). Drawing one uniform word per *bit* of precision and
+//! folding through the binary expansion of `p` produces exactly
+//! quantized-`p` bias from plain uniform words — no floating-point
+//! comparisons per lane, and the cost is a fixed number of RNG draws per
+//! word regardless of lane count.
+
+use mig::simulate::XorShift64;
+use plim::wide::LaneWord;
+
+/// Precision of the probability quantization, in binary digits.
+const FRACTION_BITS: u32 = 32;
+
+/// Draws lane words whose bits are independently 1 with probability `p`
+/// (quantized to [`struct@BiasedBits`]' 32 fraction bits).
+///
+/// The construction folds uniform words through the binary expansion of
+/// `p`, least-significant digit first: starting from an all-zeros
+/// accumulator, a `1` digit maps `acc ← r | acc` (probability becomes
+/// `(1 + q) / 2`) and a `0` digit maps `acc ← r & acc` (probability
+/// becomes `q / 2`), so after all digits every bit of the accumulator is
+/// 1 with probability exactly `0.d₁d₂…dₖ` in binary.
+///
+/// # Examples
+///
+/// ```
+/// use mig::simulate::XorShift64;
+/// use plim_scenario::BiasedBits;
+///
+/// let half = BiasedBits::new(0.5);
+/// let mut rng = XorShift64::new(7);
+/// let word: u64 = half.draw(&mut rng);
+/// // p = 0.5 reduces to a single uniform draw.
+/// assert_eq!(word, XorShift64::new(7).next_word());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiasedBits {
+    /// `round(p · 2³²)`, saturated to `2³²` for `p = 1`.
+    fraction: u64,
+}
+
+impl BiasedBits {
+    /// Quantizes a probability (clamped to `[0, 1]`).
+    pub fn new(p: f64) -> Self {
+        let clamped = p.clamp(0.0, 1.0);
+        BiasedBits {
+            fraction: (clamped * f64::from(2u32).powi(FRACTION_BITS as i32)).round() as u64,
+        }
+    }
+
+    /// `true` when the quantized probability is exactly zero (drawing
+    /// would always return the zero word).
+    pub fn is_zero(self) -> bool {
+        self.fraction == 0
+    }
+
+    /// The quantized probability.
+    pub fn probability(self) -> f64 {
+        self.fraction as f64 / f64::from(2u32).powi(FRACTION_BITS as i32)
+    }
+
+    /// Draws one biased lane word from `rng`.
+    ///
+    /// Consumes a deterministic number of RNG words (up to
+    /// `32 · W::WORDS`), so seeded streams stay reproducible.
+    pub fn draw<W: LaneWord>(self, rng: &mut XorShift64) -> W {
+        if self.fraction == 0 {
+            return W::zero();
+        }
+        if self.fraction >= 1 << FRACTION_BITS {
+            return W::ones();
+        }
+        // Digits below the lowest set bit keep the accumulator all-zero
+        // (`r & 0 = 0`), so folding can start at the first `1` digit.
+        let mut acc = W::from_blocks(|_| rng.next_word());
+        for digit in self.fraction.trailing_zeros() + 1..FRACTION_BITS {
+            let r = W::from_blocks(|_| rng.next_word());
+            acc = if self.fraction >> digit & 1 == 1 {
+                r | acc
+            } else {
+                r & acc
+            };
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plim::wide::W256;
+
+    fn measured_rate(p: f64, draws: usize, seed: u64) -> f64 {
+        let bias = BiasedBits::new(p);
+        let mut rng = XorShift64::new(seed);
+        let mut ones = 0u64;
+        for _ in 0..draws {
+            ones += u64::from(bias.draw::<W256>(&mut rng).count_ones());
+        }
+        ones as f64 / (draws * 256) as f64
+    }
+
+    #[test]
+    fn extreme_probabilities_are_exact() {
+        let mut rng = XorShift64::new(1);
+        assert_eq!(BiasedBits::new(0.0).draw::<u64>(&mut rng), 0);
+        assert_eq!(BiasedBits::new(1.0).draw::<u64>(&mut rng), u64::MAX);
+        assert!(BiasedBits::new(0.0).is_zero());
+        assert!(!BiasedBits::new(1e-9).is_zero());
+        assert_eq!(BiasedBits::new(0.25).probability(), 0.25);
+    }
+
+    #[test]
+    fn measured_rates_track_requested_probabilities() {
+        for &p in &[0.5, 0.25, 0.1, 0.01] {
+            let measured = measured_rate(p, 2000, 42);
+            let sigma = (p * (1.0 - p) / (2000.0 * 256.0)).sqrt();
+            assert!(
+                (measured - p).abs() < 6.0 * sigma + 1e-9,
+                "p={p}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let bias = BiasedBits::new(0.125);
+        let mut a = XorShift64::new(9);
+        let mut b = XorShift64::new(9);
+        for _ in 0..32 {
+            assert_eq!(bias.draw::<W256>(&mut a), bias.draw::<W256>(&mut b));
+        }
+    }
+}

@@ -25,6 +25,20 @@
 //!                        the post-optimization IR with def/use annotations
 //!   --no-verify          skip the simulation check
 //!
+//!   Binary AIGER (.aig) is not supported; convert to ASCII first with
+//!   `aigtoaig input.aig output.aag`.
+//!
+//! plimc verify [compile OPTIONS] FILE
+//!                             compile and prove the program equal to the
+//!                             source network over the FULL input space
+//!                             (up to 20 primary inputs)
+//!
+//! plimc scenario [compile OPTIONS] [--patterns N] [--drift P]
+//!                [--stuck ADDR:LEVEL] [--seed N] [--endurance N]
+//!                [--noise P] [--max-invocations N] FILE
+//!                             fault-injection and device-lifetime sweep
+//!                             across all allocation strategies
+//!
 //! plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]
 //!                             run the compile service (default
 //!                             127.0.0.1:7393; port 0 picks a free port,
@@ -251,6 +265,145 @@ fn run(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `plimc verify` subcommand: compiles the input and proves the
+/// program equal to the **raw** source network over the full input space
+/// (so the proof covers rewriting and compilation end to end).
+fn run_verify(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    if args.limit.is_some() {
+        return Err("--limit is not supported by verify; compile first, then verify".to_string());
+    }
+    let input = read_input(&args)?;
+    let spec = args.spec();
+    let optimized = pipeline::optimize(&input, &spec);
+    let compiled = plim_compiler::compile(&optimized, spec.options);
+    plim_compiler::verify::verify_exhaustive(&input, &compiled)
+        .map_err(|e| format!("verification: {e}"))?;
+    let inputs = input.num_inputs();
+    println!(
+        "verified: all {} outputs equal over all 2^{inputs} input patterns \
+         ({} instructions, {} RAMs)",
+        input.num_outputs(),
+        compiled.stats.instructions,
+        compiled.stats.rams,
+    );
+    Ok(())
+}
+
+/// The `plimc scenario` subcommand: Monte-Carlo fault injection and
+/// device-lifetime simulation of the compiled program, swept across every
+/// work-RRAM allocation strategy. All numbers are a pure function of the
+/// seed (reports are thread-count invariant).
+fn run_scenario(argv: &[String]) -> Result<(), String> {
+    use plim_scenario::{FaultScenario, LifetimeScenario};
+
+    let mut fault = FaultScenario::default();
+    let mut lifetime = LifetimeScenario::default();
+    let mut compile_argv: Vec<String> = Vec::new();
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let number = |name: &str, text: &str| -> Result<u64, String> {
+            text.parse()
+                .map_err(|_| format!("{name} needs a number (got `{text}`)"))
+        };
+        let rate = |name: &str, text: &str| -> Result<f64, String> {
+            text.parse::<f64>()
+                .ok()
+                .filter(|p| (0.0..=1.0).contains(p))
+                .ok_or_else(|| format!("{name} needs a probability in [0, 1] (got `{text}`)"))
+        };
+        match arg.as_str() {
+            "--patterns" => fault.patterns = number("--patterns", value("--patterns")?)?,
+            "--drift" => {
+                fault.model.drift_probability = rate("--drift", value("--drift")?)?;
+            }
+            "--stuck" => {
+                let text = value("--stuck")?;
+                let (addr, level) = match text.split_once(':') {
+                    Some((addr, "0")) => (addr, false),
+                    Some((addr, "1")) => (addr, true),
+                    _ => return Err(format!("--stuck needs ADDR:0 or ADDR:1 (got `{text}`)")),
+                };
+                fault
+                    .model
+                    .stuck
+                    .push((plim::RamAddr(number("--stuck", addr)? as u32), level));
+            }
+            "--seed" => {
+                let seed = number("--seed", value("--seed")?)?;
+                fault.seed = seed;
+                lifetime.seed = seed;
+            }
+            "--endurance" => {
+                lifetime.cell_endurance = number("--endurance", value("--endurance")?)?
+            }
+            "--noise" => lifetime.write_noise = rate("--noise", value("--noise")?)?,
+            "--max-invocations" => {
+                lifetime.max_invocations = number("--max-invocations", value("--max-invocations")?)?
+            }
+            _ => compile_argv.push(arg.clone()),
+        }
+    }
+
+    let args = parse_args(&compile_argv)?;
+    if args.limit.is_some() {
+        return Err("--limit is not supported by scenario".to_string());
+    }
+    let input = read_input(&args)?;
+    let spec = args.spec();
+    let optimized = pipeline::optimize(&input, &spec);
+
+    let faults = plim_scenario::sweep_strategies(&optimized, spec.options, &fault)
+        .map_err(|e| format!("fault sweep: {e}"))?;
+    let lifetimes = plim_scenario::compare_strategies(
+        &optimized,
+        spec.options,
+        &lifetime,
+        plim_parallel::Parallelism::Auto,
+    );
+
+    let stuck = if fault.model.stuck.is_empty() {
+        "none".to_string()
+    } else {
+        fault
+            .model
+            .stuck
+            .iter()
+            .map(|(addr, level)| format!("@{}:{}", addr.0, u8::from(*level)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    println!(
+        "scenario: {} patterns, drift {}, stuck {stuck}, endurance {}, noise {}, seed {:#x}",
+        fault.patterns,
+        fault.model.drift_probability,
+        lifetime.cell_endurance,
+        lifetime.write_noise,
+        fault.seed,
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>10}",
+        "alloc", "error-rate", "bit-errors", "lifetime", "first-dead"
+    );
+    for ((strategy, report), (_, life)) in faults.iter().zip(&lifetimes) {
+        println!(
+            "{:<8} {:>12.6} {:>12.6} {:>14} {:>10}",
+            strategy.name(),
+            report.error_rate(),
+            report.bit_error_rate(),
+            life.invocations,
+            life.first_dead_cell
+                .map(|addr| format!("@{}", addr.0))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    Ok(())
+}
+
 /// The `plimc request` subcommand: one round-trip against a running
 /// `plimd`. Compile requests print the artifact exactly as the offline
 /// pipeline would; `--stats` and `--shutdown` print the response JSON.
@@ -393,7 +546,20 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         if reduced { "reduced" } else { "full" }
     );
     println!("{}", batch::table_header());
-    let run = batch::bench_suite(&circuits, effort, parallelism);
+    let mut run = batch::bench_suite(&circuits, effort, parallelism);
+    // Fidelity columns are required fields of BENCH.json, measured from the
+    // run's own compiled artifacts: the exhaustive equivalence proof at
+    // -O0/-O1/-O2 (against the raw source MIG), the drift fault sweep, and
+    // the ideal-device lifetime.
+    plim_scenario::annotate_bench(
+        &mut run,
+        &circuits,
+        &plim_scenario::FidelityConfig {
+            parallelism,
+            ..plim_scenario::FidelityConfig::default()
+        },
+    )
+    .map_err(|e| format!("fidelity annotation: {e}"))?;
     for (index, row) in run.rows.iter().enumerate() {
         println!("{}   [{:.1?}]", batch::format_row(row), run.row_time(index));
     }
@@ -401,6 +567,15 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     println!("{}", batch::format_row(&batch::totals(&run.rows)));
     println!();
     println!("batch: {}", run.report.summary());
+    let verified = run
+        .records
+        .iter()
+        .filter(|record| record.verified_exhaustive)
+        .count();
+    println!(
+        "fidelity: {verified}/{} circuits verified exhaustively",
+        run.records.len()
+    );
     if let Some(path) = json {
         let document = plim_compiler::benchfile::to_json(&run.records);
         std::fs::write(&path, document).map_err(|e| format!("writing {path}: {e}"))?;
@@ -483,6 +658,8 @@ fn main() -> ExitCode {
         Some("bench-diff") => run_bench_diff(&args[1..]),
         Some("serve") => server::serve_cli(&args[1..]),
         Some("request") => run_request(&args[1..]),
+        Some("verify") => run_verify(&args[1..]),
+        Some("scenario") => run_scenario(&args[1..]),
         Some("dump") => run_dump(&args[1..]),
         _ => run(&args),
     };
@@ -493,6 +670,14 @@ fn main() -> ExitCode {
             eprintln!("             [--schedule index|priority|lookahead] [--alloc fifo|lifo|fresh|wear|binned]");
             eprintln!(
                 "             [-O0|-O1|-O2] [--limit R] [--emit asm|listing|stats|dot|mig|ir] [--no-verify] FILE"
+            );
+            eprintln!("       (binary AIGER .aig is not supported; convert with `aigtoaig input.aig output.aag`)");
+            eprintln!("       plimc verify [compile options] FILE");
+            eprintln!(
+                "       plimc scenario [compile options] [--patterns N] [--drift P] [--stuck ADDR:LEVEL]"
+            );
+            eprintln!(
+                "                      [--seed N] [--endurance N] [--noise P] [--max-invocations N] FILE"
             );
             eprintln!(
                 "       plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]"

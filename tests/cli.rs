@@ -60,13 +60,9 @@ fn binary_aiger_file_gets_a_clear_error() {
     let path = dir.join(format!("plimc_cli_test_binary_{}.aig", std::process::id()));
     std::fs::write(&path, binary_aiger_bytes()).unwrap();
 
-    let output = plimc().arg(path.to_str().unwrap()).output().unwrap();
-    let stderr = String::from_utf8_lossy(&output.stderr);
-    assert_eq!(output.status.code(), Some(1), "stderr: {stderr}");
-    assert!(
-        stderr.contains("binary AIGER is not supported"),
-        "unexpected diagnostic: {stderr}"
-    );
+    // The user-error convention in full: exit 1, exactly one `plimc: …`
+    // stderr line, naming both the problem and the converter to run.
+    let stderr = assert_user_error(&[path.to_str().unwrap()], "binary AIGER is not supported");
     assert!(stderr.contains("aigtoaig"), "should suggest the converter");
     // The old behavior fell through to the MIG text parser.
     assert!(
@@ -267,7 +263,8 @@ fn bench_json(instructions: u64) -> String {
          \"max_writes\": 22, \"lookahead_rams\": 11, \"wear_max_writes\": 22, \
          \"o1_instructions\": {instructions}, \"o1_rams\": 11, \
          \"o2_instructions\": {instructions}, \"o2_rams\": 11, \"o2_max_writes\": 22, \
-         \"rewrite_ms\": 1.0, \"compile_ms\": 2.0}}]\n"
+         \"rewrite_ms\": 1.0, \"compile_ms\": 2.0, \"verified_exhaustive\": true, \
+         \"fault_error_rate\": 0.0649, \"lifetime_invocations\": 45454}}]\n"
     )
 }
 
@@ -559,6 +556,167 @@ fn request_against_a_dead_service_is_a_user_error() {
         &["request", "--stats", "--shutdown", "extra"],
         "take no further arguments",
     );
+}
+
+/// `plimc verify` proves a suite circuit end to end and reports the proof
+/// size; circuits beyond the exhaustive-input limit are a user error.
+#[test]
+fn verify_subcommand_proves_small_circuits_and_rejects_large_ones() {
+    let dump = plimc()
+        .args(["dump", "ctrl", "--reduced"])
+        .output()
+        .unwrap();
+    assert!(dump.status.success());
+    let output = run_with_stdin(&["verify", "-O2", "-"], &dump.stdout);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("verified: all") && stdout.contains("2^7 input patterns"),
+        "proof report missing: {stdout}"
+    );
+
+    // The reduced router has 60 primary inputs — far beyond the
+    // exhaustive limit; the refusal is the standard one-line diagnostic.
+    let router = plimc()
+        .args(["dump", "router", "--reduced"])
+        .output()
+        .unwrap();
+    assert!(router.status.success());
+    let rejected = run_with_stdin(&["verify", "-"], &router.stdout);
+    let stderr = String::from_utf8_lossy(&rejected.stderr);
+    assert_eq!(rejected.status.code(), Some(1), "stderr: {stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+    assert!(
+        stderr.starts_with("plimc: verification:") && stderr.contains("supports at most 20"),
+        "unexpected diagnostic: {stderr}"
+    );
+
+    assert_user_error(
+        &["verify", "--limit", "8", "x.mig"],
+        "--limit is not supported by verify",
+    );
+}
+
+/// `plimc scenario` prints the seeded configuration header and one table
+/// row per allocation strategy; malformed knobs are user errors.
+#[test]
+fn scenario_subcommand_sweeps_every_allocator() {
+    let output = run_with_stdin(
+        &[
+            "scenario",
+            "--patterns",
+            "512",
+            "--drift",
+            "0.01",
+            "--stuck",
+            "0:1",
+            "--endurance",
+            "10000",
+            "-",
+        ],
+        AND_MIG,
+    );
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("scenario: 512 patterns, drift 0.01, stuck @0:1"),
+        "header missing: {stdout}"
+    );
+    for strategy in ["fifo", "lifo", "fresh", "wear", "binned"] {
+        assert!(
+            stdout.lines().any(|line| line.starts_with(strategy)),
+            "no row for `{strategy}`: {stdout}"
+        );
+    }
+
+    assert_user_error(
+        &["scenario", "--stuck", "3:2", "x.mig"],
+        "--stuck needs ADDR:0 or ADDR:1",
+    );
+    assert_user_error(
+        &["scenario", "--drift", "1.5", "x.mig"],
+        "needs a probability in [0, 1]",
+    );
+    assert_user_error(
+        &["scenario", "--patterns", "many", "x.mig"],
+        "--patterns needs a number",
+    );
+}
+
+/// The fidelity axis gates asymmetrically: `verified_exhaustive` flipping
+/// true → false is a regression; measured-rate drift is a note.
+#[test]
+fn bench_diff_gates_on_lost_exhaustive_verification() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let baseline = dir.join(format!("plimc_cli_fidelity_baseline_{pid}.json"));
+    let unverified = dir.join(format!("plimc_cli_fidelity_lost_{pid}.json"));
+    std::fs::write(&baseline, bench_json(98)).unwrap();
+    std::fs::write(
+        &unverified,
+        bench_json(98).replace(
+            "\"verified_exhaustive\": true",
+            "\"verified_exhaustive\": false",
+        ),
+    )
+    .unwrap();
+
+    let bad = plimc()
+        .args([
+            "bench-diff",
+            baseline.to_str().unwrap(),
+            unverified.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert_eq!(bad.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("verified_exhaustive regressed true → false"),
+        "{stdout}"
+    );
+
+    // The reverse direction (false → true) is an improvement, not a gate.
+    let ok = plimc()
+        .args([
+            "bench-diff",
+            unverified.to_str().unwrap(),
+            baseline.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    for path in [&baseline, &unverified] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// `--help` documents the binary-AIGER conversion path and both scenario
+/// subcommands.
+#[test]
+fn help_mentions_aigtoaig_and_the_scenario_subcommands() {
+    let output = plimc().arg("--help").output().unwrap();
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("aigtoaig input.aig output.aag"),
+        "converter hint missing from --help: {stderr}"
+    );
+    assert!(stderr.contains("plimc verify"), "{stderr}");
+    assert!(stderr.contains("plimc scenario"), "{stderr}");
 }
 
 #[test]

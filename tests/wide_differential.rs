@@ -1,0 +1,146 @@
+//! Differential tests: the bit-parallel [`WideMachine`] must be
+//! indistinguishable from 64 (or 256) scalar [`Machine`] runs — same
+//! outputs bit for bit, same lanes-adjusted write counters, same errors
+//! on malformed programs — across every compiler option combination.
+
+use proptest::prelude::*;
+
+use plim::wide::{LaneWord, WideMachine, W256};
+use plim::{Instruction, Machine, MachineError, Operand, Program, RamAddr};
+use plim_benchmarks::random::{random_logic, RandomLogicSpec};
+use plim_compiler::{compile, AllocatorStrategy, CompilerOptions, OptLevel, ScheduleOrder};
+
+fn spec_strategy() -> impl Strategy<Value = RandomLogicSpec> {
+    (2usize..10, 1usize..8, 10usize..100, any::<u64>()).prop_map(
+        |(inputs, outputs, nodes, seed)| RandomLogicSpec::new(inputs, outputs, nodes, seed),
+    )
+}
+
+/// Runs `program` through the scalar machine once per lane of the wide
+/// input words, reusing one machine so its write counters accumulate to
+/// the wide machine's lanes-adjusted totals.
+fn scalar_reference<W: LaneWord>(
+    program: &Program,
+    wide_inputs: &[W],
+) -> (Vec<Vec<bool>>, Machine) {
+    let mut machine = Machine::new();
+    let mut per_lane = Vec::with_capacity(W::LANES);
+    for lane in 0..W::LANES {
+        let inputs: Vec<bool> = wide_inputs.iter().map(|w| w.lane(lane)).collect();
+        per_lane.push(machine.run(program, &inputs).unwrap());
+    }
+    (per_lane, machine)
+}
+
+/// Asserts wide outputs and counters equal the scalar reference on random
+/// input words drawn from `seed`.
+fn assert_wide_matches_scalar<W: LaneWord>(program: &Program, seed: u64) {
+    let mut rng = mig::simulate::XorShift64::new(seed);
+    let wide_inputs: Vec<W> = (0..program.num_inputs())
+        .map(|_| W::from_blocks(|_| rng.next_word()))
+        .collect();
+
+    let (per_lane, scalar) = scalar_reference(program, &wide_inputs);
+    let mut wide = WideMachine::<W>::new();
+    let got = wide.run(program, &wide_inputs).unwrap();
+
+    for (lane, scalar_outputs) in per_lane.iter().enumerate() {
+        for (index, &expected) in scalar_outputs.iter().enumerate() {
+            assert_eq!(
+                got[index].lane(lane),
+                expected,
+                "output {index}, lane {lane}"
+            );
+        }
+    }
+    // One wide run = LANES scalar runs, so the lanes-adjusted write
+    // counters must agree exactly. Cycles count machine *steps* (one wide
+    // step executes all lanes), so the scalar machine takes LANES× more.
+    assert_eq!(wide.write_counts(), scalar.write_counts());
+    assert_eq!(wide.cycles() * W::LANES as u64, scalar.cycles());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wide64_matches_scalar_on_all_option_combos(
+        spec in spec_strategy(),
+        schedule in 0usize..ScheduleOrder::ALL.len(),
+        allocator in 0usize..AllocatorStrategy::ALL.len(),
+        opt in 0usize..OptLevel::ALL.len(),
+    ) {
+        let mig = random_logic(&spec);
+        let options = CompilerOptions::new()
+            .schedule(ScheduleOrder::ALL[schedule])
+            .allocator(AllocatorStrategy::ALL[allocator])
+            .opt(OptLevel::ALL[opt]);
+        let compiled = compile(&mig, options);
+        assert_wide_matches_scalar::<u64>(&compiled.program, spec.seed);
+    }
+
+    #[test]
+    fn wide256_matches_scalar(spec in spec_strategy(), opt in 0usize..OptLevel::ALL.len()) {
+        let mig = random_logic(&spec);
+        let compiled = compile(&mig, CompilerOptions::new().opt(OptLevel::ALL[opt]));
+        assert_wide_matches_scalar::<W256>(&compiled.program, spec.seed ^ 0xDAC);
+    }
+
+    #[test]
+    fn naive_translations_are_lane_exact_too(spec in spec_strategy()) {
+        let mig = random_logic(&spec);
+        let compiled = compile(&mig, CompilerOptions::naive());
+        assert_wide_matches_scalar::<u64>(&compiled.program, spec.seed);
+    }
+}
+
+#[test]
+fn wide256_counters_are_four_times_wide64() {
+    let spec = RandomLogicSpec::new(5, 3, 40, 99);
+    let mig = random_logic(&spec);
+    let compiled = compile(&mig, CompilerOptions::new());
+    let n = compiled.program.num_inputs();
+
+    let mut wide64 = WideMachine::<u64>::new();
+    wide64.run(&compiled.program, &vec![0u64; n]).unwrap();
+    let mut wide256 = WideMachine::<W256>::new();
+    wide256
+        .run(&compiled.program, &vec![W256::zero(); n])
+        .unwrap();
+
+    let quadrupled: Vec<u64> = wide64.write_counts().iter().map(|&c| 4 * c).collect();
+    assert_eq!(wide256.write_counts(), &quadrupled[..]);
+}
+
+#[test]
+fn malformed_programs_error_identically_on_both_machines() {
+    // Input index out of range.
+    let mut out_of_range = Program::new(1);
+    out_of_range.push(Instruction::new(
+        Operand::Input(7),
+        Operand::Const(false),
+        RamAddr(0),
+    ));
+    // Input count mismatch (program expects 2 inputs, given 1).
+    let two_inputs = Program::new(2);
+
+    let scalar_oor = Machine::new().run(&out_of_range, &[true]).unwrap_err();
+    let wide_oor = WideMachine::<u64>::new()
+        .run(&out_of_range, &[!0u64])
+        .unwrap_err();
+    assert_eq!(scalar_oor, wide_oor);
+    assert_eq!(wide_oor, MachineError::InputOutOfRange { index: 7 });
+
+    let scalar_count = Machine::new().run(&two_inputs, &[true]).unwrap_err();
+    let wide_count = WideMachine::<W256>::new()
+        .run(&two_inputs, &[W256::ones()])
+        .unwrap_err();
+    assert_eq!(scalar_count, wide_count);
+    assert_eq!(
+        wide_count,
+        MachineError::InputCountMismatch {
+            expected: 2,
+            got: 1
+        }
+    );
+}
