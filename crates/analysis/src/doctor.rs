@@ -1,0 +1,74 @@
+//! Deliberate artifact corruption, for proving the analyzer has teeth.
+//!
+//! A lint gate that never fires is indistinguishable from one that is
+//! wired up wrong. CI therefore dry-runs the analyzer on a *doctored*
+//! event stream — a known-good compilation with one discipline violation
+//! injected — and requires the run to fail with the expected lint. These
+//! helpers perform the injections; each documents the lint it guarantees.
+
+use plim_compiler::ir::{CellId, Event, IrProgram};
+
+/// Injects a write-after-release: releases the destination cell of the
+/// first op event immediately before that op runs, so the op's write (and
+/// any later use of the cell) lands on a released cell.
+///
+/// On any stream produced by the compiler this guarantees a `PA0002`
+/// (use-after-release) finding — the lowering always requests a cell
+/// before its first write, so at the injection point the destination is
+/// requested-but-unwritten and the release itself is unremarkable.
+///
+/// Returns the sabotaged cell, or `None` if the stream has no op events
+/// (nothing to corrupt).
+pub fn inject_write_after_release(ir: &mut IrProgram) -> Option<CellId> {
+    let pos = ir
+        .events
+        .iter()
+        .position(|event| matches!(event, Event::Op(_)))?;
+    let Event::Op(i) = ir.events[pos] else {
+        unreachable!("position() matched an op event");
+    };
+    let z = ir.ops.get(i as usize)?.z;
+    ir.events.insert(pos, Event::Release(z));
+    Some(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plim_compiler::ir::analysis::{analyze_events, AnalysisConfig, Lint};
+    use plim_compiler::{compile_full, CompilerOptions};
+
+    #[test]
+    fn injection_trips_use_after_release() {
+        let mut mig = mig::Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, b, c);
+        mig.add_output("m", m);
+        let mut compilation = compile_full(&mig, CompilerOptions::new());
+
+        let config = AnalysisConfig::structural();
+        assert!(analyze_events(&compilation.ir, &config).is_empty());
+
+        let cell = inject_write_after_release(&mut compilation.ir).expect("stream has ops");
+        let diags = analyze_events(&compilation.ir, &config);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint == Lint::UseAfterRelease && d.cell == Some(cell)),
+            "expected PA0002 on %{}, got: {diags:?}",
+            cell.0
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_not_corruptible() {
+        let mut mig = mig::Mig::new();
+        let a = mig.add_input("a");
+        mig.add_output("a", a);
+        let mut compilation = compile_full(&mig, CompilerOptions::new());
+        // A pass-through circuit lowers to zero ops.
+        assert_eq!(inject_write_after_release(&mut compilation.ir), None);
+    }
+}

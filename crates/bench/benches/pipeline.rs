@@ -68,8 +68,7 @@ fn bench_stages(circuits: &[&str], iters: usize) {
         let mut machine = plim::Machine::new();
         let t_machine = best_of(iters, || machine.run(&compiled.program, &inputs).unwrap());
         println!(
-            "{:<11} {:>12.1?} {:>14.1?} {:>14.1?} {:>12.1?}",
-            name, t_rewrite, t_naive, t_smart, t_machine
+            "{name:<11} {t_rewrite:>12.1?} {t_naive:>14.1?} {t_smart:>14.1?} {t_machine:>12.1?}"
         );
     }
     println!();

@@ -24,9 +24,6 @@
 //! assert_eq!(adder.num_outputs(), 9); // 8-bit reduced adder: 8 sums + carry
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod arith;
 pub mod control;
 pub mod random;

@@ -81,7 +81,7 @@ pub fn random_logic(spec: &RandomLogicSpec) -> Mig {
 
     // Signal pool with simulation signatures; the first `globals` entries
     // are the slice every module may draw from.
-    let mut pool: Vec<Signal> = inputs.clone();
+    let mut pool: Vec<Signal> = inputs;
     let mut sigs: Vec<u64> = (0..pool.len()).map(|_| rng.0.next_word()).collect();
     if pool.is_empty() {
         pool.push(Signal::FALSE);

@@ -91,7 +91,7 @@ impl FreePool {
         match self {
             FreePool::Fifo(pool) => pool.push_back(addr),
             FreePool::Lifo(pool) | FreePool::Fresh(pool) | FreePool::WearLeveled(pool) => {
-                pool.push(addr)
+                pool.push(addr);
             }
             FreePool::Binned { short, long } => match class {
                 LifetimeClass::Short => short.push_back(addr),

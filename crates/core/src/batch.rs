@@ -52,8 +52,10 @@ use mig::Mig;
 use plim_parallel::{par_map, Parallelism};
 
 use crate::benchfile::BenchRecord;
+use crate::ir::analysis::{analyze_events, AnalysisConfig};
 use crate::{
-    compile, AllocatorStrategy, CompiledProgram, CompilerOptions, OptLevel, ScheduleOrder,
+    compile, compile_full, AllocatorStrategy, Compilation, CompiledProgram, CompilerOptions,
+    OptLevel, ScheduleOrder,
 };
 
 /// Rewrite effort used throughout the evaluation (the paper fixes 4).
@@ -132,6 +134,26 @@ pub struct JobResult {
     pub compiled: CompiledProgram,
     /// Wall-clock time of the compile call (excluding any shared rewrite).
     pub compile_time: Duration,
+    /// `true` when the static analyzer reported zero diagnostics on the
+    /// artifact, its statically re-derived #I/#R/max-writes match the
+    /// recorded [`crate::CompileStats`], and the emitted program obeys the
+    /// machine's initialization discipline.
+    pub lint_clean: bool,
+}
+
+/// Whether one compilation's artifacts pass the full static-analysis gate
+/// at the job's optimization level.
+fn job_lint_clean(compilation: &Compilation, opt: OptLevel) -> bool {
+    let config = AnalysisConfig::for_level(opt);
+    if !analyze_events(&compilation.ir, &config).is_empty() {
+        return false;
+    }
+    let stats = &compilation.compiled.stats;
+    let (instructions, rams, max_writes) = crate::ir::replay_metrics(&compilation.ir);
+    instructions == stats.instructions
+        && rams == stats.rams
+        && max_writes == stats.max_cell_writes
+        && crate::verify::check_init_discipline(&compilation.compiled).is_ok()
 }
 
 /// One distinct rewrite pass executed by a batch.
@@ -245,11 +267,14 @@ pub fn run_batch(circuits: &[Circuit], specs: &[JobSpec], parallelism: Paralleli
             RewriteEffort::Effort(effort) => memo[&(spec.circuit, effort)],
         };
         let clock = Instant::now();
-        let compiled = compile(input, spec.options);
+        let compilation = compile_full(input, spec.options);
+        let compile_time = clock.elapsed();
+        let lint_clean = job_lint_clean(&compilation, spec.options.opt);
         JobResult {
             spec: *spec,
-            compiled,
-            compile_time: clock.elapsed(),
+            compiled: compilation.compiled,
+            compile_time,
+            lint_clean,
         }
     });
 
@@ -561,6 +586,9 @@ pub fn bench_suite(circuits: &[Circuit], effort: usize, parallelism: Parallelism
             verified_exhaustive: false,
             fault_error_rate: 0.0,
             lifetime_invocations: 0,
+            // Every artifact the batch produced must come back clean from
+            // the static analyzer for the circuit to claim the column.
+            lint_clean: jobs.iter().all(|job| job.lint_clean),
         });
     }
     BenchRun {

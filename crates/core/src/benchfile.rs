@@ -33,7 +33,12 @@
 //!   drifted-write fault model, and the simulated invocations until the
 //!   first cell exceeds its endurance budget. [`gate`] fails hard when
 //!   `verified_exhaustive` regresses from `true` to `false`; the two
-//!   measured columns are reported as notes.
+//!   measured columns are reported as notes;
+//! * `lint_clean` — the **static-analysis axis**: whether every artifact
+//!   behind the record came back from the `plim-analysis` lint engine
+//!   with zero diagnostics and exactly matching statically re-derived
+//!   resources. Like the proof column, [`gate`] fails hard on a
+//!   `true → false` flip and notes the opposite direction.
 //!
 //! Parsing is built on the shared [`crate::json`] layer, so syntax errors
 //! carry byte positions and schema errors name the missing or mistyped
@@ -83,6 +88,10 @@ pub struct BenchRecord {
     /// Simulated invocations until the first cell exceeds the reference
     /// endurance budget (0 when annotation was skipped).
     pub lifetime_invocations: u64,
+    /// Whether the static analyzer reported zero diagnostics on every
+    /// artifact behind this record, with statically re-derived resources
+    /// matching the recorded stats exactly.
+    pub lint_clean: bool,
 }
 
 /// Serializes records as a stable, human-reviewable JSON document.
@@ -96,7 +105,8 @@ pub fn to_json(records: &[BenchRecord]) -> String {
              \"lookahead_rams\": {}, \"wear_max_writes\": {}, \"o1_instructions\": {}, \
              \"o1_rams\": {}, \"o2_instructions\": {}, \"o2_rams\": {}, \"o2_max_writes\": {}, \
              \"rewrite_ms\": {:.3}, \"compile_ms\": {:.3}, \"verified_exhaustive\": {}, \
-             \"fault_error_rate\": {:.6}, \"lifetime_invocations\": {}}}{comma}",
+             \"fault_error_rate\": {:.6}, \"lifetime_invocations\": {}, \
+             \"lint_clean\": {}}}{comma}",
             // The shared JSON writer (full escaping, including control
             // characters) keeps the round-trip with `from_json` — which
             // parses through the same layer — airtight.
@@ -116,6 +126,7 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             r.verified_exhaustive,
             r.fault_error_rate,
             r.lifetime_invocations,
+            r.lint_clean,
         )
         .expect("writing to a String cannot fail");
     }
@@ -124,7 +135,8 @@ pub fn to_json(records: &[BenchRecord]) -> String {
 }
 
 /// The fourteen required numeric fields of a record, in schema order
-/// (`circuit` and the boolean `verified_exhaustive` are handled apart).
+/// (`circuit` and the booleans `verified_exhaustive` / `lint_clean` are
+/// handled apart).
 const NUMERIC_FIELDS: [&str; 14] = [
     "instructions",
     "rams",
@@ -196,14 +208,12 @@ fn parse_record(index: usize, item: &Value) -> Result<BenchRecord, String> {
     };
     // Checked after the numeric fields so diagnostics keep their
     // long-standing precedence (type errors, then missing counts).
-    let verified = || -> Result<bool, String> {
-        match item.get("verified_exhaustive") {
+    let boolean = |name: &'static str| -> Result<bool, String> {
+        match item.get(name) {
             Some(value) => value.as_bool().ok_or(format!(
-                "field 'verified_exhaustive' must be a boolean (circuit \"{circuit}\")"
+                "field '{name}' must be a boolean (circuit \"{circuit}\")"
             )),
-            None => Err(format!(
-                "missing field 'verified_exhaustive' (circuit \"{circuit}\")"
-            )),
+            None => Err(format!("missing field '{name}' (circuit \"{circuit}\")")),
         }
     };
     Ok(BenchRecord {
@@ -221,7 +231,8 @@ fn parse_record(index: usize, item: &Value) -> Result<BenchRecord, String> {
         compile_ms: get("compile_ms")?,
         fault_error_rate: get("fault_error_rate")?,
         lifetime_invocations: get("lifetime_invocations")? as u64,
-        verified_exhaustive: verified()?,
+        verified_exhaustive: boolean("verified_exhaustive")?,
+        lint_clean: boolean("lint_clean")?,
         circuit,
     })
 }
@@ -267,7 +278,9 @@ impl GateReport {
 /// formerly proven circuit lost its proof), the opposite flip is a note,
 /// and changes of the measured `fault_error_rate` /
 /// `lifetime_invocations` columns are notes (they move with the fault
-/// model, not with compiler correctness).
+/// model, not with compiler correctness). The static-analysis column
+/// `lint_clean` gates the same way: a formerly clean circuit growing a
+/// diagnostic is a regression, a circuit coming clean is a note.
 pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f64) -> GateReport {
     let mut report = GateReport::default();
     let mut base_time = 0.0f64;
@@ -330,6 +343,13 @@ pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f
             (false, true) => report
                 .notes
                 .push(format!("{}: now verified exhaustively", b.circuit)),
+            _ => {}
+        }
+        match (b.lint_clean, c.lint_clean) {
+            (true, false) => report
+                .regressions
+                .push(format!("{}: lint_clean regressed true → false", b.circuit)),
+            (false, true) => report.notes.push(format!("{}: now lint-clean", b.circuit)),
             _ => {}
         }
         if (b.fault_error_rate - c.fault_error_rate).abs() > f64::EPSILON {
@@ -407,6 +427,7 @@ mod tests {
             verified_exhaustive: true,
             fault_error_rate: 0.015625,
             lifetime_invocations: 111_111,
+            lint_clean: true,
         }
     }
 
@@ -432,7 +453,7 @@ mod tests {
             "o2_instructions": 8, "o2_rams": 3, "o2_max_writes": 1,
             "o1_instructions": 9, "o1_rams": 3,
             "verified_exhaustive": false, "fault_error_rate": 0.25,
-            "lifetime_invocations": 1000,
+            "lifetime_invocations": 1000, "lint_clean": true,
             "compile_ms": 0.25, "rewrite_ms": 1.25, "extra": 42}]"#;
         let parsed = from_json(text).unwrap();
         assert_eq!(parsed[0].circuit, "x");
@@ -463,6 +484,41 @@ mod tests {
             to_json(&[record("adder", 120, 12)]).replace("\"fault_error_rate\": 0.015625, ", "");
         let err = from_json(&without_rate).unwrap_err();
         assert!(err.contains("missing field 'fault_error_rate'"), "{err}");
+        let without_lint =
+            to_json(&[record("adder", 120, 12)]).replace(", \"lint_clean\": true", "");
+        let err = from_json(&without_lint).unwrap_err();
+        assert!(err.contains("missing field 'lint_clean'"), "{err}");
+        let mistyped_lint = to_json(&[record("adder", 120, 12)])
+            .replace("\"lint_clean\": true", "\"lint_clean\": \"yes\"");
+        let err = from_json(&mistyped_lint).unwrap_err();
+        assert!(
+            err.contains("field 'lint_clean' must be a boolean"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lint_clean_regression_fails_the_gate() {
+        let baseline = vec![record("adder", 120, 12)];
+        let mut dirty = record("adder", 120, 12);
+        dirty.lint_clean = false;
+        let report = gate(&baseline, &[dirty], 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.regressions[0].contains("lint_clean regressed true → false"),
+            "{:?}",
+            report.regressions
+        );
+        // Coming clean is a note, not a failure.
+        let mut base_dirty = record("adder", 120, 12);
+        base_dirty.lint_clean = false;
+        let report = gate(&[base_dirty], &[record("adder", 120, 12)], 0.25);
+        assert!(report.passed());
+        assert!(
+            report.notes.iter().any(|n| n.contains("now lint-clean")),
+            "{:?}",
+            report.notes
+        );
     }
 
     #[test]

@@ -31,11 +31,13 @@ use plim::RamAddr;
 use crate::lifetime::LifetimeClass;
 use crate::options::AllocatorStrategy;
 
+pub mod analysis;
 mod emit;
 mod lower;
 pub mod passes;
 
 pub use emit::emit;
+pub(crate) use emit::replay_metrics;
 pub use lower::lower;
 
 /// A virtual work cell: one allocator request/release lifetime.

@@ -32,7 +32,7 @@ use mig::Mig;
 
 use crate::options::OptLevel;
 
-use super::{CellId, Event, IrOutput, IrProgram, Value};
+use super::{analysis, CellId, Event, IrOutput, IrProgram, Value};
 
 /// An IR-to-IR rewrite.
 pub trait Pass {
@@ -176,6 +176,13 @@ impl PassManager {
         // editing pass pays exactly one replay (for its after-state), and
         // no-op runs pay none.
         let mut current = emitted_metrics(ir);
+        // Translation validation: the analyzer's structural lint counts at
+        // pipeline entry. A pass run that raises any count is reverted
+        // wholesale, exactly like a quality-gate rejection — the analyzer
+        // is the arbiter, the `check` panic below only a backstop for
+        // streams so broken the analyzer itself missed them.
+        let structural = analysis::AnalysisConfig::structural();
+        let baseline = analysis::lint_counts(&analysis::analyze_events(ir, &structural));
         for _ in 0..self.rounds {
             let mut round_edits = 0;
             for pass in &self.passes {
@@ -183,6 +190,17 @@ impl PassManager {
                 let snapshot = ir.clone();
                 let mut edits = pass.run(ir);
                 if edits > 0 {
+                    let after = analysis::lint_counts(&analysis::analyze_events(ir, &structural));
+                    if analysis::introduces(&baseline, &after) {
+                        *ir = snapshot;
+                        report.runs.push(PassRun {
+                            pass: pass.name(),
+                            instructions_before,
+                            instructions_after: instructions_before,
+                            edits: 0,
+                        });
+                        continue;
+                    }
                     if let Err(error) = ir.check() {
                         panic!("pass `{}` produced invalid IR: {error}", pass.name());
                     }
@@ -725,7 +743,7 @@ fn forward_one(
                 d,
                 new_a,
                 last_read,
-                moved.clone(),
+                &moved,
             );
             #[cfg(debug_assertions)]
             if let Err(e) = ir.check() {
@@ -861,7 +879,7 @@ fn apply_forward(
     d: CellId,
     new_a: Value,
     last_read: usize,
-    moved: Vec<usize>,
+    moved: &[usize],
 ) -> ForwardUndo {
     let x = ir.ops[ki as usize].z;
     let mut undo = ForwardUndo {

@@ -70,9 +70,6 @@
 //! # Ok::<(), plim_compiler::verify::VerifyError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod alloc;
 pub mod batch;
 pub mod benchfile;

@@ -43,9 +43,6 @@
 //! # Ok::<(), mig::equiv::InterfaceMismatch>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod aiger;
 pub mod algebra;
 pub mod analysis;

@@ -21,9 +21,6 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod pool;
 
 use std::num::NonZeroUsize;

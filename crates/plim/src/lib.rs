@@ -24,9 +24,6 @@
 //! `plim-compiler` crate; this crate is deliberately independent of the
 //! logic representation.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod asm;
 pub mod controller;
 pub mod endurance;

@@ -20,8 +20,6 @@
 //! adding `proptest = "1"` to the dev-dependencies restores the real
 //! engine without touching any test.
 
-#![warn(missing_docs)]
-
 use std::ops::Range;
 
 /// Configuration accepted by `#![proptest_config(..)]`.

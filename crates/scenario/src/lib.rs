@@ -25,9 +25,6 @@
 //!
 //! [`verify::verify_exhaustive`]: plim_compiler::verify::verify_exhaustive
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod fault;
 pub mod fidelity;
 pub mod lifetime;

@@ -31,7 +31,23 @@
 //! plimc verify [compile OPTIONS] FILE
 //!                             compile and prove the program equal to the
 //!                             source network over the FULL input space
-//!                             (up to 20 primary inputs)
+//!                             (up to 20 primary inputs). Exit codes: 0 the
+//!                             proof holds, 1 a counterexample (or any
+//!                             error), 2 the circuit is too wide for an
+//!                             exhaustive proof — a refusal, not a disproof
+//!
+//! plimc lint [compile OPTIONS] [--json] [--deny LINT] [--allow LINT]
+//!            [--doctor write-after-release] FILE
+//!                             run the static analyzer over the compiled
+//!                             artifact: event-stream lints, program-level
+//!                             init discipline, and resource certification
+//!                             (#I/#R/wear re-derived from the event stream
+//!                             must match CompileStats). LINT is a code
+//!                             (PA0001) or name (use-before-init); --deny
+//!                             promotes to error, --allow suppresses.
+//!                             --doctor corrupts the stream first, to prove
+//!                             the analyzer catches the injected violation.
+//!                             Exit 1 if any error-level finding survives
 //!
 //! plimc scenario [compile OPTIONS] [--patterns N] [--drift P]
 //!                [--stuck ADDR:LEVEL] [--seed N] [--endurance N]
@@ -80,6 +96,22 @@ use plim_service::{client, server};
 
 /// Default service address, shared by `serve` and `request`.
 const DEFAULT_ADDR: &str = "127.0.0.1:7393";
+
+/// A CLI failure: the diagnostic plus the process exit code it maps to.
+///
+/// Almost everything exits 1; `verify` reserves 2 for "the circuit is too
+/// wide for an exhaustive proof" so scripts can tell a refusal from a
+/// disproof.
+struct Failure {
+    message: String,
+    code: u8,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Failure { message, code: 1 }
+    }
+}
 
 struct Args {
     file: String,
@@ -151,21 +183,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--effort" => {
                 args.effort = value("--effort")?
                     .parse()
-                    .map_err(|_| "--effort needs a number".to_string())?
+                    .map_err(|_| "--effort needs a number".to_string())?;
             }
             "--extended" => args.extended = true,
             "--naive" => args.naive = true,
             "--schedule" => args.schedule = Some(ScheduleOrder::parse(&value("--schedule")?)?),
             "--alloc" => args.alloc = Some(AllocatorStrategy::parse(&value("--alloc")?)?),
             level if level.starts_with("-O") => {
-                args.opt = Some(OptLevel::parse(&format!("o{}", &level[2..]))?)
+                args.opt = Some(OptLevel::parse(&format!("o{}", &level[2..]))?);
             }
             "--limit" => {
                 args.limit = Some(
                     value("--limit")?
                         .parse()
                         .map_err(|_| "--limit needs a number".to_string())?,
-                )
+                );
             }
             "--emit" => args.emit = value("--emit")?,
             "--no-verify" => args.verify = false,
@@ -268,17 +300,31 @@ fn run(argv: &[String]) -> Result<(), String> {
 /// The `plimc verify` subcommand: compiles the input and proves the
 /// program equal to the **raw** source network over the full input space
 /// (so the proof covers rewriting and compilation end to end).
-fn run_verify(argv: &[String]) -> Result<(), String> {
+///
+/// Exit codes: 0 the proof holds, 1 a counterexample or any other error,
+/// 2 the circuit exceeds the exhaustive-proof width limit — a refusal the
+/// caller may fall back from (e.g. to sampled verification), distinct from
+/// a disproof.
+fn run_verify(argv: &[String]) -> Result<(), Failure> {
     let args = parse_args(argv)?;
     if args.limit.is_some() {
-        return Err("--limit is not supported by verify; compile first, then verify".to_string());
+        return Err(
+            "--limit is not supported by verify; compile first, then verify"
+                .to_string()
+                .into(),
+        );
     }
     let input = read_input(&args)?;
     let spec = args.spec();
     let optimized = pipeline::optimize(&input, &spec);
     let compiled = plim_compiler::compile(&optimized, spec.options);
-    plim_compiler::verify::verify_exhaustive(&input, &compiled)
-        .map_err(|e| format!("verification: {e}"))?;
+    plim_compiler::verify::verify_exhaustive(&input, &compiled).map_err(|e| Failure {
+        code: match e {
+            plim_compiler::verify::VerifyError::TooManyInputs { .. } => 2,
+            _ => 1,
+        },
+        message: format!("verification: {e}"),
+    })?;
     let inputs = input.num_inputs();
     println!(
         "verified: all {} outputs equal over all 2^{inputs} input patterns \
@@ -287,6 +333,84 @@ fn run_verify(argv: &[String]) -> Result<(), String> {
         compiled.stats.instructions,
         compiled.stats.rams,
     );
+    Ok(())
+}
+
+/// The `plimc lint` subcommand: compiles the input and runs the full
+/// static-analysis battery over the artifact — event-stream lints at the
+/// check level matching `-O`, physical-program initialization discipline,
+/// and resource certification (`#I`/`#R`/per-cell wear re-derived from the
+/// event stream must equal the recorded `CompileStats`).
+///
+/// `--deny`/`--allow` adjust per-lint severities; `--doctor` corrupts the
+/// event stream *before* analysis so CI can prove the gate actually fires.
+/// Exits 1 when any error-level finding survives the configuration.
+fn run_lint(argv: &[String]) -> Result<(), Failure> {
+    use plim_analysis::{analyze_artifact, Lint, LintConfig, Report};
+
+    let mut config = LintConfig::new();
+    let mut json = false;
+    let mut doctor: Option<String> = None;
+    let mut compile_argv: Vec<String> = Vec::new();
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let lint = |name: &str, text: &str| -> Result<Lint, String> {
+            Lint::from_code(text).ok_or_else(|| {
+                format!(
+                    "{name}: unknown lint `{text}` (expected a code like PA0001 \
+                     or a name like use-before-init)"
+                )
+            })
+        };
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => config.deny(lint("--deny", value("--deny")?)?),
+            "--allow" => config.allow(lint("--allow", value("--allow")?)?),
+            "--doctor" => {
+                let injection = value("--doctor")?;
+                if injection != "write-after-release" {
+                    return Err(format!(
+                        "--doctor: unknown injection `{injection}` (expected write-after-release)"
+                    )
+                    .into());
+                }
+                doctor = Some(injection.clone());
+            }
+            _ => compile_argv.push(arg.clone()),
+        }
+    }
+
+    let args = parse_args(&compile_argv)?;
+    if args.limit.is_some() {
+        return Err("--limit is not supported by lint".to_string().into());
+    }
+    let input = read_input(&args)?;
+    let spec = args.spec();
+    let optimized = pipeline::optimize(&input, &spec);
+    let mut compilation = plim_compiler::compile_full(&optimized, spec.options);
+
+    if doctor.is_some() {
+        plim_analysis::doctor::inject_write_after_release(&mut compilation.ir)
+            .ok_or_else(|| "--doctor: the program has no ops to corrupt".to_string())?;
+    }
+
+    let diags = analyze_artifact(&compilation, spec.options.opt);
+    let report = Report::new(&args.file, diags, &config);
+    if json {
+        println!("{}", report.to_json().to_json());
+    } else {
+        println!("{report}");
+    }
+    if report.failing() {
+        return Err(Failure {
+            message: format!("lint: {} error-level finding(s)", report.errors()),
+            code: 1,
+        });
+    }
     Ok(())
 }
 
@@ -339,11 +463,12 @@ fn run_scenario(argv: &[String]) -> Result<(), String> {
                 lifetime.seed = seed;
             }
             "--endurance" => {
-                lifetime.cell_endurance = number("--endurance", value("--endurance")?)?
+                lifetime.cell_endurance = number("--endurance", value("--endurance")?)?;
             }
             "--noise" => lifetime.write_noise = rate("--noise", value("--noise")?)?,
             "--max-invocations" => {
-                lifetime.max_invocations = number("--max-invocations", value("--max-invocations")?)?
+                lifetime.max_invocations =
+                    number("--max-invocations", value("--max-invocations")?)?;
             }
             _ => compile_argv.push(arg.clone()),
         }
@@ -452,7 +577,7 @@ fn run_request(argv: &[String]) -> Result<(), String> {
         format,
         source,
         spec: args.spec(),
-        emit: args.emit.clone(),
+        emit: args.emit,
     });
     match client::send(&addr, &request)? {
         Response::Compile(compile) => {
@@ -520,14 +645,14 @@ fn run_bench(args: &[String]) -> Result<(), String> {
             "--effort" => {
                 effort = value("--effort")?
                     .parse()
-                    .map_err(|_| "--effort needs a number".to_string())?
+                    .map_err(|_| "--effort needs a number".to_string())?;
             }
             "--jobs" => {
                 parallelism = Parallelism::from_jobs(Some(
                     value("--jobs")?
                         .parse()
                         .map_err(|_| "--jobs needs a number".to_string())?,
-                ))
+                ));
             }
             "--json" => json = Some(value("--json")?.clone()),
             other => return Err(format!("unknown bench option `{other}`")),
@@ -605,7 +730,7 @@ fn run_bench_diff(args: &[String]) -> Result<(), String> {
                     .next()
                     .ok_or("--time-tolerance requires a value")?
                     .parse()
-                    .map_err(|_| "--time-tolerance needs a number (percent)".to_string())?
+                    .map_err(|_| "--time-tolerance needs a number (percent)".to_string())?;
             }
             // Timing becomes a note: the right mode when the current run's
             // machine differs from the baseline's (e.g. hosted CI runners
@@ -653,19 +778,20 @@ fn run_bench_diff(args: &[String]) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("bench") => run_bench(&args[1..]),
-        Some("bench-diff") => run_bench_diff(&args[1..]),
-        Some("serve") => server::serve_cli(&args[1..]),
-        Some("request") => run_request(&args[1..]),
+    let result: Result<(), Failure> = match args.first().map(String::as_str) {
+        Some("bench") => run_bench(&args[1..]).map_err(Failure::from),
+        Some("bench-diff") => run_bench_diff(&args[1..]).map_err(Failure::from),
+        Some("serve") => server::serve_cli(&args[1..]).map_err(Failure::from),
+        Some("request") => run_request(&args[1..]).map_err(Failure::from),
         Some("verify") => run_verify(&args[1..]),
-        Some("scenario") => run_scenario(&args[1..]),
-        Some("dump") => run_dump(&args[1..]),
-        _ => run(&args),
+        Some("lint") => run_lint(&args[1..]),
+        Some("scenario") => run_scenario(&args[1..]).map_err(Failure::from),
+        Some("dump") => run_dump(&args[1..]).map_err(Failure::from),
+        _ => run(&args).map_err(Failure::from),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) if message == "help" => {
+        Err(failure) if failure.message == "help" => {
             eprintln!("usage: plimc [--format mig|aag] [--effort N] [--extended] [--naive]");
             eprintln!("             [--schedule index|priority|lookahead] [--alloc fifo|lifo|fresh|wear|binned]");
             eprintln!(
@@ -673,6 +799,9 @@ fn main() -> ExitCode {
             );
             eprintln!("       (binary AIGER .aig is not supported; convert with `aigtoaig input.aig output.aag`)");
             eprintln!("       plimc verify [compile options] FILE");
+            eprintln!("             (exit 0: proven; 1: disproof/error; 2: too wide for an exhaustive proof)");
+            eprintln!("       plimc lint [compile options] [--json] [--deny LINT] [--allow LINT]");
+            eprintln!("                  [--doctor write-after-release] FILE");
             eprintln!(
                 "       plimc scenario [compile options] [--patterns N] [--drift P] [--stuck ADDR:LEVEL]"
             );
@@ -691,9 +820,9 @@ fn main() -> ExitCode {
             eprintln!("       plimc bench-diff BASELINE CURRENT [--time-tolerance PCT]");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("plimc: {message}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("plimc: {}", failure.message);
+            ExitCode::from(failure.code)
         }
     }
 }

@@ -47,9 +47,6 @@
 //! ← {"ok":true,"op":"shutdown"}
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod client;
 pub mod pipeline;
 pub mod protocol;

@@ -217,6 +217,9 @@ pub struct CompileResponse {
     pub instructions: u64,
     /// `#R` of the compiled program.
     pub rams: u64,
+    /// The largest per-cell write count of one execution (the wear
+    /// hot-spot the endurance analyses track).
+    pub max_cell_writes: u64,
     /// The requested artifact, exactly as offline `plimc` would print it.
     pub output: String,
 }
@@ -241,6 +244,7 @@ impl Response {
                 ("key", Value::string(compile.key.clone())),
                 ("instructions", Value::number(compile.instructions)),
                 ("rams", Value::number(compile.rams)),
+                ("max_cell_writes", Value::number(compile.max_cell_writes)),
                 ("output", Value::string(compile.output.clone())),
             ])
             .to_json(),
@@ -318,6 +322,9 @@ impl Response {
                         .as_u64()
                         .ok_or("'instructions' must be a number")?,
                     rams: field("rams")?.as_u64().ok_or("'rams' must be a number")?,
+                    max_cell_writes: field("max_cell_writes")?
+                        .as_u64()
+                        .ok_or("'max_cell_writes' must be a number")?,
                     output: field("output")?
                         .as_str()
                         .ok_or("'output' must be a string")?
@@ -439,6 +446,7 @@ mod tests {
                 key: "abc123".to_string(),
                 instructions: 42,
                 rams: 7,
+                max_cell_writes: 9,
                 output: "01: 0, 1, @X1\n".to_string(),
             }),
             Response::Stats(ServiceStats {

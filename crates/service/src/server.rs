@@ -71,6 +71,7 @@ impl Default for ServerConfig {
 struct Artifact {
     instructions: u64,
     rams: u64,
+    max_cell_writes: u64,
     output: String,
 }
 
@@ -463,6 +464,7 @@ fn compile_on_shard(
     let artifact = Arc::new(Artifact {
         instructions: stats.instructions as u64,
         rams: u64::from(stats.rams),
+        max_cell_writes: stats.max_cell_writes,
         output,
     });
     let weight = artifact.weight();
@@ -491,6 +493,7 @@ fn compile_response(key_hex: &str, cached: bool, artifact: &Arc<Artifact>) -> Re
         key: key_hex.to_string(),
         instructions: artifact.instructions,
         rams: artifact.rams,
+        max_cell_writes: artifact.max_cell_writes,
         output: artifact.output.clone(),
     })
 }
@@ -517,12 +520,12 @@ pub fn serve_cli(args: &[String]) -> Result<(), String> {
             "--threads" => {
                 config.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| "--threads needs a number".to_string())?
+                    .map_err(|_| "--threads needs a number".to_string())?;
             }
             "--cache-bytes" => {
                 config.cache_bytes = value("--cache-bytes")?
                     .parse()
-                    .map_err(|_| "--cache-bytes needs a number".to_string())?
+                    .map_err(|_| "--cache-bytes needs a number".to_string())?;
             }
             "--quiet" => config.log = false,
             other => return Err(format!("unknown serve option `{other}`")),

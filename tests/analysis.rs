@@ -1,0 +1,416 @@
+//! The static analyzer's contract, from both directions.
+//!
+//! Soundness on good artifacts: every compilation the pipeline produces —
+//! the whole reduced suite swept across schedule × allocator × `-O`, plus
+//! random MIGs — analyzes clean, and the certification replay re-derives
+//! `#I`/`#R`/wear exactly. Sensitivity on bad ones: each lint `PA0001` …
+//! `PA0008` has a hand-doctored stream that trips it (positive) and a
+//! minimal variation that does not (negative).
+
+use proptest::prelude::*;
+
+use mig::NodeId;
+use plim::RamAddr;
+use plim_analysis::{analyze_artifact, analyze_events, certify, cross_check, AnalysisConfig, Lint};
+use plim_benchmarks::random::{random_logic, RandomLogicSpec};
+use plim_benchmarks::suite::{self, Scale};
+use plim_compiler::ir::{CellId, Event, IrCell, IrOp, IrOutput, IrProgram, Value};
+use plim_compiler::{
+    compile_full, AllocatorStrategy, CompilerOptions, LifetimeClass, OptLevel, ScheduleOrder,
+};
+
+const SCHEDULES: [ScheduleOrder; 3] = [
+    ScheduleOrder::Index,
+    ScheduleOrder::Priority,
+    ScheduleOrder::Lookahead,
+];
+const ALLOCATORS: [AllocatorStrategy; 5] = AllocatorStrategy::ALL;
+const LEVELS: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+
+/// Asserts the full battery comes back clean and the certificate agrees
+/// with the recorded stats on its own (not just through
+/// `analyze_artifact`'s PA0008 path).
+fn assert_artifact_clean(mig: &mig::Mig, options: CompilerOptions, context: &str) {
+    let compilation = compile_full(mig, options);
+    let diags = analyze_artifact(&compilation, options.opt);
+    assert!(
+        diags.is_empty(),
+        "{context}: expected a clean artifact, got:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let certificate = certify(&compilation.ir).expect("clean stream certifies");
+    let stats = &compilation.compiled.stats;
+    assert_eq!(
+        certificate.instructions, stats.instructions,
+        "{context}: #I"
+    );
+    assert_eq!(certificate.rams, stats.rams, "{context}: #R");
+    assert_eq!(
+        certificate.max_cell_writes, stats.max_cell_writes,
+        "{context}: max cell writes"
+    );
+}
+
+/// Acceptance criterion: zero diagnostics and exact resource certification
+/// on every reduced-suite circuit across the full schedule × allocator ×
+/// `-O` sweep.
+#[test]
+fn reduced_suite_sweep_is_lint_clean() {
+    for name in suite::ALL {
+        let mig = suite::build(name, Scale::Reduced).expect("known circuit");
+        let rewritten = mig::rewrite::rewrite(&mig, 2);
+        for schedule in SCHEDULES {
+            for alloc in ALLOCATORS {
+                for opt in LEVELS {
+                    let options = CompilerOptions::new()
+                        .schedule(schedule)
+                        .allocator(alloc)
+                        .opt(opt);
+                    let context = format!("{name} {schedule:?}/{alloc:?}/{opt:?}");
+                    assert_artifact_clean(&rewritten, options, &context);
+                }
+            }
+        }
+    }
+}
+
+/// The naive (Table 1 baseline) translator's artifacts are clean too.
+#[test]
+fn naive_translation_is_lint_clean() {
+    for name in suite::ALL {
+        let mig = suite::build(name, Scale::Reduced).expect("known circuit");
+        assert_artifact_clean(&mig, CompilerOptions::naive(), &format!("{name} naive"));
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = RandomLogicSpec> {
+    (2usize..10, 1usize..6, 10usize..90, any::<u64>()).prop_map(|(inputs, outputs, nodes, seed)| {
+        RandomLogicSpec::new(inputs, outputs, nodes, seed)
+    })
+}
+
+fn options_strategy() -> impl Strategy<Value = CompilerOptions> {
+    (0usize..3, 0usize..5, 0usize..3).prop_map(|(schedule, alloc, opt)| {
+        CompilerOptions::new()
+            .schedule(SCHEDULES[schedule])
+            .allocator(ALLOCATORS[alloc])
+            .opt(LEVELS[opt])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random MIGs under random option combinations always produce clean
+    /// artifacts — the analyzer never cries wolf on the compiler's own
+    /// output.
+    #[test]
+    fn random_artifacts_are_lint_clean(
+        spec in spec_strategy(),
+        options in options_strategy(),
+    ) {
+        let mig = random_logic(&spec);
+        let compilation = compile_full(&mig, options);
+        let diags = analyze_artifact(&compilation, options.opt);
+        prop_assert!(diags.is_empty(), "diagnostics on a random artifact: {diags:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-doctored streams: one positive and one negative case per lint.
+// ---------------------------------------------------------------------------
+
+const C0: CellId = CellId(0);
+const C1: CellId = CellId(1);
+
+fn cell(pinned: u32) -> IrCell {
+    IrCell {
+        pinned: RamAddr(pinned),
+        hint: LifetimeClass::Short,
+    }
+}
+
+fn reset(z: CellId) -> IrOp {
+    IrOp {
+        a: Value::Const(false),
+        b: Value::Const(true),
+        z,
+        rhs: "0".to_string(),
+        node: None,
+    }
+}
+
+fn main_op(z: CellId, node: u32) -> IrOp {
+    IrOp {
+        a: Value::Input(0),
+        b: Value::Input(1),
+        z,
+        rhs: format!("N{node}"),
+        node: Some(NodeId::from_index(node as usize)),
+    }
+}
+
+/// A minimal well-formed program: request %0, reset it, compute into it,
+/// output it. Clean under every configuration.
+fn base_program() -> IrProgram {
+    IrProgram {
+        num_inputs: 2,
+        ops: vec![reset(C0), main_op(C0, 3)],
+        cells: vec![cell(0)],
+        events: vec![Event::Request(C0), Event::Op(0), Event::Op(1)],
+        outputs: vec![("f".to_string(), IrOutput::Cell(C0))],
+        mig_nodes: 1,
+        allocator: AllocatorStrategy::Fifo,
+    }
+}
+
+fn lints_of(ir: &IrProgram, config: &AnalysisConfig) -> Vec<Lint> {
+    analyze_events(ir, config)
+        .into_iter()
+        .map(|d| d.lint)
+        .collect()
+}
+
+fn structural() -> AnalysisConfig {
+    AnalysisConfig::structural()
+}
+
+#[test]
+fn base_program_is_clean_under_every_config() {
+    let ir = base_program();
+    assert!(ir.check().is_ok());
+    for config in [
+        structural(),
+        AnalysisConfig::for_level(OptLevel::O0),
+        AnalysisConfig::for_level(OptLevel::O1),
+        AnalysisConfig::for_level(OptLevel::O2),
+    ] {
+        assert_eq!(lints_of(&ir, &config), vec![], "config {config:?}");
+    }
+}
+
+#[test]
+fn pa0001_use_before_init_fires_on_unreset_read() {
+    let mut ir = base_program();
+    // Drop the reset: the main op's non-masking destination read observes
+    // a cell that holds no value yet.
+    ir.events.remove(1);
+    assert!(lints_of(&ir, &structural()).contains(&Lint::UseBeforeInit));
+}
+
+#[test]
+fn pa0001_negative_masking_write_needs_no_init() {
+    // A masking write IS the initialization; reset-then-compute is clean.
+    assert_eq!(lints_of(&base_program(), &structural()), vec![]);
+}
+
+#[test]
+fn pa0002_use_after_release_fires_on_released_write() {
+    let mut ir = base_program();
+    // Release %0 between the reset and the main op.
+    ir.events.insert(2, Event::Release(C0));
+    let lints = lints_of(&ir, &structural());
+    assert!(lints.contains(&Lint::UseAfterRelease), "got {lints:?}");
+}
+
+#[test]
+fn pa0002_negative_release_after_last_use_is_clean() {
+    let mut ir = base_program();
+    // Releasing after the last op is fine — but the output then reads a
+    // non-live cell, so route the output to an input instead.
+    ir.events.push(Event::Release(C0));
+    ir.outputs = vec![(
+        "f".to_string(),
+        IrOutput::Input {
+            index: 0,
+            complemented: false,
+        },
+    )];
+    assert_eq!(lints_of(&ir, &structural()), vec![]);
+}
+
+#[test]
+fn pa0003_double_release_fires() {
+    let mut ir = base_program();
+    ir.events.push(Event::Release(C0));
+    ir.events.push(Event::Release(C0));
+    ir.outputs.clear();
+    let lints = lints_of(&ir, &structural());
+    assert_eq!(lints, vec![Lint::DoubleRelease]);
+}
+
+#[test]
+fn pa0003_negative_single_release_is_clean() {
+    let mut ir = base_program();
+    ir.events.push(Event::Release(C0));
+    ir.outputs.clear();
+    assert_eq!(lints_of(&ir, &structural()), vec![]);
+}
+
+#[test]
+fn pa0004_pinned_aliasing_fires_on_overlapping_lifetimes() {
+    let mut ir = base_program();
+    // A second virtual cell pinned to the same physical address, live
+    // while %0 still is.
+    ir.cells.push(cell(0));
+    ir.ops.push(reset(C1));
+    ir.events.push(Event::Request(C1));
+    ir.events.push(Event::Op(2));
+    let config = AnalysisConfig::for_level(OptLevel::O0);
+    assert!(config.pinned_faithful);
+    let lints = lints_of(&ir, &config);
+    assert_eq!(lints, vec![Lint::PinnedAliasing]);
+}
+
+#[test]
+fn pa0004_negative_aliasing_is_ignored_when_addresses_are_stale() {
+    let mut ir = base_program();
+    ir.cells.push(cell(0));
+    ir.ops.push(reset(C1));
+    ir.events.push(Event::Request(C1));
+    ir.events.push(Event::Op(2));
+    // `-O2` re-derives addresses at emission, so pinned overlap means
+    // nothing there — and the structural config never checks it.
+    assert!(
+        !lints_of(&ir, &AnalysisConfig::for_level(OptLevel::O2)).contains(&Lint::PinnedAliasing)
+    );
+    assert_eq!(lints_of(&ir, &structural()), vec![]);
+}
+
+/// A program with the complement-materialization idiom: %0 holds node 3,
+/// %1 caches ¬%0 (reset, then `⟨1 %0 0⟩` under node 3's provenance).
+fn complement_program() -> IrProgram {
+    let compl = IrOp {
+        a: Value::Const(true),
+        b: Value::Cell(C0),
+        z: C1,
+        rhs: "¬N3".to_string(),
+        node: Some(NodeId::from_index(3)),
+    };
+    let consume = IrOp {
+        a: Value::Cell(C1),
+        b: Value::Input(0),
+        z: C0,
+        rhs: "N4".to_string(),
+        node: Some(NodeId::from_index(4)),
+    };
+    IrProgram {
+        num_inputs: 2,
+        ops: vec![reset(C0), main_op(C0, 3), reset(C1), compl, consume],
+        cells: vec![cell(0), cell(1)],
+        events: vec![
+            Event::Request(C0),
+            Event::Op(0),
+            Event::Op(1),
+            Event::Request(C1),
+            Event::Op(2),
+            Event::Op(3),
+            Event::Op(4),
+        ],
+        outputs: vec![("f".to_string(), IrOutput::Cell(C0))],
+        mig_nodes: 2,
+        allocator: AllocatorStrategy::Fifo,
+    }
+}
+
+#[test]
+fn pa0005_stale_complement_fires_on_recompute_before_use() {
+    let mut ir = complement_program();
+    // Recompute node 3 into %0 *between* materializing ¬%0 and consuming
+    // it: the cached complement no longer matches.
+    ir.events.insert(6, Event::Op(1));
+    let lints = lints_of(&ir, &structural());
+    assert!(lints.contains(&Lint::StaleComplement), "got {lints:?}");
+}
+
+#[test]
+fn pa0005_negative_fresh_complement_is_clean() {
+    assert_eq!(lints_of(&complement_program(), &structural()), vec![]);
+}
+
+#[test]
+fn pa0006_dead_write_fires_in_optimized_streams() {
+    let mut ir = base_program();
+    // Nothing reads %0 once the output moves off it.
+    ir.outputs = vec![("f".to_string(), IrOutput::Const(false))];
+    let config = AnalysisConfig::for_level(OptLevel::O1);
+    assert!(config.expect_optimized);
+    let lints = lints_of(&ir, &config);
+    assert_eq!(lints, vec![Lint::DeadWrite, Lint::DeadWrite]);
+}
+
+#[test]
+fn pa0006_negative_unoptimized_streams_tolerate_dead_writes() {
+    let mut ir = base_program();
+    ir.outputs = vec![("f".to_string(), IrOutput::Const(false))];
+    // `-O0` made no dead-write promise.
+    assert_eq!(
+        lints_of(&ir, &AnalysisConfig::for_level(OptLevel::O0)),
+        vec![]
+    );
+}
+
+#[test]
+fn pa0007_release_never_requested_fires() {
+    let mut ir = base_program();
+    ir.events.insert(0, Event::Release(C0));
+    let lints = lints_of(&ir, &structural());
+    assert!(
+        lints.contains(&Lint::ReleaseNeverRequested),
+        "got {lints:?}"
+    );
+}
+
+#[test]
+fn pa0007_negative_release_of_requested_cell_is_clean() {
+    let mut ir = base_program();
+    ir.events.push(Event::Release(C0));
+    ir.outputs.clear();
+    assert!(!lints_of(&ir, &structural()).contains(&Lint::ReleaseNeverRequested));
+}
+
+#[test]
+fn pa0008_stats_mismatch_fires_on_tampered_stats() {
+    let mig = suite::build("adder4", Scale::Reduced)
+        .or_else(|| suite::build(suite::ALL[0], Scale::Reduced))
+        .expect("known circuit");
+    let mut compilation = compile_full(&mig, CompilerOptions::new());
+    compilation.compiled.stats.instructions += 1;
+    compilation.compiled.stats.max_cell_writes += 1;
+    let diags = analyze_artifact(&compilation, OptLevel::O0);
+    let mismatches = diags
+        .iter()
+        .filter(|d| d.lint == Lint::StatsMismatch)
+        .count();
+    assert!(
+        mismatches >= 2,
+        "expected #I and wear mismatches, got {diags:?}"
+    );
+}
+
+#[test]
+fn pa0008_negative_honest_stats_certify() {
+    let mig = suite::build(suite::ALL[0], Scale::Reduced).expect("known circuit");
+    let compilation = compile_full(&mig, CompilerOptions::new().opt(OptLevel::O2));
+    let certificate = certify(&compilation.ir).expect("clean stream certifies");
+    assert_eq!(cross_check(&certificate, &compilation.compiled), vec![]);
+}
+
+/// The doctor's injection must be caught end to end through the full
+/// artifact battery — the CI dry-run's in-process twin.
+#[test]
+fn doctored_write_after_release_fails_the_battery() {
+    let mig = suite::build(suite::ALL[0], Scale::Reduced).expect("known circuit");
+    let mut compilation = compile_full(&mig, CompilerOptions::new());
+    assert!(analyze_artifact(&compilation, OptLevel::O0).is_empty());
+    plim_analysis::doctor::inject_write_after_release(&mut compilation.ir).expect("stream has ops");
+    let diags = analyze_artifact(&compilation, OptLevel::O0);
+    assert!(
+        diags.iter().any(|d| d.lint == Lint::UseAfterRelease),
+        "expected PA0002, got {diags:?}"
+    );
+}

@@ -264,7 +264,8 @@ fn bench_json(instructions: u64) -> String {
          \"o1_instructions\": {instructions}, \"o1_rams\": 11, \
          \"o2_instructions\": {instructions}, \"o2_rams\": 11, \"o2_max_writes\": 22, \
          \"rewrite_ms\": 1.0, \"compile_ms\": 2.0, \"verified_exhaustive\": true, \
-         \"fault_error_rate\": 0.0649, \"lifetime_invocations\": 45454}}]\n"
+         \"fault_error_rate\": 0.0649, \"lifetime_invocations\": 45454, \
+         \"lint_clean\": true}}]\n"
     )
 }
 
@@ -580,7 +581,9 @@ fn verify_subcommand_proves_small_circuits_and_rejects_large_ones() {
     );
 
     // The reduced router has 60 primary inputs — far beyond the
-    // exhaustive limit; the refusal is the standard one-line diagnostic.
+    // exhaustive limit. The refusal is the standard one-line diagnostic at
+    // exit 2, distinguishable from a disproof (exit 1): a caller that gets
+    // 2 may fall back to sampled verification, one that gets 1 must stop.
     let router = plimc()
         .args(["dump", "router", "--reduced"])
         .output()
@@ -588,16 +591,99 @@ fn verify_subcommand_proves_small_circuits_and_rejects_large_ones() {
     assert!(router.status.success());
     let rejected = run_with_stdin(&["verify", "-"], &router.stdout);
     let stderr = String::from_utf8_lossy(&rejected.stderr);
-    assert_eq!(rejected.status.code(), Some(1), "stderr: {stderr}");
+    assert_eq!(rejected.status.code(), Some(2), "stderr: {stderr}");
     assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
     assert!(
         stderr.starts_with("plimc: verification:") && stderr.contains("supports at most 20"),
         "unexpected diagnostic: {stderr}"
     );
+    // Ordinary user errors on the verify path still exit 1, so 2 really
+    // does single out the too-wide refusal.
+    assert_user_error(
+        &["verify", "/nonexistent/input.mig"],
+        "reading /nonexistent",
+    );
 
     assert_user_error(
         &["verify", "--limit", "8", "x.mig"],
         "--limit is not supported by verify",
+    );
+}
+
+/// `plimc lint` gives clean artifacts a clean bill (exit 0, text and
+/// JSON), fails doctored streams with the expected lint, and honors
+/// `--deny`/`--allow`.
+#[test]
+fn lint_subcommand_gates_artifacts_end_to_end() {
+    let dump = plimc()
+        .args(["dump", "ctrl", "--reduced"])
+        .output()
+        .unwrap();
+    assert!(dump.status.success());
+
+    // Clean at every opt level, in both output formats.
+    for level in ["-O0", "-O1", "-O2"] {
+        let output = run_with_stdin(&["lint", level, "-"], &dump.stdout);
+        assert!(
+            output.status.success(),
+            "{level}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains(": clean"), "{level}: {stdout}");
+    }
+    let json = run_with_stdin(&["lint", "-O2", "--json", "-"], &dump.stdout);
+    assert!(json.status.success());
+    let line = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        line.contains("\"clean\":true") && line.contains("\"diagnostics\":[]"),
+        "JSON report shape: {line}"
+    );
+
+    // The doctored stream must fail with PA0002 — the CI dry-run that
+    // proves the gate can actually reject an artifact.
+    let doctored = run_with_stdin(
+        &["lint", "--doctor", "write-after-release", "-"],
+        &dump.stdout,
+    );
+    let stdout = String::from_utf8_lossy(&doctored.stdout);
+    let stderr = String::from_utf8_lossy(&doctored.stderr);
+    assert_eq!(doctored.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("PA0002"), "{stdout}");
+    assert!(stderr.contains("error-level finding"), "{stderr}");
+
+    // --allow suppresses by code or name; the doctored artifact then
+    // passes (certification is also silenced: the corrupted stream cannot
+    // be replayed).
+    let allowed = run_with_stdin(
+        &[
+            "lint",
+            "--doctor",
+            "write-after-release",
+            "--allow",
+            "PA0002",
+            "--allow",
+            "use-before-init",
+            "--allow",
+            "stats-mismatch",
+            "-",
+        ],
+        &dump.stdout,
+    );
+    assert!(
+        allowed.status.success(),
+        "stdout: {} stderr: {}",
+        String::from_utf8_lossy(&allowed.stdout),
+        String::from_utf8_lossy(&allowed.stderr)
+    );
+
+    assert_user_error(
+        &["lint", "--deny", "PA9999", "x.mig"],
+        "unknown lint `PA9999`",
+    );
+    assert_user_error(
+        &["lint", "--doctor", "bit-rot", "x.mig"],
+        "unknown injection `bit-rot`",
     );
 }
 
@@ -716,6 +802,11 @@ fn help_mentions_aigtoaig_and_the_scenario_subcommands() {
         "converter hint missing from --help: {stderr}"
     );
     assert!(stderr.contains("plimc verify"), "{stderr}");
+    assert!(
+        stderr.contains("2: too wide for an exhaustive proof"),
+        "verify exit codes missing from --help: {stderr}"
+    );
+    assert!(stderr.contains("plimc lint"), "{stderr}");
     assert!(stderr.contains("plimc scenario"), "{stderr}");
 }
 
