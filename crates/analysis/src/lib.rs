@@ -5,7 +5,7 @@
 //! * the **IR event stream** ([`plim_compiler::ir::IrProgram`]) — analyzed
 //!   by the core lint engine ([`analyze_events`], re-exported here), one
 //!   linear dataflow pass tracking per-cell abstract state;
-//! * the **emitted program** ([`plim_compiler::CompiledProgram`]) —
+//! * the **emitted program** ([`plim_compiler::Rm3Program`]) —
 //!   analyzed by [`analyze_program`], which replays the physical
 //!   instruction sequence against an initialization map;
 //!
@@ -13,7 +13,7 @@
 //! event stream is replayed through a fresh allocator — independently of
 //! the emitter — re-deriving `#I`, `#R`, and the per-cell wear profile,
 //! which must agree *exactly* with the recorded
-//! [`CompileStats`](plim_compiler::CompileStats) and the program's static
+//! [`Rm3Stats`](plim_compiler::Rm3Stats) and the program's static
 //! write counts. Any disagreement is a `PA0008` diagnostic: the stats the
 //! benchmarks trust no longer describe the artifact.
 //!
@@ -30,7 +30,7 @@ use plim::{Operand, OutputLoc, RamAddr};
 use plim_compiler::alloc::RramAllocator;
 use plim_compiler::ir::{Event, IrProgram, Value};
 use plim_compiler::json::Value as Json;
-use plim_compiler::{Compilation, CompiledProgram, OptLevel};
+use plim_compiler::{Compilation, OptLevel, Rm3Program};
 
 pub use plim_compiler::ir::analysis::{
     analyze_events, introduces, lint_counts, AnalysisConfig, Diagnostic, Lint, Severity, LINT_COUNT,
@@ -40,7 +40,7 @@ pub mod doctor;
 
 /// Resources re-derived from the event stream alone, by replaying it
 /// through a fresh allocator of the program's strategy — no numbers are
-/// taken from the emitter or from [`CompileStats`](plim_compiler::CompileStats).
+/// taken from the emitter or from [`Rm3Stats`](plim_compiler::Rm3Stats).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Certificate {
     /// Instruction count (`#I`): one per [`Event::Op`].
@@ -101,10 +101,10 @@ pub fn certify(ir: &IrProgram) -> Option<Certificate> {
 
 /// Compares a [`Certificate`] against the emitted artifact, reporting
 /// every disagreement as a `PA0008` diagnostic: `#I`, `#R`, and
-/// `max_cell_writes` versus [`CompileStats`](plim_compiler::CompileStats),
+/// `max_cell_writes` versus [`Rm3Stats`](plim_compiler::Rm3Stats),
 /// and the full per-cell wear profile versus
-/// [`CompiledProgram::static_write_counts`].
-pub fn cross_check(certificate: &Certificate, compiled: &CompiledProgram) -> Vec<Diagnostic> {
+/// [`Rm3Program::static_write_counts`].
+pub fn cross_check(certificate: &Certificate, compiled: &Rm3Program) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut mismatch = |message: String| {
         diags.push(Diagnostic {
@@ -118,19 +118,19 @@ pub fn cross_check(certificate: &Certificate, compiled: &CompiledProgram) -> Vec
     let stats = &compiled.stats;
     if certificate.instructions != stats.instructions {
         mismatch(format!(
-            "re-derived #I = {} but CompileStats records {}",
+            "re-derived #I = {} but Rm3Stats records {}",
             certificate.instructions, stats.instructions
         ));
     }
     if certificate.rams != stats.rams {
         mismatch(format!(
-            "re-derived #R = {} but CompileStats records {}",
+            "re-derived #R = {} but Rm3Stats records {}",
             certificate.rams, stats.rams
         ));
     }
     if certificate.max_cell_writes != stats.max_cell_writes {
         mismatch(format!(
-            "re-derived max cell writes = {} but CompileStats records {}",
+            "re-derived max cell writes = {} but Rm3Stats records {}",
             certificate.max_cell_writes, stats.max_cell_writes
         ));
     }
@@ -161,7 +161,7 @@ pub fn cross_check(certificate: &Certificate, compiled: &CompiledProgram) -> Vec
 /// it collects *all* findings instead of stopping at the first. In the
 /// resulting diagnostics, `event` holds the 0-based instruction index
 /// (`pc`), not an event-stream position.
-pub fn analyze_program(compiled: &CompiledProgram) -> Vec<Diagnostic> {
+pub fn analyze_program(compiled: &Rm3Program) -> Vec<Diagnostic> {
     let program = &compiled.program;
     let mut diags = Vec::new();
     let mut written = vec![false; program.num_rams() as usize];

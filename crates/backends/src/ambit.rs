@@ -1,0 +1,366 @@
+//! The `ambit` backend: bulk-bitwise in-DRAM majority (Ambit-style).
+//!
+//! Ambit computes bitwise Boolean functions inside DRAM by activating
+//! rows: a **triple-row activation** (TRA) drives three rows onto the
+//! shared bitlines simultaneously, and the charge-sharing result — the
+//! bitwise majority of the three — is written back into *all three* rows
+//! (the operation is destructive). RowClone provides fast row-to-row
+//! copies, and dual-contact cells give an inverted read.
+//!
+//! Emission maps each RM3-shaped IR op `z ← ⟨a b̄ z⟩` onto that substrate:
+//!
+//! 1. copy operand `A` into scratch row `T0` (RowClone, or `set`/`reset`
+//!    for constants),
+//! 2. copy operand `B` **inverted** into `T1` (dual-contact read),
+//! 3. copy the destination's old value into `T2`,
+//! 4. `tra T0 T1 T2` — all three scratch rows now hold the majority,
+//! 5. copy `T0` back into the destination row.
+//!
+//! Masking ops (both operands constant and differing — the reset/set
+//! idioms) collapse to a single `set`/`reset` of the destination, since
+//! `⟨a b̄ x⟩ = a` when `a = ¬b`.
+//!
+//! Work rows come from the compiler's allocator replay
+//! ([`crate::rows::assign_rows`]), so placement honors the IR's lifetime
+//! discipline; `T0`–`T2` live directly above the work region. The cost
+//! model counts **row activations**: 1 per `set`/`reset`, 2 per copy
+//! (activate source, activate destination), 3 per TRA.
+
+use std::fmt::Write as _;
+
+use plim_compiler::ir::{Event, IrProgram, Value};
+use plim_compiler::{Artifact, Backend, Cost, InstructionInfo};
+
+use crate::rows::{
+    assign_rows, lower_outputs, poisoned_rows, read_outputs, render_outputs, OutLoc,
+};
+
+/// Where a row operation reads from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// A primary-input row.
+    Input(u32),
+    /// A work or scratch row.
+    Row(u32),
+}
+
+/// One Ambit instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Fill a row with all-ones.
+    Set(u32),
+    /// Fill a row with all-zeros.
+    Reset(u32),
+    /// RowClone copy into a row.
+    Copy(Src, u32),
+    /// Inverted (dual-contact) copy into a row.
+    Not(Src, u32),
+    /// Triple-row activation: all three rows ← their bitwise majority.
+    Tra(u32, u32, u32),
+}
+
+impl Op {
+    /// Row activations this instruction costs.
+    fn activations(self) -> u64 {
+        match self {
+            Op::Set(_) | Op::Reset(_) => 1,
+            Op::Copy(..) | Op::Not(..) => 2,
+            Op::Tra(..) => 3,
+        }
+    }
+}
+
+/// The Ambit backend's instruction set.
+const AMBIT_ISA: [InstructionInfo; 5] = [
+    InstructionInfo {
+        mnemonic: "set",
+        cost: 1,
+        summary: "fill a row with all-ones (one activation)",
+    },
+    InstructionInfo {
+        mnemonic: "reset",
+        cost: 1,
+        summary: "fill a row with all-zeros (one activation)",
+    },
+    InstructionInfo {
+        mnemonic: "copy",
+        cost: 2,
+        summary: "RowClone row-to-row copy (activate source, activate destination)",
+    },
+    InstructionInfo {
+        mnemonic: "not",
+        cost: 2,
+        summary: "inverted copy through a dual-contact row",
+    },
+    InstructionInfo {
+        mnemonic: "tra",
+        cost: 3,
+        summary: "triple-row activation: all three rows ← bitwise majority (destructive)",
+    },
+];
+
+/// The Ambit-style bulk-bitwise DRAM backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AmbitBackend;
+
+impl Backend for AmbitBackend {
+    fn name(&self) -> &'static str {
+        "ambit"
+    }
+
+    fn description(&self) -> &'static str {
+        "bulk-bitwise in-DRAM majority via triple-row activation (Ambit-style)"
+    }
+
+    fn instruction_set(&self) -> &'static [InstructionInfo] {
+        &AMBIT_ISA
+    }
+
+    fn cost(&self, ir: &IrProgram) -> Cost {
+        lower(ir).cost
+    }
+
+    fn emit(&self, ir: &IrProgram) -> Box<dyn Artifact> {
+        Box::new(lower(ir))
+    }
+}
+
+/// An emitted Ambit program.
+#[derive(Debug, Clone)]
+pub struct AmbitArtifact {
+    num_inputs: usize,
+    /// Total rows: work region plus the `T0`–`T2` scratch group.
+    rows: u32,
+    ops: Vec<Op>,
+    outputs: Vec<(String, OutLoc)>,
+    cost: Cost,
+}
+
+/// Lowers the IR event stream onto the Ambit substrate.
+fn lower(ir: &IrProgram) -> AmbitArtifact {
+    let rows = assign_rows(ir);
+    let (t0, t1, t2) = (rows.work_rows, rows.work_rows + 1, rows.work_rows + 2);
+    let mut ops = Vec::new();
+    let mut uses_scratch = false;
+    let src = |value: Value, rows: &crate::rows::Rows| match value {
+        Value::Input(i) => Src::Input(i),
+        Value::Cell(c) => Src::Row(rows.cell_row[c.index()]),
+        Value::Const(_) => unreachable!("constants are lowered to set/reset"),
+    };
+    for &event in &ir.events {
+        let Event::Op(index) = event else { continue };
+        let op = &ir.ops[index as usize];
+        let z = rows.cell_row[op.z.index()];
+        if op.masking() {
+            // ⟨a b̄ x⟩ = a when a = ¬b: a single row initialization.
+            let Value::Const(v) = op.a else {
+                unreachable!("masking ops have constant operands")
+            };
+            ops.push(if v { Op::Set(z) } else { Op::Reset(z) });
+            continue;
+        }
+        uses_scratch = true;
+        match op.a {
+            Value::Const(v) => ops.push(if v { Op::Set(t0) } else { Op::Reset(t0) }),
+            other => ops.push(Op::Copy(src(other, &rows), t0)),
+        }
+        match op.b {
+            // B is inverted intrinsically by RM3; `set` for false keeps it so.
+            Value::Const(v) => ops.push(if v { Op::Reset(t1) } else { Op::Set(t1) }),
+            other => ops.push(Op::Not(src(other, &rows), t1)),
+        }
+        ops.push(Op::Copy(Src::Row(z), t2));
+        ops.push(Op::Tra(t0, t1, t2));
+        ops.push(Op::Copy(Src::Row(t0), z));
+    }
+    let total_rows = rows.work_rows + if uses_scratch { 3 } else { 0 };
+
+    // Wear: writes per row, scratch included (every copy/set/tra writes its
+    // destination; a TRA writes all three group rows).
+    let mut writes = vec![0u64; total_rows as usize];
+    for op in &ops {
+        match *op {
+            Op::Set(r) | Op::Reset(r) | Op::Copy(_, r) | Op::Not(_, r) => {
+                writes[r as usize] += 1;
+            }
+            Op::Tra(a, b, c) => {
+                writes[a as usize] += 1;
+                writes[b as usize] += 1;
+                writes[c as usize] += 1;
+            }
+        }
+    }
+    let cost = Cost {
+        instructions: ops.len(),
+        footprint: total_rows,
+        wear: writes.iter().copied().max().unwrap_or(0),
+        units: ops.iter().map(|op| op.activations()).sum(),
+    };
+    AmbitArtifact {
+        num_inputs: ir.num_inputs,
+        rows: total_rows,
+        outputs: lower_outputs(ir, &rows),
+        ops,
+        cost,
+    }
+}
+
+impl Artifact for AmbitArtifact {
+    fn target(&self) -> &'static str {
+        "ambit"
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    fn listing(&self) -> String {
+        let mut out = String::from(".ambit v1\n");
+        let _ = writeln!(out, ".inputs {}", self.num_inputs);
+        let _ = writeln!(out, ".rows {} (3 scratch)", self.rows);
+        let width = self.ops.len().to_string().len().max(2);
+        let src = |s: Src| match s {
+            Src::Input(i) => format!("i{}", i + 1),
+            Src::Row(r) => format!("r{r}"),
+        };
+        for (index, op) in self.ops.iter().enumerate() {
+            let text = match *op {
+                Op::Set(r) => format!("set r{r}"),
+                Op::Reset(r) => format!("reset r{r}"),
+                Op::Copy(s, d) => format!("copy {} r{d}", src(s)),
+                Op::Not(s, d) => format!("not {} r{d}", src(s)),
+                Op::Tra(a, b, c) => format!("tra r{a} r{b} r{c}"),
+            };
+            let _ = writeln!(out, "{:0width$}: {text}", index + 1);
+        }
+        render_outputs(&mut out, &self.outputs);
+        out
+    }
+
+    fn stats_text(&self) -> String {
+        format!(
+            "target=ambit ops={} rows={} maxw={} activations={}\n",
+            self.cost.instructions, self.cost.footprint, self.cost.wear, self.cost.units
+        )
+    }
+
+    fn output_names(&self) -> Vec<String> {
+        self.outputs.iter().map(|(name, _)| name.clone()).collect()
+    }
+
+    fn run_wide(&self, inputs: &[u64]) -> Result<Vec<u64>, String> {
+        if inputs.len() != self.num_inputs {
+            return Err(format!(
+                "expected {} input words, got {}",
+                self.num_inputs,
+                inputs.len()
+            ));
+        }
+        let mut rows = poisoned_rows(self.rows);
+        let read = |s: Src, rows: &[u64]| match s {
+            Src::Input(i) => inputs[i as usize],
+            Src::Row(r) => rows[r as usize],
+        };
+        for op in &self.ops {
+            match *op {
+                Op::Set(r) => rows[r as usize] = u64::MAX,
+                Op::Reset(r) => rows[r as usize] = 0,
+                Op::Copy(s, d) => rows[d as usize] = read(s, &rows),
+                Op::Not(s, d) => rows[d as usize] = !read(s, &rows),
+                Op::Tra(a, b, c) => {
+                    let (x, y, z) = (rows[a as usize], rows[b as usize], rows[c as usize]);
+                    let maj = (x & y) | (x & z) | (y & z);
+                    rows[a as usize] = maj;
+                    rows[b as usize] = maj;
+                    rows[c as usize] = maj;
+                }
+            }
+        }
+        Ok(read_outputs(&self.outputs, &rows, inputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plim_compiler::verify::verify_exhaustive_artifact;
+    use plim_compiler::{compile_full, CompilerOptions, OptLevel};
+
+    fn fig3b() -> mig::Mig {
+        let mut mig = mig::Mig::new();
+        let i1 = mig.add_input("i1");
+        let i2 = mig.add_input("i2");
+        let i3 = mig.add_input("i3");
+        let n1 = mig.maj(mig::Signal::FALSE, i1, i2);
+        let n2 = mig.maj(mig::Signal::TRUE, !i2, i3);
+        let n3 = mig.maj(i1, i2, i3);
+        let n4 = mig.maj(mig::Signal::TRUE, n1, i3);
+        let n5 = mig.maj(n1, !n2, n3);
+        let n6 = mig.maj(n4, !n5, n1);
+        mig.add_output("f", n6);
+        mig
+    }
+
+    #[test]
+    fn emits_equivalent_programs_at_every_opt_level() {
+        let mig = fig3b();
+        for opt in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let compilation = compile_full(&mig, CompilerOptions::new().opt(opt));
+            let artifact = AmbitBackend.emit(&compilation.ir);
+            verify_exhaustive_artifact(&mig, artifact.as_ref()).unwrap();
+        }
+    }
+
+    #[test]
+    fn cost_matches_the_emitted_artifact() {
+        let mig = fig3b();
+        let compilation = compile_full(&mig, CompilerOptions::new());
+        let artifact = AmbitBackend.emit(&compilation.ir);
+        assert_eq!(AmbitBackend.cost(&compilation.ir), artifact.cost());
+        // Five row ops per non-masking RM3 op, one per masking op, so the
+        // instruction count strictly exceeds RM3's.
+        let rm3 = compilation.compiled.stats.instructions;
+        assert!(artifact.cost().instructions > rm3);
+        assert!(artifact.cost().units > artifact.cost().instructions as u64);
+    }
+
+    #[test]
+    fn listing_names_the_scratch_group_and_outputs() {
+        let mig = fig3b();
+        let compilation = compile_full(&mig, CompilerOptions::new());
+        let artifact = AmbitBackend.emit(&compilation.ir);
+        let listing = artifact.listing();
+        assert!(listing.starts_with(".ambit v1\n"), "{listing}");
+        assert!(listing.contains("tra r"), "{listing}");
+        assert!(listing.contains(".output f = "), "{listing}");
+        assert_eq!(artifact.output_names(), ["f"]);
+        assert_eq!(artifact.target(), "ambit");
+    }
+
+    #[test]
+    fn run_wide_rejects_wrong_input_counts() {
+        let mig = fig3b();
+        let compilation = compile_full(&mig, CompilerOptions::new());
+        let artifact = AmbitBackend.emit(&compilation.ir);
+        assert!(artifact.run_wide(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn passthrough_and_constant_outputs_survive() {
+        let mut mig = mig::Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        mig.add_output("x", a);
+        mig.add_output("nx", !a);
+        mig.add_output("one", mig::Signal::TRUE);
+        let f = mig.or(a, b);
+        mig.add_output("f", f);
+        let compilation = compile_full(&mig, CompilerOptions::new());
+        let artifact = AmbitBackend.emit(&compilation.ir);
+        verify_exhaustive_artifact(&mig, artifact.as_ref()).unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic row placement shared by the alternative backends.
+//!
+//! Both targets keep the compiler's allocation discipline: the IR event
+//! stream is replayed through a fresh [`RramAllocator`] of the program's
+//! strategy, so a virtual cell occupies the same physical row the RM3
+//! emitter would have chosen. Backends add their own scratch rows above
+//! the work region.
+
+use plim_compiler::alloc::RramAllocator;
+use plim_compiler::ir::{Event, IrProgram};
+
+/// Physical placement of an IR program's virtual cells.
+pub(crate) struct Rows {
+    /// Row of each virtual cell, indexed by `CellId`. A cell's row is
+    /// stable across its whole lifetime; slots of never-requested cells
+    /// are unused.
+    pub cell_row: Vec<u32>,
+    /// Rows of the work region (scratch rows live above this).
+    pub work_rows: u32,
+}
+
+/// Replays the event stream's request/release sequence, assigning every
+/// virtual cell its physical row.
+pub(crate) fn assign_rows(ir: &IrProgram) -> Rows {
+    let mut alloc = RramAllocator::new(ir.allocator);
+    let mut cell_row = vec![0u32; ir.cells.len()];
+    let mut live = vec![None; ir.cells.len()];
+    let mut work_rows = 0u32;
+    for &event in &ir.events {
+        match event {
+            Event::Request(c) => {
+                let addr = alloc.request_with_hint(ir.cells[c.index()].hint);
+                cell_row[c.index()] = addr.0;
+                live[c.index()] = Some(addr);
+                work_rows = work_rows.max(addr.0 + 1);
+            }
+            Event::Release(c) => {
+                let addr = live[c.index()].take().expect("release before request");
+                alloc.release(addr);
+            }
+            Event::Op(_) => {}
+        }
+    }
+    Rows {
+        cell_row,
+        work_rows,
+    }
+}
+
+/// Where a primary output lives at program end, in physical-row terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OutLoc {
+    /// In a work row.
+    Row(u32),
+    /// Equal to a primary input (possibly complemented).
+    Input {
+        /// Input index.
+        index: u32,
+        /// Whether the output is the input's complement.
+        complemented: bool,
+    },
+    /// A constant.
+    Const(bool),
+}
+
+/// Maps the IR's virtual-cell outputs onto physical rows.
+pub(crate) fn lower_outputs(ir: &IrProgram, rows: &Rows) -> Vec<(String, OutLoc)> {
+    use plim_compiler::ir::IrOutput;
+    ir.outputs
+        .iter()
+        .map(|(name, output)| {
+            let loc = match *output {
+                IrOutput::Cell(c) => OutLoc::Row(rows.cell_row[c.index()]),
+                IrOutput::Input {
+                    index,
+                    complemented,
+                } => OutLoc::Input {
+                    index,
+                    complemented,
+                },
+                IrOutput::Const(v) => OutLoc::Const(v),
+            };
+            (name.clone(), loc)
+        })
+        .collect()
+}
+
+/// Reads the declared outputs from the final row state, one 64-lane word
+/// per output.
+pub(crate) fn read_outputs(outputs: &[(String, OutLoc)], rows: &[u64], inputs: &[u64]) -> Vec<u64> {
+    outputs
+        .iter()
+        .map(|(_, loc)| match *loc {
+            OutLoc::Row(r) => rows[r as usize],
+            OutLoc::Input {
+                index,
+                complemented,
+            } => {
+                let word = inputs[index as usize];
+                if complemented {
+                    !word
+                } else {
+                    word
+                }
+            }
+            OutLoc::Const(v) => {
+                if v {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+        })
+        .collect()
+}
+
+/// A poisoned row image: every row pre-filled with a nonzero pattern so a
+/// read of a never-written row cannot masquerade as a correct zero (the
+/// same discipline the RM3 verifier uses).
+pub(crate) fn poisoned_rows(count: u32) -> Vec<u64> {
+    (0..count)
+        .map(|r| 0xAAAA_AAAA_AAAA_AAAA ^ u64::from(r))
+        .collect()
+}
+
+/// Renders an output directory block (`.output f = r5` / `!i3` / `1`).
+pub(crate) fn render_outputs(out: &mut String, outputs: &[(String, OutLoc)]) {
+    use std::fmt::Write as _;
+    for (name, loc) in outputs {
+        let text = match *loc {
+            OutLoc::Row(r) => format!("r{r}"),
+            OutLoc::Input {
+                index,
+                complemented,
+            } => format!("{}i{}", if complemented { "!" } else { "" }, index + 1),
+            OutLoc::Const(v) => format!("{}", u8::from(v)),
+        };
+        let _ = writeln!(out, ".output {name} = {text}");
+    }
+}

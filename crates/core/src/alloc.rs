@@ -12,7 +12,7 @@
 //! The allocator also keeps **per-cell write counters**: the translator
 //! reports every instruction's destination through [`RramAllocator::note_write`],
 //! so the counters agree exactly with the program's static endurance profile
-//! ([`crate::CompiledProgram::static_write_counts`]) and the wear-budget
+//! ([`crate::Rm3Program::static_write_counts`]) and the wear-budget
 //! strategy can consult them while the program is still being built.
 
 use std::collections::VecDeque;

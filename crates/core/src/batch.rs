@@ -54,8 +54,8 @@ use plim_parallel::{par_map, Parallelism};
 use crate::benchfile::BenchRecord;
 use crate::ir::analysis::{analyze_events, AnalysisConfig};
 use crate::{
-    compile, compile_full, AllocatorStrategy, Compilation, CompiledProgram, CompilerOptions,
-    OptLevel, ScheduleOrder,
+    compile, compile_full, AllocatorStrategy, Compilation, CompilerOptions, OptLevel, Rm3Program,
+    ScheduleOrder,
 };
 
 /// Rewrite effort used throughout the evaluation (the paper fixes 4).
@@ -131,12 +131,16 @@ pub struct JobResult {
     /// The spec this result answers.
     pub spec: JobSpec,
     /// The compiled program with its cost metrics.
-    pub compiled: CompiledProgram,
+    pub compiled: Rm3Program,
+    /// The post-optimization IR the program was emitted from. Kept so
+    /// downstream consumers (per-target bench annotation, alternative
+    /// backends) can re-emit the same compilation without recompiling.
+    pub ir: crate::ir::IrProgram,
     /// Wall-clock time of the compile call (excluding any shared rewrite).
     pub compile_time: Duration,
     /// `true` when the static analyzer reported zero diagnostics on the
     /// artifact, its statically re-derived #I/#R/max-writes match the
-    /// recorded [`crate::CompileStats`], and the emitted program obeys the
+    /// recorded [`crate::Rm3Stats`], and the emitted program obeys the
     /// machine's initialization discipline.
     pub lint_clean: bool,
 }
@@ -273,6 +277,7 @@ pub fn run_batch(circuits: &[Circuit], specs: &[JobSpec], parallelism: Paralleli
         JobResult {
             spec: *spec,
             compiled: compilation.compiled,
+            ir: compilation.ir,
             compile_time,
             lint_clean,
         }
@@ -313,8 +318,8 @@ pub struct Point {
     pub rams: usize,
 }
 
-impl From<&CompiledProgram> for Point {
-    fn from(compiled: &CompiledProgram) -> Self {
+impl From<&Rm3Program> for Point {
+    fn from(compiled: &Rm3Program) -> Self {
         Point {
             nodes: compiled.stats.mig_nodes,
             instructions: compiled.stats.instructions,
@@ -580,6 +585,14 @@ pub fn bench_suite(circuits: &[Circuit], effort: usize, parallelism: Parallelism
             o2_max_writes: jobs[6].compiled.stats.max_cell_writes,
             rewrite_ms,
             compile_ms,
+            // The per-target axis is measured by the backend registry
+            // (`plim-backends::annotate_bench`), which lives above this
+            // crate; until annotated, a record carries the "skipped"
+            // sentinel 0 in every per-target column.
+            ambit_ops: 0,
+            ambit_cost: 0,
+            magic_ops: 0,
+            magic_cost: 0,
             // The fidelity axis is measured by the scenario engine
             // (`plim-scenario::annotate_bench`), which lives above this
             // crate; until annotated, a record claims no exhaustive proof.

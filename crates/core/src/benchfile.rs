@@ -22,6 +22,14 @@
 //!   `-O1` and `-O2`. [`gate`] enforces that a higher level never costs
 //!   instructions, cells, or endurance relative to `-O0` — on the current
 //!   run itself, baseline or not;
+//! * `ambit_ops` / `ambit_cost` and `magic_ops` / `magic_cost` — the
+//!   **per-target axis**: instruction count and cost-model units of the
+//!   default compiler's IR re-emitted through the `ambit` (bulk-bitwise
+//!   DRAM majority) and `magic` (memristive NOR) backends. Filled in by
+//!   the backend registry (`plim-backends::annotate_bench`), `0` when
+//!   annotation was skipped; [`gate`] fails hard when an annotated column
+//!   regresses against an annotated baseline and notes
+//!   annotation-coverage changes;
 //! * `rewrite_ms` / `compile_ms` — wall-clock of the rewrite pass and of
 //!   the circuit's compile jobs; gated only in aggregate, with a generous
 //!   tolerance, because timings are machine-dependent;
@@ -74,6 +82,16 @@ pub struct BenchRecord {
     pub o2_rams: u64,
     /// Highest per-cell write count of the default compiler at `-O2`.
     pub o2_max_writes: u64,
+    /// Instructions of the default compiler's IR emitted through the
+    /// `ambit` backend (0 when per-target annotation was skipped).
+    pub ambit_ops: u64,
+    /// Cost-model units of the `ambit` emission (row activations).
+    pub ambit_cost: u64,
+    /// Instructions of the default compiler's IR emitted through the
+    /// `magic` backend (0 when per-target annotation was skipped).
+    pub magic_ops: u64,
+    /// Cost-model units of the `magic` emission (NOR pulses).
+    pub magic_cost: u64,
     /// Wall-clock of the circuit's rewrite pass, in milliseconds.
     pub rewrite_ms: f64,
     /// Wall-clock of the circuit's compile jobs, in milliseconds.
@@ -104,6 +122,7 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             "  {{\"circuit\": {}, \"instructions\": {}, \"rams\": {}, \"max_writes\": {}, \
              \"lookahead_rams\": {}, \"wear_max_writes\": {}, \"o1_instructions\": {}, \
              \"o1_rams\": {}, \"o2_instructions\": {}, \"o2_rams\": {}, \"o2_max_writes\": {}, \
+             \"ambit_ops\": {}, \"ambit_cost\": {}, \"magic_ops\": {}, \"magic_cost\": {}, \
              \"rewrite_ms\": {:.3}, \"compile_ms\": {:.3}, \"verified_exhaustive\": {}, \
              \"fault_error_rate\": {:.6}, \"lifetime_invocations\": {}, \
              \"lint_clean\": {}}}{comma}",
@@ -121,6 +140,10 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             r.o2_instructions,
             r.o2_rams,
             r.o2_max_writes,
+            r.ambit_ops,
+            r.ambit_cost,
+            r.magic_ops,
+            r.magic_cost,
             r.rewrite_ms,
             r.compile_ms,
             r.verified_exhaustive,
@@ -134,10 +157,10 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     out
 }
 
-/// The fourteen required numeric fields of a record, in schema order
+/// The eighteen required numeric fields of a record, in schema order
 /// (`circuit` and the booleans `verified_exhaustive` / `lint_clean` are
 /// handled apart).
-const NUMERIC_FIELDS: [&str; 14] = [
+const NUMERIC_FIELDS: [&str; 18] = [
     "instructions",
     "rams",
     "max_writes",
@@ -148,6 +171,10 @@ const NUMERIC_FIELDS: [&str; 14] = [
     "o2_instructions",
     "o2_rams",
     "o2_max_writes",
+    "ambit_ops",
+    "ambit_cost",
+    "magic_ops",
+    "magic_cost",
     "rewrite_ms",
     "compile_ms",
     "fault_error_rate",
@@ -227,6 +254,10 @@ fn parse_record(index: usize, item: &Value) -> Result<BenchRecord, String> {
         o2_instructions: get("o2_instructions")? as u64,
         o2_rams: get("o2_rams")? as u64,
         o2_max_writes: get("o2_max_writes")? as u64,
+        ambit_ops: get("ambit_ops")? as u64,
+        ambit_cost: get("ambit_cost")? as u64,
+        magic_ops: get("magic_ops")? as u64,
+        magic_cost: get("magic_cost")? as u64,
         rewrite_ms: get("rewrite_ms")?,
         compile_ms: get("compile_ms")?,
         fault_error_rate: get("fault_error_rate")?,
@@ -265,6 +296,11 @@ impl GateReport {
 /// satisfy opt-level monotonicity — a higher `-O` may never produce more
 /// instructions than `-O0`, nor cost cells or endurance at `-O2` — so a
 /// pass regression fails CI even right after a baseline refresh.
+/// The per-target columns (`ambit_ops`/`ambit_cost`,
+/// `magic_ops`/`magic_cost`) gate hard in both instruction count and cost
+/// units whenever baseline **and** current run annotated them (both
+/// nonzero); a `0` on either side means annotation was skipped there, and
+/// the coverage change is a note.
 /// Wall-clock gates softly: only the **total** `rewrite_ms + compile_ms`
 /// over circuits present in both runs is compared, and only a slowdown
 /// beyond `time_tolerance` (e.g. `0.25` for +25 %) fails. The endurance
@@ -326,6 +362,33 @@ pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f
             ("-O2 #I", b.o2_instructions, c.o2_instructions),
         ] {
             if new > old {
+                report
+                    .regressions
+                    .push(format!("{}: {metric} regressed {old} → {new}", b.circuit));
+            } else if new < old {
+                report
+                    .notes
+                    .push(format!("{}: {metric} improved {old} → {new}", b.circuit));
+            }
+        }
+        // Per-target columns gate hard, but only where both runs actually
+        // annotated them: `0` means "annotation skipped", and comparing a
+        // measured value against a skip would turn coverage changes into
+        // phantom regressions.
+        for (metric, old, new) in [
+            ("ambit_ops", b.ambit_ops, c.ambit_ops),
+            ("ambit_cost", b.ambit_cost, c.ambit_cost),
+            ("magic_ops", b.magic_ops, c.magic_ops),
+            ("magic_cost", b.magic_cost, c.magic_cost),
+        ] {
+            if old == 0 || new == 0 {
+                if old != new {
+                    report.notes.push(format!(
+                        "{}: {metric} annotation coverage changed {old} → {new}",
+                        b.circuit
+                    ));
+                }
+            } else if new > old {
                 report
                     .regressions
                     .push(format!("{}: {metric} regressed {old} → {new}", b.circuit));
@@ -422,6 +485,10 @@ mod tests {
             o2_instructions: instructions.saturating_sub(2),
             o2_rams: rams,
             o2_max_writes: 9,
+            ambit_ops: instructions * 5,
+            ambit_cost: instructions * 11,
+            magic_ops: instructions * 7,
+            magic_cost: instructions * 7,
             rewrite_ms: 1.5,
             compile_ms: 0.5,
             verified_exhaustive: true,
@@ -452,6 +519,7 @@ mod tests {
             "max_writes": 1, "lookahead_rams": 3, "wear_max_writes": 1,
             "o2_instructions": 8, "o2_rams": 3, "o2_max_writes": 1,
             "o1_instructions": 9, "o1_rams": 3,
+            "ambit_ops": 45, "ambit_cost": 99, "magic_ops": 63, "magic_cost": 63,
             "verified_exhaustive": false, "fault_error_rate": 0.25,
             "lifetime_invocations": 1000, "lint_clean": true,
             "compile_ms": 0.25, "rewrite_ms": 1.25, "extra": 42}]"#;
@@ -495,6 +563,63 @@ mod tests {
             err.contains("field 'lint_clean' must be a boolean"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn per_target_regressions_fail_the_gate() {
+        let baseline = vec![record("adder", 120, 12)];
+        for field in ["ambit_ops", "ambit_cost", "magic_ops", "magic_cost"] {
+            let mut worse = record("adder", 120, 12);
+            match field {
+                "ambit_ops" => worse.ambit_ops += 1,
+                "ambit_cost" => worse.ambit_cost += 1,
+                "magic_ops" => worse.magic_ops += 1,
+                _ => worse.magic_cost += 1,
+            }
+            let report = gate(&baseline, &[worse], 0.25);
+            assert!(!report.passed(), "{field} increase must fail");
+            assert!(
+                report.regressions[0].contains(&format!("{field} regressed")),
+                "{:?}",
+                report.regressions
+            );
+        }
+        // Improvements are notes.
+        let mut better = record("adder", 120, 12);
+        better.ambit_cost -= 1;
+        let report = gate(&baseline, &[better], 0.25);
+        assert!(report.passed());
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("ambit_cost improved")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn per_target_annotation_coverage_changes_are_notes() {
+        // Baseline annotated, current skipped: a note, not a regression —
+        // and the reverse direction likewise (0 → measured must not read
+        // as a cost explosion).
+        let baseline = vec![record("adder", 120, 12)];
+        let mut skipped = record("adder", 120, 12);
+        skipped.ambit_ops = 0;
+        skipped.ambit_cost = 0;
+        let report = gate(&baseline, &[skipped.clone()], 0.25);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("ambit_ops annotation coverage changed")),
+            "{:?}",
+            report.notes
+        );
+        let report = gate(&[skipped], &[record("adder", 120, 12)], 0.25);
+        assert!(report.passed(), "{:?}", report.regressions);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use mig::Mig;
 
 use crate::ir::{self, passes::PassManager, IrProgram};
 use crate::options::CompilerOptions;
-use crate::program::CompiledProgram;
+use crate::program::Rm3Program;
 
 /// Compiles an MIG into a PLiM program.
 ///
@@ -45,7 +45,7 @@ use crate::program::CompiledProgram;
 /// let out = machine.run(&compiled.program, &[true, true, false]).unwrap();
 /// assert_eq!(out, vec![false]); // ⟨1 0 0⟩ = 0
 /// ```
-pub fn compile(mig: &Mig, options: CompilerOptions) -> CompiledProgram {
+pub fn compile(mig: &Mig, options: CompilerOptions) -> Rm3Program {
     compile_full(mig, options).compiled
 }
 
@@ -54,7 +54,7 @@ pub fn compile(mig: &Mig, options: CompilerOptions) -> CompiledProgram {
 #[derive(Debug, Clone)]
 pub struct Compilation {
     /// The executable program with its cost metrics.
-    pub compiled: CompiledProgram,
+    pub compiled: Rm3Program,
     /// The IR after optimization — what `plimc --emit ir` prints.
     pub ir: IrProgram,
     /// Per-pass `#I` accounting of the pipeline run.
@@ -65,7 +65,7 @@ pub struct Compilation {
 /// report alongside the program.
 pub fn compile_full(mig: &Mig, options: CompilerOptions) -> Compilation {
     let mut ir = ir::lower(mig, options);
-    let report = PassManager::for_level(options.opt).run(&mut ir, mig);
+    let report = PassManager::for_level(options.opt).run(&mut ir, mig, options.target.backend());
     let compiled = ir::emit(&ir);
     Compilation {
         compiled,
@@ -80,7 +80,7 @@ mod tests {
     use mig::Signal;
     use plim::Machine;
 
-    fn exhaustive_check(mig: &Mig, compiled: &CompiledProgram) {
+    fn exhaustive_check(mig: &Mig, compiled: &Rm3Program) {
         let n = mig.num_inputs();
         assert!(n <= 12, "test helper is exhaustive");
         let mut machine = Machine::new();

@@ -15,7 +15,7 @@ use crate::compile::{compile_full, Compilation};
 use crate::options::{
     AllocatorStrategy, CompilerOptions, OperandSelection, OptLevel, ScheduleOrder,
 };
-use crate::program::CompiledProgram;
+use crate::program::Rm3Program;
 
 /// Error returned when no explored configuration fits the budget.
 #[derive(Debug)]
@@ -23,7 +23,7 @@ pub struct RamLimitError {
     /// The requested budget.
     pub limit: u32,
     /// The most frugal program found (its `stats.rams` exceeds `limit`).
-    pub best: CompiledProgram,
+    pub best: Rm3Program,
 }
 
 impl fmt::Display for RamLimitError {
@@ -69,7 +69,7 @@ impl std::error::Error for RamLimitError {}
 // The Err variant intentionally carries the full best-effort program so
 // callers can inspect how far from the budget they landed.
 #[allow(clippy::result_large_err)]
-pub fn compile_with_ram_limit(mig: &Mig, limit: u32) -> Result<CompiledProgram, RamLimitError> {
+pub fn compile_with_ram_limit(mig: &Mig, limit: u32) -> Result<Rm3Program, RamLimitError> {
     compile_with_ram_limit_at(mig, limit, OptLevel::O0).map(|c| c.compiled)
 }
 

@@ -75,7 +75,7 @@ pub enum Lint {
     /// `PA0007` — a release of a cell whose lifetime never began.
     ReleaseNeverRequested,
     /// `PA0008` — statically re-derived resources (#I, #R, per-cell wear)
-    /// disagree with the recorded `CompileStats`; reported by the
+    /// disagree with the recorded `Rm3Stats`; reported by the
     /// certification layer in `plim-analysis`, never by
     /// [`analyze_events`].
     StatsMismatch,

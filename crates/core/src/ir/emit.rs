@@ -19,7 +19,7 @@
 use plim::{Instruction, Operand, OutputLoc, Program, RamAddr};
 
 use crate::alloc::RramAllocator;
-use crate::program::{CompileStats, CompiledProgram};
+use crate::program::{Rm3Program, Rm3Stats};
 
 use super::{Event, IrOutput, IrProgram, Value};
 
@@ -66,7 +66,7 @@ pub(crate) fn replay_metrics(ir: &IrProgram) -> (usize, u32, u64) {
 /// Panics if the event stream is malformed (an op touching a cell outside
 /// its request/release span); run [`IrProgram::check`] first when in doubt
 /// — the pass pipeline does so after every pass.
-pub fn emit(ir: &IrProgram) -> CompiledProgram {
+pub fn emit(ir: &IrProgram) -> Rm3Program {
     let mut alloc = RramAllocator::new(ir.allocator);
     let mut addr: Vec<Option<RamAddr>> = vec![None; ir.cells.len()];
     let mut program = Program::new(ir.num_inputs);
@@ -116,12 +116,12 @@ pub fn emit(ir: &IrProgram) -> CompiledProgram {
         program.add_output(name.clone(), loc);
     }
 
-    let stats = CompileStats {
+    let stats = Rm3Stats {
         instructions: program.len(),
         rams: program.num_rams(),
         mig_nodes: ir.mig_nodes,
         peak_live,
         max_cell_writes: alloc.max_writes(),
     };
-    CompiledProgram { program, stats }
+    Rm3Program { program, stats }
 }

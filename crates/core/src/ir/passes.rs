@@ -30,6 +30,7 @@ use std::fmt;
 
 use mig::Mig;
 
+use crate::backend::{Backend, Cost};
 use crate::options::OptLevel;
 
 use super::{analysis, CellId, Event, IrOutput, IrProgram, Value};
@@ -39,8 +40,10 @@ pub trait Pass {
     /// Stable name, reported in [`PassRun`] records and bench output.
     fn name(&self) -> &'static str;
     /// Rewrites the program, returning the number of edits applied
-    /// (removed or rewritten instructions).
-    fn run(&self, ir: &mut IrProgram) -> usize;
+    /// (removed or rewritten instructions). Passes that trial edits score
+    /// them with `backend`'s cost model, so the pipeline optimizes for the
+    /// architecture that will actually consume the stream.
+    fn run(&self, ir: &mut IrProgram, backend: &dyn Backend) -> usize;
 }
 
 /// One pass execution's accounting.
@@ -161,6 +164,11 @@ impl PassManager {
     /// Runs the pipeline to completion (one round at `-O1`, fixpoint at
     /// `-O2`), returning the per-pass accounting.
     ///
+    /// Trial edits are scored under `backend`'s cost model; for the RM3
+    /// backend that model is exactly the historical `(#I, #R, max-writes)`
+    /// allocator replay, so every gating decision — and every emitted byte
+    /// — is unchanged from the pre-trait pipeline.
+    ///
     /// After every pass that edited the stream, the IR is structurally
     /// re-checked, and in debug/test builds the emitted program is verified
     /// equivalent to `mig` on the machine simulator.
@@ -170,12 +178,12 @@ impl PassManager {
     /// Panics if a pass produces structurally invalid IR or (debug builds)
     /// a program that is not equivalent to the source MIG — both are
     /// compiler bugs that must not reach emitted artifacts.
-    pub fn run(&self, ir: &mut IrProgram, mig: &Mig) -> PassReport {
+    pub fn run(&self, ir: &mut IrProgram, mig: &Mig, backend: &dyn Backend) -> PassReport {
         let mut report = PassReport::default();
-        // The current stream's metrics, threaded across pass runs: each
-        // editing pass pays exactly one replay (for its after-state), and
+        // The current stream's cost, threaded across pass runs: each
+        // editing pass pays exactly one scoring (for its after-state), and
         // no-op runs pay none.
-        let mut current = emitted_metrics(ir);
+        let mut current = backend.cost(ir);
         // Translation validation: the analyzer's structural lint counts at
         // pipeline entry. A pass run that raises any count is reverted
         // wholesale, exactly like a quality-gate rejection — the analyzer
@@ -188,7 +196,7 @@ impl PassManager {
             for pass in &self.passes {
                 let instructions_before = ir.num_instructions();
                 let snapshot = ir.clone();
-                let mut edits = pass.run(ir);
+                let mut edits = pass.run(ir, backend);
                 if edits > 0 {
                     let after = analysis::lint_counts(&analysis::analyze_events(ir, &structural));
                     if analysis::introduces(&baseline, &after) {
@@ -205,16 +213,16 @@ impl PassManager {
                         panic!("pass `{}` produced invalid IR: {error}", pass.name());
                     }
                     // Quality guard: a pass may only trade instructions
-                    // down, never cells or endurance up. Allocator replay
-                    // makes #R/max-writes global properties of the stream,
-                    // so an edit that shifts reuse the wrong way is
+                    // down, never footprint or endurance up. Allocator
+                    // replay makes footprint/wear global properties of the
+                    // stream, so an edit that shifts reuse the wrong way is
                     // reverted wholesale rather than shipped.
-                    let (i1, r1, w1) = emitted_metrics(ir);
-                    if i1 > current.0 || r1 > current.1 || w1 > current.2 {
+                    let after_cost = backend.cost(ir);
+                    if after_cost.worse_than(current) {
                         *ir = snapshot;
                         edits = 0;
                     } else {
-                        current = (i1, r1, w1);
+                        current = after_cost;
                         #[cfg(debug_assertions)]
                         if let Err(error) =
                             crate::verify::verify(mig, &super::emit(ir), 1, 0xDAC2016)
@@ -293,7 +301,7 @@ impl Pass for DeadWrite {
         "dead-write"
     }
 
-    fn run(&self, ir: &mut IrProgram) -> usize {
+    fn run(&self, ir: &mut IrProgram, _backend: &dyn Backend) -> usize {
         let mut needed = vec![false; ir.cells.len()];
         for (_, output) in &ir.outputs {
             if let IrOutput::Cell(c) = output {
@@ -423,7 +431,7 @@ impl Pass for RedundantInit {
         "redundant-init"
     }
 
-    fn run(&self, ir: &mut IrProgram) -> usize {
+    fn run(&self, ir: &mut IrProgram, _backend: &dyn Backend) -> usize {
         const_flow(ir, |_op, _result, resident| resident)
     }
 }
@@ -444,7 +452,7 @@ impl Pass for Peephole {
         "peephole"
     }
 
-    fn run(&self, ir: &mut IrProgram) -> usize {
+    fn run(&self, ir: &mut IrProgram, _backend: &dyn Backend) -> usize {
         let mut edits = 0;
         const_flow(ir, |op, result, resident| {
             if resident {
@@ -491,14 +499,14 @@ impl Pass for Forward {
         "forward"
     }
 
-    fn run(&self, ir: &mut IrProgram) -> usize {
+    fn run(&self, ir: &mut IrProgram, backend: &dyn Backend) -> usize {
         let mut edits = 0;
         // Edits rejected by the quality gate stay rejected: without the
-        // memo every restart would re-trial (and re-replay) them, turning
+        // memo every restart would re-trial (and re-score) them, turning
         // the pass quadratic on large circuits.
         let mut rejected: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
-        let mut baseline = emitted_metrics(ir);
-        while forward_one(ir, &mut rejected, &mut baseline) {
+        let mut baseline = backend.cost(ir);
+        while forward_one(ir, backend, &mut rejected, &mut baseline) {
             edits += 1;
         }
         if edits > 0 {
@@ -506,12 +514,6 @@ impl Pass for Forward {
         }
         edits
     }
-}
-
-/// Quality metrics guarding pass edits: `#I`, `#R`, and the
-/// endurance-limiting cell's writes of the emitted program.
-fn emitted_metrics(ir: &IrProgram) -> (usize, u32, u64) {
-    super::emit::replay_metrics(ir)
 }
 
 /// How a position touches a cell.
@@ -620,15 +622,16 @@ enum Chain {
 /// Finds and applies one forwarding edit; `false` when none applies.
 /// Candidates in `rejected` (keyed by op index and claimed cell) were
 /// already turned down by the quality gate and are not re-trialed;
-/// `baseline` carries the current stream's metrics across restarts and is
+/// `baseline` carries the current stream's cost across restarts and is
 /// updated when an edit commits.
 fn forward_one(
     ir: &mut IrProgram,
+    backend: &dyn Backend,
     rejected: &mut std::collections::HashSet<(u32, u32)>,
-    baseline: &mut (usize, u32, u64),
+    baseline: &mut Cost,
 ) -> bool {
     let index = CellIndex::build(ir);
-    let (i0, r0, w0) = *baseline;
+    let before = *baseline;
     for pos in 0..ir.events.len() {
         let Event::Op(ki) = ir.events[pos] else {
             continue;
@@ -727,10 +730,11 @@ fn forward_one(
                 rejected.insert((ki, d.0));
                 continue;
             };
-            // Trial the edit and commit only if it strictly improves #I
-            // without costing cells or endurance: lifetime merges shift the
-            // allocator's replay, so the effect on #R and max-writes is
-            // global and easiest to judge on the emitted stream itself.
+            // Trial the edit and commit only if it strictly improves the
+            // instruction count without costing footprint or endurance
+            // under the active backend's model: lifetime merges shift the
+            // allocator's replay, so the effect is global and easiest to
+            // judge on the edited stream itself.
             // The edit is applied in place and undone on rejection — the
             // undo log is a handful of operand words, where cloning the
             // whole program (listing strings included) dominated the pass.
@@ -753,9 +757,9 @@ fn forward_one(
                     d.0, ir.ops[ki as usize].z.0
                 );
             }
-            let (i1, r1, w1) = emitted_metrics(ir);
-            if i1 < i0 && r1 <= r0 && w1 <= w0 {
-                *baseline = (i1, r1, w1);
+            let after = backend.cost(ir);
+            if after.improves_on(before) {
+                *baseline = after;
                 return true;
             }
             undo.revert(ir);

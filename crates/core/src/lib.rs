@@ -71,6 +71,7 @@
 //! ```
 
 pub mod alloc;
+pub mod backend;
 pub mod batch;
 pub mod benchfile;
 pub mod cache;
@@ -85,7 +86,10 @@ mod program;
 pub mod report;
 pub mod verify;
 
+pub use backend::{Artifact, Backend, Cost, InstructionInfo, Target};
 pub use compile::{compile, compile_full, Compilation};
 pub use lifetime::{LifetimeClass, Lifetimes};
 pub use options::{AllocatorStrategy, CompilerOptions, OperandSelection, OptLevel, ScheduleOrder};
+#[allow(deprecated)]
 pub use program::{CompileStats, CompiledProgram};
+pub use program::{Rm3Program, Rm3Stats};

@@ -1,5 +1,7 @@
 //! Compiler configuration.
 
+use crate::backend::Target;
+
 /// Strategy of the work-RRAM allocator (§4.2.3 of the paper, extended).
 ///
 /// Every strategy is a policy over the same free-cell pool maintained by
@@ -230,6 +232,10 @@ pub struct CompilerOptions {
     pub allocator: AllocatorStrategy,
     /// IR pass-pipeline level run between lowering and emission.
     pub opt: OptLevel,
+    /// Emission target: which registered [`crate::backend::Backend`]
+    /// consumes the optimized IR (and scores the pass pipeline's trial
+    /// edits). Defaults to [`Target::RM3`], the paper's architecture.
+    pub target: Target,
 }
 
 impl CompilerOptions {
@@ -250,6 +256,7 @@ impl CompilerOptions {
             operands: OperandSelection::Smart,
             allocator: AllocatorStrategy::Fifo,
             opt: OptLevel::O0,
+            target: Target::RM3,
         }
     }
 
@@ -277,46 +284,68 @@ impl CompilerOptions {
         self
     }
 
+    /// Sets the emission target.
+    pub fn target(mut self, target: Target) -> Self {
+        self.target = target;
+        self
+    }
+
     /// The canonical wire spelling of this configuration
-    /// (`schedule+operands+allocator+opt`, e.g. `priority+smart+fifo+o0`),
-    /// used by the compile-service protocol and as part of the result-cache
-    /// fingerprint. **Every** field of the options must appear here: the
-    /// service derives its cache key from this spelling, so a field that
-    /// does not reach the spec would let a warm cache hit serve a program
-    /// compiled under different options. Round-trips through
+    /// (`schedule+operands+allocator+opt+target`, e.g.
+    /// `priority+smart+fifo+o0+rm3`), used by the compile-service protocol
+    /// and as part of the result-cache fingerprint. **Every** field of the
+    /// options must appear here: the service derives its cache key from
+    /// this spelling, so a field that does not reach the spec would let a
+    /// warm cache hit serve a program compiled under different options —
+    /// or, worse, for a different target. Round-trips through
     /// [`CompilerOptions::parse_spec`].
     pub fn spec(&self) -> String {
         format!(
-            "{}+{}+{}+{}",
+            "{}+{}+{}+{}+{}",
             self.schedule.name(),
             self.operands.name(),
             self.allocator.name(),
-            self.opt.name()
+            self.opt.name(),
+            self.target.name()
         )
     }
 
     /// Parses the [`CompilerOptions::spec`] spelling.
     ///
-    /// The three-part pre-`OptLevel` spelling
-    /// (`schedule+operands+allocator`) is still accepted and implies `o0`,
-    /// so requests from older clients keep compiling — and keep hitting the
-    /// same cache entries as an explicit `-O0`.
+    /// The historical three-part (`schedule+operands+allocator`) and
+    /// four-part (`…+opt`) spellings are still accepted and imply `o0`
+    /// and the RM3 target respectively, so requests from older clients
+    /// keep compiling — and keep hitting the same cache entries as an
+    /// explicit `-O0 --target rm3`.
     ///
     /// # Errors
     ///
-    /// Returns a one-line message when the spec is not three or four
+    /// Returns a one-line message when the spec is not three, four or five
     /// `+`-separated component names.
     pub fn parse_spec(spec: &str) -> Result<Self, String> {
         let parts: Vec<&str> = spec.split('+').collect();
-        let (schedule, operands, allocator, opt) = match parts.as_slice() {
-            [schedule, operands, allocator] => (schedule, operands, allocator, OptLevel::O0),
-            [schedule, operands, allocator, opt] => {
-                (schedule, operands, allocator, OptLevel::parse(opt)?)
+        let (schedule, operands, allocator, opt, target) = match parts.as_slice() {
+            [schedule, operands, allocator] => {
+                (schedule, operands, allocator, OptLevel::O0, Target::RM3)
             }
+            [schedule, operands, allocator, opt] => (
+                schedule,
+                operands,
+                allocator,
+                OptLevel::parse(opt)?,
+                Target::RM3,
+            ),
+            [schedule, operands, allocator, opt, target] => (
+                schedule,
+                operands,
+                allocator,
+                OptLevel::parse(opt)?,
+                Target::parse(target)?,
+            ),
             _ => {
                 return Err(format!(
-                    "bad options spec `{spec}` (expected schedule+operands+allocator[+opt])"
-                ))
+                "bad options spec `{spec}` (expected schedule+operands+allocator[+opt][+target])"
+            ))
             }
         };
         Ok(CompilerOptions {
@@ -324,6 +353,7 @@ impl CompilerOptions {
             operands: OperandSelection::parse(operands)?,
             allocator: AllocatorStrategy::parse(allocator)?,
             opt,
+            target,
         })
     }
 }
@@ -377,27 +407,39 @@ mod tests {
             for operands in OperandSelection::ALL {
                 for allocator in AllocatorStrategy::ALL {
                     for opt in OptLevel::ALL {
-                        let options = CompilerOptions {
-                            schedule,
-                            operands,
-                            allocator,
-                            opt,
-                        };
-                        assert_eq!(CompilerOptions::parse_spec(&options.spec()), Ok(options));
+                        for target in Target::all() {
+                            let options = CompilerOptions {
+                                schedule,
+                                operands,
+                                allocator,
+                                opt,
+                                target,
+                            };
+                            assert_eq!(CompilerOptions::parse_spec(&options.spec()), Ok(options));
+                        }
                     }
                 }
             }
         }
-        assert_eq!(CompilerOptions::new().spec(), "priority+smart+fifo+o0");
+        assert_eq!(CompilerOptions::new().spec(), "priority+smart+fifo+o0+rm3");
     }
 
     #[test]
-    fn three_part_specs_imply_o0() {
+    fn three_and_four_part_specs_imply_o0_and_rm3() {
         let options = CompilerOptions::parse_spec("priority+smart+fifo").unwrap();
         assert_eq!(options, CompilerOptions::new());
         assert_eq!(options.opt, OptLevel::O0);
+        assert_eq!(options.target, Target::RM3);
+        let four = CompilerOptions::parse_spec("priority+smart+fifo+o2").unwrap();
+        assert_eq!(four.opt, OptLevel::O2);
+        assert_eq!(four.target, Target::RM3);
+        // Back-compat keys stay *identical* to the explicit spellings, so
+        // an old client and a new one share cache entries.
+        assert_eq!(four, CompilerOptions::new().opt(OptLevel::O2));
         let err = CompilerOptions::parse_spec("priority+smart+fifo+o7").unwrap_err();
         assert!(err.contains("o7") && err.contains("o0|o1|o2"), "{err}");
+        let err = CompilerOptions::parse_spec("priority+smart+fifo+o0+gpu").unwrap_err();
+        assert!(err.contains("gpu") && err.contains("rm3"), "{err}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use plim::{Operand, Program};
 
 /// Cost metrics of a compiled PLiM program (the paper's Table 1 columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CompileStats {
+pub struct Rm3Stats {
     /// Number of RM3 instructions (`#I`).
     pub instructions: usize,
     /// Number of distinct work RRAMs allocated (`#R`).
@@ -18,12 +18,12 @@ pub struct CompileStats {
     pub peak_live: usize,
     /// Highest per-cell write count of one execution (the wear of the
     /// endurance-limiting cell), recorded by the allocator's write counters
-    /// and always equal to [`CompiledProgram::static_endurance`]'s
+    /// and always equal to [`Rm3Program::static_endurance`]'s
     /// `max_writes`.
     pub max_cell_writes: u64,
 }
 
-impl fmt::Display for CompileStats {
+impl fmt::Display for Rm3Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -33,16 +33,32 @@ impl fmt::Display for CompileStats {
     }
 }
 
+/// Deprecated name of [`Rm3Stats`], kept for one release.
+#[deprecated(
+    since = "0.8.0",
+    note = "renamed to `Rm3Stats`: with pluggable backends these metrics describe \
+            the RM3 target specifically, not every compiled artifact"
+)]
+pub type CompileStats = Rm3Stats;
+
+/// Deprecated name of [`Rm3Program`], kept for one release.
+#[deprecated(
+    since = "0.8.0",
+    note = "renamed to `Rm3Program`: with pluggable backends the compiled artifact \
+            is not necessarily an RM3 cell program"
+)]
+pub type CompiledProgram = Rm3Program;
+
 /// A compiled PLiM program together with its cost metrics.
 #[derive(Debug, Clone)]
-pub struct CompiledProgram {
+pub struct Rm3Program {
     /// The executable RM3 program (including output locations).
     pub program: Program,
     /// Cost metrics.
-    pub stats: CompileStats,
+    pub stats: Rm3Stats,
 }
 
-impl CompiledProgram {
+impl Rm3Program {
     /// Per-cell write counts of a *single* execution, derived statically
     /// from the instruction sequence. Useful for endurance analysis without
     /// running the machine.
@@ -81,9 +97,9 @@ mod tests {
         program.push(Instruction::reset(RamAddr(0)));
         program.push(Instruction::reset(RamAddr(0)));
         program.push(Instruction::set(RamAddr(2)));
-        let compiled = CompiledProgram {
+        let compiled = Rm3Program {
             program,
-            stats: CompileStats::default(),
+            stats: Rm3Stats::default(),
         };
         assert_eq!(compiled.static_write_counts(), vec![2, 0, 1]);
         assert_eq!(compiled.static_endurance().max_writes, 2);
@@ -92,7 +108,7 @@ mod tests {
 
     #[test]
     fn stats_display() {
-        let stats = CompileStats {
+        let stats = Rm3Stats {
             instructions: 10,
             rams: 3,
             mig_nodes: 4,

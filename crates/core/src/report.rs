@@ -10,7 +10,7 @@ use plim::controller::CostModel;
 use plim::endurance::EnduranceStats;
 use plim::Operand;
 
-use crate::program::CompiledProgram;
+use crate::program::Rm3Program;
 
 /// Instruction breakdown by operand shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,12 +47,12 @@ pub struct CostReport {
 
 impl CostReport {
     /// Analyzes a compiled program under the default RRAM cost model.
-    pub fn analyze(compiled: &CompiledProgram) -> Self {
+    pub fn analyze(compiled: &Rm3Program) -> Self {
         Self::analyze_with(compiled, CostModel::default())
     }
 
     /// Analyzes a compiled program under a specific cost model.
-    pub fn analyze_with(compiled: &CompiledProgram, cost: CostModel) -> Self {
+    pub fn analyze_with(compiled: &Rm3Program, cost: CostModel) -> Self {
         let mut mix = InstructionMix::default();
         let mut reads = 0u64;
         for instruction in compiled.program.instructions() {
@@ -115,7 +115,7 @@ mod tests {
     use crate::options::CompilerOptions;
     use mig::Mig;
 
-    fn compiled_sample() -> CompiledProgram {
+    fn compiled_sample() -> Rm3Program {
         let mut mig = Mig::new();
         let a = mig.add_input("a");
         let b = mig.add_input("b");
@@ -165,9 +165,9 @@ mod tests {
 
     #[test]
     fn empty_program_reports_zero() {
-        let compiled = CompiledProgram {
+        let compiled = Rm3Program {
             program: plim::Program::new(0),
-            stats: crate::program::CompileStats::default(),
+            stats: crate::program::Rm3Stats::default(),
         };
         let report = CostReport::analyze(&compiled);
         assert_eq!(report.instructions, 0);

@@ -17,7 +17,7 @@ use mig::Mig;
 use plim::wide::{LaneWord, WideMachine, W256};
 use plim::{MachineError, Operand, RamAddr};
 
-use crate::program::CompiledProgram;
+use crate::program::Rm3Program;
 
 /// Number of primary inputs up to which [`verify`] is exhaustive.
 pub const EXHAUSTIVE_LIMIT: usize = 12;
@@ -51,6 +51,8 @@ pub enum VerifyError {
         /// The circuit's primary-input count.
         inputs: usize,
     },
+    /// A backend artifact's executor rejected the run.
+    Backend(String),
 }
 
 impl fmt::Display for VerifyError {
@@ -68,6 +70,7 @@ impl fmt::Display for VerifyError {
                 f,
                 "circuit has {inputs} inputs; exhaustive verification supports at most {EXHAUSTIVE_WIDE_LIMIT}"
             ),
+            VerifyError::Backend(message) => write!(f, "backend executor error: {message}"),
         }
     }
 }
@@ -95,7 +98,7 @@ impl From<MachineError> for VerifyError {
 /// [`VerifyError::Machine`] if the program is malformed.
 pub fn verify(
     mig: &Mig,
-    compiled: &CompiledProgram,
+    compiled: &Rm3Program,
     rounds: usize,
     seed: u64,
 ) -> Result<(), VerifyError> {
@@ -133,7 +136,7 @@ pub fn verify(
 /// first counterexample (in pattern order) on failure, or
 /// [`VerifyError::Machine`] / [`VerifyError::UninitializedRead`] if the
 /// program is malformed.
-pub fn verify_exhaustive(mig: &Mig, compiled: &CompiledProgram) -> Result<(), VerifyError> {
+pub fn verify_exhaustive(mig: &Mig, compiled: &Rm3Program) -> Result<(), VerifyError> {
     let n = mig.num_inputs();
     if n > EXHAUSTIVE_WIDE_LIMIT {
         return Err(VerifyError::TooManyInputs { inputs: n });
@@ -142,9 +145,95 @@ pub fn verify_exhaustive(mig: &Mig, compiled: &CompiledProgram) -> Result<(), Ve
     exhaustive_wide::<W256>(mig, compiled)
 }
 
+/// Proves a backend [`Artifact`](crate::backend::Artifact) equal to its
+/// source MIG over the **full** input space, through the artifact's own
+/// bit-parallel executor (64 patterns per run).
+///
+/// This is the target-independent sibling of [`verify_exhaustive`]: any
+/// backend that can execute its own instruction set 64 lanes at a time can
+/// be proven equivalent to the source graph with it, regardless of what the
+/// instructions mean physically.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::TooManyInputs`] for circuits beyond
+/// [`EXHAUSTIVE_WIDE_LIMIT`] inputs, [`VerifyError::Mismatch`] with the
+/// first counterexample (in pattern order) on failure, or
+/// [`VerifyError::Backend`] if the artifact's executor rejects the run.
+pub fn verify_exhaustive_artifact(
+    mig: &Mig,
+    artifact: &dyn crate::backend::Artifact,
+) -> Result<(), VerifyError> {
+    let n = mig.num_inputs();
+    if n > EXHAUSTIVE_WIDE_LIMIT {
+        return Err(VerifyError::TooManyInputs { inputs: n });
+    }
+    let blocks = if n <= 6 { 1 } else { 1usize << (n - 6) };
+    let mut input_words = vec![0u64; n];
+    for block in 0..blocks {
+        for (var, word) in input_words.iter_mut().enumerate() {
+            *word = variable_word(var, block);
+        }
+        let got = artifact
+            .run_wide(&input_words)
+            .map_err(VerifyError::Backend)?;
+        let expected = mig::simulate::simulate(mig, &input_words);
+        for (index, (&e, &g)) in expected.iter().zip(&got).enumerate() {
+            if e != g {
+                let pattern = (block << 6) | (e ^ g).trailing_zeros() as usize;
+                return Err(VerifyError::Mismatch {
+                    output: mig.outputs()[index].0.clone(),
+                    inputs: (0..n).map(|i| pattern >> i & 1 != 0).collect(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a backend artifact against its source MIG the way [`verify`]
+/// checks the RM3 program: exhaustive through the artifact's executor up
+/// to [`EXHAUSTIVE_LIMIT`] inputs, otherwise `rounds × 64` random patterns
+/// seeded by `seed`. This is what target-aware consumers (the pipeline's
+/// `--verify`, the scenario harness) dispatch to for non-RM3 targets.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Mismatch`] with a counterexample on failure, or
+/// [`VerifyError::Backend`] if the artifact's executor rejects the run.
+pub fn verify_artifact(
+    mig: &Mig,
+    artifact: &dyn crate::backend::Artifact,
+    rounds: usize,
+    seed: u64,
+) -> Result<(), VerifyError> {
+    let n = mig.num_inputs();
+    if n <= EXHAUSTIVE_LIMIT {
+        return verify_exhaustive_artifact(mig, artifact);
+    }
+    let mut rng = XorShift64::new(seed);
+    for _ in 0..rounds.max(1) {
+        let input_words: Vec<u64> = (0..n).map(|_| rng.next_word()).collect();
+        let got = artifact
+            .run_wide(&input_words)
+            .map_err(VerifyError::Backend)?;
+        let expected = mig::simulate::simulate(mig, &input_words);
+        for (index, (&e, &g)) in expected.iter().zip(&got).enumerate() {
+            if e != g {
+                let lane = (e ^ g).trailing_zeros() as usize;
+                return Err(VerifyError::Mismatch {
+                    output: mig.outputs()[index].0.clone(),
+                    inputs: input_words.iter().map(|w| w.lane(lane)).collect(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A wide machine whose work array is pre-filled with a nonzero pattern,
 /// so a read of a never-written cell cannot masquerade as a correct zero.
-fn poisoned_machine<W: LaneWord>(compiled: &CompiledProgram) -> WideMachine<W> {
+fn poisoned_machine<W: LaneWord>(compiled: &Rm3Program) -> WideMachine<W> {
     let mut machine = WideMachine::new();
     machine.ensure_cells(compiled.program.num_rams() as usize);
     for addr in 0..compiled.program.num_rams() {
@@ -158,7 +247,7 @@ fn poisoned_machine<W: LaneWord>(compiled: &CompiledProgram) -> WideMachine<W> {
 
 /// Checks every one of the 2ⁿ input patterns, [`LaneWord::LANES`] at a
 /// time, comparing each 64-pattern block against MIG word simulation.
-fn exhaustive_wide<W: LaneWord>(mig: &Mig, compiled: &CompiledProgram) -> Result<(), VerifyError> {
+fn exhaustive_wide<W: LaneWord>(mig: &Mig, compiled: &Rm3Program) -> Result<(), VerifyError> {
     let n = mig.num_inputs();
     let u64_blocks = if n <= 6 { 1 } else { 1usize << (n - 6) };
     let mut machine = poisoned_machine::<W>(compiled);
@@ -203,7 +292,7 @@ fn exhaustive_wide<W: LaneWord>(mig: &Mig, compiled: &CompiledProgram) -> Result
 ///
 /// Returns [`VerifyError::UninitializedRead`] at the first offending
 /// instruction.
-pub fn check_init_discipline(compiled: &CompiledProgram) -> Result<(), VerifyError> {
+pub fn check_init_discipline(compiled: &Rm3Program) -> Result<(), VerifyError> {
     let mut written = vec![false; compiled.program.num_rams() as usize];
     for (pc, instruction) in compiled.program.instructions().iter().enumerate() {
         let masking = matches!(
@@ -231,7 +320,7 @@ mod tests {
     use super::*;
     use crate::compile::compile;
     use crate::options::CompilerOptions;
-    use crate::program::CompileStats;
+    use crate::program::Rm3Stats;
     use plim::{Instruction, Program, RamAddr};
 
     #[test]
@@ -347,6 +436,38 @@ mod tests {
     }
 
     #[test]
+    fn verify_exhaustive_artifact_accepts_the_rm3_backend() {
+        use crate::backend::Target;
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 7);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = mig.maj(acc, !x, xs[0]);
+        }
+        mig.add_output("f", acc);
+        mig.add_output("nf", !acc);
+        let compilation = crate::compile::compile_full(&mig, CompilerOptions::new());
+        let artifact = Target::RM3.backend().emit(&compilation.ir);
+        verify_exhaustive_artifact(&mig, artifact.as_ref()).unwrap();
+    }
+
+    #[test]
+    fn verify_exhaustive_artifact_rejects_oversized_interface() {
+        use crate::backend::Target;
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", EXHAUSTIVE_WIDE_LIMIT + 1);
+        mig.add_output("f", xs[0]);
+        let compilation = crate::compile::compile_full(&mig, CompilerOptions::new());
+        let artifact = Target::RM3.backend().emit(&compilation.ir);
+        assert_eq!(
+            verify_exhaustive_artifact(&mig, artifact.as_ref()),
+            Err(VerifyError::TooManyInputs {
+                inputs: EXHAUSTIVE_WIDE_LIMIT + 1
+            })
+        );
+    }
+
+    #[test]
     fn init_discipline_catches_unwritten_destination() {
         let mut program = Program::new(0);
         // Non-masking instruction on an unwritten cell.
@@ -355,9 +476,9 @@ mod tests {
             Operand::Const(true),
             RamAddr(0),
         ));
-        let compiled = CompiledProgram {
+        let compiled = Rm3Program {
             program,
-            stats: CompileStats::default(),
+            stats: Rm3Stats::default(),
         };
         assert_eq!(
             check_init_discipline(&compiled),
@@ -374,9 +495,9 @@ mod tests {
             Operand::Const(true),
             RamAddr(0),
         ));
-        let compiled = CompiledProgram {
+        let compiled = Rm3Program {
             program,
-            stats: CompileStats::default(),
+            stats: Rm3Stats::default(),
         };
         assert_eq!(
             check_init_discipline(&compiled),
@@ -394,9 +515,9 @@ mod tests {
             Operand::Ram(RamAddr(1)),
             RamAddr(0),
         ));
-        let compiled = CompiledProgram {
+        let compiled = Rm3Program {
             program,
-            stats: CompileStats::default(),
+            stats: Rm3Stats::default(),
         };
         check_init_discipline(&compiled).unwrap();
     }

@@ -31,6 +31,8 @@ pub mod lifetime;
 pub mod random;
 
 pub use fault::{fault_sweep, sweep_strategies, FaultModel, FaultReport, FaultScenario};
-pub use fidelity::{annotate_bench, fidelity_for, Fidelity, FidelityConfig};
+pub use fidelity::{
+    annotate_bench, fidelity_for, verify_exhaustive_for_target, Fidelity, FidelityConfig,
+};
 pub use lifetime::{compare_strategies, simulate_lifetime, LifetimeReport, LifetimeScenario};
 pub use random::BiasedBits;

@@ -19,6 +19,11 @@
 //!                        work-RRAM allocation strategy (default: fifo)
 //!   -O0|-O1|-O2          IR pass-pipeline level (default: -O0, which is
 //!                        byte-identical to the paper reproduction)
+//!   --target rm3|ambit|magic
+//!                        emission backend (default: rm3). Non-RM3 targets
+//!                        print their native listing/stats; at -O1+ the
+//!                        pass pipeline optimizes under the target's own
+//!                        cost model
 //!   --limit R            fail unless the program fits R work RRAMs
 //!   --emit asm|listing|stats|dot|mig|ir
 //!                        artifact to print (default: listing); `ir` dumps
@@ -42,7 +47,7 @@
 //!                             artifact: event-stream lints, program-level
 //!                             init discipline, and resource certification
 //!                             (#I/#R/wear re-derived from the event stream
-//!                             must match CompileStats). LINT is a code
+//!                             must match Rm3Stats). LINT is a code
 //!                             (PA0001) or name (use-before-init); --deny
 //!                             promotes to error, --allow suppresses.
 //!                             --doctor corrupts the stream first, to prove
@@ -64,6 +69,9 @@
 //! plimc request [--addr HOST:PORT] --stats | --shutdown
 //!                             send one request to a running service and
 //!                             print the artifact (or the stats JSON line)
+//!
+//! plimc targets               list the registered emission backends with
+//!                             their native instruction sets and costs
 //!
 //! plimc dump CIRCUIT [--reduced]
 //!                             print a Table 1 suite circuit as MIG text
@@ -89,7 +97,7 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use mig::Mig;
-use plim_compiler::{AllocatorStrategy, CompilerOptions, OptLevel, ScheduleOrder};
+use plim_compiler::{AllocatorStrategy, CompilerOptions, OptLevel, ScheduleOrder, Target};
 use plim_service::pipeline::{self, CompileSpec, InputFormat};
 use plim_service::protocol::{CompileRequest, Request, Response};
 use plim_service::{client, server};
@@ -122,6 +130,7 @@ struct Args {
     schedule: Option<ScheduleOrder>,
     alloc: Option<AllocatorStrategy>,
     opt: Option<OptLevel>,
+    target: Option<Target>,
     limit: Option<u32>,
     emit: String,
     verify: bool,
@@ -143,6 +152,9 @@ impl Args {
         }
         if let Some(opt) = self.opt {
             options = options.opt(opt);
+        }
+        if let Some(target) = self.target {
+            options = options.target(target);
         }
         options
     }
@@ -167,6 +179,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         schedule: None,
         alloc: None,
         opt: None,
+        target: None,
         limit: None,
         emit: "listing".to_string(),
         verify: true,
@@ -192,6 +205,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             level if level.starts_with("-O") => {
                 args.opt = Some(OptLevel::parse(&format!("o{}", &level[2..]))?);
             }
+            "--target" => args.target = Some(Target::parse(&value("--target")?)?),
             "--limit" => {
                 args.limit = Some(
                     value("--limit")?
@@ -287,6 +301,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             pipeline::Artifacts {
                 optimized,
                 compilation,
+                target: spec.options.target,
             }
         }
         None => pipeline::execute(&input, &spec)?,
@@ -299,7 +314,10 @@ fn run(argv: &[String]) -> Result<(), String> {
 
 /// The `plimc verify` subcommand: compiles the input and proves the
 /// program equal to the **raw** source network over the full input space
-/// (so the proof covers rewriting and compilation end to end).
+/// (so the proof covers rewriting and compilation end to end). The proof
+/// executor follows `--target` through the scenario layer's dispatch: the
+/// RM3 program runs on the bit-parallel PLiM machine, a non-RM3 artifact
+/// through its backend's own executor.
 ///
 /// Exit codes: 0 the proof holds, 1 a counterexample or any other error,
 /// 2 the circuit exceeds the exhaustive-proof width limit — a refusal the
@@ -316,23 +334,56 @@ fn run_verify(argv: &[String]) -> Result<(), Failure> {
     }
     let input = read_input(&args)?;
     let spec = args.spec();
+    let target = spec.options.target;
     let optimized = pipeline::optimize(&input, &spec);
-    let compiled = plim_compiler::compile(&optimized, spec.options);
-    plim_compiler::verify::verify_exhaustive(&input, &compiled).map_err(|e| Failure {
-        code: match e {
-            plim_compiler::verify::VerifyError::TooManyInputs { .. } => 2,
-            _ => 1,
-        },
-        message: format!("verification: {e}"),
+    let compilation = plim_compiler::compile_full(&optimized, spec.options);
+    plim_scenario::verify_exhaustive_for_target(target, &input, &compilation).map_err(|e| {
+        Failure {
+            code: match e {
+                plim_compiler::verify::VerifyError::TooManyInputs { .. } => 2,
+                _ => 1,
+            },
+            message: format!("verification: {e}"),
+        }
     })?;
     let inputs = input.num_inputs();
-    println!(
-        "verified: all {} outputs equal over all 2^{inputs} input patterns \
-         ({} instructions, {} RAMs)",
-        input.num_outputs(),
-        compiled.stats.instructions,
-        compiled.stats.rams,
-    );
+    if target == Target::RM3 {
+        println!(
+            "verified: all {} outputs equal over all 2^{inputs} input patterns \
+             ({} instructions, {} RAMs)",
+            input.num_outputs(),
+            compilation.compiled.stats.instructions,
+            compilation.compiled.stats.rams,
+        );
+    } else {
+        let cost = target.backend().cost(&compilation.ir);
+        println!(
+            "verified [{target}]: all {} outputs equal over all 2^{inputs} input patterns \
+             ({} {target} ops, {} cells)",
+            input.num_outputs(),
+            cost.instructions,
+            cost.footprint,
+        );
+    }
+    Ok(())
+}
+
+/// The `plimc targets` subcommand: lists every registered emission backend
+/// with its native instruction set and per-instruction costs — the offline
+/// twin of the wire protocol's `targets` advertisement in `stats`.
+fn run_targets(argv: &[String]) -> Result<(), String> {
+    if let Some(arg) = argv.first() {
+        return Err(format!("targets takes no arguments (got `{arg}`)"));
+    }
+    for backend in plim_compiler::backend::backends() {
+        println!("{:<8} {}", backend.name(), backend.description());
+        for info in backend.instruction_set() {
+            println!(
+                "    {:<8} cost {:<3} {}",
+                info.mnemonic, info.cost, info.summary
+            );
+        }
+    }
     Ok(())
 }
 
@@ -340,7 +391,7 @@ fn run_verify(argv: &[String]) -> Result<(), Failure> {
 /// static-analysis battery over the artifact — event-stream lints at the
 /// check level matching `-O`, physical-program initialization discipline,
 /// and resource certification (`#I`/`#R`/per-cell wear re-derived from the
-/// event stream must equal the recorded `CompileStats`).
+/// event stream must equal the recorded `Rm3Stats`).
 ///
 /// `--deny`/`--allow` adjust per-lint severities; `--doctor` corrupts the
 /// event stream *before* analysis so CI can prove the gate actually fires.
@@ -685,6 +736,9 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         },
     )
     .map_err(|e| format!("fidelity annotation: {e}"))?;
+    // Per-target cost columns (ambit/magic ops and units), filled from the
+    // run's own compiled IR by the backends crate.
+    plim_backends::annotate_bench(&mut run);
     for (index, row) in run.rows.iter().enumerate() {
         println!("{}   [{:.1?}]", batch::format_row(row), run.row_time(index));
     }
@@ -777,6 +831,9 @@ fn run_bench_diff(args: &[String]) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Register the non-RM3 emission backends before any `--target` or
+    // `+target` spec is parsed against the registry.
+    plim_backends::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<(), Failure> = match args.first().map(String::as_str) {
         Some("bench") => run_bench(&args[1..]).map_err(Failure::from),
@@ -786,6 +843,7 @@ fn main() -> ExitCode {
         Some("verify") => run_verify(&args[1..]),
         Some("lint") => run_lint(&args[1..]),
         Some("scenario") => run_scenario(&args[1..]).map_err(Failure::from),
+        Some("targets") => run_targets(&args[1..]).map_err(Failure::from),
         Some("dump") => run_dump(&args[1..]).map_err(Failure::from),
         _ => run(&args).map_err(Failure::from),
     };
@@ -794,9 +852,8 @@ fn main() -> ExitCode {
         Err(failure) if failure.message == "help" => {
             eprintln!("usage: plimc [--format mig|aag] [--effort N] [--extended] [--naive]");
             eprintln!("             [--schedule index|priority|lookahead] [--alloc fifo|lifo|fresh|wear|binned]");
-            eprintln!(
-                "             [-O0|-O1|-O2] [--limit R] [--emit asm|listing|stats|dot|mig|ir] [--no-verify] FILE"
-            );
+            eprintln!("             [-O0|-O1|-O2] [--target rm3|ambit|magic] [--limit R]");
+            eprintln!("             [--emit asm|listing|stats|dot|mig|ir] [--no-verify] FILE");
             eprintln!("       (binary AIGER .aig is not supported; convert with `aigtoaig input.aig output.aag`)");
             eprintln!("       plimc verify [compile options] FILE");
             eprintln!("             (exit 0: proven; 1: disproof/error; 2: too wide for an exhaustive proof)");
@@ -813,6 +870,7 @@ fn main() -> ExitCode {
             );
             eprintln!("       plimc request [--addr HOST:PORT] [compile options] FILE");
             eprintln!("       plimc request [--addr HOST:PORT] --stats | --shutdown");
+            eprintln!("       plimc targets");
             eprintln!("       plimc dump CIRCUIT [--reduced]");
             eprintln!(
                 "       plimc bench [--reduced] [--effort N] [--jobs N] [--serial] [--json PATH]"

@@ -7,7 +7,8 @@
 
 use mig::Mig;
 use plim_compiler::report::CostReport;
-use plim_compiler::{compile_full, verify::verify, Compilation, CompilerOptions};
+use plim_compiler::verify::{verify, verify_artifact};
+use plim_compiler::{compile_full, Compilation, CompilerOptions, Target};
 
 /// Input format of a compile request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -131,9 +132,17 @@ pub struct Artifacts {
     pub optimized: Mig,
     /// The compilation: program, IR, and per-pass accounting.
     pub compilation: Compilation,
+    /// The emission target the compilation was made for. [`emit`]
+    /// dispatches target-specific artifact kinds through its backend.
+    pub target: Target,
 }
 
 /// Optimizes, compiles and (optionally) verifies `input` under `spec`.
+///
+/// Verification dispatches on the target: the RM3 reference program is
+/// always checked against simulation (the middle end's semantic anchor),
+/// and a non-RM3 target's artifact is additionally checked through its
+/// backend's own executor.
 ///
 /// # Errors
 ///
@@ -144,10 +153,16 @@ pub fn execute(input: &Mig, spec: &CompileSpec) -> Result<Artifacts, String> {
     if spec.verify {
         verify(&optimized, &compilation.compiled, 4, 0xDAC2016)
             .map_err(|e| format!("verification: {e}"))?;
+        if spec.options.target != Target::RM3 {
+            let artifact = spec.options.target.backend().emit(&compilation.ir);
+            verify_artifact(&optimized, artifact.as_ref(), 4, 0xDAC2016)
+                .map_err(|e| format!("verification ({}): {e}", spec.options.target))?;
+        }
     }
     Ok(Artifacts {
         optimized,
         compilation,
+        target: spec.options.target,
     })
 }
 
@@ -163,6 +178,36 @@ pub const EMIT_KINDS: [&str; 6] = ["listing", "asm", "stats", "dot", "mig", "ir"
 /// Returns a one-line message for unknown artifact kinds.
 pub fn emit(kind: &str, artifacts: &Artifacts) -> Result<String, String> {
     let compiled = &artifacts.compilation.compiled;
+    // Target-specific artifact kinds route through the active backend;
+    // the graph- and IR-level kinds below are target-neutral. The RM3 arms
+    // stay exactly as they were before the backend trait existed, so the
+    // default target's output is byte-identical to the pre-trait pipeline.
+    if artifacts.target != Target::RM3 {
+        match kind {
+            "listing" => {
+                return Ok(artifacts
+                    .target
+                    .backend()
+                    .emit(&artifacts.compilation.ir)
+                    .listing())
+            }
+            "stats" => {
+                return Ok(artifacts
+                    .target
+                    .backend()
+                    .emit(&artifacts.compilation.ir)
+                    .stats_text())
+            }
+            "asm" => {
+                return Err(format!(
+                    "--emit asm renders RM3 assembly; target `{}` prints its native \
+                     form via --emit listing",
+                    artifacts.target
+                ))
+            }
+            _ => {}
+        }
+    }
     match kind {
         "listing" => Ok(compiled.program.to_string()),
         "asm" => Ok(plim::asm::write_asm(&compiled.program)),
@@ -208,6 +253,30 @@ mod tests {
             assert!(artifact.ends_with('\n'), "{kind} artifact misses newline");
         }
         assert!(emit("png", &artifacts).is_err());
+    }
+
+    #[test]
+    fn emit_dispatches_non_rm3_targets_through_their_backend() {
+        plim_backends::install();
+        let input = parse_network(InputFormat::Mig, AND_MIG).unwrap();
+        let mut spec = CompileSpec::default();
+        spec.options = spec
+            .options
+            .target(Target::parse("ambit").expect("registered"));
+        let artifacts = execute(&input, &spec).unwrap();
+        let listing = emit("listing", &artifacts).unwrap();
+        assert!(listing.starts_with(".ambit v1\n"), "{listing}");
+        let stats = emit("stats", &artifacts).unwrap();
+        assert!(stats.starts_with("target=ambit "), "{stats}");
+        let err = emit("asm", &artifacts).unwrap_err();
+        assert!(err.contains("ambit"), "{err}");
+        // Graph- and IR-level kinds stay target-neutral.
+        for kind in ["dot", "mig", "ir"] {
+            assert_eq!(emit(kind, &artifacts).unwrap(), {
+                let rm3 = execute(&input, &CompileSpec::default()).unwrap();
+                emit(kind, &rm3).unwrap()
+            });
+        }
     }
 
     #[test]

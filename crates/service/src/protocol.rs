@@ -18,11 +18,15 @@
 //!
 //! Only `source` is required for `compile`; every other field has the
 //! offline `plimc` default. The `options` spec carries every compiler
-//! option including the `-O` level (older three-part specs without the
-//! level are accepted and mean `o0`); because the cache key is derived
-//! from this exact spelling, two requests differing only in `-O` can never
-//! share a cache entry. Responses carry `"ok":true` plus op-specific
-//! fields, or `"ok":false` with a one-line `error`.
+//! option including the `-O` level and the emission target (older three-
+//! and four-part specs without them are accepted and mean `o0` / `rm3`);
+//! because the cache key is derived from this exact spelling, two requests
+//! differing only in `-O` — or only in target — can never share a cache
+//! entry. Responses carry `"ok":true` plus op-specific fields, or
+//! `"ok":false` with a one-line `error`. A `stats` response additionally
+//! advertises the daemon's registered emission targets in a `targets`
+//! array (registry order, `rm3` first), so clients can discover which
+//! `+target` spec suffixes the server accepts.
 
 use plim_compiler::cache::{fnv128, CacheKey, CacheStats};
 use plim_compiler::json::Value;
@@ -180,6 +184,8 @@ pub struct ShardStats {
 pub struct ServiceStats {
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardStats>,
+    /// Registered emission-target names, registry order (`rm3` first).
+    pub targets: Vec<String>,
 }
 
 impl ServiceStats {
@@ -264,6 +270,11 @@ impl Response {
                         ])
                     })
                     .collect();
+                let targets: Vec<Value> = stats
+                    .targets
+                    .iter()
+                    .map(|name| Value::string(name.clone()))
+                    .collect();
                 Value::object([
                     ("ok", Value::Bool(true)),
                     ("op", Value::string("stats")),
@@ -272,6 +283,7 @@ impl Response {
                     ("evictions", Value::number(totals.evictions)),
                     ("cached_bytes", Value::number(totals.bytes as u64)),
                     ("cached_entries", Value::number(totals.entries as u64)),
+                    ("targets", Value::Array(targets)),
                     ("shards", Value::Array(shards)),
                 ])
                 .to_json()
@@ -357,8 +369,26 @@ impl Response {
                         })
                     })
                     .collect();
+                // Absent in responses from pre-target daemons: default to
+                // "unadvertised" rather than rejecting the whole snapshot.
+                let targets = value
+                    .get("targets")
+                    .and_then(Value::as_array)
+                    .map(|names| {
+                        names
+                            .iter()
+                            .map(|name| {
+                                name.as_str()
+                                    .map(str::to_string)
+                                    .ok_or("stats targets must be strings".to_string())
+                            })
+                            .collect::<Result<Vec<String>, String>>()
+                    })
+                    .transpose()?
+                    .unwrap_or_default();
                 Ok(Response::Stats(ServiceStats {
                     shards: shard_stats?,
+                    targets,
                 }))
             }
             other => Err(format!("unknown response op `{other}`")),
@@ -463,6 +493,7 @@ mod tests {
                     },
                     ShardStats::default(),
                 ],
+                targets: vec!["rm3".to_string(), "ambit".to_string()],
             }),
         ];
         for response in responses {
@@ -497,11 +528,24 @@ mod tests {
                     },
                 },
             ],
+            targets: vec!["rm3".to_string()],
         };
         assert_eq!(stats.totals().hits, 5);
         let line = Response::Stats(stats).to_json();
         assert!(line.contains("\"hits\":5"), "{line}");
         assert!(line.contains("\"cached_bytes\":40"), "{line}");
+        assert!(line.contains("\"targets\":[\"rm3\"]"), "{line}");
+    }
+
+    #[test]
+    fn stats_responses_without_targets_decode_as_unadvertised() {
+        // A pre-target daemon's stats line (no `targets` array) must still
+        // decode; the client sees an empty advertisement.
+        let line = r#"{"ok":true,"op":"stats","hits":0,"misses":0,"evictions":0,"cached_bytes":0,"cached_entries":0,"shards":[]}"#;
+        let Response::Stats(stats) = Response::from_json(line).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert!(stats.targets.is_empty());
     }
 
     #[test]
@@ -542,6 +586,15 @@ mod tests {
         let mut allocator = base.clone();
         allocator.spec.options = allocator.spec.options.allocator(AllocatorStrategy::Lifo);
         variants.push(("allocator", allocator));
+        // The target reaches the fingerprint through the 5-part options
+        // spec, so a warm cache entry can never serve a different target.
+        plim_backends::install();
+        let mut target = base.clone();
+        target.spec.options = target
+            .spec
+            .options
+            .target(plim_compiler::Target::parse("ambit").expect("registered"));
+        variants.push(("target", target));
         let mut extended = base.clone();
         extended.spec.extended = true;
         variants.push(("extended", extended));

@@ -126,6 +126,9 @@ impl Server {
     ///
     /// Returns a one-line message when the address cannot be bound.
     pub fn bind(config: &ServerConfig) -> Result<Server, String> {
+        // Populate the target registry before the first request can name a
+        // `+target` spec suffix (option parsing happens on IO threads).
+        plim_backends::install();
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
         let threads = if config.threads == 0 {
@@ -353,7 +356,11 @@ fn gather_stats(shared: &Shared) -> ServiceStats {
                 .stats(),
         })
         .collect();
-    ServiceStats { shards }
+    let targets = plim_compiler::backend::backends()
+        .iter()
+        .map(|backend| backend.name().to_string())
+        .collect();
+    ServiceStats { shards, targets }
 }
 
 fn handle_compile(shared: &Arc<Shared>, request: CompileRequest) -> Response {

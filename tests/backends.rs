@@ -1,0 +1,133 @@
+//! The alternative backends against the whole reduced suite.
+//!
+//! The acceptance bar of the backend seam: every suite circuit, both raw
+//! and rewritten, compiles through the `ambit` backend at `-O0` and `-O2`,
+//! and every circuit within the exhaustive bound is **proven** equal to
+//! its source MIG through the artifact's own executor — the `magic` sketch
+//! rides the same harness on the rewritten graphs.
+
+use plim_backends::{annotate_bench, install, AMBIT, MAGIC};
+use plim_benchmarks::suite::{self, Scale};
+use plim_compiler::batch::{bench_suite, Circuit};
+use plim_compiler::verify::{verify_exhaustive_artifact, EXHAUSTIVE_WIDE_LIMIT};
+use plim_compiler::{compile_full, Backend, CompilerOptions, OptLevel, Target};
+use plim_parallel::Parallelism;
+
+/// Ambit compiles the full suite — raw and rewritten, `-O0` and `-O2` —
+/// with an exhaustive equivalence proof on every circuit the 2²⁰-pattern
+/// bound admits.
+#[test]
+fn ambit_compiles_the_whole_suite_with_exhaustive_proofs() {
+    let mut proven = 0usize;
+    for name in suite::ALL {
+        let raw = suite::build(name, Scale::Reduced).expect("suite circuit");
+        let rewritten = mig::rewrite::rewrite(&raw, 4);
+        for mig in [&raw, &rewritten] {
+            for opt in [OptLevel::O0, OptLevel::O2] {
+                let compilation = compile_full(mig, CompilerOptions::new().opt(opt));
+                let artifact = AMBIT.emit(&compilation.ir);
+                assert!(
+                    artifact.cost().instructions >= compilation.compiled.stats.instructions,
+                    "{name}: row ops cannot undercut RM3 ops"
+                );
+                if mig.num_inputs() <= EXHAUSTIVE_WIDE_LIMIT {
+                    verify_exhaustive_artifact(mig, artifact.as_ref())
+                        .unwrap_or_else(|e| panic!("{name} ({opt:?}): {e}"));
+                    proven += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        proven >= 8,
+        "the reduced suite must contain provable circuits (got {proven})"
+    );
+}
+
+/// The MAGIC sketch proves out over the provable rewritten suite.
+#[test]
+fn magic_proves_out_on_the_provable_suite() {
+    for name in suite::ALL {
+        let mig = suite::build(name, Scale::Reduced).expect("suite circuit");
+        if mig.num_inputs() > EXHAUSTIVE_WIDE_LIMIT {
+            continue;
+        }
+        let optimized = mig::rewrite::rewrite(&mig, 4);
+        let compilation = compile_full(&optimized, CompilerOptions::new().opt(OptLevel::O2));
+        let artifact = MAGIC.emit(&compilation.ir);
+        verify_exhaustive_artifact(&optimized, artifact.as_ref())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// Targets thread through `CompilerOptions`: the 5-part spec round-trips
+/// for the registered backends and compilation under a non-RM3 target
+/// still produces the reference RM3 program (the target chooses the
+/// emission, not the middle end's semantics).
+#[test]
+fn targets_thread_through_compiler_options() {
+    install();
+    let options = CompilerOptions::new()
+        .opt(OptLevel::O2)
+        .target(Target::parse("ambit").unwrap());
+    assert_eq!(options.spec(), "priority+smart+fifo+o2+ambit");
+    let parsed = CompilerOptions::parse_spec(&options.spec()).unwrap();
+    assert_eq!(parsed.target.name(), "ambit");
+
+    let mig = suite::build("ctrl", Scale::Reduced).expect("suite circuit");
+    let compilation = compile_full(&mig, options);
+    let artifact = options.target.backend().emit(&compilation.ir);
+    assert_eq!(artifact.target(), "ambit");
+    verify_exhaustive_artifact(&mig, artifact.as_ref()).unwrap();
+}
+
+/// `annotate_bench` fills every per-target column from the already-compiled
+/// IR, consistently with costing the backend directly.
+#[test]
+fn bench_annotation_fills_per_target_columns() {
+    let circuits = [
+        Circuit::new("ctrl", suite::build("ctrl", Scale::Reduced).unwrap()),
+        Circuit::new("router", suite::build("router", Scale::Reduced).unwrap()),
+    ];
+    let mut run = bench_suite(&circuits, 2, Parallelism::Auto);
+    for record in &run.records {
+        assert_eq!(record.ambit_ops, 0, "columns start as the skip sentinel");
+    }
+    annotate_bench(&mut run);
+    for (index, record) in run.records.iter().enumerate() {
+        let ir = &run.circuit_jobs(index)[2].ir;
+        let ambit = AMBIT.cost(ir);
+        let magic = MAGIC.cost(ir);
+        assert_eq!(record.ambit_ops, ambit.instructions as u64);
+        assert_eq!(record.ambit_cost, ambit.units);
+        assert_eq!(record.magic_ops, magic.instructions as u64);
+        assert_eq!(record.magic_cost, magic.units);
+        assert!(record.ambit_ops > 0 && record.magic_ops > 0);
+        assert!(
+            record.ambit_cost > record.ambit_ops,
+            "activations > row ops"
+        );
+        assert_eq!(record.magic_cost, record.magic_ops, "1 pulse per op");
+    }
+}
+
+/// The registry advertisement: every registered backend exposes a
+/// non-empty instruction set with priced instructions, and parse errors
+/// list all of them.
+#[test]
+fn registry_advertises_instruction_sets_and_names() {
+    install();
+    for target in Target::all() {
+        let backend = target.backend();
+        assert!(!backend.description().is_empty());
+        assert!(!backend.instruction_set().is_empty());
+        for info in backend.instruction_set() {
+            assert!(info.cost > 0, "{}: free instructions", info.mnemonic);
+            assert!(!info.summary.is_empty());
+        }
+    }
+    let err = Target::parse("gpu").unwrap_err();
+    for name in ["rm3", "ambit", "magic"] {
+        assert!(err.contains(name), "{err}");
+    }
+}

@@ -160,6 +160,12 @@ fn user_errors_exit_one_with_a_one_line_diagnostic() {
     assert_user_error(&["--schedule", "random", "-"], "unknown schedule `random`");
     assert_user_error(&["-O7", "-"], "unknown opt level `o7`");
     assert_user_error(&["-Ofast", "-"], "unknown opt level `ofast`");
+    // The --schedule/--alloc convention: the target diagnostic lists every
+    // registered backend name.
+    let stderr = assert_user_error(&["--target", "gpu", "-"], "unknown target `gpu`");
+    for name in ["rm3", "ambit", "magic"] {
+        assert!(stderr.contains(name), "valid names missing: {stderr}");
+    }
     assert_user_error(&["--frobnicate", "-"], "unknown option `--frobnicate`");
     assert_user_error(&["a.mig", "b.mig"], "multiple input files");
     assert_user_error(&[], "no input file");
@@ -263,6 +269,7 @@ fn bench_json(instructions: u64) -> String {
          \"max_writes\": 22, \"lookahead_rams\": 11, \"wear_max_writes\": 22, \
          \"o1_instructions\": {instructions}, \"o1_rams\": 11, \
          \"o2_instructions\": {instructions}, \"o2_rams\": 11, \"o2_max_writes\": 22, \
+         \"ambit_ops\": 490, \"ambit_cost\": 1078, \"magic_ops\": 686, \"magic_cost\": 686, \
          \"rewrite_ms\": 1.0, \"compile_ms\": 2.0, \"verified_exhaustive\": true, \
          \"fault_error_rate\": 0.0649, \"lifetime_invocations\": 45454, \
          \"lint_clean\": true}}]\n"
@@ -341,6 +348,65 @@ fn bench_diff_gates_on_injected_instruction_regression() {
     assert!(stderr.contains("bench gate failed"), "{stderr}");
 
     for path in [&baseline, &same, &regressed] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// The per-target columns gate like the RM3 ones: a costlier `ambit`
+/// emission fails the gate, while a dropped annotation (the `0` sentinel)
+/// is only a coverage note.
+#[test]
+fn bench_diff_gates_on_per_target_cost_regressions() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let baseline = dir.join(format!("plimc_cli_target_baseline_{pid}.json"));
+    let regressed = dir.join(format!("plimc_cli_target_regressed_{pid}.json"));
+    let skipped = dir.join(format!("plimc_cli_target_skipped_{pid}.json"));
+    std::fs::write(&baseline, bench_json(98)).unwrap();
+    std::fs::write(
+        &regressed,
+        bench_json(98).replace("\"ambit_cost\": 1078", "\"ambit_cost\": 1079"),
+    )
+    .unwrap();
+    std::fs::write(
+        &skipped,
+        bench_json(98)
+            .replace("\"ambit_ops\": 490", "\"ambit_ops\": 0")
+            .replace("\"ambit_cost\": 1078", "\"ambit_cost\": 0"),
+    )
+    .unwrap();
+
+    let bad = plimc()
+        .args([
+            "bench-diff",
+            baseline.to_str().unwrap(),
+            regressed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert_eq!(bad.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("REGRESSION: adder: ambit_cost regressed 1078 → 1079"),
+        "{stdout}"
+    );
+
+    let note = plimc()
+        .args([
+            "bench-diff",
+            baseline.to_str().unwrap(),
+            skipped.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&note.stdout);
+    assert!(note.status.success(), "stdout: {stdout}");
+    assert!(
+        stdout.contains("ambit_ops annotation coverage changed 490 → 0"),
+        "{stdout}"
+    );
+
+    for path in [&baseline, &regressed, &skipped] {
         std::fs::remove_file(path).ok();
     }
 }
@@ -607,6 +673,65 @@ fn verify_subcommand_proves_small_circuits_and_rejects_large_ones() {
     assert_user_error(
         &["verify", "--limit", "8", "x.mig"],
         "--limit is not supported by verify",
+    );
+}
+
+/// `plimc targets` lists every registered backend with its instruction
+/// set, and takes no arguments.
+#[test]
+fn targets_subcommand_lists_registered_backends() {
+    let output = plimc().args(["targets"]).output().unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let mut lines = stdout.lines();
+    // rm3 is always first: it is the reference target.
+    assert!(lines.next().unwrap().starts_with("rm3"), "{stdout}");
+    for (name, mnemonic) in [("ambit", "tra"), ("magic", "nor")] {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(name)),
+            "{name} missing: {stdout}"
+        );
+        assert!(stdout.contains(mnemonic), "{mnemonic} missing: {stdout}");
+    }
+    assert_user_error(&["targets", "extra"], "takes no arguments");
+}
+
+/// `--target ambit` drives the whole pipeline through the non-RM3
+/// backend: emission prints the backend's native listing and `verify`
+/// proves the artifact through the backend's own executor.
+#[test]
+fn target_flag_compiles_and_verifies_through_the_backend() {
+    let dump = plimc()
+        .args(["dump", "ctrl", "--reduced"])
+        .output()
+        .unwrap();
+    assert!(dump.status.success());
+    let listing = run_with_stdin(
+        &["--target", "ambit", "--emit", "listing", "-"],
+        &dump.stdout,
+    );
+    assert!(
+        listing.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&listing.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&listing.stdout);
+    assert!(stdout.starts_with(".ambit v1\n"), "{stdout}");
+
+    let proof = run_with_stdin(&["verify", "--target", "ambit", "-O2", "-"], &dump.stdout);
+    assert!(
+        proof.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&proof.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&proof.stdout);
+    assert!(
+        stdout.contains("verified [ambit]: all") && stdout.contains("2^7 input patterns"),
+        "proof report missing: {stdout}"
     );
 }
 

@@ -23,8 +23,8 @@ fn spec_strategy() -> impl Strategy<Value = RandomLogicSpec> {
 /// three agree bit-for-bit.
 fn assert_programs_agree(
     mig: &mig::Mig,
-    first: &plim_compiler::CompiledProgram,
-    second: &plim_compiler::CompiledProgram,
+    first: &plim_compiler::Rm3Program,
+    second: &plim_compiler::Rm3Program,
     seed: u64,
 ) {
     let mut rng = mig::simulate::XorShift64::new(seed | 1);

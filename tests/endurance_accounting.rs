@@ -9,7 +9,7 @@ use plim_benchmarks::suite::{build, Scale};
 use plim_compiler::{compile, CompilerOptions};
 
 /// Histogram of instruction destinations, recomputed independently of
-/// `CompiledProgram::static_write_counts`.
+/// `Rm3Program::static_write_counts`.
 fn destination_histogram(program: &plim::Program) -> Vec<u64> {
     let mut counts = vec![0u64; program.num_rams() as usize];
     for instruction in program.instructions() {

@@ -151,6 +151,70 @@ fn warm_hits_never_serve_a_different_opt_level() {
 }
 
 #[test]
+fn warm_hits_never_serve_a_different_target() {
+    use plim_compiler::Target;
+    plim_backends::install();
+    // Regression for the backend redesign: the target is part of the
+    // options spec, so it must reach the cache key. A warm `ambit` request
+    // after an RM3 compile of the same circuit must never be served the
+    // RM3 listing (or vice versa) — the listings are byte-visibly
+    // different formats, so a stale entry would also corrupt output.
+    let (addr, handle) = start_server(1, 1 << 20);
+    let source = suite_source("ctrl");
+    let request_for = |target: Target| {
+        let mut spec = CompileSpec::default();
+        spec.options = spec.options.target(target);
+        Request::Compile(CompileRequest {
+            format: InputFormat::Mig,
+            source: source.clone(),
+            spec,
+            emit: "listing".to_string(),
+        })
+    };
+    let ambit = Target::parse("ambit").expect("registered");
+
+    let Response::Compile(cold_rm3) = client::send(&addr, &request_for(Target::RM3)).unwrap()
+    else {
+        panic!("cold rm3 request failed");
+    };
+    assert!(!cold_rm3.cached);
+
+    // Same circuit, different target: must be a miss with its own key.
+    let Response::Compile(cold_ambit) = client::send(&addr, &request_for(ambit)).unwrap() else {
+        panic!("cold ambit request failed");
+    };
+    assert!(!cold_ambit.cached, "a different target must never warm-hit");
+    assert_ne!(
+        cold_ambit.key, cold_rm3.key,
+        "cache keys must differ per target"
+    );
+    assert!(cold_ambit.output.starts_with(".ambit v1\n"));
+    assert!(!cold_rm3.output.starts_with(".ambit"));
+    let mut ambit_spec = CompileSpec::default();
+    ambit_spec.options = ambit_spec.options.target(ambit);
+    assert_eq!(cold_rm3.output, offline_listing(&source));
+    assert_eq!(
+        cold_ambit.output,
+        offline_listing_with(&source, &ambit_spec)
+    );
+
+    // Warm repeats of each target hit their own entries and stay distinct.
+    for (target, cold) in [(Target::RM3, &cold_rm3), (ambit, &cold_ambit)] {
+        let Response::Compile(warm) = client::send(&addr, &request_for(target)).unwrap() else {
+            panic!("warm request failed");
+        };
+        assert!(warm.cached, "repeat at the same target must hit");
+        assert_eq!(&warm.key, &cold.key);
+        assert_eq!(&warm.output, &cold.output);
+    }
+    let totals = stats(&addr).totals();
+    assert_eq!(totals.misses, 2, "one miss per target");
+    assert_eq!(totals.hits, 2, "one hit per target");
+    assert_eq!(totals.entries, 2, "one entry per target");
+    shut_down(&addr, handle);
+}
+
+#[test]
 fn canonicalization_makes_permuted_dumps_share_an_entry() {
     let (addr, handle) = start_server(1, 1 << 20);
     // The same structure written three ways: reference, definitions
@@ -395,6 +459,9 @@ fn same_bytes_under_another_format_do_not_hit_the_text_index() {
 fn stats_report_one_shard_per_worker() {
     let (addr, handle) = start_server(3, 1 << 20);
     let snapshot = stats(&addr);
+    // Binding the server registers the extra backends, so the stats
+    // response advertises every target a `+target` spec may name.
+    assert_eq!(snapshot.targets, ["rm3", "ambit", "magic"]);
     assert_eq!(snapshot.shards.len(), 3);
     for shard in &snapshot.shards {
         assert_eq!(shard.queue_depth, 0);

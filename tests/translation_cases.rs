@@ -8,7 +8,7 @@
 use mig::{Mig, Signal};
 use plim_compiler::{compile, verify::verify, CompilerOptions};
 
-fn checked(mig: &Mig) -> plim_compiler::CompiledProgram {
+fn checked(mig: &Mig) -> plim_compiler::Rm3Program {
     let compiled = compile(mig, CompilerOptions::new());
     verify(mig, &compiled, 4, 0).expect("compiled program must be correct");
     compiled
