@@ -91,6 +91,7 @@ fn main() {
         threads: workers,
         cache_bytes: 256 << 20,
         log: false,
+        ..ServerConfig::default()
     })
     .expect("bind the bench server");
     let addr = server.local_addr().expect("resolved address").to_string();

@@ -84,12 +84,17 @@ pub mod lifetime;
 mod options;
 mod program;
 pub mod report;
+pub mod store;
 pub mod verify;
 
+// The crate-root surface, grouped by pipeline stage: configuration, the
+// compile entry points and their result types, the analyses they share,
+// and the caching layers the `plimd` service builds on. Everything else
+// is reached through its module.
 pub use backend::{Artifact, Backend, Cost, InstructionInfo, Target};
+pub use cache::{CacheKey, CacheStats, LruCache};
 pub use compile::{compile, compile_full, Compilation};
 pub use lifetime::{LifetimeClass, Lifetimes};
 pub use options::{AllocatorStrategy, CompilerOptions, OperandSelection, OptLevel, ScheduleOrder};
-#[allow(deprecated)]
-pub use program::{CompileStats, CompiledProgram};
 pub use program::{Rm3Program, Rm3Stats};
+pub use store::{ArtifactStore, StoreCounters, StoreLookup, StoredArtifact};

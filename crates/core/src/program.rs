@@ -33,22 +33,6 @@ impl fmt::Display for Rm3Stats {
     }
 }
 
-/// Deprecated name of [`Rm3Stats`], kept for one release.
-#[deprecated(
-    since = "0.8.0",
-    note = "renamed to `Rm3Stats`: with pluggable backends these metrics describe \
-            the RM3 target specifically, not every compiled artifact"
-)]
-pub type CompileStats = Rm3Stats;
-
-/// Deprecated name of [`Rm3Program`], kept for one release.
-#[deprecated(
-    since = "0.8.0",
-    note = "renamed to `Rm3Program`: with pluggable backends the compiled artifact \
-            is not necessarily an RM3 cell program"
-)]
-pub type CompiledProgram = Rm3Program;
-
 /// A compiled PLiM program together with its cost metrics.
 #[derive(Debug, Clone)]
 pub struct Rm3Program {

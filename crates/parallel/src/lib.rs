@@ -12,7 +12,9 @@
 //!
 //! For long-running services that need persistent workers rather than
 //! one-shot fan-outs, the [`pool`] module provides a shard-addressed
-//! [`pool::WorkerPool`] with graceful shutdown.
+//! [`pool::WorkerPool`] with graceful shutdown, and the [`queue`] module
+//! a wakeable [`queue::CompletionQueue`] for handing finished work back
+//! to an event-loop consumer.
 //!
 //! ```
 //! use plim_parallel::{par_map, Parallelism};
@@ -22,6 +24,7 @@
 //! ```
 
 pub mod pool;
+pub mod queue;
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

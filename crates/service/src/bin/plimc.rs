@@ -60,15 +60,32 @@
 //!                             fault-injection and device-lifetime sweep
 //!                             across all allocation strategies
 //!
-//! plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]
+//! plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N]
+//!             [--store DIR] [--idle-timeout SECS] [--max-pipeline N] [--quiet]
 //!                             run the compile service (default
 //!                             127.0.0.1:7393; port 0 picks a free port,
-//!                             printed on the listening line)
+//!                             printed on the listening line). --store
+//!                             persists compiled artifacts on disk so a
+//!                             restarted daemon serves repeats warm
 //!
-//! plimc request [--addr HOST:PORT] [compile OPTIONS] FILE
-//! plimc request [--addr HOST:PORT] --stats | --shutdown
+//! plimc request [--addr HOST:PORT] [--timeout SECS] [--retries N]
+//!               [compile OPTIONS] FILE
+//! plimc request [--addr HOST:PORT] [--timeout SECS] [--retries N]
+//!               --stats | --shutdown
 //!                             send one request to a running service and
-//!                             print the artifact (or the stats JSON line)
+//!                             print the artifact (or the stats JSON line).
+//!                             --retries re-attempts the *connect* with
+//!                             exponential backoff; a request that reached
+//!                             the daemon is never resent
+//!
+//! plimc loadtest [--addr HOST:PORT] [--connections N] [--pipeline N]
+//!                [--requests N]
+//!                             hold N concurrent connections open against a
+//!                             running service, each pipelining requests,
+//!                             and byte-compare every response against the
+//!                             offline pipeline. Prints throughput and
+//!                             latency percentiles; exits 1 on any error,
+//!                             mismatch, or missing response
 //!
 //! plimc targets               list the registered emission backends with
 //!                             their native instruction sets and costs
@@ -583,10 +600,14 @@ fn run_scenario(argv: &[String]) -> Result<(), String> {
 /// The `plimc request` subcommand: one round-trip against a running
 /// `plimd`. Compile requests print the artifact exactly as the offline
 /// pipeline would; `--stats` and `--shutdown` print the response JSON.
+/// `--timeout` bounds the connect and every read/write; `--retries`
+/// re-attempts the connect (only) with exponential backoff.
 fn run_request(argv: &[String]) -> Result<(), String> {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut stats = false;
     let mut shutdown = false;
+    let mut timeout: Option<std::time::Duration> = None;
+    let mut retries = 0u32;
     let mut compile_argv: Vec<String> = Vec::new();
     let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
@@ -594,6 +615,23 @@ fn run_request(argv: &[String]) -> Result<(), String> {
             "--addr" => addr = iter.next().ok_or("--addr requires a value")?.clone(),
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
+            "--timeout" => {
+                let text = iter.next().ok_or("--timeout requires a value")?;
+                let seconds = text
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .ok_or_else(|| {
+                        format!("--timeout needs a positive number of seconds (got `{text}`)")
+                    })?;
+                timeout = Some(std::time::Duration::from_secs_f64(seconds));
+            }
+            "--retries" => {
+                let text = iter.next().ok_or("--retries requires a value")?;
+                retries = text
+                    .parse()
+                    .map_err(|_| format!("--retries needs a number (got `{text}`)"))?;
+            }
             _ => compile_argv.push(arg.clone()),
         }
     }
@@ -609,11 +647,14 @@ fn run_request(argv: &[String]) -> Result<(), String> {
         } else {
             Request::Shutdown
         };
-        let response = client::send(&addr, &request)?;
+        let response = client::send_with(&addr, &request, timeout, retries)?;
         return match response {
-            Response::Error(message) => Err(message),
+            Response::Error(error) => Err(error.message),
             other => {
-                println!("{}", other.to_json());
+                println!(
+                    "{}",
+                    other.to_json(plim_service::protocol::PROTOCOL_VERSION)
+                );
                 Ok(())
             }
         };
@@ -630,13 +671,85 @@ fn run_request(argv: &[String]) -> Result<(), String> {
         spec: args.spec(),
         emit: args.emit,
     });
-    match client::send(&addr, &request)? {
+    match client::send_with(&addr, &request, timeout, retries)? {
         Response::Compile(compile) => {
             print!("{}", compile.output);
             Ok(())
         }
-        Response::Error(message) => Err(message),
-        other => Err(format!("unexpected response: {}", other.to_json())),
+        Response::Error(error) => Err(error.message),
+        other => Err(format!(
+            "unexpected response: {}",
+            other.to_json(plim_service::protocol::PROTOCOL_VERSION)
+        )),
+    }
+}
+
+/// The circuits `plimc loadtest` drives: small, dependency-free MIG texts
+/// with distinct shapes, so concurrent traffic exercises several cache
+/// keys at once. Embedded rather than pulled from the benchmark suite so
+/// the subcommand works without the `suite` feature.
+const LOADTEST_CIRCUITS: [(&str, &str); 3] = [
+    ("maj3", "inputs a b c\nn = maj(a, b, c)\noutput f = n\n"),
+    (
+        "and-or",
+        "inputs a b c d\nx = maj(0, a, b)\ny = maj(1, c, d)\nz = maj(0, x, y)\noutput f = z\n",
+    ),
+    (
+        "chain",
+        "inputs a b c d e\np = maj(a, b, c)\nq = maj(p, c, d)\nr = maj(q, d, e)\noutput f = r\n",
+    ),
+];
+
+/// The `plimc loadtest` subcommand: drive a running daemon with many
+/// concurrent pipelined connections and prove every served response is
+/// byte-identical to the offline pipeline.
+fn run_loadtest(argv: &[String]) -> Result<(), String> {
+    use plim_service::loadtest::{self, Circuit, LoadtestConfig};
+
+    let mut config = LoadtestConfig {
+        addr: DEFAULT_ADDR.to_string(),
+        ..LoadtestConfig::default()
+    };
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let number = |name: &str, text: &str| -> Result<usize, String> {
+            text.parse()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("{name} needs a positive number (got `{text}`)"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--connections" => {
+                config.connections = number("--connections", value("--connections")?)?;
+            }
+            "--pipeline" => config.pipeline = number("--pipeline", value("--pipeline")?)?,
+            "--requests" => {
+                config.requests_per_conn = number("--requests", value("--requests")?)?;
+            }
+            other => return Err(format!("unknown loadtest option `{other}`")),
+        }
+    }
+    for (name, source) in LOADTEST_CIRCUITS {
+        config.circuits.push(Circuit {
+            name: name.to_string(),
+            source: source.to_string(),
+            expected: loadtest::offline_expected(source)?,
+        });
+    }
+    let report = loadtest::run(&config)?;
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "loadtest failed: {} errors, {} mismatches, {}/{} responses",
+            report.errors, report.mismatches, report.responses, report.requests
+        ))
     }
 }
 
@@ -840,6 +953,7 @@ fn main() -> ExitCode {
         Some("bench-diff") => run_bench_diff(&args[1..]).map_err(Failure::from),
         Some("serve") => server::serve_cli(&args[1..]).map_err(Failure::from),
         Some("request") => run_request(&args[1..]).map_err(Failure::from),
+        Some("loadtest") => run_loadtest(&args[1..]).map_err(Failure::from),
         Some("verify") => run_verify(&args[1..]),
         Some("lint") => run_lint(&args[1..]),
         Some("scenario") => run_scenario(&args[1..]).map_err(Failure::from),
@@ -866,10 +980,18 @@ fn main() -> ExitCode {
                 "                      [--seed N] [--endurance N] [--noise P] [--max-invocations N] FILE"
             );
             eprintln!(
-                "       plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]"
+                "       plimc serve [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--store DIR]"
             );
-            eprintln!("       plimc request [--addr HOST:PORT] [compile options] FILE");
-            eprintln!("       plimc request [--addr HOST:PORT] --stats | --shutdown");
+            eprintln!("                   [--idle-timeout SECS] [--max-pipeline N] [--quiet]");
+            eprintln!(
+                "       plimc request [--addr HOST:PORT] [--timeout SECS] [--retries N] [compile options] FILE"
+            );
+            eprintln!(
+                "       plimc request [--addr HOST:PORT] [--timeout SECS] [--retries N] --stats | --shutdown"
+            );
+            eprintln!(
+                "       plimc loadtest [--addr HOST:PORT] [--connections N] [--pipeline N] [--requests N]"
+            );
             eprintln!("       plimc targets");
             eprintln!("       plimc dump CIRCUIT [--reduced]");
             eprintln!(

@@ -4,7 +4,8 @@
 //! can ship the daemon without the full CLI surface.
 //!
 //! ```text
-//! plimd [--addr HOST:PORT] [--threads N] [--cache-bytes N] [--quiet]
+//! plimd [--addr HOST:PORT] [--threads N] [--cache-bytes N]
+//!       [--store DIR] [--idle-timeout SECS] [--max-pipeline N] [--quiet]
 //! ```
 
 use std::process::ExitCode;

@@ -1,9 +1,15 @@
 //! The one-call client used by `plimc request` and the throughput bench.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{Request, Response};
+
+/// First retry delay of [`send_with`]; doubles per attempt up to
+/// [`MAX_BACKOFF`].
+const FIRST_BACKOFF: Duration = Duration::from_millis(100);
+const MAX_BACKOFF: Duration = Duration::from_secs(2);
 
 /// A persistent client connection (one TCP stream, many requests).
 ///
@@ -17,7 +23,7 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon, without any timeout.
     ///
     /// # Errors
     ///
@@ -26,8 +32,54 @@ impl Connection {
     /// against a daemon that is not running prints it verbatim after the
     /// `plimc: ` prefix, instead of a raw `io::Error`).
     pub fn connect(addr: &str) -> Result<Connection, String> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        Connection::connect_with(addr, None)
+    }
+
+    /// Connects to a running daemon. With a timeout, the limit applies to
+    /// the connect *and* to every subsequent read and write on the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Connection::connect`]; a timed-out connect reports the same
+    /// `cannot connect to <addr>: <cause>` shape.
+    pub fn connect_with(addr: &str, timeout: Option<Duration>) -> Result<Connection, String> {
+        let stream = match timeout {
+            None => {
+                TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?
+            }
+            Some(limit) => {
+                let candidates = addr
+                    .to_socket_addrs()
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                let mut last_error: Option<std::io::Error> = None;
+                let mut connected = None;
+                for candidate in candidates {
+                    match TcpStream::connect_timeout(&candidate, limit) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(error) => last_error = Some(error),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        let cause = last_error
+                            .map(|e| e.to_string())
+                            .unwrap_or_else(|| "address resolved to nothing".to_string());
+                        return Err(format!("cannot connect to {addr}: {cause}"));
+                    }
+                }
+            }
+        };
+        if timeout.is_some() {
+            stream
+                .set_read_timeout(timeout)
+                .and_then(|()| stream.set_write_timeout(timeout))
+                .map_err(|e| format!("setting the socket timeout: {e}"))?;
+        }
         let write_half = stream
             .try_clone()
             .map_err(|e| format!("cloning the connection: {e}"))?;
@@ -65,5 +117,40 @@ impl Connection {
 ///
 /// See [`Connection::roundtrip`].
 pub fn send(addr: &str, request: &Request) -> Result<Response, String> {
-    Connection::connect(addr)?.roundtrip(request)
+    send_with(addr, request, None, 0)
+}
+
+/// Like [`send`], with a per-operation timeout and connect retries.
+///
+/// Only the *connect* is retried (with exponential backoff: 100 ms
+/// doubling to a 2 s cap): a request that reached the daemon is never
+/// resent, so a slow compile cannot be duplicated by its own client.
+/// `retries` is the number of re-attempts after the first (so `2` means
+/// up to three connects).
+///
+/// # Errors
+///
+/// The last connect failure once the attempts are exhausted, or any
+/// [`Connection::roundtrip`] failure.
+pub fn send_with(
+    addr: &str,
+    request: &Request,
+    timeout: Option<Duration>,
+    retries: u32,
+) -> Result<Response, String> {
+    let mut backoff = FIRST_BACKOFF;
+    let mut attempt = 0u32;
+    loop {
+        match Connection::connect_with(addr, timeout) {
+            Ok(mut connection) => return connection.roundtrip(request),
+            Err(error) => {
+                if attempt >= retries {
+                    return Err(error);
+                }
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+        }
+    }
 }

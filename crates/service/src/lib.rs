@@ -16,38 +16,70 @@
 //! entry; a warm request skips parsing-onward work entirely (no rewrite,
 //! no compile, no verification) and returns the stored artifact.
 //!
+//! ## The v2 server core
+//!
+//! The daemon fronts the worker pool with a single-threaded,
+//! edge-triggered reactor ([`poller`] wraps `epoll`/`kqueue`; the event
+//! loop lives in the private `reactor` module). One thread owns every
+//! connection: requests are parsed out of per-connection read buffers
+//! (arbitrarily pipelined), compile work is dispatched to the pinned
+//! worker shards, and completions flow back over a wakeable queue
+//! ([`plim_parallel::queue::CompletionQueue`]) to be written out *in
+//! request order*. A connection with [`server::ServerConfig::max_pipeline`]
+//! responses outstanding stops being read until it drains — backpressure
+//! reaches the client as TCP flow control, not memory growth. Idle
+//! connections are reaped after [`server::ServerConfig::idle_timeout`];
+//! `shutdown` drains in-flight work gracefully before the process exits.
+//!
+//! With `--store DIR`, compiled artifacts are also written through to an
+//! on-disk content-addressed store ([`plim_compiler::ArtifactStore`])
+//! keyed exactly like the LRU, so a restarted daemon serves repeats
+//! warm from its first request.
+//!
 //! The crate also hosts the `plimc` command-line driver (moved here from
-//! `plim-compiler` so the `serve`/`request` subcommands can link the
-//! service) and splits the driver's compile path into the reusable
-//! [`pipeline`] module — the daemon and the offline CLI run the *same*
-//! functions, which is what makes served output byte-identical to offline
-//! output.
+//! `plim-compiler` so the `serve`/`request`/`loadtest` subcommands can
+//! link the service) and splits the driver's compile path into the
+//! reusable [`pipeline`] module — the daemon and the offline CLI run the
+//! *same* functions, which is what makes served output byte-identical to
+//! offline output (and what [`loadtest`] verifies under load).
 //!
 //! ## Modules
 //!
 //! * [`pipeline`] — parse / optimize / compile / verify / emit, shared by
 //!   `plimc` offline mode and the daemon;
-//! * [`protocol`] — the wire protocol (requests, responses, stats), built
-//!   on [`plim_compiler::json`];
-//! * [`server`] — the daemon: listener, connection threads, shard
-//!   dispatch, cache;
-//! * [`client`] — the one-call client used by `plimc request`.
+//! * [`protocol`] — the versioned wire protocol (requests, responses,
+//!   error codes, stats), built on [`plim_compiler::json`];
+//! * [`poller`] — the safe edge-triggered readiness facade over
+//!   `epoll`/`kqueue` (the workspace's only `unsafe` code);
+//! * [`server`] — daemon configuration, shard dispatch, cache and store
+//!   plumbing, `serve` CLI;
+//! * [`client`] — the blocking client used by `plimc request`, with
+//!   timeout and connect-retry support;
+//! * [`loadtest`] — the `plimc loadtest` harness: thousands of concurrent
+//!   pipelined connections, byte-compared against the offline pipeline.
 //!
-//! ## Wire protocol
+//! ## Wire protocol (v2)
 //!
-//! One JSON object per line, one response line per request; see
-//! [`protocol`] for the exact fields. A session transcript:
+//! One JSON object per line, one response line per request, responses in
+//! request order; see [`protocol`] for the exact fields and error codes.
+//! Requests carry `"v":2`; versionless requests are treated as v1 and
+//! answered in the v1 shape (flat error strings). A session transcript:
 //!
 //! ```text
-//! → {"op":"compile","format":"mig","source":"inputs a b\nn = maj(0, a, b)\noutput f = n\n"}
+//! → {"v":2,"op":"compile","format":"mig","source":"inputs a b\nn = maj(0, a, b)\noutput f = n\n"}
 //! ← {"ok":true,"op":"compile","cached":false,"key":"…","instructions":2,"rams":1,"output":"01: …"}
-//! → {"op":"stats"}
-//! ← {"ok":true,"op":"stats","hits":0,"misses":1,…}
-//! → {"op":"shutdown"}
+//! → {"v":2,"op":"stats"}
+//! ← {"ok":true,"op":"stats","hits":0,"misses":1,…,"store":{"hits":0,"misses":1,"corrupt":0,"writes":1},…}
+//! → {"v":2,"op":"nonsense"}
+//! ← {"ok":false,"error":{"code":"unknown_op","message":"unknown op `nonsense`"}}
+//! → {"v":2,"op":"shutdown"}
 //! ← {"ok":true,"op":"shutdown"}
 //! ```
 
 pub mod client;
+pub mod loadtest;
 pub mod pipeline;
+pub mod poller;
 pub mod protocol;
+mod reactor;
 pub mod server;

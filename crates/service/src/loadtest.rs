@@ -1,0 +1,446 @@
+//! `plimc loadtest` — a many-connection pipelined client harness.
+//!
+//! Drives a running `plimd` with thousands of *concurrent* connections
+//! from one thread, using the same edge-triggered
+//! [`Poller`] as the daemon's reactor. Every
+//! connection pipelines up to `pipeline` requests and keeps its window
+//! full until its quota is sent; every response is byte-compared against
+//! the offline pipeline's output for the same circuit, so a passing run
+//! proves the served artifacts are byte-identical to `plimc` offline —
+//! under concurrency, pipelining, and cache churn, not just one request
+//! at a time.
+//!
+//! All connections are opened (and registered) before the first request
+//! is sent, so the advertised concurrency is real: the daemon holds every
+//! socket simultaneously, not a few at a time through a pool.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use crate::pipeline::{self, CompileSpec, InputFormat};
+use crate::poller::{raise_nofile_limit, Event, Interest, Poller};
+use crate::protocol::{CompileRequest, Request, Response};
+
+/// A whole run must finish within this; a hung daemon (or a deadlocked
+/// pipeline) fails the test instead of wedging CI.
+const RUN_DEADLINE: Duration = Duration::from_secs(300);
+const READ_CHUNK: usize = 64 << 10;
+
+/// One circuit the load test drives, with its precomputed offline answer.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// Display name for diagnostics.
+    pub name: String,
+    /// MIG text source.
+    pub source: String,
+    /// The offline pipeline's `--emit listing` output for `source` under
+    /// default options — what every served response must equal, byte for
+    /// byte. Build it with [`offline_expected`].
+    pub expected: String,
+}
+
+/// Configuration of a load-test run.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Concurrent connections to hold open.
+    pub connections: usize,
+    /// Per-connection pipelining window (requests in flight at once).
+    pub pipeline: usize,
+    /// Requests each connection sends over its lifetime.
+    pub requests_per_conn: usize,
+    /// Circuits to request, assigned to connections round-robin.
+    pub circuits: Vec<Circuit>,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        LoadtestConfig {
+            addr: "127.0.0.1:7393".to_string(),
+            connections: 1000,
+            pipeline: 8,
+            requests_per_conn: 8,
+            circuits: Vec::new(),
+        }
+    }
+}
+
+/// What a load-test run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadtestReport {
+    /// Connections successfully opened and driven to completion.
+    pub connections: usize,
+    /// Requests written to the wire.
+    pub requests: u64,
+    /// Responses received and checked.
+    pub responses: u64,
+    /// Responses served from a cache (in-memory or persistent).
+    pub cached: u64,
+    /// Error responses, early server closes, transport failures.
+    pub errors: u64,
+    /// Compile responses whose output differed from the offline pipeline.
+    pub mismatches: u64,
+    /// Wall-clock time of the request phase (connect phase excluded).
+    pub elapsed: Duration,
+    /// Request→response latency percentiles, in microseconds.
+    pub p50_us: u64,
+    /// 90th percentile latency (µs).
+    pub p90_us: u64,
+    /// 99th percentile latency (µs).
+    pub p99_us: u64,
+    /// Worst observed latency (µs).
+    pub max_us: u64,
+}
+
+impl LoadtestReport {
+    /// Whether every response arrived, matched, and succeeded.
+    pub fn passed(&self) -> bool {
+        self.errors == 0 && self.mismatches == 0 && self.responses == self.requests
+    }
+
+    /// Requests per second over the request phase.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.responses as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+impl std::fmt::Display for LoadtestReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "loadtest: {} {} conns, {}/{} responses in {:.2?} ({:.0} req/s), \
+             {} cached, {} errors, {} mismatches, \
+             latency µs p50={} p90={} p99={} max={}",
+            if self.passed() { "OK" } else { "FAILED" },
+            self.connections,
+            self.responses,
+            self.requests,
+            self.elapsed,
+            self.throughput(),
+            self.cached,
+            self.errors,
+            self.mismatches,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+/// Computes the offline pipeline's `--emit listing` output for a circuit
+/// under default options — the byte-identity reference for [`run`].
+///
+/// # Errors
+///
+/// Returns the pipeline's one-line parse/verify diagnostic.
+pub fn offline_expected(source: &str) -> Result<String, String> {
+    let mig = pipeline::parse_network(InputFormat::Mig, source)?;
+    let artifacts = pipeline::execute(&mig, &CompileSpec::default())?;
+    pipeline::emit("listing", &artifacts)
+}
+
+struct Client {
+    stream: TcpStream,
+    circuit: usize,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    read_buf: Vec<u8>,
+    sent: usize,
+    received: usize,
+    inflight: VecDeque<Instant>,
+    done: bool,
+}
+
+/// Runs the load test against a daemon that is already listening.
+///
+/// # Errors
+///
+/// Returns a one-line message when the setup fails (bad config, connect
+/// failures, fd limit) or the run exceeds its deadline. Per-response
+/// failures are *not* errors here — they are counted in the report so the
+/// caller can print it before failing.
+pub fn run(config: &LoadtestConfig) -> Result<LoadtestReport, String> {
+    if config.connections == 0 || config.requests_per_conn == 0 {
+        return Err("loadtest needs at least one connection and one request".to_string());
+    }
+    if config.circuits.is_empty() {
+        return Err("loadtest needs at least one circuit".to_string());
+    }
+    let window = config.pipeline.max(1);
+    raise_nofile_limit(config.connections as u64 + 64)
+        .map_err(|e| format!("raising the open-file limit: {e}"))?;
+
+    // One encoded request line per circuit, reused by every connection.
+    let request_lines: Vec<Vec<u8>> = config
+        .circuits
+        .iter()
+        .map(|circuit| {
+            let mut line = Request::Compile(CompileRequest {
+                format: InputFormat::Mig,
+                source: circuit.source.clone(),
+                spec: CompileSpec::default(),
+                emit: "listing".to_string(),
+            })
+            .to_json();
+            line.push('\n');
+            line.into_bytes()
+        })
+        .collect();
+
+    // Phase 1: open every connection before sending anything.
+    let mut poller = Poller::new().map_err(|e| format!("creating the poller: {e}"))?;
+    let mut clients = Vec::with_capacity(config.connections);
+    for index in 0..config.connections {
+        let stream = TcpStream::connect(&config.addr)
+            .map_err(|e| format!("connection {index}: cannot connect to {}: {e}", config.addr))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("connection {index}: unblocking: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        poller
+            .register(stream.as_raw_fd(), index as u64, Interest::BOTH)
+            .map_err(|e| format!("connection {index}: registering: {e}"))?;
+        clients.push(Client {
+            stream,
+            circuit: index % config.circuits.len(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            read_buf: Vec::new(),
+            sent: 0,
+            received: 0,
+            inflight: VecDeque::new(),
+            done: false,
+        });
+        // A brief breather every so often keeps a 1-CPU host's accept
+        // queue from overflowing while the daemon is busy elsewhere.
+        if index % 64 == 63 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // Phase 2: drive every connection's pipeline until the quotas drain.
+    let mut report = LoadtestReport {
+        connections: config.connections,
+        ..LoadtestReport::default()
+    };
+    let mut latencies: Vec<u64> = Vec::with_capacity(config.connections * config.requests_per_conn);
+    let started = Instant::now();
+    let deadline = started + RUN_DEADLINE;
+    let mut remaining = clients.len();
+    for client in &mut clients {
+        pump(
+            client,
+            config,
+            &request_lines,
+            window,
+            &mut report,
+            &mut latencies,
+        );
+        if client.done {
+            finish(&poller, client, &mut remaining);
+        }
+    }
+    let mut events: Vec<Event> = Vec::new();
+    while remaining > 0 {
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "loadtest deadline exceeded: {} of {} connections unfinished after {:?}",
+                remaining,
+                clients.len(),
+                RUN_DEADLINE
+            ));
+        }
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .map_err(|e| format!("polling: {e}"))?;
+        for event in &events {
+            let index = event.token as usize;
+            if index >= clients.len() || clients[index].done {
+                continue;
+            }
+            pump(
+                &mut clients[index],
+                config,
+                &request_lines,
+                window,
+                &mut report,
+                &mut latencies,
+            );
+            if clients[index].done {
+                finish(&poller, &mut clients[index], &mut remaining);
+            }
+        }
+    }
+    report.elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+            latencies[rank - 1]
+        }
+    };
+    report.p50_us = percentile(0.50);
+    report.p90_us = percentile(0.90);
+    report.p99_us = percentile(0.99);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    Ok(report)
+}
+
+fn finish(poller: &Poller, client: &mut Client, remaining: &mut usize) {
+    let _ = poller.deregister(client.stream.as_raw_fd());
+    let _ = client.stream.shutdown(std::net::Shutdown::Both);
+    *remaining -= 1;
+}
+
+/// Drives one connection as far as it will go without blocking: top up
+/// the pipeline window, flush writes, drain and check responses.
+fn pump(
+    client: &mut Client,
+    config: &LoadtestConfig,
+    request_lines: &[Vec<u8>],
+    window: usize,
+    report: &mut LoadtestReport,
+    latencies: &mut Vec<u64>,
+) {
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let mut progressed = false;
+        // Top up the window.
+        while client.sent < config.requests_per_conn && client.inflight.len() < window {
+            client
+                .write_buf
+                .extend_from_slice(&request_lines[client.circuit]);
+            client.inflight.push_back(Instant::now());
+            client.sent += 1;
+            report.requests += 1;
+            progressed = true;
+        }
+        // Flush.
+        while client.write_pos < client.write_buf.len() {
+            match client.stream.write(&client.write_buf[client.write_pos..]) {
+                Ok(0) => {
+                    fail(client, report, "zero-length write");
+                    return;
+                }
+                Ok(n) => {
+                    client.write_pos += n;
+                    progressed = true;
+                }
+                Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                Err(error) => {
+                    fail(client, report, &format!("write failed: {error}"));
+                    return;
+                }
+            }
+        }
+        if client.write_pos == client.write_buf.len() && !client.write_buf.is_empty() {
+            client.write_buf.clear();
+            client.write_pos = 0;
+        }
+        // Drain responses.
+        loop {
+            match client.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if client.received < config.requests_per_conn {
+                        fail(client, report, "server closed the connection early");
+                    } else {
+                        client.done = true;
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    client.read_buf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                    consume_responses(client, config, report, latencies);
+                    if client.done {
+                        return;
+                    }
+                }
+                Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                Err(error) => {
+                    fail(client, report, &format!("read failed: {error}"));
+                    return;
+                }
+            }
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+fn fail(client: &mut Client, report: &mut LoadtestReport, reason: &str) {
+    report.errors += 1;
+    eprintln!("loadtest: connection error: {reason}");
+    client.done = true;
+}
+
+fn consume_responses(
+    client: &mut Client,
+    config: &LoadtestConfig,
+    report: &mut LoadtestReport,
+    latencies: &mut Vec<u64>,
+) {
+    while let Some(end) = client.read_buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = client.read_buf.drain(..=end).collect();
+        let sent_at = client.inflight.pop_front();
+        client.received += 1;
+        report.responses += 1;
+        if let Some(sent_at) = sent_at {
+            latencies.push(sent_at.elapsed().as_micros() as u64);
+        }
+        let parsed = std::str::from_utf8(&line)
+            .map_err(|_| "response is not UTF-8".to_string())
+            .and_then(Response::from_json);
+        match parsed {
+            Ok(Response::Compile(compile)) => {
+                if compile.cached {
+                    report.cached += 1;
+                }
+                let expected = &config.circuits[client.circuit].expected;
+                if compile.output != *expected {
+                    report.mismatches += 1;
+                    if report.mismatches == 1 {
+                        eprintln!(
+                            "loadtest: BYTE MISMATCH on `{}`: served {} bytes, offline {} bytes",
+                            config.circuits[client.circuit].name,
+                            compile.output.len(),
+                            expected.len(),
+                        );
+                    }
+                }
+            }
+            Ok(Response::Error(error)) => {
+                report.errors += 1;
+                if report.errors == 1 {
+                    eprintln!("loadtest: server error: {}", error.message);
+                }
+            }
+            Ok(_) => report.errors += 1,
+            Err(message) => {
+                report.errors += 1;
+                if report.errors == 1 {
+                    eprintln!("loadtest: bad response: {message}");
+                }
+            }
+        }
+        if client.received == config.requests_per_conn {
+            client.done = true;
+            return;
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! Thin safe wrappers over the OS readiness APIs (`epoll` / `kqueue`).
+//!
+//! The reactor in [`server`](crate::server) and the load-test client in
+//! [`loadtest`](crate::loadtest) both multiplex thousands of non-blocking
+//! sockets on one thread. The standard library exposes no readiness API,
+//! and the workspace builds offline (no `mio`/`libc` crates), so this
+//! module declares the handful of syscalls itself and confines every
+//! `unsafe` block of the workspace behind three safe types:
+//!
+//! * [`Poller`] — an edge-triggered readiness queue (`epoll` on Linux,
+//!   `kqueue` on macOS and the BSDs). Registrations pair a raw fd with a
+//!   caller-chosen `u64` token; [`Poller::wait`] reports `(token,
+//!   readable, writable)` events. Edge-triggered means an event fires on
+//!   *transitions*, so consumers must drain a ready fd until it returns
+//!   `WouldBlock` before waiting again.
+//! * [`Waker`] — a self-pipe that wakes a sleeping [`Poller::wait`] from
+//!   another thread. Worker threads complete compiles while the reactor
+//!   sleeps; pushing the result and writing one byte here is what gets it
+//!   delivered.
+//! * [`raise_nofile_limit`] — lifts `RLIMIT_NOFILE` toward its hard cap,
+//!   so a load test can actually open its thousands of sockets.
+//!
+//! Safety argument: every fd passed in is owned by the caller for the
+//! lifetime of its registration (the reactor deregisters before dropping
+//! a stream), buffers passed to the kernel are stack- or `Vec`-backed and
+//! outlive the call, and all return codes are checked. No pointer from
+//! the kernel is ever dereferenced beyond the reported event count.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What readiness to watch a registration for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd becomes readable.
+    pub readable: bool,
+    /// Report when the fd becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readability only (listeners, wake pipes).
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readability and writability (connection sockets).
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (or closed/errored — a read will not block).
+    pub readable: bool,
+    /// The fd is writable (or errored — a write will not block).
+    pub writable: bool,
+}
+
+/// Syscalls shared by every supported platform.
+mod unix {
+    #![allow(non_camel_case_types)]
+    use std::os::raw::{c_int, c_void};
+
+    #[repr(C)]
+    pub struct rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    pub const RLIMIT_NOFILE: c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    pub const RLIMIT_NOFILE: c_int = 8;
+
+    extern "C" {
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+
+    /// Maps a `-1` return to `io::Error::last_os_error()`.
+    pub fn cvt(result: c_int) -> std::io::Result<c_int> {
+        if result < 0 {
+            Err(std::io::Error::last_os_error())
+        } else {
+            Ok(result)
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! `epoll`, edge-triggered via `EPOLLET`.
+    #![allow(non_camel_case_types)]
+    use std::os::raw::c_int;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    // The kernel ABI packs this struct on x86-64 (and only there), so the
+    // 64-bit payload sits at offset 4. Getting this wrong corrupts every
+    // token the kernel hands back.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+}
+
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+mod sys {
+    //! `kqueue`, edge-triggered via `EV_CLEAR`.
+    #![allow(non_camel_case_types)]
+    use std::os::raw::c_int;
+
+    pub const EVFILT_READ: i16 = -1;
+    pub const EVFILT_WRITE: i16 = -2;
+    pub const EV_ADD: u16 = 0x0001;
+    pub const EV_DELETE: u16 = 0x0002;
+    pub const EV_CLEAR: u16 = 0x0020;
+    pub const EV_ERROR: u16 = 0x4000;
+    pub const EV_EOF: u16 = 0x8000;
+
+    // `udata` is `void *` in the C definition; declaring it `usize`
+    // (same size, same alignment) keeps the struct plain data, which is
+    // what lets [`Poller`](super::Poller) stay `Send`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct kevent_s {
+        pub ident: usize,
+        pub filter: i16,
+        pub flags: u16,
+        pub fflags: u32,
+        pub data: isize,
+        pub udata: usize,
+    }
+
+    #[repr(C)]
+    pub struct timespec {
+        pub tv_sec: i64,
+        pub tv_nsec: i64,
+    }
+
+    extern "C" {
+        pub fn kqueue() -> c_int;
+        pub fn kevent(
+            kq: c_int,
+            changelist: *const kevent_s,
+            nchanges: c_int,
+            eventlist: *mut kevent_s,
+            nevents: c_int,
+            timeout: *const timespec,
+        ) -> c_int;
+    }
+}
+
+#[cfg(not(any(
+    target_os = "linux",
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+)))]
+compile_error!(
+    "plim-service's reactor needs epoll or kqueue; this target has neither \
+     (the offline pipeline in plim-compiler remains portable)"
+);
+
+/// How many kernel events one `wait` call can deliver.
+const EVENT_BATCH: usize = 1024;
+
+/// An edge-triggered readiness queue over `epoll`/`kqueue`.
+///
+/// See the [module docs](self) for the contract; in short: register owned
+/// fds with unique tokens, drain ready fds until `WouldBlock`, deregister
+/// before closing.
+pub struct Poller {
+    fd: RawFd,
+    #[cfg(target_os = "linux")]
+    buf: Vec<sys::epoll_event>,
+    #[cfg(not(target_os = "linux"))]
+    buf: Vec<sys::kevent_s>,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").field("fd", &self.fd).finish()
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` came from epoll_create1/kqueue and is closed
+        // exactly once (Drop consumes the only owner).
+        unsafe {
+            unix::close(self.fd);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    /// Creates the kernel readiness queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: no pointers involved; the return code is checked.
+        let fd = unix::cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Poller {
+            fd,
+            buf: vec![sys::epoll_event { events: 0, data: 0 }; EVENT_BATCH],
+        })
+    }
+
+    /// Starts watching `fd` with the given interest, edge-triggered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `epoll_ctl` failure (e.g. `EEXIST` for a
+    /// double registration).
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut events = sys::EPOLLET | sys::EPOLLRDHUP;
+        if interest.readable {
+            events |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            events |= sys::EPOLLOUT;
+        }
+        let mut event = sys::epoll_event {
+            events,
+            data: token,
+        };
+        // SAFETY: `event` is a live stack value for the duration of the
+        // call; the kernel copies it before returning.
+        unix::cvt(unsafe { sys::epoll_ctl(self.fd, sys::EPOLL_CTL_ADD, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Stops watching `fd`. Call before closing the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `epoll_ctl` failure.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        // A non-null event pointer keeps pre-2.6.9 kernels happy.
+        let mut event = sys::epoll_event { events: 0, data: 0 };
+        // SAFETY: as in `register`.
+        unix::cvt(unsafe { sys::epoll_ctl(self.fd, sys::EPOLL_CTL_DEL, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Sleeps until at least one registered fd is ready (or the timeout
+    /// elapses; `None` sleeps indefinitely), then appends the ready set to
+    /// `events` (which is cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `epoll_wait` failure; `EINTR` is retried
+    /// internally.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let millis = timeout_millis(timeout);
+        let count = loop {
+            // SAFETY: `buf` is an owned, correctly-sized allocation; the
+            // kernel writes at most `EVENT_BATCH` entries and reports how
+            // many, and only that prefix is read below.
+            let result = unsafe {
+                sys::epoll_wait(self.fd, self.buf.as_mut_ptr(), EVENT_BATCH as i32, millis)
+            };
+            match unix::cvt(result) {
+                Ok(count) => break count as usize,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+                Err(error) => return Err(error),
+            }
+        };
+        for entry in &self.buf[..count] {
+            // Copy out of the (packed) struct before touching the fields.
+            let (mask, data) = (entry.events, entry.data);
+            events.push(Event {
+                token: data,
+                readable: mask & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLERR | sys::EPOLLRDHUP)
+                    != 0,
+                writable: mask & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Poller {
+    /// Creates the kernel readiness queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `kqueue` failure.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: no pointers involved; the return code is checked.
+        let fd = unix::cvt(unsafe { sys::kqueue() })?;
+        Ok(Poller {
+            fd,
+            buf: vec![
+                sys::kevent_s {
+                    ident: 0,
+                    filter: 0,
+                    flags: 0,
+                    fflags: 0,
+                    data: 0,
+                    udata: 0,
+                };
+                EVENT_BATCH
+            ],
+        })
+    }
+
+    fn change(&self, fd: RawFd, filter: i16, flags: u16, token: u64) -> io::Result<()> {
+        let change = sys::kevent_s {
+            ident: fd as usize,
+            filter,
+            flags,
+            fflags: 0,
+            data: 0,
+            udata: token as usize,
+        };
+        // SAFETY: `change` lives across the call; no eventlist is used.
+        unix::cvt(unsafe {
+            sys::kevent(
+                self.fd,
+                &change,
+                1,
+                std::ptr::null_mut(),
+                0,
+                std::ptr::null(),
+            )
+        })?;
+        Ok(())
+    }
+
+    /// Starts watching `fd` with the given interest, edge-triggered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `kevent` failure.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if interest.readable {
+            self.change(fd, sys::EVFILT_READ, sys::EV_ADD | sys::EV_CLEAR, token)?;
+        }
+        if interest.writable {
+            self.change(fd, sys::EVFILT_WRITE, sys::EV_ADD | sys::EV_CLEAR, token)?;
+        }
+        Ok(())
+    }
+
+    /// Stops watching `fd`. Call before closing the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; absent filters are ignored.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        // A registration may carry one filter or both; deleting an absent
+        // filter yields ENOENT, which is exactly the intended end state.
+        let _ = self.change(fd, sys::EVFILT_READ, sys::EV_DELETE, 0);
+        let _ = self.change(fd, sys::EVFILT_WRITE, sys::EV_DELETE, 0);
+        Ok(())
+    }
+
+    /// Sleeps until at least one registered fd is ready (or the timeout
+    /// elapses; `None` sleeps indefinitely), then appends the ready set to
+    /// `events` (which is cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `kevent` failure; `EINTR` is retried
+    /// internally.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let ts = timeout.map(|t| sys::timespec {
+            tv_sec: t.as_secs() as i64,
+            tv_nsec: i64::from(t.subsec_nanos()),
+        });
+        let ts_ptr = ts.as_ref().map_or(std::ptr::null(), |ts| ts as *const _);
+        let count = loop {
+            // SAFETY: `buf` is an owned, correctly-sized allocation; the
+            // kernel writes at most `EVENT_BATCH` entries and reports how
+            // many, and only that prefix is read below.
+            let result = unsafe {
+                sys::kevent(
+                    self.fd,
+                    std::ptr::null(),
+                    0,
+                    self.buf.as_mut_ptr(),
+                    EVENT_BATCH as i32,
+                    ts_ptr,
+                )
+            };
+            match unix::cvt(result) {
+                Ok(count) => break count as usize,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+                Err(error) => return Err(error),
+            }
+        };
+        for entry in &self.buf[..count] {
+            let error = entry.flags & (sys::EV_ERROR | sys::EV_EOF) != 0;
+            events.push(Event {
+                token: entry.udata as u64,
+                readable: entry.filter == sys::EVFILT_READ || error,
+                writable: entry.filter == sys::EVFILT_WRITE || error,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            // Round up so a 0 < t < 1ms timeout does not busy-spin.
+            let millis = t.as_millis();
+            let millis = if millis == 0 && !t.is_zero() {
+                1
+            } else {
+                millis
+            };
+            i32::try_from(millis).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+/// A cross-thread wakeup for a sleeping [`Poller::wait`] (self-pipe).
+///
+/// Register [`Waker::read_fd`] with the poller under a reserved token;
+/// any thread holding a clone can then [`wake`](Waker::wake) the loop.
+/// The consumer calls [`drain`](Waker::drain) when the token fires.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    inner: std::sync::Arc<WakerFds>,
+}
+
+#[derive(Debug)]
+struct WakerFds {
+    read: RawFd,
+    write: RawFd,
+}
+
+impl Drop for WakerFds {
+    fn drop(&mut self) {
+        // SAFETY: both fds came from pipe()/pipe2() and are closed exactly
+        // once (Drop of the sole Arc payload).
+        unsafe {
+            unix::close(self.read);
+            unix::close(self.write);
+        }
+    }
+}
+
+impl Waker {
+    /// Creates the pipe pair (both ends non-blocking and close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `pipe` failure.
+    pub fn new() -> io::Result<Waker> {
+        let mut fds = [0 as std::os::raw::c_int; 2];
+        #[cfg(target_os = "linux")]
+        {
+            const O_NONBLOCK: std::os::raw::c_int = 0o4000;
+            const O_CLOEXEC: std::os::raw::c_int = 0o2000000;
+            extern "C" {
+                fn pipe2(
+                    fds: *mut std::os::raw::c_int,
+                    flags: std::os::raw::c_int,
+                ) -> std::os::raw::c_int;
+            }
+            // SAFETY: `fds` is a live 2-element array the kernel fills.
+            unix::cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            const F_SETFD: std::os::raw::c_int = 2;
+            const F_SETFL: std::os::raw::c_int = 4;
+            const FD_CLOEXEC: std::os::raw::c_int = 1;
+            const O_NONBLOCK: std::os::raw::c_int = 4;
+            extern "C" {
+                fn pipe(fds: *mut std::os::raw::c_int) -> std::os::raw::c_int;
+                fn fcntl(
+                    fd: std::os::raw::c_int,
+                    cmd: std::os::raw::c_int,
+                    arg: std::os::raw::c_int,
+                ) -> std::os::raw::c_int;
+            }
+            // SAFETY: as above; fcntl takes plain integers.
+            unsafe {
+                unix::cvt(pipe(fds.as_mut_ptr()))?;
+                for fd in fds {
+                    unix::cvt(fcntl(fd, F_SETFL, O_NONBLOCK))?;
+                    unix::cvt(fcntl(fd, F_SETFD, FD_CLOEXEC))?;
+                }
+            }
+        }
+        Ok(Waker {
+            inner: std::sync::Arc::new(WakerFds {
+                read: fds[0],
+                write: fds[1],
+            }),
+        })
+    }
+
+    /// The end to register with the poller ([`Interest::READABLE`]).
+    pub fn read_fd(&self) -> RawFd {
+        self.inner.read
+    }
+
+    /// Wakes the poller. Never blocks: once the pipe is full a wakeup is
+    /// already pending, so a short write is success, not failure.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: one owned byte; the result is intentionally ignored
+        // (EAGAIN means "already signalled", EPIPE means the loop exited).
+        unsafe {
+            unix::write(self.inner.write, byte.as_ptr().cast(), 1);
+        }
+    }
+
+    /// Drains every pending wake byte after the token fired.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            // SAFETY: `sink` is a live owned buffer of the stated length.
+            let n = unsafe { unix::read(self.inner.read, sink.as_mut_ptr().cast(), sink.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to `min(wanted, hard limit)` and
+/// returns the resulting soft limit. A load test driving thousands of
+/// sockets calls this first; the default soft limit on many systems
+/// (1024) would otherwise exhaust fds mid-run.
+///
+/// # Errors
+///
+/// Propagates `getrlimit`/`setrlimit` failures.
+pub fn raise_nofile_limit(wanted: u64) -> io::Result<u64> {
+    let mut limit = unix::rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `limit` is a live stack value the kernel fills/reads.
+    unsafe {
+        unix::cvt(unix::getrlimit(unix::RLIMIT_NOFILE, &mut limit))?;
+        if limit.rlim_cur >= wanted {
+            return Ok(limit.rlim_cur);
+        }
+        limit.rlim_cur = wanted.min(limit.rlim_max);
+        unix::cvt(unix::setrlimit(unix::RLIMIT_NOFILE, &limit))?;
+    }
+    Ok(limit.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_wakes_a_sleeping_poller_from_another_thread() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller
+            .register(waker.read_fd(), 42, Interest::READABLE)
+            .unwrap();
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+        waker.drain();
+        handle.join().unwrap();
+        // Drained: a zero-timeout wait reports nothing for the pipe.
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.iter().all(|e| e.token != 42));
+    }
+
+    #[test]
+    fn edge_triggered_sockets_report_data_and_tokens_survive_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        // A token above u32::MAX proves the full 64-bit payload survives
+        // the kernel round trip (the packed-struct hazard on x86-64).
+        let token = (7u64 << 40) | 9;
+        poller
+            .register(server.as_raw_fd(), token, Interest::BOTH)
+            .unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        let mut readable = false;
+        for _ in 0..50 {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == token && e.readable) {
+                readable = true;
+                break;
+            }
+        }
+        assert!(readable, "no readable event for the socket");
+        let mut buf = [0u8; 16];
+        let mut server = server;
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+
+        poller.deregister(server.as_raw_fd()).unwrap();
+        client.write_all(b"gone").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != token));
+    }
+
+    #[test]
+    fn nofile_limit_is_at_least_what_we_ask_for_within_the_hard_cap() {
+        let limit = raise_nofile_limit(256).unwrap();
+        assert!(limit >= 256, "soft limit {limit} below a trivial request");
+    }
+
+    #[test]
+    fn zero_timeout_returns_immediately_with_no_events() {
+        let mut poller = Poller::new().unwrap();
+        let mut events = vec![Event {
+            token: 0,
+            readable: false,
+            writable: false,
+        }];
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty());
+    }
+}

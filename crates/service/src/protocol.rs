@@ -1,19 +1,38 @@
-//! The `plimd` wire protocol: newline-delimited JSON requests/responses.
+//! The `plimd` wire protocol: newline-delimited JSON, versioned (v2).
 //!
 //! Framing: the client writes one JSON object per line; the server answers
-//! each with one JSON object line. String escaping (via
-//! [`plim_compiler::json`]) guarantees encoded documents never contain a
-//! raw newline, so multi-line circuit sources travel safely inside one
-//! frame.
+//! each with one JSON object line, in request order (the server pipelines
+//! — many requests may be in flight per connection, responses never
+//! reorder). String escaping (via [`plim_compiler::json`]) guarantees
+//! encoded documents never contain a raw newline, so multi-line circuit
+//! sources travel safely inside one frame.
 //!
-//! Requests (`op` selects the kind):
+//! ## Versioning
+//!
+//! Requests carry `"v":2`; a request without a `v` field is a protocol-v1
+//! request from an older client. Success responses are identical in both
+//! versions. *Error* responses differ: v2 errors are structured objects
+//! with a machine-readable code, v1 errors remain flat strings so old
+//! clients keep parsing them:
 //!
 //! ```text
-//! {"op":"compile","format":"mig"|"aag","source":"…",
+//! v2 → {"ok":false,"error":{"code":"parse_error","message":"mig: …"}}
+//! v1 → {"ok":false,"error":"mig: …"}
+//! ```
+//!
+//! Unknown request fields are ignored (which is what lets a v2 client talk
+//! to a v1 daemon), and a version this daemon does not speak is answered
+//! with code `unsupported_version`. The error codes are enumerated by
+//! [`ErrorCode`]; clients must treat unknown codes as opaque failures.
+//!
+//! ## Requests
+//!
+//! ```text
+//! {"v":2,"op":"compile","format":"mig"|"aag","source":"…",
 //!  "effort":4,"extended":false,"options":"priority+smart+fifo+o0",
 //!  "emit":"listing","verify":true}
-//! {"op":"stats"}
-//! {"op":"shutdown"}
+//! {"v":2,"op":"stats"}
+//! {"v":2,"op":"shutdown"}
 //! ```
 //!
 //! Only `source` is required for `compile`; every other field has the
@@ -22,24 +41,114 @@
 //! and four-part specs without them are accepted and mean `o0` / `rm3`);
 //! because the cache key is derived from this exact spelling, two requests
 //! differing only in `-O` — or only in target — can never share a cache
-//! entry. Responses carry `"ok":true` plus op-specific fields, or
-//! `"ok":false` with a one-line `error`. A `stats` response additionally
+//! entry. The protocol version is deliberately *not* part of the cache
+//! key: v1 and v2 spellings of the same request share one artifact.
+//!
+//! ## Responses
+//!
+//! Responses carry `"ok":true` plus op-specific fields, or `"ok":false`
+//! with the version-dependent `error` shape above. A `stats` response
 //! advertises the daemon's registered emission targets in a `targets`
-//! array (registry order, `rm3` first), so clients can discover which
-//! `+target` spec suffixes the server accepts.
+//! array (registry order, `rm3` first) and — when the daemon runs with
+//! `--store` — the persistent store's counters in a `store` object.
 
 use plim_compiler::cache::{fnv128, CacheKey, CacheStats};
 use plim_compiler::json::Value;
+use plim_compiler::store::StoreCounters;
 use plim_compiler::CompilerOptions;
 
 use crate::pipeline::{CompileSpec, InputFormat};
+
+/// The newest protocol version this build speaks (and the one its own
+/// clients send).
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Machine-readable failure categories of v2 error responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed: bad JSON, a wrong field type, an
+    /// unknown `--emit` kind, an invalid options spec.
+    BadRequest,
+    /// The `op` field named no known operation.
+    UnknownOp,
+    /// The circuit source failed to parse.
+    ParseError,
+    /// The compiled program failed post-compile verification.
+    VerifyError,
+    /// One request line exceeded the daemon's size bound.
+    TooLarge,
+    /// The request's `v` is a version this daemon does not speak.
+    UnsupportedVersion,
+    /// The daemon is draining and no longer accepts work.
+    ShuttingDown,
+    /// The daemon failed internally (e.g. a compile worker died).
+    Internal,
+    /// A flat v1 error string decoded by a v2 client; carries no code on
+    /// the wire.
+    Legacy,
+    /// A code this client build does not know (a newer server). Treat as
+    /// an opaque failure.
+    Other(String),
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(&self) -> &str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::VerifyError => "verify_error",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Legacy => "legacy",
+            ErrorCode::Other(code) => code,
+        }
+    }
+
+    fn parse(code: &str) -> ErrorCode {
+        match code {
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_op" => ErrorCode::UnknownOp,
+            "parse_error" => ErrorCode::ParseError,
+            "verify_error" => ErrorCode::VerifyError,
+            "too_large" => ErrorCode::TooLarge,
+            "unsupported_version" => ErrorCode::UnsupportedVersion,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            "legacy" => ErrorCode::Legacy,
+            other => ErrorCode::Other(other.to_string()),
+        }
+    }
+}
+
+/// A structured error: a category for machines, a sentence for humans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The failure category.
+    pub code: ErrorCode,
+    /// The one-line human-readable diagnostic.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error from its parts.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Compile a circuit and return the requested artifact.
     Compile(CompileRequest),
-    /// Report cache and queue statistics.
+    /// Report cache, queue, and store statistics.
     Stats,
     /// Gracefully stop the daemon.
     Shutdown,
@@ -74,7 +183,9 @@ impl CompileRequest {
     /// artifact — the options half of the result-cache key. The input
     /// *format* is deliberately excluded: the graph digest already
     /// identifies the parsed structure, so the same circuit arriving as
-    /// MIG text or as AIGER shares one cache entry.
+    /// MIG text or as AIGER shares one cache entry. The protocol version
+    /// is excluded for the same reason — it shapes the error envelope,
+    /// never the artifact.
     pub fn fingerprint(&self) -> u64 {
         let spec = format!(
             "effort={};extended={};options={};emit={};verify={}",
@@ -90,13 +201,36 @@ impl CompileRequest {
     }
 }
 
+/// One decoded request line: the protocol version to answer with, and the
+/// request itself (or the structured error to answer instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decoded {
+    /// 1 for legacy (versionless) requests, 2 otherwise — including for
+    /// malformed lines that did parse far enough to carry `"v":2`, and
+    /// clamped down to 2 for versions newer than this build (whose error
+    /// response is best delivered in the newest shape we both may share).
+    pub version: u64,
+    /// The request, or the error to answer with.
+    pub body: Result<Request, WireError>,
+}
+
 impl Request {
-    /// Encodes the request as one JSON line (no trailing newline).
+    /// Encodes the request as one JSON line (no trailing newline), always
+    /// in the newest protocol version.
     pub fn to_json(&self) -> String {
         match self {
-            Request::Stats => Value::object([("op", Value::string("stats"))]).to_json(),
-            Request::Shutdown => Value::object([("op", Value::string("shutdown"))]).to_json(),
+            Request::Stats => Value::object([
+                ("v", Value::number(PROTOCOL_VERSION)),
+                ("op", Value::string("stats")),
+            ])
+            .to_json(),
+            Request::Shutdown => Value::object([
+                ("v", Value::number(PROTOCOL_VERSION)),
+                ("op", Value::string("shutdown")),
+            ])
+            .to_json(),
             Request::Compile(compile) => Value::object([
+                ("v", Value::number(PROTOCOL_VERSION)),
                 ("op", Value::string("compile")),
                 ("format", Value::string(compile.format.name())),
                 ("source", Value::string(compile.source.clone())),
@@ -110,14 +244,77 @@ impl Request {
         }
     }
 
-    /// Decodes one request line.
+    /// Decodes one request line, reporting the protocol version alongside
+    /// the request (or the structured error that should answer it).
+    pub fn decode(line: &str) -> Decoded {
+        let value = match Value::parse(line.trim()) {
+            Ok(value) => value,
+            Err(e) => {
+                // Unparseable lines carry no usable version marker; answer
+                // in the legacy shape every client understands.
+                return Decoded {
+                    version: 1,
+                    body: Err(WireError::new(
+                        ErrorCode::BadRequest,
+                        format!("bad request JSON: {e}"),
+                    )),
+                };
+            }
+        };
+        let version = match value.get("v") {
+            None => 1,
+            Some(v) => match v.as_u64() {
+                Some(v) => v,
+                None => {
+                    return Decoded {
+                        version: PROTOCOL_VERSION,
+                        body: Err(WireError::new(
+                            ErrorCode::BadRequest,
+                            "field 'v' must be a number",
+                        )),
+                    }
+                }
+            },
+        };
+        let answer_version = version.clamp(1, PROTOCOL_VERSION);
+        if version == 0 || version > PROTOCOL_VERSION {
+            return Decoded {
+                version: answer_version,
+                body: Err(WireError::new(
+                    ErrorCode::UnsupportedVersion,
+                    format!(
+                        "unsupported protocol version {version} (this daemon speaks v1 and v2)"
+                    ),
+                )),
+            };
+        }
+        Decoded {
+            version,
+            body: Request::from_value(&value).map_err(|message| {
+                let code = if value.get("op").and_then(Value::as_str).is_some()
+                    && message.starts_with("unknown op")
+                {
+                    ErrorCode::UnknownOp
+                } else {
+                    ErrorCode::BadRequest
+                };
+                WireError::new(code, message)
+            }),
+        }
+    }
+
+    /// Decodes one request line, dropping the version information.
     ///
     /// # Errors
     ///
     /// Returns a one-line message for malformed JSON, an unknown `op`, a
     /// missing `source`, or invalid option values.
     pub fn from_json(line: &str) -> Result<Request, String> {
-        let value = Value::parse(line.trim()).map_err(|e| format!("bad request JSON: {e}"))?;
+        let decoded = Request::decode(line);
+        decoded.body.map_err(|error| error.message)
+    }
+
+    fn from_value(value: &Value) -> Result<Request, String> {
         let op = value
             .get("op")
             .and_then(Value::as_str)
@@ -186,6 +383,9 @@ pub struct ServiceStats {
     pub shards: Vec<ShardStats>,
     /// Registered emission-target names, registry order (`rm3` first).
     pub targets: Vec<String>,
+    /// Persistent-store counters; `None` when the daemon runs without
+    /// `--store` (and in responses from older daemons).
+    pub store: Option<StoreCounters>,
 }
 
 impl ServiceStats {
@@ -208,14 +408,15 @@ pub enum Response {
     Stats(ServiceStats),
     /// Shutdown acknowledged.
     Shutdown,
-    /// The request failed; the payload is a one-line diagnostic.
-    Error(String),
+    /// The request failed.
+    Error(WireError),
 }
 
 /// The payload of a successful compile response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompileResponse {
-    /// `true` when the artifact came from the result cache.
+    /// `true` when the artifact came from the result cache (in-memory or
+    /// persistent).
     pub cached: bool,
     /// Hex spelling of the cache key (graph digest + options fingerprint).
     pub key: String,
@@ -231,14 +432,22 @@ pub struct CompileResponse {
 }
 
 impl Response {
-    /// Encodes the response as one JSON line (no trailing newline).
-    pub fn to_json(&self) -> String {
+    /// Encodes the response as one JSON line (no trailing newline), in
+    /// the error shape of the given protocol version. Success responses
+    /// are identical across versions.
+    pub fn to_json(&self, version: u64) -> String {
         match self {
-            Response::Error(message) => Value::object([
-                ("ok", Value::Bool(false)),
-                ("error", Value::string(message.clone())),
-            ])
-            .to_json(),
+            Response::Error(error) => {
+                let payload = if version >= 2 {
+                    Value::object([
+                        ("code", Value::string(error.code.as_str())),
+                        ("message", Value::string(error.message.clone())),
+                    ])
+                } else {
+                    Value::string(error.message.clone())
+                };
+                Value::object([("ok", Value::Bool(false)), ("error", payload)]).to_json()
+            }
             Response::Shutdown => {
                 Value::object([("ok", Value::Bool(true)), ("op", Value::string("shutdown"))])
                     .to_json()
@@ -275,7 +484,7 @@ impl Response {
                     .iter()
                     .map(|name| Value::string(name.clone()))
                     .collect();
-                Value::object([
+                let mut fields = vec![
                     ("ok", Value::Bool(true)),
                     ("op", Value::string("stats")),
                     ("hits", Value::number(totals.hits)),
@@ -284,14 +493,25 @@ impl Response {
                     ("cached_bytes", Value::number(totals.bytes as u64)),
                     ("cached_entries", Value::number(totals.entries as u64)),
                     ("targets", Value::Array(targets)),
-                    ("shards", Value::Array(shards)),
-                ])
-                .to_json()
+                ];
+                if let Some(store) = &stats.store {
+                    fields.push((
+                        "store",
+                        Value::object([
+                            ("hits", Value::number(store.hits)),
+                            ("misses", Value::number(store.misses)),
+                            ("corrupt", Value::number(store.corrupt)),
+                            ("writes", Value::number(store.writes)),
+                        ]),
+                    ));
+                }
+                fields.push(("shards", Value::Array(shards)));
+                Value::object(fields).to_json()
             }
         }
     }
 
-    /// Decodes one response line.
+    /// Decodes one response line (either protocol version).
     ///
     /// # Errors
     ///
@@ -304,11 +524,24 @@ impl Response {
             .and_then(Value::as_bool)
             .ok_or("response is missing field 'ok'")?;
         if !ok {
-            let message = value
-                .get("error")
-                .and_then(Value::as_str)
-                .unwrap_or("unspecified server error");
-            return Ok(Response::Error(message.to_string()));
+            let error = value.get("error").ok_or("error response without 'error'")?;
+            // v2 daemons send an object, v1 daemons a flat string; this
+            // client decodes both so it can talk to either.
+            let error = if let Some(message) = error.as_str() {
+                WireError::new(ErrorCode::Legacy, message)
+            } else {
+                WireError::new(
+                    error
+                        .get("code")
+                        .and_then(Value::as_str)
+                        .map_or(ErrorCode::Legacy, ErrorCode::parse),
+                    error
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unspecified server error"),
+                )
+            };
+            return Ok(Response::Error(error));
         }
         let op = value
             .get("op")
@@ -386,9 +619,26 @@ impl Response {
                     })
                     .transpose()?
                     .unwrap_or_default();
+                // Same back-compat posture for the store block: absent
+                // means "daemon has no persistent store" (or predates it).
+                let store = value.get("store").map(|store| {
+                    let number = |name: &str| {
+                        store
+                            .get(name)
+                            .and_then(Value::as_u64)
+                            .ok_or(format!("stats store is missing numeric field '{name}'"))
+                    };
+                    Ok::<StoreCounters, String>(StoreCounters {
+                        hits: number("hits")?,
+                        misses: number("misses")?,
+                        corrupt: number("corrupt")?,
+                        writes: number("writes")?,
+                    })
+                });
                 Ok(Response::Stats(ServiceStats {
                     shards: shard_stats?,
                     targets,
+                    store: store.transpose()?,
                 }))
             }
             other => Err(format!("unknown response op `{other}`")),
@@ -433,8 +683,39 @@ mod tests {
         for request in requests {
             let line = request.to_json();
             assert!(!line.contains('\n'), "framing-unsafe request: {line}");
+            assert!(
+                line.starts_with(r#"{"v":2,"#),
+                "unversioned request: {line}"
+            );
             assert_eq!(Request::from_json(&line).unwrap(), request);
+            let decoded = Request::decode(&line);
+            assert_eq!(decoded.version, 2);
+            assert_eq!(decoded.body.unwrap(), request);
         }
+    }
+
+    #[test]
+    fn versionless_requests_decode_as_v1() {
+        let decoded = Request::decode(r#"{"op":"stats"}"#);
+        assert_eq!(decoded.version, 1);
+        assert_eq!(decoded.body.unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected_with_a_code() {
+        for (line, expect_version) in [
+            (r#"{"v":3,"op":"stats"}"#, 2),
+            (r#"{"v":0,"op":"stats"}"#, 1),
+            (r#"{"v":99,"op":"compile","source":"x"}"#, 2),
+        ] {
+            let decoded = Request::decode(line);
+            assert_eq!(decoded.version, expect_version, "{line}");
+            let error = decoded.body.unwrap_err();
+            assert_eq!(error.code, ErrorCode::UnsupportedVersion, "{line}");
+            assert!(error.message.contains("speaks v1 and v2"), "{line}");
+        }
+        let decoded = Request::decode(r#"{"v":"two","op":"stats"}"#);
+        assert_eq!(decoded.body.unwrap_err().code, ErrorCode::BadRequest);
     }
 
     #[test]
@@ -451,26 +732,41 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_are_diagnosed() {
-        assert!(Request::from_json("not json")
-            .unwrap_err()
-            .contains("bad request JSON"));
-        assert!(Request::from_json("{}").unwrap_err().contains("'op'"));
-        assert!(Request::from_json(r#"{"op":"frobnicate"}"#)
-            .unwrap_err()
-            .contains("unknown op"));
-        assert!(Request::from_json(r#"{"op":"compile"}"#)
-            .unwrap_err()
-            .contains("'source'"));
-        assert!(Request::from_json(r#"{"op":"compile","source":"x","effort":-1}"#).is_err());
-        assert!(Request::from_json(r#"{"op":"compile","source":"x","options":"bogus"}"#).is_err());
+    fn malformed_requests_are_diagnosed_with_codes() {
+        let cases: [(&str, ErrorCode, &str); 6] = [
+            ("not json", ErrorCode::BadRequest, "bad request JSON"),
+            ("{}", ErrorCode::BadRequest, "'op'"),
+            (r#"{"op":"frobnicate"}"#, ErrorCode::UnknownOp, "unknown op"),
+            (r#"{"op":"compile"}"#, ErrorCode::BadRequest, "'source'"),
+            (
+                r#"{"op":"compile","source":"x","effort":-1}"#,
+                ErrorCode::BadRequest,
+                "effort",
+            ),
+            (
+                r#"{"op":"compile","source":"x","options":"bogus"}"#,
+                ErrorCode::BadRequest,
+                "",
+            ),
+        ];
+        for (line, code, fragment) in cases {
+            let error = Request::decode(line).body.unwrap_err();
+            assert_eq!(error.code, code, "{line}");
+            assert!(
+                error.message.contains(fragment),
+                "{line} → {}",
+                error.message
+            );
+            // The legacy wrapper agrees.
+            assert_eq!(Request::from_json(line).unwrap_err(), error.message);
+        }
     }
 
     #[test]
-    fn responses_round_trip() {
+    fn responses_round_trip_in_v2() {
         let responses = [
             Response::Shutdown,
-            Response::Error("boom".to_string()),
+            Response::Error(WireError::new(ErrorCode::ParseError, "boom")),
             Response::Compile(CompileResponse {
                 cached: true,
                 key: "abc123".to_string(),
@@ -494,18 +790,50 @@ mod tests {
                     ShardStats::default(),
                 ],
                 targets: vec!["rm3".to_string(), "ambit".to_string()],
+                store: Some(StoreCounters {
+                    hits: 4,
+                    misses: 2,
+                    corrupt: 1,
+                    writes: 3,
+                }),
             }),
         ];
         for response in responses {
-            let line = response.to_json();
+            let line = response.to_json(PROTOCOL_VERSION);
             assert!(!line.contains('\n'), "framing-unsafe response: {line}");
             assert_eq!(Response::from_json(&line).unwrap(), response);
         }
     }
 
     #[test]
-    fn stats_response_exposes_totals() {
-        let stats = ServiceStats {
+    fn v1_errors_stay_flat_strings_and_decode_as_legacy() {
+        let error = Response::Error(WireError::new(ErrorCode::ParseError, "mig: boom"));
+        let v1 = error.to_json(1);
+        assert_eq!(v1, r#"{"ok":false,"error":"mig: boom"}"#);
+        let decoded = Response::from_json(&v1).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Error(WireError::new(ErrorCode::Legacy, "mig: boom"))
+        );
+        // And the v2 shape carries the machine-readable code.
+        let v2 = error.to_json(2);
+        assert_eq!(
+            v2,
+            r#"{"ok":false,"error":{"code":"parse_error","message":"mig: boom"}}"#
+        );
+        assert_eq!(Response::from_json(&v2).unwrap(), error);
+        // Codes from a future server survive as opaque strings.
+        let future = r#"{"ok":false,"error":{"code":"quota_exceeded","message":"no"}}"#;
+        let Response::Error(error) = Response::from_json(future).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(error.code, ErrorCode::Other("quota_exceeded".to_string()));
+        assert_eq!(error.code.as_str(), "quota_exceeded");
+    }
+
+    #[test]
+    fn stats_response_exposes_totals_and_optional_store() {
+        let mut stats = ServiceStats {
             shards: vec![
                 ShardStats {
                     queue_depth: 0,
@@ -529,23 +857,37 @@ mod tests {
                 },
             ],
             targets: vec!["rm3".to_string()],
+            store: None,
         };
         assert_eq!(stats.totals().hits, 5);
-        let line = Response::Stats(stats).to_json();
+        let line = Response::Stats(stats.clone()).to_json(PROTOCOL_VERSION);
         assert!(line.contains("\"hits\":5"), "{line}");
         assert!(line.contains("\"cached_bytes\":40"), "{line}");
         assert!(line.contains("\"targets\":[\"rm3\"]"), "{line}");
+        assert!(!line.contains("\"store\""), "{line}");
+        stats.store = Some(StoreCounters {
+            hits: 1,
+            misses: 2,
+            corrupt: 0,
+            writes: 2,
+        });
+        let line = Response::Stats(stats).to_json(PROTOCOL_VERSION);
+        assert!(
+            line.contains(r#""store":{"hits":1,"misses":2,"corrupt":0,"writes":2}"#),
+            "{line}"
+        );
     }
 
     #[test]
-    fn stats_responses_without_targets_decode_as_unadvertised() {
-        // A pre-target daemon's stats line (no `targets` array) must still
-        // decode; the client sees an empty advertisement.
+    fn stats_responses_without_targets_or_store_decode_leniently() {
+        // A pre-target daemon's stats line (no `targets`, no `store`) must
+        // still decode; the client sees empty advertisements.
         let line = r#"{"ok":true,"op":"stats","hits":0,"misses":0,"evictions":0,"cached_bytes":0,"cached_entries":0,"shards":[]}"#;
         let Response::Stats(stats) = Response::from_json(line).unwrap() else {
             panic!("wrong kind");
         };
         assert!(stats.targets.is_empty());
+        assert!(stats.store.is_none());
     }
 
     #[test]
@@ -563,6 +905,23 @@ mod tests {
         let key = cache_key(7, &base);
         assert_eq!(key.graph, 7);
         assert_eq!(key.options, base.fingerprint());
+    }
+
+    #[test]
+    fn protocol_version_never_reaches_the_cache_key() {
+        // The same request spelled as v1 and as v2 must land on one cache
+        // entry — the version shapes the error envelope, not the artifact.
+        let v1 =
+            Request::from_json(r#"{"op":"compile","source":"inputs a\noutput f = a\n"}"#).unwrap();
+        let v2 =
+            Request::from_json(r#"{"v":2,"op":"compile","source":"inputs a\noutput f = a\n"}"#)
+                .unwrap();
+        assert_eq!(v1, v2);
+        let (Request::Compile(v1), Request::Compile(v2)) = (v1, v2) else {
+            panic!("wrong kind");
+        };
+        assert_eq!(v1.fingerprint(), v2.fingerprint());
+        assert_eq!(cache_key(7, &v1), cache_key(7, &v2));
     }
 
     #[test]

@@ -1,16 +1,36 @@
-//! The `plimd` daemon: TCP listener, shard dispatch, result cache.
+//! The `plimd` daemon: reactor front end, shard-pinned compile workers,
+//! tiered result cache.
 //!
 //! ## Architecture
 //!
-//! One listener thread accepts connections; each connection gets a plain
-//! IO thread that reads newline-delimited requests and writes one response
-//! line per request. Compile work never runs on an IO thread: the request
-//! is parsed and digested there, then dispatched to the shard that owns
-//! its cache key — one of N worker threads of a
+//! ```text
+//!  clients ──► reactor thread (epoll/kqueue, edge-triggered)
+//!                │  parse lines · answer warm hits · order responses
+//!                ▼ submit(shard, job)
+//!              WorkerPool (N pinned workers, one LRU shard each)
+//!                │  parse · compile · verify · emit
+//!                ▼ CompletionQueue.push + Waker.wake
+//!              reactor thread (encode, flush in request order)
+//! ```
+//!
+//! One thread runs the reactor: it accepts
+//! connections, reads newline-delimited requests from non-blocking
+//! sockets, and answers warm cache hits inline. Compile work never runs
+//! on the reactor: a cold request is dispatched to the shard that owns
+//! its cache key — one of N workers of a
 //! [`plim_parallel::pool::WorkerPool`], each paired with its own
 //! [`LruCache`] shard. Pinning a key range to one worker serializes
 //! same-key requests, so a burst of identical submissions compiles once
 //! and the rest are answered from the cache the first one filled.
+//! Finished compiles flow back over a
+//! [`CompletionQueue`] whose
+//! notifier rings the reactor's [`Waker`].
+//!
+//! Connections pipeline: a client may write many requests before reading
+//! a response, and responses always come back in request order. Each
+//! connection's in-flight window is bounded (`max_pipeline`); past it the
+//! reactor simply stops reading that socket, letting TCP push back on the
+//! client until responses drain.
 //!
 //! ## Cache semantics
 //!
@@ -22,21 +42,30 @@
 //! different but equally valid instruction schedule) for dumps that only
 //! differ in node order or Ω.I complement placement. Entries are evicted
 //! least-recently-used once the configured byte budget is exceeded.
+//!
+//! With `--store DIR` the in-memory cache gains a persistent layer: every
+//! compiled artifact is written through to an on-disk
+//! [`ArtifactStore`], and an in-memory miss consults the store before
+//! compiling — so a restarted daemon answers repeat requests warm. Store
+//! files are self-verifying; a corrupt or truncated file is logged,
+//! counted, and treated as a miss, never served.
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mig::canon::structural_digest;
 use plim_compiler::cache::{fnv128, CacheKey, LruCache};
+use plim_compiler::store::{ArtifactStore, StoreLookup, StoredArtifact};
 use plim_parallel::pool::WorkerPool;
+use plim_parallel::queue::CompletionQueue;
 
 use crate::pipeline::{self, EMIT_KINDS};
+use crate::poller::Waker;
 use crate::protocol::{
-    cache_key, CompileRequest, CompileResponse, Request, Response, ServiceStats, ShardStats,
+    cache_key, CompileRequest, CompileResponse, ErrorCode, Request, Response, ServiceStats,
+    ShardStats, WireError,
 };
 
 /// Configuration of a [`Server`].
@@ -51,6 +80,15 @@ pub struct ServerConfig {
     /// daemon logs when that happens) — on many-core hosts serving large
     /// circuits, raise the budget accordingly.
     pub cache_bytes: usize,
+    /// Directory of the persistent artifact store; `None` disables
+    /// persistence (in-memory cache only).
+    pub store: Option<String>,
+    /// Close a connection after this long without reads, writes, or
+    /// in-flight requests.
+    pub idle_timeout: Duration,
+    /// Per-connection cap on in-flight pipelined requests; past it the
+    /// reactor stops reading the socket until responses drain.
+    pub max_pipeline: usize,
     /// Log one line per request to stderr.
     pub log: bool,
 }
@@ -61,30 +99,25 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7393".to_string(),
             threads: 0,
             cache_bytes: 64 << 20,
+            store: None,
+            idle_timeout: Duration::from_secs(60),
+            max_pipeline: 128,
             log: false,
         }
     }
 }
 
-/// One cached artifact (a compile response minus its per-request fields).
-#[derive(Debug)]
-struct Artifact {
-    instructions: u64,
-    rams: u64,
-    max_cell_writes: u64,
-    output: String,
+/// A finished compile flowing from a worker back to the reactor, tagged
+/// with the connection and per-connection sequence number it answers.
+pub(crate) struct Completion {
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) response: Response,
 }
 
-impl Artifact {
-    /// Cache weight: the artifact body plus bookkeeping overhead.
-    fn weight(&self) -> usize {
-        self.output.len() + 64
-    }
-}
-
-struct Shared {
-    pool: WorkerPool,
-    caches: Vec<Mutex<LruCache<Arc<Artifact>>>>,
+pub(crate) struct Shared {
+    pub(crate) pool: WorkerPool,
+    pub(crate) caches: Vec<Mutex<LruCache<Arc<StoredArtifact>>>>,
     /// First-level index: `(fnv128(source), fnv128(format))` → the
     /// canonical structural digest of the parsed graph. A hit here skips
     /// the parser entirely for byte-identical resubmissions — under *any*
@@ -93,22 +126,20 @@ struct Shared {
     /// format belongs in the key: the same bytes under another format
     /// would parse differently or not at all. Artifacts themselves live
     /// in (and are accounted to) the sharded caches above.
-    text_index: Mutex<LruCache<u128>>,
-    shutdown: AtomicBool,
-    log: bool,
+    pub(crate) text_index: Mutex<LruCache<u128>>,
+    pub(crate) store: Option<ArtifactStore>,
+    pub(crate) completions: CompletionQueue<Completion>,
+    pub(crate) waker: Waker,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) max_pipeline: usize,
+    pub(crate) log: bool,
 }
 
 impl Shared {
-    fn shards(&self) -> usize {
+    pub(crate) fn shards(&self) -> usize {
         self.caches.len()
     }
-}
-
-/// A bound (but not yet running) compile service.
-#[derive(Debug)]
-pub struct Server {
-    listener: TcpListener,
-    shared: Arc<Shared>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -119,16 +150,29 @@ impl std::fmt::Debug for Shared {
     }
 }
 
+/// A bound (but not yet running) compile service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
 impl Server {
-    /// Binds the listener and spawns the worker pool.
+    /// Binds the listener, opens the store (if configured), and spawns
+    /// the worker pool.
     ///
     /// # Errors
     ///
-    /// Returns a one-line message when the address cannot be bound.
+    /// Returns a one-line message when the address cannot be bound or the
+    /// store directory cannot be created.
     pub fn bind(config: &ServerConfig) -> Result<Server, String> {
         // Populate the target registry before the first request can name a
-        // `+target` spec suffix (option parsing happens on IO threads).
+        // `+target` spec suffix.
         plim_backends::install();
+        // Best-effort: the reactor holds one fd per connection, so a
+        // default 1024-fd soft limit caps concurrency long before memory
+        // does. Failure is not fatal — the daemon just accepts fewer.
+        let _ = crate::poller::raise_nofile_limit(8192);
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
         let threads = if config.threads == 0 {
@@ -140,6 +184,13 @@ impl Server {
         let caches = (0..threads.max(1))
             .map(|_| Mutex::new(LruCache::new(shard_budget)))
             .collect();
+        let store = config.store.as_ref().map(ArtifactStore::open).transpose()?;
+        let waker = Waker::new().map_err(|e| format!("creating the reactor waker: {e}"))?;
+        let completions = CompletionQueue::new();
+        // Workers push, then ring: by the time the reactor wakes, the
+        // completion is already visible in the queue.
+        let ring = waker.clone();
+        completions.set_notify(move || ring.wake());
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -147,7 +198,12 @@ impl Server {
                 caches,
                 // ~16k text mappings; entries weigh a fixed 64 bytes.
                 text_index: Mutex::new(LruCache::new(1 << 20)),
+                store,
+                completions,
+                waker,
                 shutdown: AtomicBool::new(false),
+                idle_timeout: config.idle_timeout,
+                max_pipeline: config.max_pipeline.max(1),
                 log: config.log,
             }),
         })
@@ -164,185 +220,67 @@ impl Server {
             .map_err(|e| format!("resolving the listen address: {e}"))
     }
 
-    /// Serves until a `shutdown` request arrives. Queued compile jobs
+    /// Runs the reactor until a `shutdown` request arrives, then drains:
+    /// in-flight compiles are answered, buffers flushed, and queued jobs
     /// finish before this returns.
     ///
     /// # Errors
     ///
-    /// Returns a one-line message on listener failures.
+    /// Returns a one-line message on reactor failures.
     pub fn run(self) -> Result<(), String> {
-        let addr = self.local_addr()?;
-        let mut connections = Vec::new();
-        let mut consecutive_errors = 0u32;
-        for stream in self.listener.incoming() {
-            if self.shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    consecutive_errors = 0;
-                    let shared = Arc::clone(&self.shared);
-                    connections.push(std::thread::spawn(move || {
-                        handle_connection(&shared, stream, addr);
-                    }));
-                    // Reap finished IO threads so a long-running daemon
-                    // serving many short-lived connections (one per
-                    // `plimc request`) does not accumulate handles.
-                    connections.retain(|connection| !connection.is_finished());
-                }
-                Err(error) => {
-                    // Per-connection accept failures (ECONNABORTED, a
-                    // transient EMFILE burst) must not kill the daemon;
-                    // only a persistently failing listener is fatal.
-                    consecutive_errors += 1;
-                    if self.shared.log {
-                        eprintln!("plimd: accepting a connection: {error}");
-                    }
-                    if consecutive_errors >= 100 {
-                        return Err(format!(
-                            "accepting a connection failed {consecutive_errors} times in a row: {error}"
-                        ));
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-            }
-        }
-        for connection in connections {
-            let _ = connection.join();
-        }
+        crate::reactor::run(self.listener, self.shared)
         // Dropping the last `Shared` reference shuts the pool down and
         // drains any still-queued jobs (their requesters are gone, but the
         // cache inserts still happen before the drop completes).
-        Ok(())
     }
 }
 
-/// Upper bound on one request line. `read_line` would otherwise grow its
-/// buffer without limit for a client that streams bytes with no newline,
-/// OOMing the daemon regardless of the artifact cache's byte budget.
-const MAX_REQUEST_BYTES: u64 = 64 << 20;
-
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, addr: SocketAddr) {
-    // Bound idle connections so shutdown can always join this thread.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
-    let mut buffer = Vec::new();
-    loop {
-        buffer.clear();
-        // Raw bytes, not read_line: a stray non-UTF-8 byte must produce a
-        // diagnosable error response below, not an IO error that silently
-        // drops the connection.
-        match reader
-            .by_ref()
-            .take(MAX_REQUEST_BYTES)
-            .read_until(b'\n', &mut buffer)
-        {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
-        // After a shutdown ack elsewhere, stop serving this connection
-        // too — otherwise one chatty client (requests every <60s) would
-        // keep the joined daemon alive forever.
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        if buffer.len() as u64 >= MAX_REQUEST_BYTES && buffer.last() != Some(&b'\n') {
-            // The limit cut the line short; the rest of the stream is
-            // unframed garbage, so answer once and drop the connection.
-            let mut encoded =
-                Response::Error(format!("request exceeds {MAX_REQUEST_BYTES} bytes")).to_json();
-            encoded.push('\n');
-            let _ = writer
-                .write_all(encoded.as_bytes())
-                .and_then(|()| writer.flush());
-            return;
-        }
-        let line = match std::str::from_utf8(&buffer) {
-            Ok(line) => line,
-            Err(_) => {
-                let mut encoded =
-                    Response::Error("request is not valid UTF-8".to_string()).to_json();
-                encoded.push('\n');
-                if writer
-                    .write_all(encoded.as_bytes())
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let clock = Instant::now();
-        // Parse once; the op tag is remembered for logging so a
-        // multi-megabyte compile request is never parsed twice.
-        let parsed = Request::from_json(line);
-        let op = match &parsed {
-            Ok(Request::Compile(_)) => "compile",
-            Ok(Request::Stats) => "stats",
-            Ok(Request::Shutdown) => "shutdown",
-            Err(_) => "invalid",
-        };
-        let response = match parsed {
-            Ok(request) => handle_request(shared, request),
-            Err(message) => Response::Error(message),
-        };
-        if shared.log {
-            log_response(op, &response, clock.elapsed());
-        }
-        let mut encoded = response.to_json();
-        encoded.push('\n');
-        if writer
-            .write_all(encoded.as_bytes())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-        if matches!(response, Response::Shutdown) {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            // Unblock the accept loop so it observes the flag. A wildcard
-            // bind reports the unspecified address, which is not
-            // connectable everywhere — dial loopback in that case.
-            let mut wake = addr;
-            if wake.ip().is_unspecified() {
-                wake.set_ip(match wake.ip() {
-                    IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                    IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-                });
-            }
-            let _ = TcpStream::connect(wake);
-            return;
-        }
-    }
+/// What the reactor should do with one decoded request line.
+pub(crate) enum Disposition {
+    /// Answer now.
+    Ready(Response),
+    /// A worker owns it; a [`Completion`] with this line's `(conn, seq)`
+    /// will arrive on the queue.
+    Dispatched,
+    /// Answer now, then drain and exit.
+    StartShutdown(Response),
 }
 
-fn log_response(op: &str, response: &Response, elapsed: Duration) {
-    match response {
-        Response::Compile(compile) => eprintln!(
-            "plimd: {op} key={}… {} #I={} #R={} ({elapsed:.1?})",
-            &compile.key[..12],
-            if compile.cached { "hit" } else { "miss" },
-            compile.instructions,
-            compile.rams,
-        ),
-        Response::Error(message) => eprintln!("plimd: {op} error: {message} ({elapsed:.1?})"),
-        _ => eprintln!("plimd: {op} ({elapsed:.1?})"),
-    }
+/// The reactor-facing result of handling one request line.
+pub(crate) struct LineOutcome {
+    /// Protocol version the response must be encoded in.
+    pub(crate) version: u64,
+    /// Op tag for the request log.
+    pub(crate) op: &'static str,
+    pub(crate) disposition: Disposition,
 }
 
-fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
-    match request {
-        Request::Shutdown => Response::Shutdown,
-        Request::Stats => Response::Stats(gather_stats(shared)),
-        Request::Compile(compile) => handle_compile(shared, compile),
+/// Handles one request line on the reactor thread: decode, answer
+/// stats/shutdown/warm hits inline, dispatch compile work to its shard.
+pub(crate) fn handle_line(shared: &Arc<Shared>, conn: u64, seq: u64, line: &str) -> LineOutcome {
+    let decoded = Request::decode(line);
+    let version = decoded.version;
+    match decoded.body {
+        Err(error) => LineOutcome {
+            version,
+            op: "invalid",
+            disposition: Disposition::Ready(Response::Error(error)),
+        },
+        Ok(Request::Stats) => LineOutcome {
+            version,
+            op: "stats",
+            disposition: Disposition::Ready(Response::Stats(gather_stats(shared))),
+        },
+        Ok(Request::Shutdown) => LineOutcome {
+            version,
+            op: "shutdown",
+            disposition: Disposition::StartShutdown(Response::Shutdown),
+        },
+        Ok(Request::Compile(request)) => LineOutcome {
+            version,
+            op: "compile",
+            disposition: dispatch_compile(shared, conn, seq, request),
+        },
     }
 }
 
@@ -360,141 +298,255 @@ fn gather_stats(shared: &Shared) -> ServiceStats {
         .iter()
         .map(|backend| backend.name().to_string())
         .collect();
-    ServiceStats { shards, targets }
+    ServiceStats {
+        shards,
+        targets,
+        store: shared.store.as_ref().map(ArtifactStore::counters),
+    }
 }
 
-fn handle_compile(shared: &Arc<Shared>, request: CompileRequest) -> Response {
+fn text_key(request: &CompileRequest) -> CacheKey {
+    CacheKey::new(
+        fnv128(request.source.as_bytes()),
+        fnv128(request.format.name().as_bytes()) as u64,
+    )
+}
+
+/// Routes a compile request: warm in-memory hits are answered inline on
+/// the reactor thread (no queueing); everything else goes to a worker.
+fn dispatch_compile(
+    shared: &Arc<Shared>,
+    conn: u64,
+    seq: u64,
+    request: CompileRequest,
+) -> Disposition {
     // Reject unknown artifact kinds before burning a compile on them.
     if !EMIT_KINDS.contains(&request.emit.as_str()) {
-        return Response::Error(format!("unknown --emit `{}`", request.emit));
+        return Disposition::Ready(Response::Error(WireError::new(
+            ErrorCode::BadRequest,
+            format!("unknown --emit `{}`", request.emit),
+        )));
     }
     // L1: exact-text index. A byte-identical resubmission resolves its
     // structural digest without re-parsing the source.
-    let text_key = CacheKey::new(
-        fnv128(request.source.as_bytes()),
-        fnv128(request.format.name().as_bytes()) as u64,
-    );
     let indexed = shared
         .text_index
         .lock()
         .expect("index lock poisoned")
-        .get(&text_key)
+        .get(&text_key(&request))
         .copied();
-    let (digest, mig) = match indexed {
-        Some(digest) => (digest, None),
-        None => {
-            let mig = match pipeline::parse_network(request.format, &request.source) {
-                Ok(mig) => mig,
-                Err(message) => return Response::Error(message),
+    let (digest, shard) = match indexed {
+        Some(digest) => {
+            let key = cache_key(digest, &request);
+            let shard = key.shard(shared.shards());
+            // Fast path: a warm request never queues. Only the Arc is
+            // cloned under the lock; the response (which copies the
+            // artifact body) is built after it is released.
+            let hit = {
+                let mut cache = shared.caches[shard].lock().expect("cache lock poisoned");
+                cache.get(&key).cloned()
             };
-            let digest = structural_digest(&mig);
-            shared
-                .text_index
-                .lock()
-                .expect("index lock poisoned")
-                .insert(text_key, digest, 64);
-            (digest, Some(mig))
+            if let Some(artifact) = hit {
+                return Disposition::Ready(compile_response(&key.hex(), true, &artifact));
+            }
+            (Some(digest), shard)
         }
+        // Unknown text: parsing is compile work and stays off the reactor
+        // thread. A provisional shard keyed on the raw text serializes
+        // identical cold submissions until the digest is known.
+        None => (
+            None,
+            (fnv128(request.source.as_bytes()) % shared.shards() as u128) as usize,
+        ),
     };
-    let key = cache_key(digest, &request);
-    let shard = key.shard(shared.shards());
-
-    // Fast path on the IO thread: a warm request never queues. Only the
-    // Arc is cloned under the lock; the response (which copies the
-    // artifact body) is built after it is released, so concurrent warm
-    // requests on one shard do not serialize on a multi-MB memcpy.
-    let hit = {
-        let mut cache = shared.caches[shard].lock().expect("cache lock poisoned");
-        cache.get(&key).cloned()
-    };
-    if let Some(artifact) = hit {
-        return compile_response(&key.hex(), true, &artifact);
+    let worker = Arc::clone(shared);
+    let submitted = shared.pool.submit(shard, move || {
+        run_compile_job(&worker, conn, seq, request, digest, shard);
+    });
+    if submitted {
+        Disposition::Dispatched
+    } else {
+        Disposition::Ready(Response::Error(WireError::new(
+            ErrorCode::ShuttingDown,
+            "service is shutting down",
+        )))
     }
-    // The artifact was evicted (or never compiled) — the graph is needed
-    // after all.
-    let mig = match mig {
-        Some(mig) => mig,
+}
+
+/// First worker stage: resolve the digest (parsing if needed), then
+/// compile on the shard that owns the full cache key — handing off when
+/// that is a different shard, so same-key serialization always holds.
+fn run_compile_job(
+    shared: &Arc<Shared>,
+    conn: u64,
+    seq: u64,
+    request: CompileRequest,
+    digest: Option<u128>,
+    current_shard: usize,
+) {
+    // With a known digest, the reactor already did (and counted) the
+    // in-memory lookup; for cold text the first lookup happens on the
+    // shard and must be counted there.
+    let counted = digest.is_some();
+    let (digest, mig) = match digest {
+        Some(digest) => (digest, None),
         None => match pipeline::parse_network(request.format, &request.source) {
-            Ok(mig) => mig,
-            Err(message) => return Response::Error(message),
+            Ok(mig) => {
+                let digest = structural_digest(&mig);
+                shared
+                    .text_index
+                    .lock()
+                    .expect("index lock poisoned")
+                    .insert(text_key(&request), digest, 64);
+                (digest, Some(mig))
+            }
+            Err(message) => {
+                complete(
+                    shared,
+                    conn,
+                    seq,
+                    Response::Error(WireError::new(ErrorCode::ParseError, message)),
+                );
+                return;
+            }
         },
     };
-
-    let (sender, receiver) = mpsc::channel();
-    let worker_shared = Arc::clone(shared);
-    let submitted = shared.pool.submit(shard, move || {
-        let response = compile_on_shard(&worker_shared, shard, &request, &mig, &key.hex(), key);
-        let _ = sender.send(response);
+    let key = cache_key(digest, &request);
+    let owner = key.shard(shared.shards());
+    if owner == current_shard {
+        let response = compile_on_shard(shared, owner, &request, mig, key, counted);
+        complete(shared, conn, seq, response);
+        return;
+    }
+    let worker = Arc::clone(shared);
+    let submitted = shared.pool.submit(owner, move || {
+        let response = compile_on_shard(&worker, owner, &request, mig, key, counted);
+        complete(&worker, conn, seq, response);
     });
     if !submitted {
-        return Response::Error("service is shutting down".to_string());
+        complete(
+            shared,
+            conn,
+            seq,
+            Response::Error(WireError::new(
+                ErrorCode::ShuttingDown,
+                "service is shutting down",
+            )),
+        );
     }
-    receiver
-        .recv()
-        .unwrap_or_else(|_| Response::Error("compile worker disappeared".to_string()))
 }
 
 fn compile_on_shard(
     shared: &Shared,
     shard: usize,
     request: &CompileRequest,
-    mig: &mig::Mig,
-    key_hex: &str,
-    key: plim_compiler::cache::CacheKey,
+    mig: Option<mig::Mig>,
+    key: CacheKey,
+    // Whether the reactor already counted an in-memory lookup for this
+    // key; false for cold text, whose first lookup is counted here.
+    counted: bool,
 ) -> Response {
+    let key_hex = key.hex();
     // Same-shard requests are serialized by the pinned worker, so an
     // identical request queued behind the one that compiles lands here
-    // after the insert: re-check before doing the work. The IO thread
-    // already counted this lookup as a miss, so peek first and only count
-    // a hit when the dedup actually pays off. As on the fast path, only
+    // after the insert: re-check before doing the work. The reactor
+    // already counted its lookup as a miss, so peek first and only count
+    // a hit when the dedup actually pays off (and count the miss here for
+    // requests the reactor never looked up). As on the fast path, only
     // the Arc clone happens under the lock.
     let deduped = {
         let mut cache = shared.caches[shard].lock().expect("cache lock poisoned");
         if cache.peek(&key).is_some() {
             Some(cache.get(&key).cloned().expect("peeked entry is live"))
         } else {
+            if !counted {
+                let _ = cache.get(&key);
+            }
             None
         }
     };
     if let Some(artifact) = deduped {
-        return compile_response(key_hex, true, &artifact);
+        return compile_response(&key_hex, true, &artifact);
     }
-    let artifacts = match pipeline::execute(mig, &request.spec) {
+    // L2→L3: consult the persistent store before compiling. A verified
+    // disk hit is promoted into the in-memory shard; a corrupt file is
+    // logged and recompiled (the overwrite heals it).
+    if let Some(store) = &shared.store {
+        match store.load(&key) {
+            StoreLookup::Hit(artifact) => {
+                let artifact = Arc::new(artifact);
+                insert_artifact(shared, shard, key, &artifact);
+                return compile_response(&key_hex, true, &artifact);
+            }
+            StoreLookup::Corrupt(diagnostic) => {
+                if shared.log {
+                    eprintln!("plimd: store: {diagnostic}");
+                }
+            }
+            StoreLookup::Miss => {}
+        }
+    }
+    let mig = match mig {
+        Some(mig) => mig,
+        None => match pipeline::parse_network(request.format, &request.source) {
+            Ok(mig) => mig,
+            Err(message) => return Response::Error(WireError::new(ErrorCode::ParseError, message)),
+        },
+    };
+    let artifacts = match pipeline::execute(&mig, &request.spec) {
         Ok(result) => result,
-        Err(message) => return Response::Error(message),
+        // `execute` only fails verification; parse failures happen above.
+        Err(message) => return Response::Error(WireError::new(ErrorCode::VerifyError, message)),
     };
     let output = match pipeline::emit(&request.emit, &artifacts) {
         Ok(output) => output,
-        Err(message) => return Response::Error(message),
+        Err(message) => return Response::Error(WireError::new(ErrorCode::BadRequest, message)),
     };
     let stats = &artifacts.compilation.compiled.stats;
-    let artifact = Arc::new(Artifact {
+    let artifact = Arc::new(StoredArtifact {
         instructions: stats.instructions as u64,
         rams: u64::from(stats.rams),
         max_cell_writes: stats.max_cell_writes,
         output,
     });
-    let weight = artifact.weight();
-    {
-        let mut cache = shared.caches[shard].lock().expect("cache lock poisoned");
-        if weight > cache.budget() {
-            // The per-shard budget is cache_bytes / workers, so on a
-            // many-core host a large listing can exceed it. insert()
-            // would silently skip it; make the lost warm path visible.
+    insert_artifact(shared, shard, key, &artifact);
+    if let Some(store) = &shared.store {
+        if let Err(message) = store.save(&key, &artifact) {
+            // A failed write-through only costs warmth after a restart;
+            // keep serving.
             if shared.log {
-                eprintln!(
-                    "plimd: artifact of {weight} bytes exceeds the {}-byte shard budget; \
-                     not cached (raise --cache-bytes)",
-                    cache.budget()
-                );
+                eprintln!("plimd: store: {message}");
             }
         }
-        cache.insert(key, Arc::clone(&artifact), weight);
     }
-    compile_response(key_hex, false, &artifact)
+    compile_response(&key_hex, false, &artifact)
 }
 
-fn compile_response(key_hex: &str, cached: bool, artifact: &Arc<Artifact>) -> Response {
+fn insert_artifact(shared: &Shared, shard: usize, key: CacheKey, artifact: &Arc<StoredArtifact>) {
+    let weight = artifact.weight();
+    let mut cache = shared.caches[shard].lock().expect("cache lock poisoned");
+    if weight > cache.budget() && shared.log {
+        // The per-shard budget is cache_bytes / workers, so on a
+        // many-core host a large listing can exceed it. insert()
+        // would silently skip it; make the lost warm path visible.
+        eprintln!(
+            "plimd: artifact of {weight} bytes exceeds the {}-byte shard budget; \
+             not cached (raise --cache-bytes)",
+            cache.budget()
+        );
+    }
+    cache.insert(key, Arc::clone(artifact), weight);
+}
+
+fn complete(shared: &Shared, conn: u64, seq: u64, response: Response) {
+    shared.completions.push(Completion {
+        conn,
+        seq,
+        response,
+    });
+}
+
+fn compile_response(key_hex: &str, cached: bool, artifact: &Arc<StoredArtifact>) -> Response {
     Response::Compile(CompileResponse {
         cached,
         key: key_hex.to_string(),
@@ -503,6 +555,22 @@ fn compile_response(key_hex: &str, cached: bool, artifact: &Arc<Artifact>) -> Re
         max_cell_writes: artifact.max_cell_writes,
         output: artifact.output.clone(),
     })
+}
+
+pub(crate) fn log_response(op: &str, response: &Response, elapsed: Duration) {
+    match response {
+        Response::Compile(compile) => eprintln!(
+            "plimd: {op} key={}… {} #I={} #R={} ({elapsed:.1?})",
+            &compile.key[..12],
+            if compile.cached { "hit" } else { "miss" },
+            compile.instructions,
+            compile.rams,
+        ),
+        Response::Error(error) => {
+            eprintln!("plimd: {op} error: {} ({elapsed:.1?})", error.message);
+        }
+        _ => eprintln!("plimd: {op} ({elapsed:.1?})"),
+    }
 }
 
 /// Runs `plimc serve` / `plimd`: parses the serve flags, binds, prints the
@@ -534,6 +602,22 @@ pub fn serve_cli(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--cache-bytes needs a number".to_string())?;
             }
+            "--store" => config.store = Some(value("--store")?.clone()),
+            "--idle-timeout" => {
+                config.idle_timeout = Duration::from_secs(
+                    value("--idle-timeout")?
+                        .parse()
+                        .map_err(|_| "--idle-timeout needs a number of seconds".to_string())?,
+                );
+            }
+            "--max-pipeline" => {
+                config.max_pipeline = value("--max-pipeline")?
+                    .parse()
+                    .map_err(|_| "--max-pipeline needs a number".to_string())?;
+                if config.max_pipeline == 0 {
+                    return Err("--max-pipeline must be at least 1".to_string());
+                }
+            }
             "--quiet" => config.log = false,
             other => return Err(format!("unknown serve option `{other}`")),
         }
@@ -553,5 +637,8 @@ pub fn serve_cli(args: &[String]) -> Result<(), String> {
             per_shard * workers
         }
     );
+    if let Some(store) = &server.shared.store {
+        println!("plimd: persistent store at {}", store.root().display());
+    }
     server.run()
 }

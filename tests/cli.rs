@@ -625,6 +625,158 @@ fn request_against_a_dead_service_is_a_user_error() {
     );
 }
 
+#[test]
+fn request_timeout_and_retry_flags_are_validated_and_still_fail_cleanly() {
+    assert_user_error(
+        &["request", "--timeout", "abc", "--stats"],
+        "--timeout needs a positive number of seconds",
+    );
+    assert_user_error(
+        &["request", "--timeout", "0", "--stats"],
+        "--timeout needs a positive number of seconds",
+    );
+    assert_user_error(
+        &["request", "--retries", "many", "--stats"],
+        "--retries needs a number",
+    );
+    // With valid values against a dead port, the retries run their course
+    // (with backoff) and the result is still the standard one-liner.
+    assert_user_error(
+        &[
+            "request",
+            "--addr",
+            "127.0.0.1:1",
+            "--timeout",
+            "0.5",
+            "--retries",
+            "1",
+            "--stats",
+        ],
+        "cannot connect to 127.0.0.1:1",
+    );
+}
+
+#[test]
+fn loadtest_flags_are_validated() {
+    assert_user_error(
+        &["loadtest", "--connections", "0"],
+        "--connections needs a positive number",
+    );
+    assert_user_error(
+        &["loadtest", "--pipeline", "lots"],
+        "--pipeline needs a positive number",
+    );
+    assert_user_error(&["loadtest", "--bogus"], "unknown loadtest option");
+    // Against a dead port, the connect failure is a one-line user error.
+    assert_user_error(
+        &["loadtest", "--addr", "127.0.0.1:1", "--connections", "2"],
+        "cannot connect to 127.0.0.1:1",
+    );
+}
+
+/// End-to-end through the real binaries: a stored daemon survives a
+/// loadtest, and after a restart on the same store directory the repeats
+/// are served from disk (`"store":{"hits":…}` nonzero in `--stats`).
+#[test]
+fn loadtest_and_store_round_trip_through_the_binaries() {
+    use std::io::BufRead as _;
+
+    let pid = std::process::id();
+    let store = std::env::temp_dir().join(format!("plimc_cli_store_{pid}"));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // The stdout reader must outlive each daemon: dropping it closes the
+    // pipe, and the daemon's next println! (the store banner) would die
+    // on EPIPE.
+    let spawn_daemon = || {
+        let mut daemon = plimc()
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--store",
+                store.to_str().unwrap(),
+                "--quiet",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        let mut stdout = std::io::BufReader::new(daemon.stdout.take().unwrap());
+        let mut listening = String::new();
+        stdout.read_line(&mut listening).unwrap();
+        let addr = listening
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in: {listening}"))
+            .to_string();
+        (daemon, addr, stdout)
+    };
+    let shutdown = |addr: &str, mut daemon: std::process::Child| {
+        let response = plimc()
+            .args(["request", "--addr", addr, "--shutdown"])
+            .output()
+            .unwrap();
+        assert!(response.status.success());
+        assert!(daemon.wait().unwrap().success());
+    };
+
+    // First daemon: the loadtest passes and fills the store.
+    let (daemon, addr, _stdout) = spawn_daemon();
+    let report = plimc()
+        .args([
+            "loadtest",
+            "--addr",
+            &addr,
+            "--connections",
+            "64",
+            "--pipeline",
+            "4",
+            "--requests",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert!(
+        report.status.success(),
+        "stdout: {stdout} stderr: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    assert!(stdout.contains("loadtest: OK"), "{stdout}");
+    shutdown(&addr, daemon);
+
+    // Second daemon, same store: repeats come off the disk, visible as
+    // nonzero store hits in the stats response.
+    let (daemon, addr, _stdout) = spawn_daemon();
+    let rerun = plimc()
+        .args(["loadtest", "--addr", &addr, "--connections", "8"])
+        .output()
+        .unwrap();
+    assert!(
+        rerun.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&rerun.stderr)
+    );
+    let stats = plimc()
+        .args(["request", "--addr", &addr, "--stats"])
+        .output()
+        .unwrap();
+    let stats_line = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats.status.success(), "{stats_line}");
+    let hits = stats_line
+        .split("\"store\":{\"hits\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("no store counters in: {stats_line}"));
+    assert!(hits >= 1, "restart must hit the store: {stats_line}");
+    shutdown(&addr, daemon);
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
 /// `plimc verify` proves a suite circuit end to end and reports the proof
 /// size; circuits beyond the exhaustive-input limit are a user error.
 #[test]
@@ -933,6 +1085,9 @@ fn help_mentions_aigtoaig_and_the_scenario_subcommands() {
     );
     assert!(stderr.contains("plimc lint"), "{stderr}");
     assert!(stderr.contains("plimc scenario"), "{stderr}");
+    assert!(stderr.contains("plimc loadtest"), "{stderr}");
+    assert!(stderr.contains("--store DIR"), "{stderr}");
+    assert!(stderr.contains("--timeout SECS"), "{stderr}");
 }
 
 #[test]

@@ -1,0 +1,63 @@
+//! The acceptance gate for the reactor rewrite: an in-process daemon must
+//! sustain ≥1000 concurrent pipelined connections with every response
+//! byte-identical to the offline pipeline.
+
+use plim_service::loadtest::{self, Circuit, LoadtestConfig};
+use plim_service::server::{Server, ServerConfig};
+
+const CIRCUITS: [(&str, &str); 3] = [
+    ("maj3", "inputs a b c\nn = maj(a, b, c)\noutput f = n\n"),
+    (
+        "and-or",
+        "inputs a b c d\nx = maj(0, a, b)\ny = maj(1, c, d)\nz = maj(0, x, y)\noutput f = z\n",
+    ),
+    (
+        "chain",
+        "inputs a b c d e\np = maj(a, b, c)\nq = maj(p, c, d)\nr = maj(q, d, e)\noutput f = r\n",
+    ),
+];
+
+#[test]
+fn a_thousand_pipelined_connections_get_byte_identical_responses() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_bytes: 1 << 20,
+        log: false,
+        ..ServerConfig::default()
+    })
+    .expect("bind on a free port");
+    let addr = server.local_addr().expect("resolved address").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut config = LoadtestConfig {
+        addr: addr.clone(),
+        connections: 1000,
+        pipeline: 4,
+        requests_per_conn: 4,
+        circuits: Vec::new(),
+    };
+    for (name, source) in CIRCUITS {
+        config.circuits.push(Circuit {
+            name: name.to_string(),
+            source: source.to_string(),
+            expected: loadtest::offline_expected(source).expect("offline compile"),
+        });
+    }
+
+    let report = loadtest::run(&config).expect("loadtest run");
+    assert_eq!(report.requests, 4000, "{report}");
+    assert_eq!(report.responses, 4000, "{report}");
+    assert_eq!(report.errors, 0, "{report}");
+    assert_eq!(report.mismatches, 0, "{report}");
+    assert!(report.passed(), "{report}");
+    // 3 circuits × 1 fingerprint: everything past the first compile of
+    // each circuit is served from the cache.
+    assert!(report.cached >= 4000 - 100, "{report}");
+    assert!(report.throughput() > 0.0);
+
+    let response = plim_service::client::send(&addr, &plim_service::protocol::Request::Shutdown)
+        .expect("shutdown");
+    assert_eq!(response, plim_service::protocol::Response::Shutdown);
+    handle.join().expect("server thread").expect("clean exit");
+}

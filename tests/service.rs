@@ -13,13 +13,17 @@ use plim_service::protocol::{CompileRequest, Request, Response};
 use plim_service::server::{Server, ServerConfig};
 
 fn start_server(threads: usize, cache_bytes: usize) -> (String, JoinHandle<Result<(), String>>) {
-    let config = ServerConfig {
+    start_server_with(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads,
         cache_bytes,
         log: false,
-    };
-    let server = Server::bind(&config).expect("bind on a free port");
+        ..ServerConfig::default()
+    })
+}
+
+fn start_server_with(config: &ServerConfig) -> (String, JoinHandle<Result<(), String>>) {
+    let server = Server::bind(config).expect("bind on a free port");
     let addr = server.local_addr().expect("resolved address").to_string();
     let handle = std::thread::spawn(move || server.run());
     (addr, handle)
@@ -449,9 +453,149 @@ fn same_bytes_under_another_format_do_not_hit_the_text_index() {
     };
     request.format = InputFormat::Aag;
     match client::send(&addr, &as_aiger).unwrap() {
-        Response::Error(message) => assert!(message.starts_with("aiger: "), "{message}"),
+        Response::Error(error) => {
+            assert!(error.message.starts_with("aiger: "), "{}", error.message);
+        }
         other => panic!("expected a parse error, got {other:?}"),
     }
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_request_order() {
+    let (addr, handle) = start_server(2, 1 << 20);
+    // A big circuit first, then tiny ones: the small compiles finish
+    // before the big one, but the reactor must hold their responses until
+    // the earlier request's answer is on the wire.
+    let big = suite_source("i2c");
+    let small_a = "inputs a b\nn = maj(0, a, b)\noutput f = n\n";
+    let small_b = "inputs a b\nn = maj(1, a, b)\noutput f = n\n";
+    let sources = [big.as_str(), small_a, small_b, small_a];
+    let expected: Vec<String> = sources.iter().map(|s| offline_listing(s)).collect();
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut batch = String::new();
+    for source in sources {
+        batch.push_str(&compile_request(source).to_json());
+        batch.push('\n');
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    for (index, expected) in expected.iter().enumerate() {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let Response::Compile(response) = Response::from_json(&line).unwrap() else {
+            panic!("response {index} is not a compile response: {line}");
+        };
+        assert_eq!(
+            &response.output, expected,
+            "response {index} out of order or wrong"
+        );
+    }
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn backpressure_keeps_order_when_the_pipeline_window_overflows() {
+    // A tiny window: the client floods 24 requests at once, the server
+    // may only read 2 ahead of its slowest unanswered response. Every
+    // response must still arrive, in order.
+    let (addr, handle) = start_server_with(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_bytes: 1 << 20,
+        max_pipeline: 2,
+        log: false,
+        ..ServerConfig::default()
+    });
+    let sources: Vec<String> = (0..24)
+        .map(|i| {
+            format!(
+                "inputs a b c\nn = maj({}, a, b)\nm = maj(n, b, c)\noutput f = m\n",
+                i % 2
+            )
+        })
+        .collect();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut batch = String::new();
+    for source in &sources {
+        batch.push_str(&compile_request(source).to_json());
+        batch.push('\n');
+    }
+    // The flood is larger than the window; the write still completes
+    // because the kernel buffers what the server has not yet read.
+    stream.write_all(batch.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    for (index, source) in sources.iter().enumerate() {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let Response::Compile(response) = Response::from_json(&line).unwrap() else {
+            panic!("response {index} is not a compile response: {line}");
+        };
+        assert_eq!(response.output, offline_listing(source), "response {index}");
+    }
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn v2_requests_get_structured_error_objects() {
+    let (addr, handle) = start_server(1, 1 << 20);
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut roundtrip = |line: &str| -> String {
+        writeln!(stream, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response
+    };
+    // v2: errors are objects with a machine-readable code.
+    let response = roundtrip(r#"{"v":2,"op":"frobnicate"}"#);
+    assert!(
+        response.contains(r#""error":{"code":"unknown_op""#),
+        "{response}"
+    );
+    let response = roundtrip(r#"{"v":2,"op":"compile","source":"garbage"}"#);
+    assert!(
+        response.contains(r#""error":{"code":"parse_error""#),
+        "{response}"
+    );
+    // A version this daemon does not speak is refused with its own code,
+    // answered at the highest version it does speak.
+    let response = roundtrip(r#"{"v":99,"op":"stats"}"#);
+    assert!(
+        response.contains(r#""error":{"code":"unsupported_version""#),
+        "{response}"
+    );
+    // Versionless (v1) requests keep the flat error-string shape forever.
+    let response = roundtrip(r#"{"op":"frobnicate"}"#);
+    assert!(response.contains(r#""error":"unknown op"#), "{response}");
+    assert!(!response.contains(r#""code""#), "{response}");
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn idle_connections_are_reaped_but_active_ones_survive() {
+    let (addr, handle) = start_server_with(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        cache_bytes: 1 << 20,
+        idle_timeout: std::time::Duration::from_millis(400),
+        log: false,
+        ..ServerConfig::default()
+    });
+    // An idle connection is closed by the sweep (read_line returning 0
+    // is EOF — the server hung up)…
+    let idle = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(idle);
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).unwrap();
+    assert_eq!(n, 0, "idle connection must be closed, got: {line}");
+    // …while the server keeps serving fresh connections.
+    let source = "inputs a b\nn = maj(0, a, b)\noutput f = n\n";
+    assert!(matches!(
+        client::send(&addr, &compile_request(source)).unwrap(),
+        Response::Compile(_)
+    ));
     shut_down(&addr, handle);
 }
 

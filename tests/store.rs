@@ -1,0 +1,193 @@
+//! End-to-end tests of the persistent artifact store behind `plimd
+//! --store`: warm restarts serve byte-identical artifacts from disk, and
+//! corrupted store files degrade to cache misses — never a panic, never a
+//! wrong answer.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+
+use plim_service::client;
+use plim_service::pipeline::{self, CompileSpec, InputFormat};
+use plim_service::protocol::{CompileRequest, Request, Response};
+use plim_service::server::{Server, ServerConfig};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique, test-owned store directory under the system temp dir.
+fn store_dir(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "plim-store-test-{}-{tag}-{seq}",
+        std::process::id()
+    ))
+}
+
+fn start_server(store: &Path) -> (String, JoinHandle<Result<(), String>>) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        cache_bytes: 1 << 20,
+        store: Some(store.to_string_lossy().into_owned()),
+        log: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind on a free port");
+    let addr = server.local_addr().expect("resolved address").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shut_down(addr: &str, handle: JoinHandle<Result<(), String>>) {
+    let response = client::send(addr, &Request::Shutdown).expect("shutdown round-trip");
+    assert_eq!(response, Response::Shutdown);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+fn compile_request(source: &str) -> Request {
+    Request::Compile(CompileRequest {
+        format: InputFormat::Mig,
+        source: source.to_string(),
+        spec: CompileSpec::default(),
+        emit: "listing".to_string(),
+    })
+}
+
+fn offline_listing(source: &str) -> String {
+    let mig = pipeline::parse_network(InputFormat::Mig, source).unwrap();
+    let artifacts = pipeline::execute(&mig, &CompileSpec::default()).unwrap();
+    pipeline::emit("listing", &artifacts).unwrap()
+}
+
+fn compile(addr: &str, source: &str) -> plim_service::protocol::CompileResponse {
+    match client::send(addr, &compile_request(source)).expect("compile round-trip") {
+        Response::Compile(response) => response,
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
+
+fn store_counters(addr: &str) -> plim_compiler::StoreCounters {
+    match client::send(addr, &Request::Stats).expect("stats round-trip") {
+        Response::Stats(stats) => stats.store.expect("daemon runs with --store"),
+        other => panic!("unexpected stats response: {other:?}"),
+    }
+}
+
+/// The on-disk path of an artifact, derived from the key hex a compile
+/// response reports: `<root>/<hex[..2]>/<hex>.artifact`.
+fn artifact_path(root: &Path, key_hex: &str) -> PathBuf {
+    root.join(&key_hex[..2]).join(format!("{key_hex}.artifact"))
+}
+
+const SOURCE: &str = "inputs a b c d\n\
+                      x = maj(0, a, b)\n\
+                      y = maj(1, c, d)\n\
+                      z = maj(x, y, d)\n\
+                      output f = !z\n";
+
+#[test]
+fn a_restarted_daemon_serves_repeats_warm_from_the_store() {
+    let dir = store_dir("restart");
+    let expected = offline_listing(SOURCE);
+
+    // First daemon: cold compile, written through to disk.
+    let (addr, handle) = start_server(&dir);
+    let cold = compile(&addr, SOURCE);
+    assert!(!cold.cached);
+    assert_eq!(cold.output, expected);
+    let counters = store_counters(&addr);
+    assert_eq!(counters.writes, 1, "compile must write through to disk");
+    assert!(
+        artifact_path(&dir, &cold.key).is_file(),
+        "artifact file missing at the content address"
+    );
+    shut_down(&addr, handle);
+
+    // Second daemon, same store: the very first repeat is a warm hit —
+    // no parse, no compile — and byte-identical.
+    let (addr, handle) = start_server(&dir);
+    let warm = compile(&addr, SOURCE);
+    assert!(warm.cached, "restart must serve the repeat from the store");
+    assert_eq!(warm.key, cold.key, "content address must be stable");
+    assert_eq!(warm.output, expected, "store round-trip must be byte-exact");
+    let counters = store_counters(&addr);
+    assert!(counters.hits >= 1, "store hits: {counters:?}");
+    assert_eq!(counters.corrupt, 0);
+    shut_down(&addr, handle);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_store_files_degrade_to_misses() {
+    let dir = store_dir("truncated");
+    let (addr, handle) = start_server(&dir);
+    let cold = compile(&addr, SOURCE);
+    shut_down(&addr, handle);
+
+    // Truncate the artifact mid-file: the checksum no longer matches.
+    let path = artifact_path(&dir, &cold.key);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (addr, handle) = start_server(&dir);
+    let repeat = compile(&addr, SOURCE);
+    assert!(!repeat.cached, "a corrupt load must be a miss, not a hit");
+    assert_eq!(repeat.output, cold.output, "recompile must still be exact");
+    let counters = store_counters(&addr);
+    assert!(counters.corrupt >= 1, "store counters: {counters:?}");
+    // The recompile re-wrote a good artifact over the corrupt one, so a
+    // third daemon serves it warm again.
+    shut_down(&addr, handle);
+    let (addr, handle) = start_server(&dir);
+    assert!(compile(&addr, SOURCE).cached, "repaired artifact must hit");
+    shut_down(&addr, handle);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_store_files_degrade_to_misses() {
+    let dir = store_dir("bitflip");
+    let (addr, handle) = start_server(&dir);
+    let cold = compile(&addr, SOURCE);
+    shut_down(&addr, handle);
+
+    // Flip one bit deep in the payload: the file still parses shallowly,
+    // but the checksum catches the damage.
+    let path = artifact_path(&dir, &cold.key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let index = bytes.len() - 8;
+    bytes[index] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (addr, handle) = start_server(&dir);
+    let repeat = compile(&addr, SOURCE);
+    assert!(!repeat.cached, "a bit flip must never be served");
+    assert_eq!(repeat.output, cold.output);
+    assert!(store_counters(&addr).corrupt >= 1);
+    shut_down(&addr, handle);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_store_files_degrade_to_misses() {
+    let dir = store_dir("garbage");
+    let (addr, handle) = start_server(&dir);
+    let cold = compile(&addr, SOURCE);
+    shut_down(&addr, handle);
+
+    // Replace the artifact wholesale with non-UTF-8 garbage.
+    let path = artifact_path(&dir, &cold.key);
+    std::fs::write(&path, [0xFFu8, 0xFE, 0x00, 0x01, 0x02]).unwrap();
+
+    let (addr, handle) = start_server(&dir);
+    let repeat = compile(&addr, SOURCE);
+    assert!(!repeat.cached);
+    assert_eq!(repeat.output, cold.output);
+    assert!(store_counters(&addr).corrupt >= 1);
+    shut_down(&addr, handle);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
