@@ -14,6 +14,12 @@
 //!   wall-clock breakdown and peak node-arena size. The in-place engine
 //!   performs one import and one compaction per call instead of ~5 graph
 //!   reconstructions per cycle, and is expected to win on every circuit.
+//! * **arena vs equality saturation** — the `--rewrite egraph` stage
+//!   (arena baseline + saturation + extraction + compiled-cost scoring)
+//!   against the plain arena stage, with compiled `#I` at -O2 for both
+//!   and per-circuit saturation statistics (e-nodes, iterations, and the
+//!   budget axis that stopped the run). The Σ row enforces the 10×
+//!   wall-clock acceptance bound.
 //! * **serial vs batch** full-suite compilation: the exact Table 1 workload
 //!   (three compilations per circuit, one shared rewrite) run job-by-job on
 //!   one thread and fanned across cores by `plim_compiler::batch`. On a
@@ -142,6 +148,78 @@ fn bench_rewrite_engines(circuits: &[&str], scale: Scale, iters: usize) {
     println!();
 }
 
+/// The arena-vs-equality-saturation comparison, measured as the pipeline
+/// a user actually runs: rewrite stage plus the -O2 compile of its result
+/// (for `--rewrite egraph` the stage is arena baseline + saturation +
+/// extraction + compiled-cost scoring). Reports compiled `#I` for both
+/// engines and the per-circuit saturation statistics (final e-nodes,
+/// iterations, and which budget axis stopped the run). Functional
+/// equivalence and the never-worse compiled cost are asserted so the
+/// bench doubles as a smoke check; at full scale the Σ row enforces the
+/// 10× wall-clock acceptance bound (at reduced scale the compile stage is
+/// microseconds, so the ratio is dominated by the saturation floor and is
+/// reported without judgment).
+fn bench_egraph(circuits: &[&str], scale: Scale, iters: usize, effort: usize) {
+    use plim_compiler::OptLevel;
+    println!(
+        "── compile pipeline: --rewrite arena vs --rewrite egraph (effort {effort}, -O2, best of {iters}) ──"
+    );
+    println!(
+        "{:<11} {:>11} {:>11} {:>7} | {:>8} {:>9} | {:>8} {:>5} {:>10}",
+        "circuit", "arena", "egraph", "ratio", "#I arena", "#I egraph", "e-nodes", "iters", "stop"
+    );
+    let options = CompilerOptions::new().opt(OptLevel::O2);
+    let mut total_arena = Duration::ZERO;
+    let mut total_egraph = Duration::ZERO;
+    for &name in circuits {
+        let mig = build(name, scale).unwrap();
+        let arena = rewrite(&mig, effort);
+        let t_arena = best_of(iters, || compile(&rewrite(&mig, effort), options));
+        let t_egraph = best_of(iters, || {
+            let chosen = plim_egraph::optimize(&mig, &rewrite(&mig, effort), effort, options);
+            compile(&chosen, options)
+        });
+        total_arena += t_arena;
+        total_egraph += t_egraph;
+
+        let (chosen, stats) = plim_egraph::optimize_with_stats(&mig, &arena, effort, options);
+        assert!(
+            mig::equiv::check_equivalence(&arena, &chosen, 16, 0xDAC)
+                .unwrap()
+                .holds(),
+            "{name}: engines disagree"
+        );
+        let arena_i = compile(&arena, options).stats.instructions;
+        let egraph_i = compile(&chosen, options).stats.instructions;
+        assert!(
+            egraph_i <= arena_i,
+            "{name}: e-graph extraction compiled to more instructions"
+        );
+        let ratio = t_egraph.as_secs_f64() / t_arena.as_secs_f64().max(f64::EPSILON);
+        println!(
+            "{:<11} {:>11.1?} {:>11.1?} {:>6.2}x | {:>8} {:>9} | {:>8} {:>5} {:>10}",
+            name,
+            t_arena,
+            t_egraph,
+            ratio,
+            arena_i,
+            egraph_i,
+            stats.final_enodes,
+            stats.iterations,
+            stats.stop.name(),
+        );
+    }
+    let overall = total_egraph.as_secs_f64() / total_arena.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "{:<11} {:>11.1?} {:>11.1?} {:>6.2}x",
+        "Σ", total_arena, total_egraph, overall
+    );
+    if scale == Scale::Full && overall > 10.0 {
+        println!("WARNING: equality saturation exceeded the 10x wall-clock bound");
+    }
+    println!();
+}
+
 fn bench_suite(scale: Scale, effort: usize, iters: usize) {
     let circuits = suite_circuits(scale);
     println!(
@@ -187,6 +265,8 @@ fn emit_bench_json(path: &str, scale: Scale) {
         eprintln!("pipeline: fidelity annotation: {error}");
         std::process::exit(1);
     }
+    // The equality-saturation columns, exactly as `plimc bench` fills them.
+    plim_egraph::annotate_bench(&mut run, &circuits, Parallelism::Auto);
     let verified = run
         .records
         .iter()
@@ -243,6 +323,7 @@ fn main() {
 
     bench_stages(stage_circuits, iters);
     bench_rewrite_engines(engine_circuits, scale, iters);
+    bench_egraph(engine_circuits, scale, iters, 4);
     bench_suite(scale, 4, iters);
     if let Some(path) = json {
         emit_bench_json(&path, scale);

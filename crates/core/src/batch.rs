@@ -54,8 +54,8 @@ use plim_parallel::{par_map, Parallelism};
 use crate::benchfile::BenchRecord;
 use crate::ir::analysis::{analyze_events, AnalysisConfig};
 use crate::{
-    compile, compile_full, AllocatorStrategy, Compilation, CompilerOptions, OptLevel, Rm3Program,
-    ScheduleOrder,
+    compile, compile_full, AllocatorStrategy, Compilation, CompilerOptions, OptLevel, RewriteMode,
+    Rm3Program, ScheduleOrder,
 };
 
 /// Rewrite effort used throughout the evaluation (the paper fixes 4).
@@ -71,6 +71,44 @@ fn rewrite_on_worker_arena(mig: &Mig, effort: usize) -> Mig {
         static ARENA: RefCell<RewriteArena> = RefCell::new(RewriteArena::new());
     }
     ARENA.with(|arena| arena.borrow_mut().rewrite(mig, effort))
+}
+
+/// One distinct preprocessing pass of a batch. Arena and rebuild passes
+/// depend only on `(circuit, effort, mode)`; an equality-saturation pass
+/// additionally depends on the full options spec, because the compiling
+/// cost function judges candidates under those options (a different
+/// backend or opt level can pick a different winner).
+type RewriteKey = (usize, usize, RewriteMode, String);
+
+fn rewrite_key(spec: &JobSpec, effort: usize) -> RewriteKey {
+    let mode = spec.options.rewrite;
+    let scope = match mode {
+        RewriteMode::Egraph => spec.options.spec(),
+        _ => String::new(),
+    };
+    (spec.circuit, effort, mode, scope)
+}
+
+/// Runs one preprocessing pass: the engine selected by the spec's
+/// [`RewriteMode`].
+///
+/// # Panics
+///
+/// Panics for [`RewriteMode::Egraph`] when no optimizer hook was installed
+/// (call `plim_egraph::install()` at startup).
+fn preprocess(mig: &Mig, effort: usize, mode: RewriteMode, options: CompilerOptions) -> Mig {
+    match mode {
+        RewriteMode::Arena => rewrite_on_worker_arena(mig, effort),
+        RewriteMode::Rebuild => mig::rewrite::rewrite_rebuild(mig, effort),
+        RewriteMode::Egraph => {
+            let optimize = crate::egraph_optimizer().expect(
+                "RewriteMode::Egraph needs the equality-saturation hook: call \
+                 plim_egraph::install() before compiling",
+            );
+            let baseline = rewrite_on_worker_arena(mig, effort);
+            optimize(mig, &baseline, effort, options)
+        }
+    }
 }
 
 /// A named input circuit of a batch.
@@ -220,13 +258,16 @@ impl BatchReport {
 /// Executes a job matrix over a set of circuits.
 ///
 /// The run has two parallel stages with no barrier inside each stage:
-/// first the distinct `(circuit, effort)` rewrite passes (deduplicated in
-/// first-use order), then every compile job against either the raw circuit
-/// or its memoized rewrite. Results come back in spec order.
+/// first the distinct rewrite passes — keyed by `(circuit, effort,
+/// rewrite mode)`, plus the full options spec for equality-saturation jobs
+/// — deduplicated in first-use order, then every compile job against
+/// either the raw circuit or its memoized rewrite. Results come back in
+/// spec order.
 ///
 /// # Panics
 ///
-/// Panics if a spec's `circuit` index is out of range.
+/// Panics if a spec's `circuit` index is out of range, or if a spec asks
+/// for [`RewriteMode::Egraph`] and no optimizer hook is installed.
 pub fn run_batch(circuits: &[Circuit], specs: &[JobSpec], parallelism: Parallelism) -> BatchReport {
     let start = Instant::now();
     for spec in specs {
@@ -239,36 +280,38 @@ pub fn run_batch(circuits: &[Circuit], specs: &[JobSpec], parallelism: Paralleli
     }
 
     // Distinct rewrite keys in first-use order, so pass numbering (and the
-    // report) is stable across runs.
-    let mut keys: Vec<(usize, usize)> = Vec::new();
+    // report) is stable across runs. Each key carries a representative
+    // options value for the engines (equality saturation) that need it.
+    let mut keys: Vec<(RewriteKey, CompilerOptions)> = Vec::new();
     let mut rewrite_cache_hits = 0;
     for spec in specs {
         if let RewriteEffort::Effort(effort) = spec.effort {
-            let key = (spec.circuit, effort);
-            if keys.contains(&key) {
+            let key = rewrite_key(spec, effort);
+            if keys.iter().any(|(k, _)| *k == key) {
                 rewrite_cache_hits += 1;
             } else {
-                keys.push(key);
+                keys.push((key, spec.options));
             }
         }
     }
 
     let workers = parallelism.worker_count(specs.len().max(keys.len()));
-    let rewritten: Vec<(Mig, Duration)> = par_map(&keys, parallelism, |_, &(circuit, effort)| {
+    let rewritten: Vec<(Mig, Duration)> = par_map(&keys, parallelism, |_, (key, options)| {
+        let (circuit, effort, mode, _) = key;
         let clock = Instant::now();
-        let mig = rewrite_on_worker_arena(&circuits[circuit].mig, effort);
+        let mig = preprocess(&circuits[*circuit].mig, *effort, *mode, *options);
         (mig, clock.elapsed())
     });
-    let memo: HashMap<(usize, usize), &Mig> = keys
+    let memo: HashMap<&RewriteKey, &Mig> = keys
         .iter()
         .zip(&rewritten)
-        .map(|(&key, (mig, _))| (key, mig))
+        .map(|((key, _), (mig, _))| (key, mig))
         .collect();
 
     let jobs = par_map(specs, parallelism, |_, spec| {
         let input: &Mig = match spec.effort {
             RewriteEffort::Raw => &circuits[spec.circuit].mig,
-            RewriteEffort::Effort(effort) => memo[&(spec.circuit, effort)],
+            RewriteEffort::Effort(effort) => memo[&rewrite_key(spec, effort)],
         };
         let clock = Instant::now();
         let compilation = compile_full(input, spec.options);
@@ -286,9 +329,9 @@ pub fn run_batch(circuits: &[Circuit], specs: &[JobSpec], parallelism: Paralleli
     let rewrites = keys
         .iter()
         .zip(&rewritten)
-        .map(|(&(circuit, effort), (mig, time))| RewritePass {
-            circuit,
-            effort,
+        .map(|((key, _), (mig, time))| RewritePass {
+            circuit: key.0,
+            effort: key.1,
             nodes: mig.num_majority_nodes(),
             time: *time,
         })
@@ -593,6 +636,11 @@ pub fn bench_suite(circuits: &[Circuit], effort: usize, parallelism: Parallelism
             ambit_cost: 0,
             magic_ops: 0,
             magic_cost: 0,
+            // The equality-saturation axis is measured by
+            // `plim-egraph::annotate_bench`, which lives above this crate
+            // (it compiles candidates through us); sentinel 0 = skipped.
+            egraph_instructions: 0,
+            egraph_rams: 0,
             // The fidelity axis is measured by the scenario engine
             // (`plim-scenario::annotate_bench`), which lives above this
             // crate; until annotated, a record claims no exhaustive proof.

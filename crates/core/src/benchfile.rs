@@ -30,6 +30,14 @@
 //!   annotation was skipped; [`gate`] fails hard when an annotated column
 //!   regresses against an annotated baseline and notes
 //!   annotation-coverage changes;
+//! * `egraph_instructions` / `egraph_rams` — the **equality-saturation
+//!   axis**: `#I` and `#R` of the circuit re-optimized through the
+//!   `plim-egraph` engine and compiled at `-O2`. Filled in by
+//!   `plim-egraph::annotate_bench`, `0` when annotation was skipped;
+//!   [`gate`] applies the same annotated-pairs rule as the per-target
+//!   columns **and** checks, on the current run alone, that an annotated
+//!   `egraph_instructions` never exceeds `o2_instructions` — the e-graph
+//!   extractor falls back to the arena result, so being worse is a bug;
 //! * `rewrite_ms` / `compile_ms` — wall-clock of the rewrite pass and of
 //!   the circuit's compile jobs; gated only in aggregate, with a generous
 //!   tolerance, because timings are machine-dependent;
@@ -92,6 +100,12 @@ pub struct BenchRecord {
     pub magic_ops: u64,
     /// Cost-model units of the `magic` emission (NOR pulses).
     pub magic_cost: u64,
+    /// `#I` of the equality-saturation engine's extraction compiled at
+    /// `-O2` (0 when annotation was skipped).
+    pub egraph_instructions: u64,
+    /// `#R` of the equality-saturation engine's extraction compiled at
+    /// `-O2` (0 when annotation was skipped).
+    pub egraph_rams: u64,
     /// Wall-clock of the circuit's rewrite pass, in milliseconds.
     pub rewrite_ms: f64,
     /// Wall-clock of the circuit's compile jobs, in milliseconds.
@@ -123,6 +137,7 @@ pub fn to_json(records: &[BenchRecord]) -> String {
              \"lookahead_rams\": {}, \"wear_max_writes\": {}, \"o1_instructions\": {}, \
              \"o1_rams\": {}, \"o2_instructions\": {}, \"o2_rams\": {}, \"o2_max_writes\": {}, \
              \"ambit_ops\": {}, \"ambit_cost\": {}, \"magic_ops\": {}, \"magic_cost\": {}, \
+             \"egraph_instructions\": {}, \"egraph_rams\": {}, \
              \"rewrite_ms\": {:.3}, \"compile_ms\": {:.3}, \"verified_exhaustive\": {}, \
              \"fault_error_rate\": {:.6}, \"lifetime_invocations\": {}, \
              \"lint_clean\": {}}}{comma}",
@@ -144,6 +159,8 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             r.ambit_cost,
             r.magic_ops,
             r.magic_cost,
+            r.egraph_instructions,
+            r.egraph_rams,
             r.rewrite_ms,
             r.compile_ms,
             r.verified_exhaustive,
@@ -157,10 +174,10 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     out
 }
 
-/// The eighteen required numeric fields of a record, in schema order
+/// The twenty required numeric fields of a record, in schema order
 /// (`circuit` and the booleans `verified_exhaustive` / `lint_clean` are
 /// handled apart).
-const NUMERIC_FIELDS: [&str; 18] = [
+const NUMERIC_FIELDS: [&str; 20] = [
     "instructions",
     "rams",
     "max_writes",
@@ -175,6 +192,8 @@ const NUMERIC_FIELDS: [&str; 18] = [
     "ambit_cost",
     "magic_ops",
     "magic_cost",
+    "egraph_instructions",
+    "egraph_rams",
     "rewrite_ms",
     "compile_ms",
     "fault_error_rate",
@@ -258,6 +277,8 @@ fn parse_record(index: usize, item: &Value) -> Result<BenchRecord, String> {
         ambit_cost: get("ambit_cost")? as u64,
         magic_ops: get("magic_ops")? as u64,
         magic_cost: get("magic_cost")? as u64,
+        egraph_instructions: get("egraph_instructions")? as u64,
+        egraph_rams: get("egraph_rams")? as u64,
         rewrite_ms: get("rewrite_ms")?,
         compile_ms: get("compile_ms")?,
         fault_error_rate: get("fault_error_rate")?,
@@ -297,10 +318,14 @@ impl GateReport {
 /// instructions than `-O0`, nor cost cells or endurance at `-O2` — so a
 /// pass regression fails CI even right after a baseline refresh.
 /// The per-target columns (`ambit_ops`/`ambit_cost`,
-/// `magic_ops`/`magic_cost`) gate hard in both instruction count and cost
-/// units whenever baseline **and** current run annotated them (both
-/// nonzero); a `0` on either side means annotation was skipped there, and
-/// the coverage change is a note.
+/// `magic_ops`/`magic_cost`) and the equality-saturation columns
+/// (`egraph_instructions`/`egraph_rams`) gate hard whenever baseline
+/// **and** current run annotated them (both nonzero); a `0` on either side
+/// means annotation was skipped there, and the coverage change is a note.
+/// Additionally, every annotated *current* record must satisfy
+/// `egraph_instructions <= o2_instructions` — the extractor falls back to
+/// the arena result, so being worse is a bug even after a baseline
+/// refresh.
 /// Wall-clock gates softly: only the **total** `rewrite_ms + compile_ms`
 /// over circuits present in both runs is compared, and only a slowdown
 /// beyond `time_tolerance` (e.g. `0.25` for +25 %) fails. The endurance
@@ -322,6 +347,15 @@ pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f
     let mut base_time = 0.0f64;
     let mut curr_time = 0.0f64;
     for c in current {
+        // The e-graph extractor falls back to the arena result whenever no
+        // candidate wins, so an annotated record where it ends up *worse*
+        // than plain `-O2` is a bug regardless of what the baseline says.
+        if c.egraph_instructions != 0 && c.egraph_instructions > c.o2_instructions {
+            report.regressions.push(format!(
+                "{}: egraph_instructions exceeds o2_instructions ({} > {})",
+                c.circuit, c.egraph_instructions, c.o2_instructions
+            ));
+        }
         for (rule, high, low) in [
             (
                 "-O1 produces more instructions than -O0",
@@ -380,6 +414,12 @@ pub fn gate(baseline: &[BenchRecord], current: &[BenchRecord], time_tolerance: f
             ("ambit_cost", b.ambit_cost, c.ambit_cost),
             ("magic_ops", b.magic_ops, c.magic_ops),
             ("magic_cost", b.magic_cost, c.magic_cost),
+            (
+                "egraph_instructions",
+                b.egraph_instructions,
+                c.egraph_instructions,
+            ),
+            ("egraph_rams", b.egraph_rams, c.egraph_rams),
         ] {
             if old == 0 || new == 0 {
                 if old != new {
@@ -489,6 +529,8 @@ mod tests {
             ambit_cost: instructions * 11,
             magic_ops: instructions * 7,
             magic_cost: instructions * 7,
+            egraph_instructions: instructions.saturating_sub(3),
+            egraph_rams: rams,
             rewrite_ms: 1.5,
             compile_ms: 0.5,
             verified_exhaustive: true,
@@ -520,6 +562,7 @@ mod tests {
             "o2_instructions": 8, "o2_rams": 3, "o2_max_writes": 1,
             "o1_instructions": 9, "o1_rams": 3,
             "ambit_ops": 45, "ambit_cost": 99, "magic_ops": 63, "magic_cost": 63,
+            "egraph_instructions": 7, "egraph_rams": 3,
             "verified_exhaustive": false, "fault_error_rate": 0.25,
             "lifetime_invocations": 1000, "lint_clean": true,
             "compile_ms": 0.25, "rewrite_ms": 1.25, "extra": 42}]"#;
@@ -597,6 +640,63 @@ mod tests {
             "{:?}",
             report.notes
         );
+    }
+
+    #[test]
+    fn egraph_column_regressions_fail_the_gate() {
+        let baseline = vec![record("adder", 120, 12)];
+        for field in ["egraph_instructions", "egraph_rams"] {
+            let mut worse = record("adder", 120, 12);
+            match field {
+                "egraph_instructions" => worse.egraph_instructions += 1,
+                _ => worse.egraph_rams += 1,
+            }
+            let report = gate(&baseline, &[worse], 0.25);
+            assert!(!report.passed(), "{field} increase must fail");
+            assert!(
+                report
+                    .regressions
+                    .iter()
+                    .any(|r| r.contains(&format!("{field} regressed"))),
+                "{:?}",
+                report.regressions
+            );
+        }
+        // A skipped annotation (0) on either side is a coverage note.
+        let mut skipped = record("adder", 120, 12);
+        skipped.egraph_instructions = 0;
+        skipped.egraph_rams = 0;
+        let report = gate(&baseline, &[skipped.clone()], 0.25);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("egraph_instructions annotation coverage changed")),
+            "{:?}",
+            report.notes
+        );
+        let report = gate(&[skipped], &[record("adder", 120, 12)], 0.25);
+        assert!(report.passed(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn egraph_worse_than_o2_fails_even_without_a_baseline_entry() {
+        // The fallback guarantees egraph <= -O2; an annotated current
+        // record violating that is a bug even on a brand-new circuit.
+        let mut broken = record("fresh", 120, 12);
+        broken.egraph_instructions = broken.o2_instructions + 1;
+        let report = gate(&[], &[broken], 0.25);
+        assert!(!report.passed());
+        assert!(
+            report.regressions[0].contains("egraph_instructions exceeds o2_instructions"),
+            "{:?}",
+            report.regressions
+        );
+        // Unannotated records (0) are exempt from the rule.
+        let mut skipped = record("fresh", 120, 12);
+        skipped.egraph_instructions = 0;
+        assert!(gate(&[], &[skipped], 0.25).passed());
     }
 
     #[test]
@@ -813,8 +913,14 @@ mod tests {
         let baseline = vec![record("adder", 120, 12), record("bar", 50, 6)];
         let current = vec![record("adder", 120, 13)];
         let report = gate(&baseline, &current, 0.25);
-        assert_eq!(report.regressions.len(), 2);
+        // The record helper annotates egraph_rams = rams, so a RAM bump
+        // trips both the #R rule and the egraph column.
+        assert_eq!(report.regressions.len(), 3);
         assert!(report.regressions.iter().any(|r| r.contains("#R")));
+        assert!(report
+            .regressions
+            .iter()
+            .any(|r| r.contains("egraph_rams regressed")));
         assert!(report.regressions.iter().any(|r| r.contains("missing")));
     }
 

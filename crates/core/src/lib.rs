@@ -95,6 +95,9 @@ pub use backend::{Artifact, Backend, Cost, InstructionInfo, Target};
 pub use cache::{CacheKey, CacheStats, LruCache};
 pub use compile::{compile, compile_full, Compilation};
 pub use lifetime::{LifetimeClass, Lifetimes};
-pub use options::{AllocatorStrategy, CompilerOptions, OperandSelection, OptLevel, ScheduleOrder};
+pub use options::{
+    egraph_optimizer, install_egraph_optimizer, AllocatorStrategy, CompilerOptions,
+    EgraphOptimizer, OperandSelection, OptLevel, RewriteMode, ScheduleOrder,
+};
 pub use program::{Rm3Program, Rm3Stats};
 pub use store::{ArtifactStore, StoreCounters, StoreLookup, StoredArtifact};

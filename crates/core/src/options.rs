@@ -167,6 +167,91 @@ impl OptLevel {
     }
 }
 
+/// Which MIG rewrite engine runs ahead of translation.
+///
+/// All three engines apply the paper's axioms (Ω.C/Ω.A/Ω.M plus
+/// distributivity and inverter propagation); they differ in *how* the
+/// rewrite space is explored. The mode is part of [`CompilerOptions`] —
+/// and therefore of the options spec and the service cache key — because
+/// the optimized MIG, and with it every downstream artifact, depends on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RewriteMode {
+    /// The in-place arena engine of Algorithm 1: greedy local application
+    /// of the axiom cycle, fastest, the paper-reproduction default.
+    #[default]
+    Arena,
+    /// The historical copy-and-rebuild engine: same greedy cycle expressed
+    /// as whole-graph rebuild passes. Kept as a differential baseline for
+    /// the arena engine.
+    Rebuild,
+    /// Equality saturation: the arena result is refined through the
+    /// `plim-egraph` e-graph, which saturates the axiom set under a
+    /// deterministic budget and extracts the candidate with the cheapest
+    /// *compiled* cost under the active backend. Never worse than `Arena`
+    /// by construction (the arena result is always a candidate). Requires
+    /// [`install_egraph_optimizer`] to have been called (done by
+    /// `plim_egraph::install()`).
+    Egraph,
+}
+
+impl RewriteMode {
+    /// Every mode, in a stable sweep order.
+    pub const ALL: [RewriteMode; 3] = [
+        RewriteMode::Arena,
+        RewriteMode::Rebuild,
+        RewriteMode::Egraph,
+    ];
+
+    /// The wire/command-line name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            RewriteMode::Arena => "arena",
+            RewriteMode::Rebuild => "rebuild",
+            RewriteMode::Egraph => "egraph",
+        }
+    }
+
+    /// Parses a wire/command-line name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the valid modes when `name` is
+    /// not one of them.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        RewriteMode::ALL
+            .into_iter()
+            .find(|m| m.name() == name)
+            .ok_or_else(|| format!("unknown rewrite mode `{name}` (expected arena|rebuild|egraph)"))
+    }
+}
+
+/// Signature of the equality-saturation optimizer hook: given the raw
+/// input MIG, the arena-rewritten baseline, the rewrite effort and the
+/// active compile options, return the extraction the caller should
+/// compile (the baseline itself when saturation finds nothing better).
+pub type EgraphOptimizer =
+    fn(raw: &mig::Mig, baseline: &mig::Mig, effort: usize, options: CompilerOptions) -> mig::Mig;
+
+static EGRAPH_OPTIMIZER: std::sync::OnceLock<EgraphOptimizer> = std::sync::OnceLock::new();
+
+/// Registers the equality-saturation optimizer behind
+/// [`RewriteMode::Egraph`].
+///
+/// `plim-compiler` cannot depend on `plim-egraph` (the e-graph crate
+/// scores candidates by compiling them through this crate), so the
+/// optimizer is injected at startup — `plim_egraph::install()` calls this,
+/// mirroring the `plim_backends::install()` registry idiom. Idempotent:
+/// the first registration wins and later calls are no-ops.
+pub fn install_egraph_optimizer(optimizer: EgraphOptimizer) {
+    let _ = EGRAPH_OPTIMIZER.set(optimizer);
+}
+
+/// The registered equality-saturation optimizer, if any.
+#[must_use]
+pub fn egraph_optimizer() -> Option<EgraphOptimizer> {
+    EGRAPH_OPTIMIZER.get().copied()
+}
+
 /// How RM3 operands and the destination are chosen for each node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OperandSelection {
@@ -236,6 +321,9 @@ pub struct CompilerOptions {
     /// consumes the optimized IR (and scores the pass pipeline's trial
     /// edits). Defaults to [`Target::RM3`], the paper's architecture.
     pub target: Target,
+    /// MIG rewrite engine run ahead of translation. Defaults to
+    /// [`RewriteMode::Arena`], Algorithm 1's greedy in-place engine.
+    pub rewrite: RewriteMode,
 }
 
 impl CompilerOptions {
@@ -257,6 +345,7 @@ impl CompilerOptions {
             allocator: AllocatorStrategy::Fifo,
             opt: OptLevel::O0,
             target: Target::RM3,
+            rewrite: RewriteMode::Arena,
         }
     }
 
@@ -290,50 +379,64 @@ impl CompilerOptions {
         self
     }
 
+    /// Sets the MIG rewrite engine.
+    pub fn rewrite(mut self, rewrite: RewriteMode) -> Self {
+        self.rewrite = rewrite;
+        self
+    }
+
     /// The canonical wire spelling of this configuration
-    /// (`schedule+operands+allocator+opt+target`, e.g.
-    /// `priority+smart+fifo+o0+rm3`), used by the compile-service protocol
-    /// and as part of the result-cache fingerprint. **Every** field of the
-    /// options must appear here: the service derives its cache key from
-    /// this spelling, so a field that does not reach the spec would let a
-    /// warm cache hit serve a program compiled under different options —
-    /// or, worse, for a different target. Round-trips through
-    /// [`CompilerOptions::parse_spec`].
+    /// (`schedule+operands+allocator+opt+target+rewrite`, e.g.
+    /// `priority+smart+fifo+o0+rm3+arena`), used by the compile-service
+    /// protocol and as part of the result-cache fingerprint. **Every**
+    /// field of the options must appear here: the service derives its
+    /// cache key from this spelling, so a field that does not reach the
+    /// spec would let a warm cache hit serve a program compiled under
+    /// different options — or, worse, for a different target or rewrite
+    /// engine. Round-trips through [`CompilerOptions::parse_spec`].
     pub fn spec(&self) -> String {
         format!(
-            "{}+{}+{}+{}+{}",
+            "{}+{}+{}+{}+{}+{}",
             self.schedule.name(),
             self.operands.name(),
             self.allocator.name(),
             self.opt.name(),
-            self.target.name()
+            self.target.name(),
+            self.rewrite.name()
         )
     }
 
     /// Parses the [`CompilerOptions::spec`] spelling.
     ///
-    /// The historical three-part (`schedule+operands+allocator`) and
-    /// four-part (`…+opt`) spellings are still accepted and imply `o0`
-    /// and the RM3 target respectively, so requests from older clients
-    /// keep compiling — and keep hitting the same cache entries as an
-    /// explicit `-O0 --target rm3`.
+    /// The historical three-part (`schedule+operands+allocator`),
+    /// four-part (`…+opt`) and five-part (`…+target`) spellings are still
+    /// accepted and imply `o0`, the RM3 target and the arena rewrite
+    /// engine respectively, so requests from older clients keep compiling
+    /// — and keep hitting the same cache entries as an explicit
+    /// `-O0 --target rm3 --rewrite arena`.
     ///
     /// # Errors
     ///
-    /// Returns a one-line message when the spec is not three, four or five
+    /// Returns a one-line message when the spec is not three to six
     /// `+`-separated component names.
     pub fn parse_spec(spec: &str) -> Result<Self, String> {
         let parts: Vec<&str> = spec.split('+').collect();
-        let (schedule, operands, allocator, opt, target) = match parts.as_slice() {
-            [schedule, operands, allocator] => {
-                (schedule, operands, allocator, OptLevel::O0, Target::RM3)
-            }
+        let (schedule, operands, allocator, opt, target, rewrite) = match parts.as_slice() {
+            [schedule, operands, allocator] => (
+                schedule,
+                operands,
+                allocator,
+                OptLevel::O0,
+                Target::RM3,
+                RewriteMode::Arena,
+            ),
             [schedule, operands, allocator, opt] => (
                 schedule,
                 operands,
                 allocator,
                 OptLevel::parse(opt)?,
                 Target::RM3,
+                RewriteMode::Arena,
             ),
             [schedule, operands, allocator, opt, target] => (
                 schedule,
@@ -341,10 +444,19 @@ impl CompilerOptions {
                 allocator,
                 OptLevel::parse(opt)?,
                 Target::parse(target)?,
+                RewriteMode::Arena,
+            ),
+            [schedule, operands, allocator, opt, target, rewrite] => (
+                schedule,
+                operands,
+                allocator,
+                OptLevel::parse(opt)?,
+                Target::parse(target)?,
+                RewriteMode::parse(rewrite)?,
             ),
             _ => {
                 return Err(format!(
-                "bad options spec `{spec}` (expected schedule+operands+allocator[+opt][+target])"
+                "bad options spec `{spec}` (expected schedule+operands+allocator[+opt][+target][+rewrite])"
             ))
             }
         };
@@ -354,6 +466,7 @@ impl CompilerOptions {
             allocator: AllocatorStrategy::parse(allocator)?,
             opt,
             target,
+            rewrite,
         })
     }
 }
@@ -399,6 +512,9 @@ mod tests {
         for policy in OperandSelection::ALL {
             assert_eq!(OperandSelection::parse(policy.name()), Ok(policy));
         }
+        for mode in RewriteMode::ALL {
+            assert_eq!(RewriteMode::parse(mode.name()), Ok(mode));
+        }
     }
 
     #[test]
@@ -408,38 +524,56 @@ mod tests {
                 for allocator in AllocatorStrategy::ALL {
                     for opt in OptLevel::ALL {
                         for target in Target::all() {
-                            let options = CompilerOptions {
-                                schedule,
-                                operands,
-                                allocator,
-                                opt,
-                                target,
-                            };
-                            assert_eq!(CompilerOptions::parse_spec(&options.spec()), Ok(options));
+                            for rewrite in RewriteMode::ALL {
+                                let options = CompilerOptions {
+                                    schedule,
+                                    operands,
+                                    allocator,
+                                    opt,
+                                    target,
+                                    rewrite,
+                                };
+                                assert_eq!(
+                                    CompilerOptions::parse_spec(&options.spec()),
+                                    Ok(options)
+                                );
+                            }
                         }
                     }
                 }
             }
         }
-        assert_eq!(CompilerOptions::new().spec(), "priority+smart+fifo+o0+rm3");
+        assert_eq!(
+            CompilerOptions::new().spec(),
+            "priority+smart+fifo+o0+rm3+arena"
+        );
     }
 
     #[test]
-    fn three_and_four_part_specs_imply_o0_and_rm3() {
+    fn three_to_five_part_specs_imply_o0_rm3_and_arena() {
         let options = CompilerOptions::parse_spec("priority+smart+fifo").unwrap();
         assert_eq!(options, CompilerOptions::new());
         assert_eq!(options.opt, OptLevel::O0);
         assert_eq!(options.target, Target::RM3);
+        assert_eq!(options.rewrite, RewriteMode::Arena);
         let four = CompilerOptions::parse_spec("priority+smart+fifo+o2").unwrap();
         assert_eq!(four.opt, OptLevel::O2);
         assert_eq!(four.target, Target::RM3);
         // Back-compat keys stay *identical* to the explicit spellings, so
         // an old client and a new one share cache entries.
         assert_eq!(four, CompilerOptions::new().opt(OptLevel::O2));
+        let five = CompilerOptions::parse_spec("priority+smart+fifo+o2+rm3").unwrap();
+        assert_eq!(five, four);
+        assert_eq!(five.rewrite, RewriteMode::Arena);
+        let six = CompilerOptions::parse_spec("priority+smart+fifo+o2+rm3+egraph").unwrap();
+        assert_eq!(six.rewrite, RewriteMode::Egraph);
+        assert_ne!(six.spec(), five.spec());
         let err = CompilerOptions::parse_spec("priority+smart+fifo+o7").unwrap_err();
         assert!(err.contains("o7") && err.contains("o0|o1|o2"), "{err}");
         let err = CompilerOptions::parse_spec("priority+smart+fifo+o0+gpu").unwrap_err();
         assert!(err.contains("gpu") && err.contains("rm3"), "{err}");
+        let err = CompilerOptions::parse_spec("priority+smart+fifo+o0+rm3+loop").unwrap_err();
+        assert!(err.contains("loop") && err.contains("egraph"), "{err}");
     }
 
     #[test]

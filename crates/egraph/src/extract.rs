@@ -1,0 +1,287 @@
+//! Extraction: turning a saturated e-graph back into one concrete MIG.
+//!
+//! The fast path is a greedy bottom-up extractor: a per-e-class cost table
+//! relaxed to a fixpoint, choosing for every class the cheapest canonical
+//! node under a per-node weight. Several [`ExtractObjective`]s produce
+//! structurally different candidates; the compiling cost function in
+//! [`crate::optimize`] then scores each candidate by actually compiling it
+//! and keeps the cheapest *artifact*, so the per-node weights only have to
+//! be good candidate generators, not perfect cost models.
+
+use mig::{Mig, Signal};
+
+use crate::graph::{ClassNode, EGraph};
+
+/// Per-node weighting used by the greedy extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractObjective {
+    /// Minimize majority-node count (tree-cost approximation).
+    Nodes,
+    /// Minimize an RM3 instruction estimate: majority nodes with two or
+    /// three complemented non-constant children need extra instructions
+    /// and RRAMs, so they weigh almost twice as much.
+    Rm3,
+    /// Minimize depth (longest root-to-leaf chain), breaking the tie
+    /// toward fewer nodes only implicitly. Produces shallow, wide
+    /// candidates the other two objectives never propose.
+    Depth,
+}
+
+impl ExtractObjective {
+    /// Every objective, in the deterministic candidate-generation order.
+    pub const ALL: [ExtractObjective; 3] = [
+        ExtractObjective::Nodes,
+        ExtractObjective::Rm3,
+        ExtractObjective::Depth,
+    ];
+
+    fn weight(self, key: [crate::graph::ClassSignal; 3]) -> u64 {
+        match self {
+            ExtractObjective::Nodes | ExtractObjective::Depth => 4,
+            ExtractObjective::Rm3 => {
+                let complemented = key
+                    .iter()
+                    .filter(|c| c.is_complemented() && c.class() != 0)
+                    .count();
+                if complemented >= 2 {
+                    7
+                } else {
+                    4
+                }
+            }
+        }
+    }
+
+    fn combine(self, weight: u64, children: [u64; 3]) -> u64 {
+        match self {
+            ExtractObjective::Depth => {
+                weight.saturating_add(children.into_iter().max().unwrap_or(0))
+            }
+            _ => children
+                .into_iter()
+                .fold(weight, |acc, c| acc.saturating_add(c)),
+        }
+    }
+}
+
+/// Greedily extracts one MIG from the e-graph under the given objective.
+///
+/// The cost table is **memoized per e-class**: every class's cheapest
+/// (cost, node) choice is computed once in the fixpoint below and reused
+/// by every parent — the table *is* the memo. Returns `None` only in
+/// pathological cases (a cost fixpoint that refuses to converge or a
+/// cyclic choice, neither of which sound rules can produce); callers fall
+/// back to their baseline graph.
+pub fn extract(g: &EGraph, objective: ExtractObjective) -> Option<Mig> {
+    let n = g.num_ids();
+    // Canonical node lists are stable during extraction; compute them once.
+    let nodes: Vec<Vec<ClassNode>> = (0..n as u32)
+        .map(|id| {
+            if g.find(id).0 == id {
+                g.canonical_nodes(id)
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    // Relax per-class costs to a fixpoint. Ids are allocated bottom-up, so
+    // an in-order pass converges in roughly graph-depth rounds.
+    let mut cost: Vec<u64> = vec![u64::MAX; n];
+    for _pass in 0..n.max(8) {
+        let mut changed = false;
+        for (id, class_nodes) in nodes.iter().enumerate() {
+            for node in class_nodes {
+                let candidate = match node {
+                    ClassNode::Const(_) | ClassNode::Input(_, _) => 0,
+                    ClassNode::Maj(key, _) => {
+                        let children = key.map(|c| cost[c.class()]);
+                        if children.contains(&u64::MAX) {
+                            continue;
+                        }
+                        objective.combine(objective.weight(*key), children)
+                    }
+                };
+                if candidate < cost[id] {
+                    cost[id] = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final choice per class: first node achieving the fixpoint minimum
+    // (deterministic: node lists are in insertion order).
+    let choice: Vec<Option<ClassNode>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(id, class_nodes)| {
+            let mut best: Option<(u64, ClassNode)> = None;
+            for node in class_nodes {
+                let value = match node {
+                    ClassNode::Const(_) | ClassNode::Input(_, _) => 0,
+                    ClassNode::Maj(key, _) => {
+                        let children = key.map(|c| cost[c.class()]);
+                        if children.contains(&u64::MAX) {
+                            continue;
+                        }
+                        objective.combine(objective.weight(*key), children)
+                    }
+                };
+                if best.is_none_or(|(b, _)| value < b) {
+                    best = Some((value, *node));
+                }
+            }
+            let _ = id;
+            best.map(|(_, node)| node)
+        })
+        .collect();
+
+    materialize(g, &choice)
+}
+
+/// Builds the concrete MIG for a per-class node choice.
+fn materialize(g: &EGraph, choice: &[Option<ClassNode>]) -> Option<Mig> {
+    let mut mig = Mig::with_capacity(g.num_enodes());
+    let inputs: Vec<Signal> = g
+        .input_names()
+        .iter()
+        .map(|name| mig.add_input(name))
+        .collect();
+
+    let n = choice.len();
+    // built[c] = signal of class c's representative; awaiting = on the DFS
+    // stack with children pending (used as the cycle guard).
+    let mut built: Vec<Option<Signal>> = vec![None; n];
+    let mut awaiting: Vec<bool> = vec![false; n];
+    let mut resolved: Vec<(String, Signal)> = Vec::with_capacity(g.outputs().len());
+
+    for (name, out) in g.outputs() {
+        let out = g.canonical(*out);
+        let root = out.class();
+        let mut stack: Vec<usize> = vec![root];
+        while let Some(&class) = stack.last() {
+            if built[class].is_some() {
+                awaiting[class] = false;
+                stack.pop();
+                continue;
+            }
+            match choice[class]? {
+                ClassNode::Const(par) => {
+                    built[class] = Some(Signal::constant(par));
+                }
+                ClassNode::Input(index, par) => {
+                    built[class] = Some(inputs[index as usize].complement_if(par));
+                }
+                ClassNode::Maj(key, par) => {
+                    let mut pending = false;
+                    for child in key {
+                        let cc = child.class();
+                        if built[cc].is_none() {
+                            if awaiting[cc] {
+                                // A cycle in the chosen nodes: bail out,
+                                // the caller falls back to its baseline.
+                                return None;
+                            }
+                            stack.push(cc);
+                            pending = true;
+                        }
+                    }
+                    if pending {
+                        awaiting[class] = true;
+                        continue;
+                    }
+                    let sigs =
+                        key.map(|c| built[c.class()].unwrap().complement_if(c.is_complemented()));
+                    let m = mig.maj(sigs[0], sigs[1], sigs[2]);
+                    built[class] = Some(m.complement_if(par));
+                }
+            }
+        }
+        resolved.push((
+            name.clone(),
+            built[root].unwrap().complement_if(out.is_complemented()),
+        ));
+    }
+    for (name, signal) in resolved {
+        mig.add_output(&name, signal);
+    }
+    Some(mig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{saturate, EgraphBudget};
+
+    fn check_equiv(a: &Mig, b: &Mig) {
+        assert!(mig::equiv::check_equivalence(a, b, 64, 7)
+            .expect("interfaces match")
+            .holds());
+    }
+
+    #[test]
+    fn extraction_round_trips_a_plain_graph() {
+        let mut mig = Mig::new();
+        let a = mig.add_input("a");
+        let b = mig.add_input("b");
+        let c = mig.add_input("c");
+        let m = mig.maj(a, !b, c);
+        let m2 = mig.maj(m, b, !c);
+        mig.add_output("f", m2);
+        mig.add_output("g", !m);
+        let g = EGraph::from_mig(&mig);
+        for objective in ExtractObjective::ALL {
+            let out = extract(&g, objective).expect("extraction succeeds");
+            assert_eq!(out.num_inputs(), 3);
+            assert_eq!(out.num_outputs(), 2);
+            check_equiv(&mig, &out);
+            assert!(out.num_majority_nodes() <= mig.num_majority_nodes());
+        }
+    }
+
+    #[test]
+    fn extraction_after_saturation_stays_equivalent_and_never_grows() {
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 5);
+        let m1 = mig.maj(xs[0], xs[1], xs[2]);
+        let m2 = mig.maj(m1, xs[3], xs[4]);
+        let m3 = mig.maj(m1, !m2, xs[0]);
+        let m4 = mig.maj(m2, m3, xs[1]);
+        mig.add_output("f", m4);
+        let mut g = EGraph::from_mig(&mig);
+        saturate(&mut g, &EgraphBudget::for_effort(2));
+        for objective in ExtractObjective::ALL {
+            let out = extract(&g, objective).expect("extraction succeeds");
+            check_equiv(&mig, &out);
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let build = || {
+            let mut mig = Mig::new();
+            let xs = mig.add_inputs("x", 6);
+            let mut acc = xs[0];
+            for &x in &xs[1..] {
+                acc = mig.xor(acc, x);
+            }
+            mig.add_output("f", acc);
+            mig
+        };
+        let one = {
+            let mut g = EGraph::from_mig(&build());
+            saturate(&mut g, &EgraphBudget::for_effort(2));
+            extract(&g, ExtractObjective::Rm3).unwrap()
+        };
+        let two = {
+            let mut g = EGraph::from_mig(&build());
+            saturate(&mut g, &EgraphBudget::for_effort(2));
+            extract(&g, ExtractObjective::Rm3).unwrap()
+        };
+        assert_eq!(mig::io::write_mig(&one), mig::io::write_mig(&two));
+    }
+}

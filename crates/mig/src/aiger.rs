@@ -1,10 +1,17 @@
-//! ASCII AIGER (`.aag`) import and export.
+//! ASCII (`.aag`) and binary (`.aig`) AIGER import, plus ASCII export.
 //!
 //! The EPFL benchmark suite the paper evaluates on is distributed in the
-//! AIGER format. This module reads combinational ASCII AIGER files into
+//! AIGER format. This module reads combinational AIGER files into
 //! MIGs (ANDs become majority nodes with a constant-0 child — the exact
 //! "transposed AOIG" starting point of the paper) and writes MIGs back out,
 //! decomposing full majority nodes into their AND/OR expansion.
+//!
+//! The binary format ([`parse_binary_aiger`]) shares the ASCII header
+//! shape but encodes the AND section as delta-coded 7-bit varints; its
+//! ordering discipline (each AND's operands are strictly smaller than its
+//! output literal) makes forward references, duplicates, and cycles
+//! unrepresentable, so the decoder only has to harden against truncation,
+//! varint overflow, and header/section disagreement.
 //!
 //! Only combinational AIGs are supported (no latches).
 
@@ -238,6 +245,178 @@ pub fn parse_aiger(text: &str) -> Result<Mig, ParseAigerError> {
     Ok(named)
 }
 
+/// Parses a combinational binary AIGER (`aig`) document into an MIG.
+///
+/// The header is the ASCII line `aig M I L O A` with `M = I + L + A`
+/// (inputs are implicit: input `k` is literal `2(k+1)`), followed by `O`
+/// ASCII output-literal lines, then `A` AND gates. The `i`-th AND defines
+/// literal `lhs = 2(I + L + i + 1)` and stores two 7-bit little-endian
+/// varint deltas: `rhs0 = lhs - delta0` (with `delta0 >= 1`) and
+/// `rhs1 = rhs0 - delta1`. An optional ASCII symbol table and comment
+/// section follow, honored exactly as in [`parse_aiger`].
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed or inconsistent headers,
+/// sequential circuits, out-of-range output literals, truncated or
+/// overflowing varints, deltas that underflow their literal (including
+/// `delta0 == 0`, a self-reference), and malformed symbol tables. Error
+/// lines point into the ASCII prefix; errors inside the binary AND
+/// section carry the line where that section begins.
+pub fn parse_binary_aiger(bytes: &[u8]) -> Result<Mig, ParseAigerError> {
+    let err = |line: usize, message: &str| ParseAigerError {
+        line,
+        message: message.to_string(),
+    };
+
+    // Header: one ASCII line `aig M I L O A`.
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| err(1, "missing header line"))?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| err(1, "header is not ASCII text"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aig" {
+        return Err(err(1, "expected header `aig M I L O A`"));
+    }
+    let parse_field = |s: &str| s.parse::<usize>().map_err(|_| err(1, "bad header field"));
+    let max_var = parse_field(fields[1])?;
+    let num_inputs = parse_field(fields[2])?;
+    let num_latches = parse_field(fields[3])?;
+    let num_outputs = parse_field(fields[4])?;
+    let num_ands = parse_field(fields[5])?;
+    if num_latches != 0 {
+        return Err(err(1, "sequential AIGs (latches) are not supported"));
+    }
+    // In the binary format every variable is either an implicit input or
+    // an AND output, so M is fully determined; a disagreeing header is
+    // corrupt, not merely sloppy.
+    if max_var != num_inputs + num_ands {
+        return Err(err(1, "header requires M = I + L + A"));
+    }
+    if max_var >= usize::try_from(u32::MAX / 2).expect("fits usize") {
+        return Err(err(1, "header variable count out of range"));
+    }
+
+    let mut pos = header_end + 1;
+    let mut line = 1usize;
+
+    // O output-literal lines, still ASCII.
+    let mut output_lits = Vec::with_capacity(num_outputs.min(bytes.len()));
+    for _ in 0..num_outputs {
+        let end = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| err(line, "unexpected end of file reading an output literal"))?;
+        line += 1;
+        let text = std::str::from_utf8(&bytes[pos..pos + end])
+            .map_err(|_| err(line, "output literal is not ASCII text"))?;
+        let lit: usize = text
+            .trim()
+            .parse()
+            .map_err(|_| err(line, "bad output literal"))?;
+        if lit / 2 > max_var {
+            return Err(err(line, "output literal out of range"));
+        }
+        output_lits.push(lit);
+        pos += end + 1;
+    }
+
+    // The AND section: 2A delta varints of at least one byte each. The
+    // up-front size check both reports truncation before decoding and caps
+    // the allocations a hostile header could otherwise demand.
+    let and_line = line + 1;
+    if bytes.len().saturating_sub(pos) / 2 < num_ands {
+        return Err(err(and_line, "unexpected end of file in the AND section"));
+    }
+    let read_varint = |pos: &mut usize| -> Result<usize, ParseAigerError> {
+        let mut value = 0usize;
+        let mut shift = 0u32;
+        loop {
+            let &byte = bytes
+                .get(*pos)
+                .ok_or_else(|| err(and_line, "unexpected end of file in the AND section"))?;
+            *pos += 1;
+            if shift >= 63 {
+                return Err(err(and_line, "delta varint overflows"));
+            }
+            value |= usize::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    };
+    let mut ands = Vec::with_capacity(num_ands);
+    for i in 0..num_ands {
+        let lhs = 2 * (num_inputs + i + 1);
+        let delta0 = read_varint(&mut pos)?;
+        if delta0 == 0 {
+            return Err(err(and_line, "AND operand equals its own output literal"));
+        }
+        let rhs0 = lhs
+            .checked_sub(delta0)
+            .ok_or_else(|| err(and_line, "AND delta underflows its output literal"))?;
+        let delta1 = read_varint(&mut pos)?;
+        let rhs1 = rhs0
+            .checked_sub(delta1)
+            .ok_or_else(|| err(and_line, "AND delta underflows its first operand"))?;
+        ands.push((rhs0, rhs1));
+    }
+
+    // Symbol table (optional): the ASCII tail, same grammar as `aag`.
+    let mut input_names: Vec<Option<String>> = vec![None; num_inputs];
+    let mut output_names: Vec<Option<String>> = vec![None; num_outputs];
+    if pos < bytes.len() {
+        let tail = std::str::from_utf8(&bytes[pos..])
+            .map_err(|_| err(and_line, "symbol table is not valid UTF-8 text"))?;
+        for (k, raw) in tail.lines().enumerate() {
+            let line_no = and_line + 1 + k;
+            let entry = raw.trim();
+            if entry == "c" || entry.starts_with("c ") {
+                break;
+            }
+            if entry.is_empty() {
+                continue;
+            }
+            let (kind, rest) = entry.split_at(1);
+            let mut parts = rest.splitn(2, ' ');
+            let index: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(line_no, "bad symbol table index"))?;
+            let name = parts.next().unwrap_or("").to_string();
+            match kind {
+                "i" if index < num_inputs => input_names[index] = Some(name),
+                "o" if index < num_outputs => output_names[index] = Some(name),
+                _ => return Err(err(line_no, "bad symbol table entry")),
+            }
+        }
+    }
+
+    // Build the MIG in one pass: the delta coding guarantees every AND's
+    // operands were defined before it, so no worklist is needed.
+    let mut mig = Mig::new();
+    let mut signals: Vec<Signal> = Vec::with_capacity(max_var + 1);
+    signals.push(Signal::FALSE);
+    for (k, name) in input_names.iter().enumerate() {
+        let name = name.clone().unwrap_or_else(|| format!("i{k}"));
+        signals.push(mig.add_input(name));
+    }
+    for &(rhs0, rhs1) in &ands {
+        let resolve = |lit: usize| signals[lit / 2].complement_if(!lit.is_multiple_of(2));
+        let gate = mig.and(resolve(rhs0), resolve(rhs1));
+        signals.push(gate);
+    }
+    for (k, &lit) in output_lits.iter().enumerate() {
+        let name = output_names[k].clone().unwrap_or_else(|| format!("o{k}"));
+        let signal = signals[lit / 2].complement_if(!lit.is_multiple_of(2));
+        mig.add_output(name, signal);
+    }
+    Ok(mig)
+}
+
 /// Writes an MIG as a combinational ASCII AIGER document.
 ///
 /// AND/OR-shaped majority nodes (one constant child) map directly to one
@@ -462,6 +641,181 @@ mod tests {
         let tts = crate::simulate::truth_tables(&mig);
         assert_eq!(tts[0].count_ones(), 2); // constant 1 over 1 var
         assert_eq!(tts[1].count_ones(), 0);
+    }
+
+    /// Encodes one 7-bit little-endian AIGER varint.
+    fn varint(mut v: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        loop {
+            let byte = u8::try_from(v & 0x7f).expect("masked");
+            v >>= 7;
+            if v == 0 {
+                out.push(byte);
+                return out;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+
+    /// Assembles a binary AIGER document from its ASCII prefix and the
+    /// delta pairs of the AND section.
+    fn binary_doc(prefix: &str, deltas: &[(usize, usize)], tail: &str) -> Vec<u8> {
+        let mut bytes = prefix.as_bytes().to_vec();
+        for &(d0, d1) in deltas {
+            bytes.extend(varint(d0));
+            bytes.extend(varint(d1));
+        }
+        bytes.extend(tail.as_bytes());
+        bytes
+    }
+
+    #[test]
+    fn binary_matches_ascii_on_a_minimal_and() {
+        // f = NOT b AND a: lhs 6, rhs0 5, rhs1 2 → deltas (1, 3).
+        let bin = binary_doc("aig 3 2 0 1 1\n6\n", &[(1, 3)], "");
+        let from_binary = parse_binary_aiger(&bin).unwrap();
+        let from_ascii = parse_aiger("aag 3 2 0 1 1\n2\n4\n6\n6 5 2\n").unwrap();
+        assert!(check_equivalence(&from_binary, &from_ascii, 8, 7)
+            .unwrap()
+            .holds());
+        assert_eq!(from_binary.num_inputs(), 2);
+        assert_eq!(from_binary.num_majority_nodes(), 1);
+    }
+
+    #[test]
+    fn binary_decodes_multi_byte_varints_and_symbol_table() {
+        // 100 implicit inputs force a two-byte delta: lhs = 2*101 = 202,
+        // rhs0 = 4, rhs1 = 2 → deltas (198, 2).
+        let bin = binary_doc(
+            "aig 101 100 0 1 1\n202\n",
+            &[(198, 2)],
+            "i0 alpha\ni1 beta\no0 result\nc\nignored comment\n",
+        );
+        let mig = parse_binary_aiger(&bin).unwrap();
+        assert_eq!(mig.num_inputs(), 100);
+        assert_eq!(mig.input_name(0), "alpha");
+        assert_eq!(mig.input_name(1), "beta");
+        assert_eq!(mig.outputs()[0].0, "result");
+        assert_eq!(mig.num_majority_nodes(), 1);
+    }
+
+    #[test]
+    fn binary_outputs_may_reference_inputs_and_constants() {
+        let bin = binary_doc("aig 1 1 0 2 0\n1\n2\n", &[], "");
+        let mig = parse_binary_aiger(&bin).unwrap();
+        let tts = crate::simulate::truth_tables(&mig);
+        assert_eq!(tts[0].count_ones(), 2); // constant true over 1 var
+        assert_eq!(tts[1].blocks()[0], 0b10); // the input itself
+    }
+
+    #[test]
+    fn binary_rejects_bad_headers() {
+        // Latches, non-binary magic, inconsistent M, and missing newline.
+        assert!(parse_binary_aiger(b"aig 1 0 1 0 0\n").is_err());
+        assert!(parse_binary_aiger(b"aag 1 1 0 0 0\n").is_err());
+        let e = parse_binary_aiger(b"aig 5 2 0 0 1\n").unwrap_err();
+        assert!(e.message.contains("M = I + L + A"), "{e}");
+        assert!(parse_binary_aiger(b"aig 3 2 0 1 1").is_err());
+        assert!(parse_binary_aiger(b"aig 3 2 x 1 1\n").is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation_everywhere() {
+        // Missing output line.
+        let e = parse_binary_aiger(b"aig 3 2 0 1 1\n").unwrap_err();
+        assert!(e.message.contains("output literal"), "{e}");
+        // AND section shorter than the header promises.
+        let e = parse_binary_aiger(b"aig 3 2 0 1 1\n6\n\x01").unwrap_err();
+        assert!(e.message.contains("AND section"), "{e}");
+        // A varint whose continuation bit runs off the end of the file.
+        let bin = binary_doc("aig 3 2 0 1 1\n6\n", &[], "");
+        let e = parse_binary_aiger(&[bin, vec![0x81, 0x80]].concat()).unwrap_err();
+        assert!(e.message.contains("AND section"), "{e}");
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_and_underflowing_deltas() {
+        // Ten continuation bytes push the varint past 63 bits.
+        let mut bin = binary_doc("aig 3 2 0 1 1\n6\n", &[], "");
+        bin.extend([0xff; 10]);
+        bin.push(0x01);
+        let e = parse_binary_aiger(&bin).unwrap_err();
+        assert!(e.message.contains("overflow"), "{e}");
+        // delta0 = 0 would make the AND its own operand.
+        let e = parse_binary_aiger(&binary_doc("aig 3 2 0 1 1\n6\n", &[(0, 0)], "")).unwrap_err();
+        assert!(e.message.contains("own output literal"), "{e}");
+        // delta0 larger than the lhs literal underflows.
+        let e = parse_binary_aiger(&binary_doc("aig 3 2 0 1 1\n6\n", &[(7, 0)], "")).unwrap_err();
+        assert!(e.message.contains("underflow"), "{e}");
+        // delta1 larger than rhs0 underflows.
+        let e = parse_binary_aiger(&binary_doc("aig 3 2 0 1 1\n6\n", &[(2, 5)], "")).unwrap_err();
+        assert!(e.message.contains("underflow"), "{e}");
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_outputs_and_bad_symbols() {
+        let e = parse_binary_aiger(&binary_doc("aig 3 2 0 1 1\n9\n", &[(2, 2)], "")).unwrap_err();
+        assert!(e.message.contains("output literal out of range"), "{e}");
+        let e = parse_binary_aiger(&binary_doc("aig 3 2 0 1 1\n6\n", &[(2, 2)], "i9 nope\n"))
+            .unwrap_err();
+        assert!(e.message.contains("bad symbol table entry"), "{e}");
+        let e = parse_binary_aiger(&binary_doc("aig 3 2 0 1 1\n6\n", &[(2, 2)], "ix nope\n"))
+            .unwrap_err();
+        assert!(e.message.contains("bad symbol table index"), "{e}");
+    }
+
+    #[test]
+    fn binary_roundtrips_generated_logic_through_ascii() {
+        // Parse the ASCII export of a generated MIG, re-encode its AND
+        // list in the binary format by hand, and check both parses agree.
+        let mut mig = Mig::new();
+        let xs = mig.add_inputs("x", 5);
+        let mut acc = xs[0];
+        for (k, &x) in xs[1..].iter().enumerate() {
+            acc = if k % 2 == 0 {
+                mig.and(acc, !x)
+            } else {
+                mig.or(acc, x)
+            };
+        }
+        mig.add_output("f", acc);
+        let text = write_aiger(&mig);
+        let from_ascii = parse_aiger(&text).unwrap();
+
+        // The exporter already emits ANDs in increasing-lhs order with
+        // operands strictly below the output, which is exactly the binary
+        // ordering discipline.
+        let mut lines = text.lines();
+        let header: Vec<usize> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .skip(1)
+            .map(|t| t.parse().unwrap())
+            .collect();
+        let (m, i, o, a) = (header[0], header[1], header[3], header[4]);
+        let mut prefix = format!("aig {m} {i} 0 {o} {a}\n");
+        let body: Vec<&str> = lines.collect();
+        for line in &body[i..i + o] {
+            prefix.push_str(line);
+            prefix.push('\n');
+        }
+        let mut deltas = Vec::new();
+        for line in &body[i + o..i + o + a] {
+            let lits: Vec<usize> = line
+                .split_whitespace()
+                .map(|t| t.parse().unwrap())
+                .collect();
+            let (lhs, mut r0, mut r1) = (lits[0], lits[1], lits[2]);
+            if r0 < r1 {
+                std::mem::swap(&mut r0, &mut r1);
+            }
+            deltas.push((lhs - r0, r0 - r1));
+        }
+        let from_binary = parse_binary_aiger(&binary_doc(&prefix, &deltas, "")).unwrap();
+        assert!(check_equivalence(&from_ascii, &from_binary, 16, 11)
+            .unwrap()
+            .holds());
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!   --format mig|aag     input format (default: by extension, mig otherwise)
 //!   --effort N           rewrite effort, 0 disables rewriting (default 4)
 //!   --extended           use rewrite+majority-resynthesis (stronger)
+//!   --rewrite arena|rebuild|egraph
+//!                        rewrite engine (default: arena). `egraph`
+//!                        saturates an e-graph under the MIG axioms and
+//!                        keeps the extraction only when its compiled
+//!                        cost beats the arena result
 //!   --naive              disable candidate selection (Table 1 baseline)
 //!   --schedule index|priority|lookahead
 //!                        node scheduling order (default: priority)
@@ -30,8 +35,8 @@
 //!                        the post-optimization IR with def/use annotations
 //!   --no-verify          skip the simulation check
 //!
-//!   Binary AIGER (.aig) is not supported; convert to ASCII first with
-//!   `aigtoaig input.aig output.aag`.
+//!   Binary AIGER (.aig) is parsed natively: the magic is sniffed from
+//!   the payload, so `.aig` files work wherever `.aag` files do.
 //!
 //! plimc verify [compile OPTIONS] FILE
 //!                             compile and prove the program equal to the
@@ -114,7 +119,9 @@ use std::io::Read as _;
 use std::process::ExitCode;
 
 use mig::Mig;
-use plim_compiler::{AllocatorStrategy, CompilerOptions, OptLevel, ScheduleOrder, Target};
+use plim_compiler::{
+    AllocatorStrategy, CompilerOptions, OptLevel, RewriteMode, ScheduleOrder, Target,
+};
 use plim_service::pipeline::{self, CompileSpec, InputFormat};
 use plim_service::protocol::{CompileRequest, Request, Response};
 use plim_service::{client, server};
@@ -148,6 +155,7 @@ struct Args {
     alloc: Option<AllocatorStrategy>,
     opt: Option<OptLevel>,
     target: Option<Target>,
+    rewrite: Option<RewriteMode>,
     limit: Option<u32>,
     emit: String,
     verify: bool,
@@ -173,6 +181,9 @@ impl Args {
         if let Some(target) = self.target {
             options = options.target(target);
         }
+        if let Some(rewrite) = self.rewrite {
+            options = options.rewrite(rewrite);
+        }
         options
     }
 
@@ -197,6 +208,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         alloc: None,
         opt: None,
         target: None,
+        rewrite: None,
         limit: None,
         emit: "listing".to_string(),
         verify: true,
@@ -223,6 +235,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.opt = Some(OptLevel::parse(&format!("o{}", &level[2..]))?);
             }
             "--target" => args.target = Some(Target::parse(&value("--target")?)?),
+            "--rewrite" => args.rewrite = Some(RewriteMode::parse(&value("--rewrite")?)?),
             "--limit" => {
                 args.limit = Some(
                     value("--limit")?
@@ -278,14 +291,14 @@ fn read_source(file: &str, format: &Option<String>) -> Result<(InputFormat, Stri
     // Sniff the binary-AIGER magic unless the user explicitly forced a
     // non-AIGER format: the payload is not text, so the AIGER parser (or
     // the MIG parser the extension default falls through to) would produce
-    // a baffling first-line error or a UTF-8 failure instead of this
-    // diagnosis.
+    // a baffling first-line error or a UTF-8 failure instead. Binary AIGER
+    // is decoded here at the edge and re-serialized as MIG text, so the
+    // String-based pipeline and wire protocol stay unchanged downstream.
     let forced_non_aiger = matches!(forced, Some(f) if f != InputFormat::Aag);
     if !forced_non_aiger && pipeline::is_binary_aiger(&bytes) {
-        return Err(
-            "binary AIGER is not supported; convert to ASCII with `aigtoaig input.aig output.aag`"
-                .to_string(),
-        );
+        let network = mig::aiger::parse_binary_aiger(&bytes)
+            .map_err(|e| format!("{file}: binary AIGER: {e}"))?;
+        return Ok((InputFormat::Mig, mig::io::write_mig(&network)));
     }
     let text =
         String::from_utf8(bytes).map_err(|_| format!("{file}: input is not valid UTF-8 text"))?;
@@ -852,6 +865,9 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     // Per-target cost columns (ambit/magic ops and units), filled from the
     // run's own compiled IR by the backends crate.
     plim_backends::annotate_bench(&mut run);
+    // Equality-saturation columns: the compiled cost of the e-graph
+    // extraction at -O2, next to the arena result the gate compares it to.
+    plim_egraph::annotate_bench(&mut run, &circuits, parallelism);
     for (index, row) in run.rows.iter().enumerate() {
         println!("{}   [{:.1?}]", batch::format_row(row), run.row_time(index));
     }
@@ -945,8 +961,10 @@ fn run_bench_diff(args: &[String]) -> Result<(), String> {
 
 fn main() -> ExitCode {
     // Register the non-RM3 emission backends before any `--target` or
-    // `+target` spec is parsed against the registry.
+    // `+target` spec is parsed against the registry, and the
+    // equality-saturation hook before any `--rewrite egraph` job runs.
     plim_backends::install();
+    plim_egraph::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<(), Failure> = match args.first().map(String::as_str) {
         Some("bench") => run_bench(&args[1..]).map_err(Failure::from),
@@ -966,9 +984,13 @@ fn main() -> ExitCode {
         Err(failure) if failure.message == "help" => {
             eprintln!("usage: plimc [--format mig|aag] [--effort N] [--extended] [--naive]");
             eprintln!("             [--schedule index|priority|lookahead] [--alloc fifo|lifo|fresh|wear|binned]");
-            eprintln!("             [-O0|-O1|-O2] [--target rm3|ambit|magic] [--limit R]");
-            eprintln!("             [--emit asm|listing|stats|dot|mig|ir] [--no-verify] FILE");
-            eprintln!("       (binary AIGER .aig is not supported; convert with `aigtoaig input.aig output.aag`)");
+            eprintln!("             [-O0|-O1|-O2] [--target rm3|ambit|magic] [--rewrite arena|rebuild|egraph]");
+            eprintln!(
+                "             [--limit R] [--emit asm|listing|stats|dot|mig|ir] [--no-verify] FILE"
+            );
+            eprintln!(
+                "       (binary AIGER .aig is parsed natively; no aigtoaig conversion needed)"
+            );
             eprintln!("       plimc verify [compile options] FILE");
             eprintln!("             (exit 0: proven; 1: disproof/error; 2: too wide for an exhaustive proof)");
             eprintln!("       plimc lint [compile options] [--json] [--deny LINT] [--allow LINT]");

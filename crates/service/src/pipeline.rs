@@ -8,7 +8,7 @@
 use mig::Mig;
 use plim_compiler::report::CostReport;
 use plim_compiler::verify::{verify, verify_artifact};
-use plim_compiler::{compile_full, Compilation, CompilerOptions, Target};
+use plim_compiler::{compile_full, Compilation, CompilerOptions, RewriteMode, Target};
 
 /// Input format of a compile request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,13 +112,34 @@ impl Default for CompileSpec {
 }
 
 /// Runs the optimization stage of the pipeline on `input`.
+///
+/// The rewrite engine is selected by `spec.options.rewrite`: `arena` is
+/// the in-place depth-bounded rewriter, `rebuild` reconstructs through
+/// the hash-consing builder, and `egraph` saturates an e-graph and keeps
+/// the extraction only when its *compiled* cost beats the arena result.
+///
+/// # Panics
+///
+/// Panics for [`RewriteMode::Egraph`] when the equality-saturation hook
+/// has not been installed (`plim_egraph::install()`).
 pub fn optimize(input: &Mig, spec: &CompileSpec) -> Mig {
     if spec.effort == 0 {
         input.cleaned()
     } else if spec.extended {
         mig::resynth::rewrite_extended(input, spec.effort)
     } else {
-        mig::rewrite::rewrite(input, spec.effort)
+        match spec.options.rewrite {
+            RewriteMode::Arena => mig::rewrite::rewrite(input, spec.effort),
+            RewriteMode::Rebuild => mig::rewrite::rewrite_rebuild(input, spec.effort),
+            RewriteMode::Egraph => {
+                let optimize = plim_compiler::egraph_optimizer().expect(
+                    "RewriteMode::Egraph needs the equality-saturation hook: call \
+                     plim_egraph::install() before compiling",
+                );
+                let baseline = mig::rewrite::rewrite(input, spec.effort);
+                optimize(input, &baseline, spec.effort, spec.options)
+            }
+        }
     }
 }
 

@@ -954,6 +954,15 @@ mod tests {
             .options
             .target(plim_compiler::Target::parse("ambit").expect("registered"));
         variants.push(("target", target));
+        // The rewrite engine reaches the fingerprint through the 6-part
+        // options spec, so a warm `arena` artifact can never satisfy an
+        // `egraph` request.
+        let mut rewrite = base.clone();
+        rewrite.spec.options = rewrite
+            .spec
+            .options
+            .rewrite(plim_compiler::RewriteMode::Egraph);
+        variants.push(("rewrite", rewrite));
         let mut extended = base.clone();
         extended.spec.extended = true;
         variants.push(("extended", extended));

@@ -167,8 +167,10 @@ impl Server {
     /// store directory cannot be created.
     pub fn bind(config: &ServerConfig) -> Result<Server, String> {
         // Populate the target registry before the first request can name a
-        // `+target` spec suffix.
+        // `+target` spec suffix, and the equality-saturation hook before
+        // the first `+egraph` spec compiles.
         plim_backends::install();
+        plim_egraph::install();
         // Best-effort: the reactor holds one fd per connection, so a
         // default 1024-fd soft limit caps concurrency long before memory
         // does. Failure is not fatal — the daemon just accepts fewer.

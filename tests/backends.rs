@@ -60,7 +60,7 @@ fn magic_proves_out_on_the_provable_suite() {
     }
 }
 
-/// Targets thread through `CompilerOptions`: the 5-part spec round-trips
+/// Targets thread through `CompilerOptions`: the 6-part spec round-trips
 /// for the registered backends and compilation under a non-RM3 target
 /// still produces the reference RM3 program (the target chooses the
 /// emission, not the middle end's semantics).
@@ -70,7 +70,7 @@ fn targets_thread_through_compiler_options() {
     let options = CompilerOptions::new()
         .opt(OptLevel::O2)
         .target(Target::parse("ambit").unwrap());
-    assert_eq!(options.spec(), "priority+smart+fifo+o2+ambit");
+    assert_eq!(options.spec(), "priority+smart+fifo+o2+ambit+arena");
     let parsed = CompilerOptions::parse_spec(&options.spec()).unwrap();
     assert_eq!(parsed.target.name(), "ambit");
 

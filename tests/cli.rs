@@ -46,55 +46,62 @@ fn run_with_stdin(args: &[&str], stdin: &[u8]) -> Output {
 
 /// A tiny binary AIGER document: the `aig` header followed by the
 /// delta-encoded AND section (not valid UTF-8 in general; here the single
-/// AND `6 4 2` encodes as the two delta bytes 2, 2).
+/// AND `6 4 2` — f = a AND b — encodes as the two delta bytes 2, 2).
 fn binary_aiger_bytes() -> Vec<u8> {
-    let mut bytes = b"aig 3 2 0 1 1\n4\n".to_vec();
+    let mut bytes = b"aig 3 2 0 1 1\n6\n".to_vec();
     bytes.extend_from_slice(&[2u8, 2u8]);
     bytes
 }
 
 #[test]
-fn binary_aiger_file_gets_a_clear_error() {
+fn binary_aiger_file_compiles_natively() {
     // Process-unique name: concurrent test runs must not race on the file.
     let dir = std::env::temp_dir();
     let path = dir.join(format!("plimc_cli_test_binary_{}.aig", std::process::id()));
     std::fs::write(&path, binary_aiger_bytes()).unwrap();
 
-    // The user-error convention in full: exit 1, exactly one `plimc: …`
-    // stderr line, naming both the problem and the converter to run.
-    let stderr = assert_user_error(&[path.to_str().unwrap()], "binary AIGER is not supported");
-    assert!(stderr.contains("aigtoaig"), "should suggest the converter");
-    // The old behavior fell through to the MIG text parser.
-    assert!(
-        !stderr.contains("unrecognized line"),
-        "must not reach the MIG parser: {stderr}"
-    );
+    // Formerly this rejected the file with an `aigtoaig` conversion hint;
+    // the sniff now dispatches into the native binary decoder, so the file
+    // compiles and verifies like any other input.
+    let output = plimc()
+        .args([path.to_str().unwrap(), "--emit", "stats"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("instructions"), "stats missing: {stdout}");
     std::fs::remove_file(&path).ok();
 }
 
 #[test]
-fn binary_aiger_on_stdin_gets_the_same_error() {
-    // Sniffing must run on stdin too, and before the --format dispatch.
-    let mut child = plimc()
-        .args(["--format", "aag", "-"])
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::piped())
-        .spawn()
-        .unwrap();
-    child
-        .stdin
-        .take()
-        .unwrap()
-        .write_all(&binary_aiger_bytes())
-        .unwrap();
-    let output = child.wait_with_output().unwrap();
+fn binary_aiger_on_stdin_compiles_too() {
+    // Sniffing must run on stdin too, and win over the --format dispatch.
+    let output = run_with_stdin(
+        &["--format", "aag", "--emit", "stats", "-"],
+        &binary_aiger_bytes(),
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("instructions"), "stats missing: {stdout}");
+}
+
+#[test]
+fn corrupt_binary_aiger_gets_a_one_line_diagnostic() {
+    // Truncate the AND section: the decoder must diagnose it as a binary
+    // AIGER problem, not fall through to the MIG text parser or panic.
+    let mut bytes = binary_aiger_bytes();
+    bytes.truncate(bytes.len() - 2);
+    let output = run_with_stdin(&["-"], &bytes);
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert_eq!(output.status.code(), Some(1), "stderr: {stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
     assert!(
-        stderr.contains("binary AIGER is not supported"),
+        stderr.starts_with("plimc: ") && stderr.contains("binary AIGER"),
         "unexpected diagnostic: {stderr}"
     );
+    assert!(stderr.contains("AND section"), "{stderr}");
 }
 
 #[test]
@@ -150,6 +157,31 @@ fn ascii_aiger_still_compiles_end_to_end() {
 }
 
 #[test]
+fn every_rewrite_engine_compiles_and_verifies_end_to_end() {
+    // All three engines must produce a verifying artifact for the same
+    // input; `egraph` exercises the hook installed in main().
+    for engine in ["arena", "rebuild", "egraph"] {
+        let output = run_with_stdin(
+            &[
+                "--rewrite",
+                engine,
+                "--effort",
+                "2",
+                "-O2",
+                "--emit",
+                "stats",
+                "-",
+            ],
+            AND_MIG,
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(output.status.success(), "{engine}: {stderr}");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(stdout.contains("instructions"), "{engine}: {stdout}");
+    }
+}
+
+#[test]
 fn user_errors_exit_one_with_a_one_line_diagnostic() {
     assert_user_error(&["--effort", "four", "-"], "--effort needs a number");
     // A format typo is diagnosed as such even for unreadable/binary
@@ -166,6 +198,10 @@ fn user_errors_exit_one_with_a_one_line_diagnostic() {
     for name in ["rm3", "ambit", "magic"] {
         assert!(stderr.contains(name), "valid names missing: {stderr}");
     }
+    assert_user_error(
+        &["--rewrite", "zigzag", "-"],
+        "unknown rewrite mode `zigzag`",
+    );
     assert_user_error(&["--frobnicate", "-"], "unknown option `--frobnicate`");
     assert_user_error(&["a.mig", "b.mig"], "multiple input files");
     assert_user_error(&[], "no input file");
@@ -270,6 +306,7 @@ fn bench_json(instructions: u64) -> String {
          \"o1_instructions\": {instructions}, \"o1_rams\": 11, \
          \"o2_instructions\": {instructions}, \"o2_rams\": 11, \"o2_max_writes\": 22, \
          \"ambit_ops\": 490, \"ambit_cost\": 1078, \"magic_ops\": 686, \"magic_cost\": 686, \
+         \"egraph_instructions\": {instructions}, \"egraph_rams\": 11, \
          \"rewrite_ms\": 1.0, \"compile_ms\": 2.0, \"verified_exhaustive\": true, \
          \"fault_error_rate\": 0.0649, \"lifetime_invocations\": 45454, \
          \"lint_clean\": true}}]\n"
@@ -407,6 +444,64 @@ fn bench_diff_gates_on_per_target_cost_regressions() {
     );
 
     for path in [&baseline, &regressed, &skipped] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// The equality-saturation columns gate like the per-target ones, plus
+/// the baseline-free rule: an annotated `egraph_instructions` above the
+/// run's own `o2_instructions` fails even when the baseline agrees.
+#[test]
+fn bench_diff_gates_on_egraph_cost_regressions() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let baseline = dir.join(format!("plimc_cli_egraph_baseline_{pid}.json"));
+    let regressed = dir.join(format!("plimc_cli_egraph_regressed_{pid}.json"));
+    let worse_than_o2 = dir.join(format!("plimc_cli_egraph_worse_{pid}.json"));
+    std::fs::write(&baseline, bench_json(98)).unwrap();
+    std::fs::write(
+        &regressed,
+        bench_json(98).replace("\"egraph_rams\": 11", "\"egraph_rams\": 12"),
+    )
+    .unwrap();
+    // Doctor only the egraph column above -O2; the baseline comparison for
+    // it is identical-to-itself, so any failure comes from the current-run
+    // rule alone.
+    let doctored =
+        bench_json(98).replace("\"egraph_instructions\": 98", "\"egraph_instructions\": 99");
+    std::fs::write(&worse_than_o2, &doctored).unwrap();
+
+    let bad = plimc()
+        .args([
+            "bench-diff",
+            baseline.to_str().unwrap(),
+            regressed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert_eq!(bad.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("REGRESSION: adder: egraph_rams regressed 11 → 12"),
+        "{stdout}"
+    );
+
+    let bad = plimc()
+        .args([
+            "bench-diff",
+            worse_than_o2.to_str().unwrap(),
+            worse_than_o2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert_eq!(bad.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stdout.contains("egraph_instructions exceeds o2_instructions"),
+        "{stdout}"
+    );
+
+    for path in [&baseline, &regressed, &worse_than_o2] {
         std::fs::remove_file(path).ok();
     }
 }
@@ -1067,16 +1162,20 @@ fn bench_diff_gates_on_lost_exhaustive_verification() {
     }
 }
 
-/// `--help` documents the binary-AIGER conversion path and both scenario
-/// subcommands.
+/// `--help` documents native binary-AIGER support, the rewrite-engine
+/// flag, and both scenario subcommands.
 #[test]
-fn help_mentions_aigtoaig_and_the_scenario_subcommands() {
+fn help_mentions_binary_aiger_and_the_scenario_subcommands() {
     let output = plimc().arg("--help").output().unwrap();
     assert!(output.status.success());
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
-        stderr.contains("aigtoaig input.aig output.aag"),
-        "converter hint missing from --help: {stderr}"
+        stderr.contains("binary AIGER .aig is parsed natively"),
+        "native .aig support missing from --help: {stderr}"
+    );
+    assert!(
+        stderr.contains("--rewrite arena|rebuild|egraph"),
+        "rewrite engines missing from --help: {stderr}"
     );
     assert!(stderr.contains("plimc verify"), "{stderr}");
     assert!(

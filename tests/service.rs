@@ -219,6 +219,78 @@ fn warm_hits_never_serve_a_different_target() {
 }
 
 #[test]
+fn warm_hits_never_serve_a_different_rewrite_mode() {
+    use plim_compiler::RewriteMode;
+    // Regression for the equality-saturation engine: the rewrite mode is
+    // the sixth options-spec component, so it must reach the cache key. A
+    // warm cache after an `arena` compile must never satisfy an `egraph`
+    // request for the same circuit — the artifacts can legitimately
+    // differ, so a stale hit would silently serve the wrong program.
+    let (addr, handle) = start_server(1, 1 << 20);
+    let source = suite_source("ctrl");
+    let request_for = |mode: RewriteMode| {
+        let mut spec = CompileSpec::default();
+        spec.effort = 2;
+        spec.options = spec.options.rewrite(mode);
+        Request::Compile(CompileRequest {
+            format: InputFormat::Mig,
+            source: source.clone(),
+            spec,
+            emit: "listing".to_string(),
+        })
+    };
+
+    let Response::Compile(cold_arena) =
+        client::send(&addr, &request_for(RewriteMode::Arena)).unwrap()
+    else {
+        panic!("cold arena request failed");
+    };
+    assert!(!cold_arena.cached);
+
+    // Same circuit, egraph engine: must be a miss with its own key.
+    let Response::Compile(cold_egraph) =
+        client::send(&addr, &request_for(RewriteMode::Egraph)).unwrap()
+    else {
+        panic!("cold egraph request failed");
+    };
+    assert!(
+        !cold_egraph.cached,
+        "a different rewrite mode must never warm-hit"
+    );
+    assert_ne!(
+        cold_egraph.key, cold_arena.key,
+        "cache keys must differ per rewrite mode"
+    );
+    let offline_for = |mode: RewriteMode| {
+        let mut spec = CompileSpec::default();
+        spec.effort = 2;
+        spec.options = spec.options.rewrite(mode);
+        offline_listing_with(&source, &spec)
+    };
+    plim_egraph::install();
+    assert_eq!(cold_arena.output, offline_for(RewriteMode::Arena));
+    assert_eq!(cold_egraph.output, offline_for(RewriteMode::Egraph));
+
+    // Warm repeats of each mode hit their own entries and stay distinct.
+    for (mode, cold) in [
+        (RewriteMode::Arena, &cold_arena),
+        (RewriteMode::Egraph, &cold_egraph),
+    ] {
+        let Response::Compile(warm) = client::send(&addr, &request_for(mode)).unwrap() else {
+            panic!("warm request failed");
+        };
+        assert!(warm.cached, "repeat at the same rewrite mode must hit");
+        assert_eq!(&warm.key, &cold.key);
+        assert_eq!(&warm.output, &cold.output);
+    }
+    let totals = stats(&addr).totals();
+    assert_eq!(totals.misses, 2, "one miss per rewrite mode");
+    assert_eq!(totals.hits, 2, "one hit per rewrite mode");
+    assert_eq!(totals.entries, 2, "one entry per rewrite mode");
+    shut_down(&addr, handle);
+}
+
+#[test]
 fn canonicalization_makes_permuted_dumps_share_an_entry() {
     let (addr, handle) = start_server(1, 1 << 20);
     // The same structure written three ways: reference, definitions
